@@ -1,0 +1,76 @@
+// Command fftbench regenerates the paper's figures.
+//
+// Paper-scale series (512³–2048³, the five §V machines) come from the
+// performance model calibrated by the cache simulator; host-scale series
+// run the real Go implementations. See EXPERIMENTS.md for the
+// paper-vs-reproduced record.
+//
+// Usage:
+//
+//	fftbench -fig all          # every paper figure (modeled, paper scale)
+//	fftbench -fig 1            # one figure: 1, 9, 10, 11a, 11b, 11c, 11d
+//	fftbench -measured         # run the real implementations on this host
+//	fftbench -measured -dims 2 # the 2D sweep instead of 3D
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/accuracy"
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 9, 10, 11a, 11b, 11c, 11d or all")
+	measured := flag.Bool("measured", false, "run the real implementations at host-feasible sizes")
+	dims := flag.Int("dims", 3, "2 or 3: dimensionality of the measured sweep")
+	reps := flag.Int("reps", 3, "repetitions per measured point (best is reported)")
+	pd := flag.Int("pd", 1, "data workers for measured runs")
+	pc := flag.Int("pc", 1, "compute workers for measured runs")
+	acc := flag.Bool("accuracy", false, "print the numerical-accuracy report instead of performance")
+	flag.Parse()
+
+	if *acc {
+		accuracy.Report(os.Stdout, []int{64, 256, 1024, 4096, 96, 1000, 127, 1021})
+		return
+	}
+
+	if *measured {
+		cfg := bench.MeasuredConfig{Reps: *reps, DataWorkers: *pd, ComputeWorkers: *pc}
+		var err error
+		if *dims == 2 {
+			err = bench.Measured2D(os.Stdout, cfg)
+		} else {
+			err = bench.Measured3D(os.Stdout, cfg)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fftbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	switch *fig {
+	case "all":
+		bench.All(os.Stdout)
+	case "1":
+		bench.Figure1(os.Stdout)
+	case "9":
+		bench.Figure9(os.Stdout)
+	case "10":
+		bench.Figure10(os.Stdout)
+	case "11a":
+		bench.Figure11a(os.Stdout)
+	case "11b":
+		bench.Figure11b(os.Stdout)
+	case "11c":
+		bench.Figure11c(os.Stdout)
+	case "11d":
+		bench.Figure11d(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "fftbench: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

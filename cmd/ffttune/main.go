@@ -1,0 +1,88 @@
+// Command ffttune searches the double-buffering parameters (buffer size,
+// p_d : p_c worker split, μ, compute format) empirically on this host and
+// optionally persists the winners as a JSON wisdom file for later runs.
+//
+// Usage:
+//
+//	ffttune -size 64,64,64                     # tune one 3D size
+//	ffttune -size 1024,1024 -reps 5            # 2D
+//	ffttune -size 64,64,64 -wisdom wisdom.json # append the winner
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"text/tabwriter"
+
+	"repro/internal/cli"
+	"repro/internal/tune"
+)
+
+func main() {
+	sizeFlag := flag.String("size", "64,64,64", "k,n,m (3D) or n,m (2D)")
+	reps := flag.Int("reps", 3, "repetitions per candidate (best kept)")
+	wisdomPath := flag.String("wisdom", "", "wisdom file to update with the winner")
+	flag.Parse()
+
+	dims, err := cli.ParseDims(*sizeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffttune:", err)
+		os.Exit(2)
+	}
+	space := tune.DefaultSpace(runtime.GOMAXPROCS(0))
+
+	var best tune.Result
+	var all []tune.Result
+	var key string
+	switch len(dims) {
+	case 3:
+		best, all, err = tune.Tune3D(dims[0], dims[1], dims[2], space, *reps)
+		key = tune.Key3D(dims[0], dims[1], dims[2])
+	case 2:
+		best, all, err = tune.Tune2D(dims[0], dims[1], space, *reps)
+		key = tune.Key2D(dims[0], dims[1])
+	default:
+		fmt.Fprintln(os.Stderr, "ffttune: need 2 or 3 dimensions")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffttune:", err)
+		os.Exit(1)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "candidate\tseconds")
+	for _, r := range all {
+		marker := ""
+		if r.Candidate == best.Candidate {
+			marker = "  ← best"
+		}
+		fmt.Fprintf(tw, "%s\t%.5f%s\n", r.Candidate, r.Seconds, marker)
+	}
+	tw.Flush()
+	fmt.Printf("\nbest for %s: %s (%.5fs)\n", key, best.Candidate, best.Seconds)
+
+	if *wisdomPath != "" {
+		w := tune.NewWisdom()
+		if f, err := os.Open(*wisdomPath); err == nil {
+			if loaded, lerr := tune.LoadWisdom(f); lerr == nil {
+				w = loaded
+			}
+			f.Close()
+		}
+		w.Put(key, best.Candidate)
+		f, err := os.Create(*wisdomPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ffttune:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := w.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ffttune:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wisdom updated: %s\n", *wisdomPath)
+	}
+}

@@ -1,0 +1,41 @@
+// Command stream runs the STREAM memory-bandwidth benchmark (McCalpin) on
+// this host: Copy, Scale, Add and Triad over arrays far larger than the
+// last-level cache. The paper calibrates every figure's achievable peak
+// with this number (§V).
+//
+// Usage:
+//
+//	stream               # 8 Mi elements per array, 5 trials
+//	stream -elems 1048576 -trials 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/stream"
+)
+
+func main() {
+	elems := flag.Int("elems", 8<<20, "elements per array (3 arrays of float64)")
+	trials := flag.Int("trials", 5, "trials per kernel; best is reported")
+	flag.Parse()
+
+	fmt.Printf("STREAM: %d elements/array (%.1f MB total), %d trials\n",
+		*elems, 3*float64(*elems)*8/1e6, *trials)
+	results := stream.Run(stream.Config{Elems: *elems, Trials: *trials})
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "kernel\tbest GB/s\tavg GB/s\tworst GB/s\tbest time")
+	for _, r := range results {
+		status := ""
+		if !r.CheckedOK {
+			status = "  (VERIFICATION FAILED)"
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\t%v%s\n",
+			r.Kernel, r.BestGBs, r.AvgGBs, r.WorstGBs, r.BestTime, status)
+	}
+	tw.Flush()
+}

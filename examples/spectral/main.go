@@ -1,0 +1,90 @@
+// Spectral: 2D low-pass filtering of a noisy synthetic image via the 2D
+// FFT — the 2D transform path (Fig. 9's subject) exercised end to end.
+//
+// The image is a sum of two low-frequency sinusoidal gratings plus
+// high-frequency noise; filtering zeroes every Fourier mode above a cutoff
+// radius and must recover the gratings almost exactly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	const n, m = 256, 256
+	plan, err := repro.NewFFT2D(n, m, repro.WithBufferElems(1<<12))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Clean signal: two gratings at wavenumbers (2,3) and (5,1).
+	clean := make([]float64, n*m)
+	img := make([]complex128, n*m)
+	rng := rand.New(rand.NewSource(7))
+	for y := 0; y < n; y++ {
+		for x := 0; x < m; x++ {
+			fy, fx := float64(y)/n, float64(x)/m
+			v := math.Sin(2*math.Pi*(2*fy+3*fx)) + 0.5*math.Cos(2*math.Pi*(5*fy+1*fx))
+			clean[y*m+x] = v
+			// Noise concentrated at high frequencies: random speckle.
+			img[y*m+x] = complex(v+0.8*(rng.Float64()*2-1), 0)
+		}
+	}
+
+	spec := make([]complex128, n*m)
+	if err := plan.Forward(spec, img); err != nil {
+		log.Fatal(err)
+	}
+
+	// Zero every mode with radius > cutoff (in signed wavenumbers).
+	const cutoff = 8.0
+	kept := 0
+	for y := 0; y < n; y++ {
+		for x := 0; x < m; x++ {
+			ky, kx := wave(y, n), wave(x, m)
+			if math.Hypot(ky, kx) > cutoff {
+				spec[y*m+x] = 0
+			} else {
+				kept++
+			}
+		}
+	}
+
+	out := make([]complex128, n*m)
+	if err := plan.Inverse(out, spec); err != nil {
+		log.Fatal(err)
+	}
+
+	// The filtered image should be much closer to the clean signal than
+	// the noisy input was.
+	rmsNoisy := rms(img, clean, m)
+	rmsFiltered := rms(out, clean, m)
+	fmt.Printf("2D spectral low-pass on %d×%d image (kept %d/%d modes)\n", n, m, kept, n*m)
+	fmt.Printf("RMS error vs clean: noisy %.4f → filtered %.4f (%.1fx reduction)\n",
+		rmsNoisy, rmsFiltered, rmsNoisy/rmsFiltered)
+	if rmsFiltered > rmsNoisy/3 {
+		log.Fatal("filtering did not denoise")
+	}
+	fmt.Println("OK")
+}
+
+func rms(got []complex128, clean []float64, m int) float64 {
+	var s float64
+	for i := range got {
+		d := real(got[i]) - clean[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(got)))
+}
+
+func wave(i, n int) float64 {
+	if i <= n/2 {
+		return float64(i)
+	}
+	return float64(i - n)
+}

@@ -1,0 +1,213 @@
+// Package repro is a bandwidth-efficient FFT library for large
+// multi-dimensional transforms, reproducing Popovici, Low and Franchetti,
+// "Large Bandwidth-Efficient FFTs on Multicore and Multi-Socket Systems"
+// (IPDPS 2018).
+//
+// Large 2D/3D FFTs are memory bound: their strided stages waste cache and
+// DRAM bandwidth. This library implements the paper's remedy — repurposing
+// half the worker pool as soft DMA engines that stream blocks through a
+// cache-resident double buffer while the other half computes contiguous FFT
+// pencils, with a cacheline-blocked transpose/rotation folded into every
+// store so each stage again sees unit-stride data:
+//
+//	plan, _ := repro.NewFFT3D(256, 256, 256)
+//	dst := make([]complex128, plan.Len())
+//	_ = plan.Forward(dst, src)
+//
+// Baseline strategies ("pencil", "slab") matching the memory behaviour of
+// conventional libraries are available for comparison, as are the paper's
+// five evaluation machines and the performance model that regenerates the
+// paper's figures (cmd/fftbench).
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// Option customizes a plan.
+type Option func(*core.Config) error
+
+// WithStrategy selects the execution strategy: "doublebuf" (default, the
+// paper's scheme), "pencil" (non-overlapped baseline), "slab" (slab-pencil
+// baseline, 3D only) or "reference".
+func WithStrategy(name string) Option {
+	return func(c *core.Config) error {
+		switch name {
+		case core.StrategyReference, core.StrategyPencil, core.StrategySlab, core.StrategyDoubleBuf:
+			c.Strategy = name
+			return nil
+		}
+		return fmt.Errorf("repro: unknown strategy %q", name)
+	}
+}
+
+// WithWorkers sets the soft-DMA data-worker and compute-worker counts
+// (the paper's p_d and p_c).
+func WithWorkers(data, compute int) Option {
+	return func(c *core.Config) error {
+		if data < 1 || compute < 1 {
+			return fmt.Errorf("repro: workers must be ≥ 1, got %d/%d", data, compute)
+		}
+		c.DataWorkers, c.ComputeWorkers = data, compute
+		c.Workers = data + compute
+		return nil
+	}
+}
+
+// WithBufferElems sets the pipeline block size b in complex elements (the
+// engine keeps two halves of this size; the paper sizes the pair at half
+// the last-level cache).
+func WithBufferElems(b int) Option {
+	return func(c *core.Config) error {
+		if b < 1 {
+			return fmt.Errorf("repro: buffer must be ≥ 1 element, got %d", b)
+		}
+		c.BufferElems = b
+		return nil
+	}
+}
+
+// WithCacheline sets μ, the cacheline granularity in complex elements used
+// by the blocked rotations (default 4 = 64 bytes).
+func WithCacheline(mu int) Option {
+	return func(c *core.Config) error {
+		if mu < 1 {
+			return fmt.Errorf("repro: μ must be ≥ 1, got %d", mu)
+		}
+		c.Mu = mu
+		return nil
+	}
+}
+
+// WithSplitFormat enables or disables the block-interleaved compute format
+// (§IV-A; enabled by default).
+func WithSplitFormat(on bool) Option {
+	return func(c *core.Config) error {
+		c.SplitFormat = on
+		return nil
+	}
+}
+
+// WithMachineDefaults applies the paper's parameter rules (buffer = LLC/2,
+// μ = cacheline, half the threads per role) for one of the five described
+// evaluation machines; see Machines for the names.
+func WithMachineDefaults(name string) Option {
+	return func(c *core.Config) error {
+		m, err := machine.ByName(name)
+		if err != nil {
+			return err
+		}
+		*c = core.ForMachine(m)
+		return nil
+	}
+}
+
+func resolve(opts []Option) (core.Config, error) {
+	cfg := core.Default()
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+// FFT3D is a reusable plan for k×n×m cubes (row-major, x fastest).
+type FFT3D struct{ p *core.Plan3D }
+
+// NewFFT3D builds a 3D plan.
+func NewFFT3D(k, n, m int, opts ...Option) (*FFT3D, error) {
+	cfg, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewPlan3D(k, n, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &FFT3D{p}, nil
+}
+
+// Forward computes the unnormalized forward DFT out of place; dst and src
+// must each have length Len() and must not overlap.
+func (f *FFT3D) Forward(dst, src []complex128) error { return f.p.Forward(dst, src) }
+
+// Inverse computes the normalized inverse DFT out of place: Inverse ∘
+// Forward is the identity.
+func (f *FFT3D) Inverse(dst, src []complex128) error { return f.p.Inverse(dst, src) }
+
+// InPlace computes the unnormalized forward DFT in place.
+func (f *FFT3D) InPlace(x []complex128) error { return f.p.InPlace(x) }
+
+// ForwardMany transforms count cubes stored back-to-back (the "howmany"
+// interface): dst and src must each hold count·Len() elements. Planning
+// and buffer allocation are amortized over the batch.
+func (f *FFT3D) ForwardMany(dst, src []complex128, count int) error {
+	return f.p.ForwardMany(dst, src, count)
+}
+
+// Len returns the total element count k·n·m.
+func (f *FFT3D) Len() int { return f.p.Len() }
+
+// Dims returns (k, n, m).
+func (f *FFT3D) Dims() (k, n, m int) { return f.p.Dims() }
+
+// FFT2D is a reusable plan for n×m matrices (row-major).
+type FFT2D struct{ p *core.Plan2D }
+
+// NewFFT2D builds a 2D plan.
+func NewFFT2D(n, m int, opts ...Option) (*FFT2D, error) {
+	cfg, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewPlan2D(n, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &FFT2D{p}, nil
+}
+
+// Forward computes the unnormalized forward DFT out of place.
+func (f *FFT2D) Forward(dst, src []complex128) error { return f.p.Forward(dst, src) }
+
+// Inverse computes the normalized inverse DFT out of place.
+func (f *FFT2D) Inverse(dst, src []complex128) error { return f.p.Inverse(dst, src) }
+
+// InPlace computes the unnormalized forward DFT in place.
+func (f *FFT2D) InPlace(x []complex128) error { return f.p.InPlace(x) }
+
+// Len returns n·m.
+func (f *FFT2D) Len() int { return f.p.Len() }
+
+// Dims returns (n, m).
+func (f *FFT2D) Dims() (n, m int) { return f.p.Dims() }
+
+// MachineInfo summarizes one of the paper's evaluation systems.
+type MachineInfo struct {
+	Name      string
+	Vendor    string
+	Sockets   int
+	Threads   int
+	LLCBytes  int
+	DRAMGB    int
+	StreamGBs float64
+	LinkGBs   float64
+}
+
+// Machines lists the five systems from the paper's §V with their published
+// parameters; pass a Name to WithMachineDefaults.
+func Machines() []MachineInfo {
+	var out []MachineInfo
+	for _, m := range machine.All {
+		out = append(out, MachineInfo{
+			Name: m.Name, Vendor: m.Vendor, Sockets: m.Sockets,
+			Threads: m.Threads(), LLCBytes: m.LLC().SizeBytes,
+			DRAMGB: m.DRAMGB, StreamGBs: m.StreamGBs, LinkGBs: m.LinkGBs,
+		})
+	}
+	return out
+}

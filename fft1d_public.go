@@ -1,0 +1,99 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/fft1d"
+	"repro/internal/fft1dlarge"
+	"repro/internal/rfft"
+)
+
+// FFT1D is a reusable plan for one-dimensional transforms. Sizes large
+// enough to spill the cache run the software-pipelined six-step
+// factorization (contiguous row FFTs + block-granular transposes through
+// the double buffer); smaller sizes use the in-cache mixed-radix planner
+// directly.
+type FFT1D struct {
+	p *fft1dlarge.Plan
+}
+
+// NewFFT1D builds a 1D plan for size n.
+func NewFFT1D(n int, opts ...Option) (*FFT1D, error) {
+	cfg, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	p, err := fft1dlarge.NewPlan(n, fft1dlarge.Options{
+		DataWorkers:    cfg.DataWorkers,
+		ComputeWorkers: cfg.ComputeWorkers,
+		BufferElems:    cfg.BufferElems,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FFT1D{p}, nil
+}
+
+// Forward computes the unnormalized forward DFT out of place.
+func (f *FFT1D) Forward(dst, src []complex128) error {
+	return f.p.Transform(dst, src, fft1d.Forward)
+}
+
+// Inverse computes the normalized inverse DFT out of place.
+func (f *FFT1D) Inverse(dst, src []complex128) error {
+	if err := f.p.Transform(dst, src, fft1d.Inverse); err != nil {
+		return err
+	}
+	fft1d.Scale(dst, 1/float64(f.p.N()))
+	return nil
+}
+
+// Len returns the transform size.
+func (f *FFT1D) Len() int { return f.p.N() }
+
+// Split returns the six-step factorization (n1, n2), or (n, 1) when the
+// plan runs in cache directly.
+func (f *FFT1D) Split() (int, int) { return f.p.Split() }
+
+// RealFFT3D transforms real k×n×m grids to their Hermitian half spectra
+// (k×n×(m/2+1) complex values) and back — the format spectral PDE solvers
+// and convolutions over real fields consume, at roughly half the memory
+// traffic of a padded complex transform.
+type RealFFT3D struct {
+	p *rfft.Plan3D
+}
+
+// NewRealFFT3D builds a real-input 3D plan; m must be even.
+func NewRealFFT3D(k, n, m int) (*RealFFT3D, error) {
+	p, err := rfft.NewPlan3D(k, n, m)
+	if err != nil {
+		return nil, err
+	}
+	return &RealFFT3D{p}, nil
+}
+
+// Forward computes the unnormalized half spectrum; dst must have length
+// SpectrumLen(), src length RealLen().
+func (f *RealFFT3D) Forward(dst []complex128, src []float64) error {
+	return f.p.Forward(dst, src)
+}
+
+// Inverse computes the normalized real inverse; src is used as scratch.
+func (f *RealFFT3D) Inverse(dst []float64, src []complex128) error {
+	return f.p.Inverse(dst, src)
+}
+
+// RealLen returns k·n·m.
+func (f *RealFFT3D) RealLen() int { return f.p.RealLen() }
+
+// SpectrumLen returns k·n·(m/2+1).
+func (f *RealFFT3D) SpectrumLen() int { return f.p.SpectrumLen() }
+
+// Dims returns (k, n, m).
+func (f *RealFFT3D) Dims() (int, int, int) { return f.p.Dims() }
+
+// String provides a compact description for logs.
+func (f *RealFFT3D) String() string {
+	k, n, m := f.p.Dims()
+	return fmt.Sprintf("RealFFT3D(%d×%d×%d)", k, n, m)
+}

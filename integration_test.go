@@ -1,0 +1,192 @@
+package repro
+
+// Cross-module integration tests: each test exercises several subsystems
+// end to end, the way the example programs and a downstream user would.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cvec"
+	"repro/internal/fft1d"
+	"repro/internal/fft3d"
+	"repro/internal/spl"
+	"repro/internal/trace"
+	"repro/internal/tune"
+)
+
+// The full chain: SPL formula semantics → public doublebuf plan. The SPL
+// interpreter is itself verified against the dense DFT, so this pins the
+// production path to the mathematical definition end to end.
+func TestIntegrationPublicPlanMatchesSPL(t *testing.T) {
+	const k, n, m = 4, 8, 8
+	x := cvec.Random(rand.New(rand.NewSource(1)), k*n*m)
+	want := spl.Eval(spl.DFT3D(k, n, m), x)
+	p, err := NewFFT3D(k, n, m, WithBufferElems(64), WithWorkers(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]complex128, len(x))
+	if err := p.Forward(got, x); err != nil {
+		t.Fatal(err)
+	}
+	if d := cvec.MaxDiff(cvec.Vec(got), cvec.Vec(want)); d > 1e-9*float64(k*n*m) {
+		t.Fatalf("public plan diverges from SPL semantics: %g", d)
+	}
+}
+
+// Spectral differentiation: d/dx of a trigonometric polynomial computed
+// via forward transform, ik multiply, inverse transform.
+func TestIntegrationSpectralDerivative(t *testing.T) {
+	const n = 128
+	p, err := NewFFT1D(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex128, n)
+	dx := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		th := 2 * math.Pi * float64(i) / n
+		x[i] = complex(math.Sin(3*th)+0.5*math.Cos(7*th), 0)
+		dx[i] = complex(3*math.Cos(3*th)-3.5*math.Sin(7*th), 0)
+	}
+	spec := make([]complex128, n)
+	if err := p.Forward(spec, x); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		kk := k
+		if k > n/2 {
+			kk = k - n
+		}
+		spec[k] *= complex(0, float64(kk))
+	}
+	got := make([]complex128, n)
+	if err := p.Inverse(got, spec); err != nil {
+		t.Fatal(err)
+	}
+	if d := cvec.MaxDiff(cvec.Vec(got), cvec.Vec(dx)); d > 1e-9 {
+		t.Fatalf("spectral derivative off by %g", d)
+	}
+}
+
+// FFT-based convolution against the direct O(N²) computation, through the
+// public 2D plan.
+func TestIntegration2DConvolution(t *testing.T) {
+	const n, m = 16, 16
+	rng := rand.New(rand.NewSource(2))
+	a := cvec.Random(rng, n*m)
+	b := cvec.Random(rng, n*m)
+	// Direct circular 2D convolution.
+	want := make([]complex128, n*m)
+	for y := 0; y < n; y++ {
+		for x := 0; x < m; x++ {
+			var s complex128
+			for v := 0; v < n; v++ {
+				for u := 0; u < m; u++ {
+					s += a[v*m+u] * b[((y-v+n)%n)*m+(x-u+m)%m]
+				}
+			}
+			want[y*m+x] = s
+		}
+	}
+	p, err := NewFFT2D(n, m, WithBufferElems(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := make([]complex128, n*m)
+	fb := make([]complex128, n*m)
+	if err := p.Forward(fa, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Forward(fb, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	got := make([]complex128, n*m)
+	if err := p.Inverse(got, fa); err != nil {
+		t.Fatal(err)
+	}
+	if d := cvec.MaxDiff(cvec.Vec(got), cvec.Vec(want)); d > 1e-7*float64(n*m) {
+		t.Fatalf("convolution theorem chain off by %g", d)
+	}
+}
+
+// Tune → wisdom → rebuild with the tuned candidate, verifying the tuned
+// plan still computes the right answer.
+func TestIntegrationTuneAndReplay(t *testing.T) {
+	const k, n, m = 16, 16, 16
+	space := tune.Space{
+		Buffers:      []int{256, 1024},
+		WorkerSplits: [][2]int{{1, 1}},
+		Mus:          []int{4},
+		SplitFormats: []bool{false, true},
+	}
+	best, _, err := tune.Tune3D(k, n, m, space, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewFFT3D(k, n, m,
+		WithBufferElems(best.BufferElems),
+		WithWorkers(best.DataWorkers, best.ComputeWorkers),
+		WithCacheline(best.Mu),
+		WithSplitFormat(best.SplitFormat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := cvec.Random(rand.New(rand.NewSource(3)), k*n*m)
+	got := make([]complex128, len(x))
+	if err := p.Forward(got, x); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := NewFFT3D(k, n, m, WithStrategy("reference"))
+	want := make([]complex128, len(x))
+	if err := ref.Forward(want, x); err != nil {
+		t.Fatal(err)
+	}
+	if d := cvec.MaxDiff(cvec.Vec(got), cvec.Vec(want)); d > 1e-8 {
+		t.Fatalf("tuned plan wrong: %g", d)
+	}
+}
+
+// The full 3D transform under a tracer: every one of the three stages must
+// satisfy the Table II invariants simultaneously.
+func TestIntegrationFullTransformScheduleInvariants(t *testing.T) {
+	tr := trace.New()
+	p, err := fft3d.NewPlan(8, 8, 16, fft3d.Options{
+		Strategy: fft3d.DoubleBuf, Mu: 4, BufferElems: 128,
+		DataWorkers: 2, ComputeWorkers: 2, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := cvec.Random(rand.New(rand.NewSource(4)), p.Len())
+	y := make([]complex128, p.Len())
+	if err := p.Transform(y, x, fft1d.Forward); err != nil {
+		t.Fatal(err)
+	}
+	// Stages share step numbers in one recorder; the per-event invariants
+	// (op ↔ iter ↔ buffer-half relations) must still hold for every event.
+	for _, e := range tr.Events() {
+		switch e.Op {
+		case trace.Load:
+			if e.Iter != e.Step || e.Buf != e.Iter%2 {
+				t.Fatalf("load invariant violated: %+v", e)
+			}
+		case trace.Compute:
+			if e.Iter != e.Step-1 || e.Buf != e.Iter%2 {
+				t.Fatalf("compute invariant violated: %+v", e)
+			}
+		case trace.Store:
+			if e.Iter != e.Step-2 || e.Buf != e.Iter%2 {
+				t.Fatalf("store invariant violated: %+v", e)
+			}
+		}
+	}
+	if f := tr.OverlapFraction(); f <= 0 {
+		t.Fatal("no overlap recorded across the full transform")
+	}
+}

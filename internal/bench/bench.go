@@ -1,0 +1,184 @@
+// Package bench regenerates the paper's tables and figures. Each FigureN
+// function prints the corresponding data series: the paper-scale numbers
+// come from the perfmodel estimates on the paper's machines (this container
+// cannot hold 128 GB datasets), and the Measured* functions run the real Go
+// implementations at host-feasible sizes so the relative shapes can be
+// checked against actual execution. EXPERIMENTS.md records both against the
+// paper's reported values.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+)
+
+// fig1Sizes are the eight 2^{9,10} shape combinations of Fig. 1/Fig. 11 top.
+var fig1Sizes = [][3]int{
+	{512, 512, 512}, {512, 512, 1024}, {512, 1024, 512}, {512, 1024, 1024},
+	{1024, 512, 512}, {1024, 512, 1024}, {1024, 1024, 512}, {1024, 1024, 1024},
+}
+
+func sizeLabel3(s [3]int) string {
+	return fmt.Sprintf("[%d,%d,%d]", log2i(s[0]), log2i(s[1]), log2i(s[2]))
+}
+
+func log2i(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Figure1 prints the 3D FFT percent-of-achievable-peak comparison on the
+// Intel Kaby Lake 7700K (MKL and FFTW-class models vs the double-buffered
+// implementation), with unnormalized Gflop/s in parentheses, matching the
+// layout of the paper's Fig. 1.
+func Figure1(w io.Writer) {
+	mo := perfmodel.New(machine.KabyLake7700K)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Fig. 1 — 3D FFT, Intel Kaby Lake 7700K, % of achievable peak (Gflop/s)")
+	fmt.Fprintf(w, "achievable peak at %g GB/s STREAM\n", mo.M.StreamGBs)
+	fmt.Fprintln(tw, "size 2^k×2^n×2^m\tMKL\tFFTW\tDoubleBuffering+Spiral\tpeak Gflop/s")
+	for _, s := range fig1Sizes {
+		mkl := mo.Baseline3D(s[0], s[1], s[2], perfmodel.LibMKL, 1)
+		fftw := mo.Baseline3D(s[0], s[1], s[2], perfmodel.LibFFTW, 1)
+		ours := mo.DoubleBuf3D(s[0], s[1], s[2], 1)
+		fmt.Fprintf(tw, "%s\t%.1f%% (%.1f)\t%.1f%% (%.1f)\t%.1f%% (%.1f)\t%.1f\n",
+			sizeLabel3(s),
+			mkl.PctOfPeak*100, mkl.Gflops,
+			fftw.PctOfPeak*100, fftw.Gflops,
+			ours.PctOfPeak*100, ours.Gflops,
+			ours.PeakGflops)
+	}
+	tw.Flush()
+}
+
+// fig9Sizes sweep the 2D plane like the paper's Fig. 9, including the large
+// m values whose transpose panels shrink below the TLB amortization point.
+var fig9Sizes = [][2]int{
+	{512, 1024}, {1024, 1024}, {1024, 2048}, {2048, 2048},
+	{2048, 4096}, {4096, 4096}, {4096, 8192}, {8192, 8192},
+	{4096, 16384}, {2048, 32768}, {1024, 65536},
+}
+
+// Figure9 prints the 2D FFT comparison on the Kaby Lake 7700K.
+func Figure9(w io.Writer) {
+	mo := perfmodel.New(machine.KabyLake7700K)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Fig. 9 — 2D FFT, Intel Kaby Lake 7700K, % of achievable peak (Gflop/s)")
+	fmt.Fprintln(tw, "size 2^n×2^m\tMKL\tFFTW\tDoubleBuffering+Spiral\tpeak Gflop/s")
+	for _, s := range fig9Sizes {
+		mkl := mo.Baseline2D(s[0], s[1], perfmodel.LibMKL)
+		fftw := mo.Baseline2D(s[0], s[1], perfmodel.LibFFTW)
+		ours := mo.DoubleBuf2D(s[0], s[1])
+		fmt.Fprintf(tw, "[%d,%d]\t%.1f%% (%.1f)\t%.1f%% (%.1f)\t%.1f%% (%.1f)\t%.1f\n",
+			log2i(s[0]), log2i(s[1]),
+			mkl.PctOfPeak*100, mkl.Gflops,
+			fftw.PctOfPeak*100, fftw.Gflops,
+			ours.PctOfPeak*100, ours.Gflops,
+			ours.PeakGflops)
+	}
+	tw.Flush()
+}
+
+// fig10Sizes are the large dual-socket problems of Fig. 10 (2048³ is the
+// paper's 128 GB headline size).
+var fig10Sizes = [][3]int{
+	{1024, 1024, 1024}, {2048, 1024, 1024}, {2048, 2048, 1024}, {2048, 2048, 2048},
+}
+
+// Figure10 prints the dual-socket Haswell 2667v3 Gflop/s comparison.
+func Figure10(w io.Writer) {
+	mo := perfmodel.New(machine.Haswell2667)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Fig. 10 — 3D FFT, two-socket Intel Haswell 2667v3, Gflop/s")
+	fmt.Fprintln(tw, "size 2^k×2^n×2^m\tMKL\tFFTW\tDoubleBuffering+Spiral\tspeedup vs MKL")
+	for _, s := range fig10Sizes {
+		mkl := mo.Baseline3D(s[0], s[1], s[2], perfmodel.LibMKL, 2)
+		fftw := mo.Baseline3D(s[0], s[1], s[2], perfmodel.LibFFTW, 2)
+		ours := mo.DoubleBuf3D(s[0], s[1], s[2], 2)
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%.2fx\n",
+			sizeLabel3(s), mkl.Gflops, fftw.Gflops, ours.Gflops, ours.Gflops/mkl.Gflops)
+	}
+	tw.Flush()
+}
+
+// Figure11a prints the Haswell 4770K 3D Gflop/s comparison (Fig. 11 top
+// left).
+func Figure11a(w io.Writer) {
+	figure11Top(w, machine.Haswell4770K, "Fig. 11a — 3D FFT, Intel Haswell 4770K, Gflop/s")
+}
+
+// Figure11b prints the AMD FX-8350 comparison (Fig. 11 top right), where
+// the FFTW-class baseline uses the slab-pencil decomposition that suits
+// AMD's large caches.
+func Figure11b(w io.Writer) {
+	figure11Top(w, machine.FX8350, "Fig. 11b — 3D FFT, AMD FX-8350, Gflop/s")
+}
+
+func figure11Top(w io.Writer, m machine.Machine, title string) {
+	mo := perfmodel.New(m)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(tw, "size 2^k×2^n×2^m\tMKL\tFFTW\tDoubleBuffering+Spiral\t% of peak")
+	for _, s := range fig1Sizes {
+		mkl := mo.Baseline3D(s[0], s[1], s[2], perfmodel.LibMKL, 1)
+		fftw := mo.Baseline3D(s[0], s[1], s[2], perfmodel.LibFFTW, 1)
+		ours := mo.DoubleBuf3D(s[0], s[1], s[2], 1)
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%.0f%%\n",
+			sizeLabel3(s), mkl.Gflops, fftw.Gflops, ours.Gflops, ours.PctOfPeak*100)
+	}
+	tw.Flush()
+}
+
+// fig11BottomSizes are the fixed problems whose socket scaling Fig. 11
+// bottom reports.
+var fig11BottomSizes = [][3]int{
+	{1024, 1024, 1024}, {2048, 1024, 1024}, {2048, 2048, 1024}, {2048, 2048, 2048},
+}
+
+// Figure11c prints the Intel Haswell 2667v3 socket-scaling speedups
+// (Fig. 11 bottom left).
+func Figure11c(w io.Writer) {
+	figure11Bottom(w, machine.Haswell2667,
+		"Fig. 11c — 3D FFT speedup 1→2 sockets, Intel Haswell 2667v3")
+}
+
+// Figure11d prints the AMD Opteron 6276 socket scaling (Fig. 11 bottom
+// right), where the HT link's near-local bandwidth keeps scaling high.
+func Figure11d(w io.Writer) {
+	figure11Bottom(w, machine.Interlagos6276,
+		"Fig. 11d — 3D FFT speedup 1→2 sockets, AMD Opteron 6276 Interlagos")
+}
+
+func figure11Bottom(w io.Writer, m machine.Machine, title string) {
+	mo := perfmodel.New(m)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(tw, "size 2^k×2^n×2^m\t1 socket Gflop/s\t2 sockets Gflop/s\tspeedup")
+	for _, s := range fig11BottomSizes {
+		one := mo.DoubleBuf3D(s[0], s[1], s[2], 1)
+		two := mo.DoubleBuf3D(s[0], s[1], s[2], 2)
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.2fx\n",
+			sizeLabel3(s), one.Gflops, two.Gflops, one.Seconds/two.Seconds)
+	}
+	tw.Flush()
+}
+
+// All prints every figure.
+func All(w io.Writer) {
+	for i, f := range []func(io.Writer){
+		Figure1, Figure9, Figure10, Figure11a, Figure11b, Figure11c, Figure11d,
+	} {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		f(w)
+	}
+}

@@ -1,0 +1,470 @@
+// Package cachesim is a trace-driven, multi-level, set-associative cache
+// hierarchy simulator with write-back/write-allocate semantics and
+// non-temporal (cache-bypassing) accesses.
+//
+// The paper's argument is about where bytes move: large strided FFT pencils
+// conflict in the set-associative levels and evict each other's lines, so a
+// non-overlapped implementation pays far more DRAM traffic than the streamed
+// one; non-temporal stores avoid polluting the hierarchy with data the next
+// stage does not need (§II-A, §IV-A). This simulator measures exactly those
+// effects: per-level hits/misses/evictions and total DRAM read/write bytes
+// for a given access trace. The perfmodel package turns the per-pattern
+// traffic amplification factors into the effective-bandwidth terms of the
+// figure models.
+package cachesim
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// AccessKind distinguishes the four memory operations the paper uses.
+type AccessKind int
+
+const (
+	// Read is a temporal load (fills all levels).
+	Read AccessKind = iota
+	// Write is a temporal store (write-allocate, marks line dirty).
+	Write
+	// ReadNT is a non-temporal load: data goes straight to registers.
+	ReadNT
+	// WriteNT is a non-temporal (streaming) store: write-combined straight
+	// to DRAM, invalidating any cached copy.
+	WriteNT
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case ReadNT:
+		return "read-nt"
+	case WriteNT:
+		return "write-nt"
+	}
+	return fmt.Sprintf("access(%d)", int(k))
+}
+
+// LevelStats are the counters of one cache level.
+type LevelStats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64 // dirty evictions
+}
+
+// line is one cache line's tag state.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lru is a per-set use stamp; higher = more recent.
+	lru uint64
+}
+
+// level is one set-associative cache level.
+type level struct {
+	name      string
+	sets      int
+	ways      int
+	lineBytes int
+	shift     uint // log2(lineBytes)
+	data      []line
+	clock     uint64
+	stats     LevelStats
+}
+
+// Hierarchy is a complete cache hierarchy plus DRAM traffic counters.
+// It is not safe for concurrent use; drive it from one goroutine.
+type Hierarchy struct {
+	levels []*level
+	// DRAMReadBytes and DRAMWriteBytes count main-memory traffic.
+	DRAMReadBytes  int64
+	DRAMWriteBytes int64
+	// Non-temporal accesses go through small combining buffers modeling
+	// the hardware fill buffers / write-combining buffers: consecutive
+	// sub-line accesses of a streaming pass cost one line of DRAM
+	// traffic, but nothing is ever installed in the cache levels.
+	ntRead  combineBuf
+	ntWrite combineBuf
+	// Two-level TLB (64-entry L1, 1024-entry L2, 4 KiB pages). Every
+	// access touches it; L2 TLB misses trigger page walks, whose memory
+	// cost EffectiveBytes folds into the traffic totals. The paper's 2D
+	// droop (§V) and much of the strided-pencil slowness are TLB
+	// effects, so the model needs them measured, not assumed.
+	tlbL1     *level
+	tlbL2     *level
+	TLBMisses int64 // L2 TLB misses (page walks)
+}
+
+// PageBytes is the simulated page size.
+const PageBytes = 4096
+
+// WalkBytes is the modeled memory cost of one page walk (a few pointer
+// chases through the page-table radix tree).
+const WalkBytes = 64
+
+// combineBuf is a tiny FIFO of recently streamed line addresses.
+type combineBuf struct {
+	lines [8]uint64
+	valid [8]bool
+	next  int
+}
+
+func (c *combineBuf) hit(lineAddr uint64) bool {
+	for i, v := range c.valid {
+		if v && c.lines[i] == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *combineBuf) push(lineAddr uint64) {
+	c.lines[c.next] = lineAddr
+	c.valid[c.next] = true
+	c.next = (c.next + 1) % len(c.lines)
+}
+
+func (c *combineBuf) reset() { *c = combineBuf{} }
+
+// New builds a hierarchy from explicit level geometry.
+func New(levels ...LevelSpec) (*Hierarchy, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("cachesim: need at least one level")
+	}
+	h := &Hierarchy{}
+	for _, s := range levels {
+		if err := s.validate(); err != nil {
+			return nil, err
+		}
+		sets := s.SizeBytes / (s.Ways * s.LineBytes)
+		h.levels = append(h.levels, &level{
+			name:      s.Name,
+			sets:      sets,
+			ways:      s.Ways,
+			lineBytes: s.LineBytes,
+			shift:     log2(uint(s.LineBytes)),
+			data:      make([]line, sets*s.Ways),
+		})
+	}
+	h.tlbL1 = &level{name: "TLB1", sets: 16, ways: 4, lineBytes: PageBytes,
+		shift: log2(PageBytes), data: make([]line, 16*4)}
+	h.tlbL2 = &level{name: "TLB2", sets: 128, ways: 8, lineBytes: PageBytes,
+		shift: log2(PageBytes), data: make([]line, 128*8)}
+	return h, nil
+}
+
+// LevelSpec describes one level for New.
+type LevelSpec struct {
+	Name      string
+	SizeBytes int
+	Ways      int
+	LineBytes int
+}
+
+func (s LevelSpec) validate() error {
+	if s.SizeBytes <= 0 || s.Ways <= 0 || s.LineBytes <= 0 {
+		return fmt.Errorf("cachesim: invalid level %q: %+v", s.Name, s)
+	}
+	if s.LineBytes&(s.LineBytes-1) != 0 {
+		return fmt.Errorf("cachesim: line size %d not a power of two", s.LineBytes)
+	}
+	sets := s.SizeBytes / (s.Ways * s.LineBytes)
+	if sets <= 0 || sets*s.Ways*s.LineBytes != s.SizeBytes {
+		return fmt.Errorf("cachesim: level %q geometry does not tile its size", s.Name)
+	}
+	return nil
+}
+
+// FromMachine builds the hierarchy of one socket of m (its private L1/L2
+// treated as one instance plus the shared LLC — adequate for single-threaded
+// pattern studies).
+func FromMachine(m machine.Machine) (*Hierarchy, error) {
+	var specs []LevelSpec
+	for _, c := range m.Caches {
+		specs = append(specs, LevelSpec{
+			Name:      fmt.Sprintf("L%d", c.Level),
+			SizeBytes: c.SizeBytes,
+			Ways:      c.Ways,
+			LineBytes: c.LineBytes,
+		})
+	}
+	return New(specs...)
+}
+
+func log2(v uint) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Access simulates one access of size bytes at byte address addr. Accesses
+// spanning multiple lines are split.
+func (h *Hierarchy) Access(addr uint64, size int, kind AccessKind) {
+	if size <= 0 {
+		panic(fmt.Sprintf("cachesim: access size %d", size))
+	}
+	lb := uint64(h.levels[0].lineBytes)
+	for size > 0 {
+		lineAddr := addr &^ (lb - 1)
+		chunk := int(lineAddr + lb - addr)
+		if chunk > size {
+			chunk = size
+		}
+		h.accessLine(lineAddr, kind)
+		addr += uint64(chunk)
+		size -= chunk
+	}
+}
+
+// touchTLB performs the address translation for one line access.
+func (h *Hierarchy) touchTLB(lineAddr uint64) {
+	page := lineAddr &^ (PageBytes - 1)
+	if h.tlbL1.probe(page, false) {
+		h.tlbL1.stats.Hits++
+		return
+	}
+	h.tlbL1.stats.Misses++
+	if h.tlbL2.probe(page, false) {
+		h.tlbL2.stats.Hits++
+		h.fillTLB(h.tlbL1, page)
+		return
+	}
+	h.tlbL2.stats.Misses++
+	h.TLBMisses++
+	h.fillTLB(h.tlbL2, page)
+	h.fillTLB(h.tlbL1, page)
+}
+
+// fillTLB inserts a translation, evicting LRU (translations are never
+// dirty).
+func (h *Hierarchy) fillTLB(l *level, page uint64) {
+	set := int((page >> l.shift) % uint64(l.sets))
+	base := set * l.ways
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < l.ways; w++ {
+		ln := &l.data[base+w]
+		if !ln.valid {
+			victim = w
+			break
+		}
+		if ln.lru < oldest {
+			oldest = ln.lru
+			victim = w
+		}
+	}
+	l.clock++
+	l.data[base+victim] = line{tag: page, valid: true, lru: l.clock}
+}
+
+// TLBStats returns (L1 hits, L1 misses, L2 hits, L2 misses).
+func (h *Hierarchy) TLBStats() (l1Hits, l1Misses, l2Hits, l2Misses int64) {
+	return h.tlbL1.stats.Hits, h.tlbL1.stats.Misses,
+		h.tlbL2.stats.Hits, h.tlbL2.stats.Misses
+}
+
+// EffectiveBytes returns the DRAM traffic including the memory cost of page
+// walks — the denominator of the model's effective-bandwidth fractions.
+func (h *Hierarchy) EffectiveBytes() int64 {
+	return h.DRAMReadBytes + h.DRAMWriteBytes + h.TLBMisses*WalkBytes
+}
+
+func (h *Hierarchy) accessLine(lineAddr uint64, kind AccessKind) {
+	h.touchTLB(lineAddr)
+	switch kind {
+	case ReadNT:
+		// Bypass: if some level holds the line, serve from there (and
+		// count the hit); otherwise read from DRAM without filling,
+		// combining sub-line accesses through the fill buffer.
+		for _, l := range h.levels {
+			if l.probe(lineAddr, false) {
+				l.stats.Hits++
+				return
+			}
+			l.stats.Misses++
+		}
+		if !h.ntRead.hit(lineAddr) {
+			h.DRAMReadBytes += int64(h.levels[0].lineBytes)
+			h.ntRead.push(lineAddr)
+		}
+		return
+	case WriteNT:
+		// Streaming store: invalidate everywhere, write-combine to DRAM
+		// (one line of traffic no matter how many sub-line stores).
+		for _, l := range h.levels {
+			l.invalidate(lineAddr)
+		}
+		if !h.ntWrite.hit(lineAddr) {
+			h.DRAMWriteBytes += int64(h.levels[0].lineBytes)
+			h.ntWrite.push(lineAddr)
+		}
+		return
+	}
+
+	dirty := kind == Write
+	for i, l := range h.levels {
+		if l.probe(lineAddr, dirty) {
+			l.stats.Hits++
+			// Fill upper levels on the way back.
+			for j := 0; j < i; j++ {
+				h.fill(j, lineAddr, dirty)
+			}
+			return
+		}
+		l.stats.Misses++
+	}
+	// Miss everywhere: DRAM read (write-allocate also reads the line).
+	h.DRAMReadBytes += int64(h.levels[0].lineBytes)
+	for j := range h.levels {
+		h.fill(j, lineAddr, dirty)
+	}
+}
+
+// probe looks the line up in l; on hit it refreshes LRU and ORs dirty.
+func (l *level) probe(lineAddr uint64, dirty bool) bool {
+	set := int((lineAddr >> l.shift) % uint64(l.sets))
+	base := set * l.ways
+	for w := 0; w < l.ways; w++ {
+		ln := &l.data[base+w]
+		if ln.valid && ln.tag == lineAddr {
+			l.clock++
+			ln.lru = l.clock
+			if dirty {
+				ln.dirty = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// invalidate drops the line if present (no writeback: NT stores overwrite
+// the full line, so the stale copy is dead).
+func (l *level) invalidate(lineAddr uint64) {
+	set := int((lineAddr >> l.shift) % uint64(l.sets))
+	base := set * l.ways
+	for w := 0; w < l.ways; w++ {
+		ln := &l.data[base+w]
+		if ln.valid && ln.tag == lineAddr {
+			ln.valid = false
+			ln.dirty = false
+			return
+		}
+	}
+}
+
+// fill inserts the line into level index i, evicting LRU if needed; dirty
+// evictions from the last level count as DRAM writebacks.
+func (h *Hierarchy) fill(i int, lineAddr uint64, dirty bool) {
+	l := h.levels[i]
+	set := int((lineAddr >> l.shift) % uint64(l.sets))
+	base := set * l.ways
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < l.ways; w++ {
+		ln := &l.data[base+w]
+		if ln.valid && ln.tag == lineAddr {
+			// Already present (filled via an upper-level path).
+			if dirty {
+				ln.dirty = true
+			}
+			return
+		}
+		if !ln.valid {
+			victim = w
+			break
+		}
+		if ln.lru < oldest {
+			oldest = ln.lru
+			victim = w
+		}
+	}
+	v := &l.data[base+victim]
+	if v.valid {
+		l.stats.Evictions++
+		if v.dirty {
+			l.stats.Writebacks++
+			if i == len(h.levels)-1 {
+				h.DRAMWriteBytes += int64(l.lineBytes)
+			} else {
+				// Push the dirty line down one level.
+				h.fillDirtyOnly(i+1, v.tag)
+			}
+		}
+	}
+	l.clock++
+	*v = line{tag: lineAddr, valid: true, dirty: dirty, lru: l.clock}
+}
+
+// fillDirtyOnly lodges a dirty writeback into level i (or cascades further).
+func (h *Hierarchy) fillDirtyOnly(i int, lineAddr uint64) {
+	l := h.levels[i]
+	if l.probe(lineAddr, true) {
+		l.stats.Hits++
+		return
+	}
+	l.stats.Misses++
+	h.fill(i, lineAddr, true)
+}
+
+// Flush writes back every dirty line and empties the hierarchy; dirty lines
+// in the last level (or cascaded) become DRAM writes. Call it at the end of
+// a pattern so the measured traffic includes the data's final journey home.
+// Levels flush top-down so upper-level dirty lines cascade through the
+// lower levels before those are drained.
+func (h *Hierarchy) Flush() {
+	for i := 0; i < len(h.levels); i++ {
+		l := h.levels[i]
+		for j := range l.data {
+			ln := &l.data[j]
+			if ln.valid && ln.dirty {
+				if i == len(h.levels)-1 {
+					h.DRAMWriteBytes += int64(l.lineBytes)
+				} else {
+					h.fillDirtyOnly(i+1, ln.tag)
+				}
+			}
+			*ln = line{}
+		}
+	}
+}
+
+// Stats returns the counters of level i (0 = L1).
+func (h *Hierarchy) Stats(i int) LevelStats { return h.levels[i].stats }
+
+// Levels returns the number of levels.
+func (h *Hierarchy) Levels() int { return len(h.levels) }
+
+// LineBytes returns the (uniform) line size.
+func (h *Hierarchy) LineBytes() int { return h.levels[0].lineBytes }
+
+// Reset clears all lines and counters.
+func (h *Hierarchy) Reset() {
+	for _, l := range h.levels {
+		for j := range l.data {
+			l.data[j] = line{}
+		}
+		l.stats = LevelStats{}
+		l.clock = 0
+	}
+	h.DRAMReadBytes = 0
+	h.DRAMWriteBytes = 0
+	h.ntRead.reset()
+	h.ntWrite.reset()
+	for _, l := range []*level{h.tlbL1, h.tlbL2} {
+		for j := range l.data {
+			l.data[j] = line{}
+		}
+		l.stats = LevelStats{}
+		l.clock = 0
+	}
+	h.TLBMisses = 0
+}

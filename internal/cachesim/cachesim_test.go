@@ -1,0 +1,284 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// tiny returns a small two-level hierarchy: 1 KiB 2-way L1, 4 KiB 4-way L2,
+// 64 B lines.
+func tiny(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := New(
+		LevelSpec{Name: "L1", SizeBytes: 1 << 10, Ways: 2, LineBytes: 64},
+		LevelSpec{Name: "L2", SizeBytes: 4 << 10, Ways: 4, LineBytes: 64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := tiny(t)
+	h.Access(0, 8, Read)
+	if s := h.Stats(0); s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("first access: %+v", s)
+	}
+	if h.DRAMReadBytes != 64 {
+		t.Fatalf("DRAM read %d, want one line (64)", h.DRAMReadBytes)
+	}
+	h.Access(8, 8, Read) // same line
+	if s := h.Stats(0); s.Hits != 1 {
+		t.Fatalf("second access should hit L1: %+v", s)
+	}
+	if h.DRAMReadBytes != 64 {
+		t.Fatal("hit should not add DRAM traffic")
+	}
+}
+
+func TestAccessSpanningLines(t *testing.T) {
+	h := tiny(t)
+	h.Access(60, 8, Read) // crosses a 64 B boundary
+	if s := h.Stats(0); s.Misses != 2 {
+		t.Fatalf("expected 2 line misses, got %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	h := tiny(t)
+	// L1: 8 sets × 2 ways. Three lines mapping to set 0: addresses
+	// 0, 8·64, 16·64.
+	setStride := uint64(8 * 64)
+	h.Access(0, 8, Read)
+	h.Access(setStride, 8, Read)
+	h.Access(2*setStride, 8, Read) // evicts line 0 from L1
+	if s := h.Stats(0); s.Evictions != 1 {
+		t.Fatalf("expected 1 L1 eviction, got %+v", s)
+	}
+	// Line 0 should still hit in L2.
+	h.Access(0, 8, Read)
+	if s := h.Stats(1); s.Hits != 1 {
+		t.Fatalf("expected L2 hit for evicted line, got %+v", s)
+	}
+}
+
+func TestDirtyWritebackReachesDRAM(t *testing.T) {
+	// Single-level cache: dirty evictions must become DRAM writes.
+	h, err := New(LevelSpec{Name: "L1", SizeBytes: 128, Ways: 1, LineBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0, 8, Write) // set 0, dirty
+	// 2 sets → set 0 also holds address 128.
+	h.Access(128, 8, Write) // evicts dirty line 0
+	if h.DRAMWriteBytes != 64 {
+		t.Fatalf("DRAM writes %d, want 64 (one dirty eviction)", h.DRAMWriteBytes)
+	}
+	h.Flush()
+	if h.DRAMWriteBytes != 128 {
+		t.Fatalf("after flush DRAM writes %d, want 128", h.DRAMWriteBytes)
+	}
+}
+
+func TestWriteAllocateReadsLine(t *testing.T) {
+	h := tiny(t)
+	h.Access(0, 8, Write)
+	if h.DRAMReadBytes != 64 {
+		t.Fatalf("write-allocate should read the line: %d", h.DRAMReadBytes)
+	}
+}
+
+func TestNonTemporalReadBypasses(t *testing.T) {
+	h := tiny(t)
+	h.Access(0, 8, ReadNT)
+	h.Access(8, 8, ReadNT)
+	// The second sub-line access combines in the fill buffer: one line.
+	if h.DRAMReadBytes != 64 {
+		t.Fatalf("NT fill buffer should combine sub-line reads: DRAM %d", h.DRAMReadBytes)
+	}
+	// Stream far enough to drain the fill buffer, then re-read line 0:
+	// nothing was cached, so it costs DRAM again.
+	for i := 1; i <= 32; i++ {
+		h.Access(uint64(i*64), 8, ReadNT)
+	}
+	before := h.DRAMReadBytes
+	h.Access(0, 8, ReadNT)
+	if h.DRAMReadBytes != before+64 {
+		t.Fatalf("NT reads must not fill caches: DRAM %d, want %d", h.DRAMReadBytes, before+64)
+	}
+	// But an NT read hitting cached data is served from cache.
+	h.Access(4096, 8, Read)
+	before = h.DRAMReadBytes
+	h.Access(4096, 8, ReadNT)
+	if h.DRAMReadBytes != before {
+		t.Fatal("NT read of cached line should be served from cache")
+	}
+}
+
+func TestNonTemporalWriteInvalidatesAndSkipsCache(t *testing.T) {
+	h := tiny(t)
+	h.Access(0, 8, Write) // cached dirty
+	h.Access(0, 64, WriteNT)
+	if h.DRAMWriteBytes != 64 {
+		t.Fatalf("NT write bytes %d, want 64", h.DRAMWriteBytes)
+	}
+	// The dirty line was invalidated, so flushing adds nothing.
+	h.Flush()
+	if h.DRAMWriteBytes != 64 {
+		t.Fatalf("stale dirty copy survived NT store: %d", h.DRAMWriteBytes)
+	}
+}
+
+func TestNonTemporalPollution(t *testing.T) {
+	// The paper's §IV-A claim: temporal stores of streamed-through data
+	// evict the shared buffer; non-temporal stores leave it resident.
+	mkRun := func(kind AccessKind) (bufMissesAfter int64) {
+		h := tiny(t)
+		// Buffer: 2 KiB, fits L2 (4 KiB).
+		const bufBytes = 2 << 10
+		buf := uint64(0)
+		out := uint64(regionGap)
+		for i := 0; i < bufBytes; i += 64 {
+			h.Access(buf+uint64(i), 64, Write)
+		}
+		// Stream 64 KiB of output data through with the given store kind.
+		for i := 0; i < 64<<10; i += 64 {
+			h.Access(out+uint64(i), 64, kind)
+		}
+		// Touch the buffer again and count fresh L2 misses.
+		l1Before, l2Before := h.Stats(0).Misses, h.Stats(1).Misses
+		for i := 0; i < bufBytes; i += 64 {
+			h.Access(buf+uint64(i), 64, Read)
+		}
+		_ = l1Before
+		return h.Stats(1).Misses - l2Before
+	}
+	ntMisses := mkRun(WriteNT)
+	tMisses := mkRun(Write)
+	if ntMisses != 0 {
+		t.Fatalf("NT stores should not evict the buffer, got %d misses", ntMisses)
+	}
+	if tMisses == 0 {
+		t.Fatal("temporal streaming stores should have evicted the buffer")
+	}
+}
+
+func TestStridedPencilAmplification(t *testing.T) {
+	// A strided pencil sweep over a matrix much larger than the cache
+	// must move far more DRAM traffic than the ideal 2·N·16 bytes; the
+	// same sweep on a cache-resident matrix must not.
+	h := tiny(t)                        // 4 KiB LLC
+	StridedPencilSweep(h, 256, 256, 16) // 1 MiB matrix
+	big := TrafficAmplification(h, 256*256, 16)
+	if big < 2 {
+		t.Fatalf("large strided sweep amplification %.2f, want ≥ 2", big)
+	}
+	h2 := tiny(t)
+	StridedPencilSweep(h2, 8, 8, 16) // 1 KiB matrix, cache resident
+	small := TrafficAmplification(h2, 8*8, 16)
+	if small > 1.5 {
+		t.Fatalf("cache-resident sweep amplification %.2f, want ≈ 1", small)
+	}
+	if big <= small {
+		t.Fatal("amplification should grow out of cache")
+	}
+}
+
+func TestSequentialCopyTemporalVsNT(t *testing.T) {
+	// A temporal copy pays the write-allocate read of the destination:
+	// 1.5× the ideal traffic. The non-temporal copy is exactly ideal —
+	// precisely why the paper's data threads use NT loads and stores.
+	h := tiny(t)
+	SequentialCopy(h, 4096, 16) // 64 KiB copied
+	amp := TrafficAmplification(h, 4096, 16)
+	if amp < 1.45 || amp > 1.55 {
+		t.Fatalf("temporal copy amplification %.3f, want ≈ 1.5 (write-allocate)", amp)
+	}
+	h2 := tiny(t)
+	SequentialCopyNT(h2, 4096, 16)
+	ampNT := TrafficAmplification(h2, 4096, 16)
+	if ampNT < 0.99 || ampNT > 1.01 {
+		t.Fatalf("NT copy amplification %.3f, want exactly 1", ampNT)
+	}
+}
+
+func TestDoubleBufStageTrafficNearIdeal(t *testing.T) {
+	// One pipelined stage: data in once (NT), out once (NT rotated),
+	// buffer resident. DRAM traffic ≈ 2·N·16 regardless of the rotation's
+	// scatter, because NT stores write whole blocks.
+	h := tiny(t)
+	const total, buf = 1 << 12, 128 // buffer 2 KiB fits L2
+	DoubleBufStage(h, total, buf, 4, 64, 3, 16)
+	amp := TrafficAmplification(h, total, 16)
+	if amp > 1.25 {
+		t.Fatalf("doublebuf stage amplification %.3f, want ≈ 1", amp)
+	}
+}
+
+func TestDoubleBufVsPencilTraffic(t *testing.T) {
+	// Head-to-head on equal data: the pipelined stage should move
+	// substantially fewer DRAM bytes than the strided pencil stage.
+	const rows, cols = 256, 256
+	hP := tiny(t)
+	StridedPencilSweep(hP, rows, cols, 16)
+	pencil := hP.DRAMReadBytes + hP.DRAMWriteBytes
+
+	hD := tiny(t)
+	DoubleBufStage(hD, rows*cols, 128, 4, cols/4, 3, 16)
+	db := hD.DRAMReadBytes + hD.DRAMWriteBytes
+
+	if float64(pencil) < 1.5*float64(db) {
+		t.Fatalf("pencil traffic %d not ≫ doublebuf traffic %d", pencil, db)
+	}
+}
+
+func TestFromMachine(t *testing.T) {
+	h, err := FromMachine(machine.KabyLake7700K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Levels() != 3 {
+		t.Fatalf("levels = %d, want 3", h.Levels())
+	}
+	if h.LineBytes() != 64 {
+		t.Fatal("line size wrong")
+	}
+	h.Access(0, 16, Read)
+	if h.DRAMReadBytes == 0 {
+		t.Fatal("machine-built hierarchy not functional")
+	}
+	h.Reset()
+	if h.DRAMReadBytes != 0 || h.Stats(0).Misses != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("accepted empty hierarchy")
+	}
+	if _, err := New(LevelSpec{SizeBytes: 0, Ways: 1, LineBytes: 64}); err == nil {
+		t.Error("accepted zero size")
+	}
+	if _, err := New(LevelSpec{SizeBytes: 1024, Ways: 1, LineBytes: 60}); err == nil {
+		t.Error("accepted non-power-of-two line")
+	}
+	h := tiny(t)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("accepted non-positive access size")
+			}
+		}()
+		h.Access(0, 0, Read)
+	}()
+}
+
+func TestAccessKindStrings(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" ||
+		ReadNT.String() != "read-nt" || WriteNT.String() != "write-nt" {
+		t.Fatal("kind names wrong")
+	}
+}

@@ -1,0 +1,106 @@
+package cachesim
+
+// Interference experiments (§IV-A). The paper pins one data-thread and one
+// compute-thread on the same physical core, where they share L1/L2. The
+// threads have different access patterns, and a temporal-streaming data
+// thread evicts the compute thread's working set; non-temporal loads and
+// stores avoid exactly that. These helpers interleave two access streams
+// through one hierarchy — the shared-cache view of an SMT pair — so the
+// interference is measurable rather than asserted.
+
+// Stream is a sequence generator: Next returns the next (addr, size, kind)
+// triple. Streams are finite; ok reports whether an access was produced.
+type Stream interface {
+	Next() (addr uint64, size int, kind AccessKind, ok bool)
+}
+
+// LoopStream cycles over a fixed working set with temporal reads — the
+// compute thread touching its cached buffer.
+type LoopStream struct {
+	Base     uint64
+	Bytes    int
+	ElemSize int
+	Total    int // accesses to produce
+	pos      int
+	produced int
+}
+
+// Next implements Stream.
+func (s *LoopStream) Next() (uint64, int, AccessKind, bool) {
+	if s.produced >= s.Total {
+		return 0, 0, Read, false
+	}
+	addr := s.Base + uint64(s.pos)
+	s.pos += s.ElemSize
+	if s.pos >= s.Bytes {
+		s.pos = 0
+	}
+	s.produced++
+	return addr, s.ElemSize, Read, true
+}
+
+// SweepStream walks a large region once — the data thread streaming blocks
+// through. Kind selects temporal or non-temporal accesses.
+type SweepStream struct {
+	Base     uint64
+	ElemSize int
+	Total    int
+	Kind     AccessKind
+	produced int
+}
+
+// Next implements Stream.
+func (s *SweepStream) Next() (uint64, int, AccessKind, bool) {
+	if s.produced >= s.Total {
+		return 0, 0, Read, false
+	}
+	addr := s.Base + uint64(s.produced*s.ElemSize)
+	s.produced++
+	return addr, s.ElemSize, s.Kind, true
+}
+
+// Interleave round-robins the streams through h until all are exhausted,
+// modeling hardware threads sharing the hierarchy.
+func Interleave(h *Hierarchy, streams ...Stream) {
+	active := len(streams)
+	done := make([]bool, len(streams))
+	for active > 0 {
+		for i, s := range streams {
+			if done[i] {
+				continue
+			}
+			addr, size, kind, ok := s.Next()
+			if !ok {
+				done[i] = true
+				active--
+				continue
+			}
+			h.Access(addr, size, kind)
+		}
+	}
+}
+
+// PairInterference runs the paper's §IV-A scenario: a compute thread loops
+// over a bufBytes working set while a data thread sweeps sweepBytes through
+// the same hierarchy with the given store kind. It returns the compute
+// thread's miss count, measured by re-touching the working set afterwards —
+// 0 means the buffer survived (the NT case), large means it was evicted
+// (the temporal case).
+func PairInterference(h *Hierarchy, bufBytes, sweepBytes int, kind AccessKind) int64 {
+	const elem = 64
+	buf := &LoopStream{Base: 0, Bytes: bufBytes, ElemSize: elem,
+		Total: sweepBytes / elem} // loop as long as the sweep runs
+	sweep := &SweepStream{Base: regionGap, ElemSize: elem,
+		Total: sweepBytes / elem, Kind: kind}
+	// Warm the buffer.
+	for a := 0; a < bufBytes; a += elem {
+		h.Access(uint64(a), elem, Read)
+	}
+	Interleave(h, buf, sweep)
+	last := len(h.levels) - 1
+	before := h.levels[last].stats.Misses
+	for a := 0; a < bufBytes; a += elem {
+		h.Access(uint64(a), elem, Read)
+	}
+	return h.levels[last].stats.Misses - before
+}

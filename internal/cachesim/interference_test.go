@@ -1,0 +1,88 @@
+package cachesim
+
+import "testing"
+
+func TestStreamsProduceExpectedAccesses(t *testing.T) {
+	l := &LoopStream{Base: 100, Bytes: 128, ElemSize: 64, Total: 4}
+	var addrs []uint64
+	for {
+		a, size, kind, ok := l.Next()
+		if !ok {
+			break
+		}
+		if size != 64 || kind != Read {
+			t.Fatal("loop stream wrong shape")
+		}
+		addrs = append(addrs, a)
+	}
+	want := []uint64{100, 164, 100, 164}
+	if len(addrs) != 4 {
+		t.Fatalf("produced %d", len(addrs))
+	}
+	for i := range want {
+		if addrs[i] != want[i] {
+			t.Fatalf("addrs = %v", addrs)
+		}
+	}
+
+	s := &SweepStream{Base: 0, ElemSize: 64, Total: 3, Kind: WriteNT}
+	count := 0
+	for {
+		_, _, kind, ok := s.Next()
+		if !ok {
+			break
+		}
+		if kind != WriteNT {
+			t.Fatal("sweep kind wrong")
+		}
+		count++
+	}
+	if count != 3 {
+		t.Fatalf("sweep produced %d", count)
+	}
+}
+
+func TestInterleaveExhaustsAllStreams(t *testing.T) {
+	h := tiny(t)
+	a := &SweepStream{Base: 0, ElemSize: 64, Total: 5, Kind: Read}
+	b := &SweepStream{Base: regionGap, ElemSize: 64, Total: 9, Kind: Read}
+	Interleave(h, a, b)
+	s0 := h.Stats(0)
+	if s0.Hits+s0.Misses != 14 {
+		t.Fatalf("interleave performed %d accesses, want 14", s0.Hits+s0.Misses)
+	}
+}
+
+// The paper's §IV-A interference claim, measured: a temporally streaming
+// data thread evicts its SMT partner's working set; a non-temporal one
+// leaves it resident.
+func TestPairInterferenceTemporalVsNT(t *testing.T) {
+	// The compute thread's working set fills the LLC — the paper's
+	// regime, where the buffer is half the LLC and twiddles plus
+	// temporaries consume the rest. Any extra allocation then evicts.
+	const bufBytes = 4 << 10 // = the tiny hierarchy's full L2
+	const sweepBytes = 64 << 10
+
+	hNT := tiny(t)
+	ntMisses := PairInterference(hNT, bufBytes, sweepBytes, WriteNT)
+	hT := tiny(t)
+	tMisses := PairInterference(hT, bufBytes, sweepBytes, Write)
+
+	if ntMisses != 0 {
+		t.Fatalf("NT data thread evicted the partner's buffer: %d misses", ntMisses)
+	}
+	if tMisses == 0 {
+		t.Fatal("temporal data thread should have evicted the partner's buffer")
+	}
+	// Temporal *reads* pollute just the same (the R matrix must read NT).
+	hTR := tiny(t)
+	trMisses := PairInterference(hTR, bufBytes, sweepBytes, Read)
+	if trMisses == 0 {
+		t.Fatal("temporal streaming reads should also evict the buffer")
+	}
+	hNR := tiny(t)
+	nrMisses := PairInterference(hNR, bufBytes, sweepBytes, ReadNT)
+	if nrMisses != 0 {
+		t.Fatalf("NT streaming reads evicted the buffer: %d misses", nrMisses)
+	}
+}

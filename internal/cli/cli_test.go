@@ -1,0 +1,45 @@
+package cli
+
+import "testing"
+
+func TestParseDims(t *testing.T) {
+	good := map[string][]int{
+		"512,512,512": {512, 512, 512},
+		"1024, 2048":  {1024, 2048},
+		"7":           {7},
+	}
+	for in, want := range good {
+		got, err := ParseDims(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%q: got %v", in, got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%q: got %v, want %v", in, got, want)
+			}
+		}
+	}
+	for _, in := range []string{"", "a,b", "0,4", "-1", "4,,4"} {
+		if _, err := ParseDims(in); err == nil {
+			t.Errorf("%q: expected error", in)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512 B",
+		2048:    "2.0 KiB",
+		3 << 20: "3.0 MiB",
+		5 << 30: "5.0 GiB",
+		1536:    "1.5 KiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package core ties the paper's pieces together: it derives execution
+// parameters from a machine description exactly the way the paper does —
+// buffer b = LLC/2 split into two halves, μ = one cacheline of complex
+// elements, half the threads as soft-DMA data workers and half as compute
+// workers, SMT or core pairing per vendor (§IV) — and builds the 2D/3D
+// plans of internal/fft2d and internal/fft3d from them.
+//
+// The root repro package re-exports this as the public API.
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/fft1d"
+	"repro/internal/fft2d"
+	"repro/internal/fft3d"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// Strategy names accepted by Config.Strategy.
+const (
+	StrategyReference = "reference"
+	StrategyPencil    = "pencil"
+	StrategySlab      = "slab"
+	StrategyDoubleBuf = "doublebuf"
+)
+
+// Config is the resolved execution configuration.
+type Config struct {
+	Strategy       string
+	Mu             int
+	BufferElems    int
+	DataWorkers    int
+	ComputeWorkers int
+	Workers        int
+	SplitFormat    bool
+	Tracer         *trace.Recorder
+}
+
+// Default returns the configuration this host would use: the paper's
+// buffer/μ rules applied to a generic machine with the host's CPU count.
+func Default() Config {
+	threads := runtime.GOMAXPROCS(0)
+	pd := threads / 2
+	if pd < 1 {
+		pd = 1
+	}
+	return Config{
+		Strategy:       StrategyDoubleBuf,
+		Mu:             4,       // one 64 B cacheline of complex128
+		BufferElems:    1 << 16, // two halves ≈ 2 MiB, half a typical LLC
+		DataWorkers:    pd,
+		ComputeWorkers: pd,
+		Workers:        threads,
+		SplitFormat:    true,
+	}
+}
+
+// ForMachine returns the paper's configuration for one of the described
+// machines: b = LLC/2 over two halves, μ = cacheline, p_d = p_c = threads/2
+// per socket.
+func ForMachine(m machine.Machine) Config {
+	pairs := m.Threads() / 2
+	if pairs < 1 {
+		pairs = 1
+	}
+	return Config{
+		Strategy:       StrategyDoubleBuf,
+		Mu:             m.LLC().LineBytes / 16,
+		BufferElems:    m.DefaultBufferElems(),
+		DataWorkers:    pairs,
+		ComputeWorkers: pairs,
+		Workers:        m.Threads(),
+		SplitFormat:    true,
+	}
+}
+
+func (c Config) fft3dOptions() (fft3d.Options, error) {
+	s, err := strategy3D(c.Strategy)
+	if err != nil {
+		return fft3d.Options{}, err
+	}
+	return fft3d.Options{
+		Strategy: s, Mu: c.Mu, BufferElems: c.BufferElems,
+		DataWorkers: c.DataWorkers, ComputeWorkers: c.ComputeWorkers,
+		Workers: c.Workers, SplitFormat: c.SplitFormat, Tracer: c.Tracer,
+	}, nil
+}
+
+func (c Config) fft2dOptions() (fft2d.Options, error) {
+	s, err := strategy2D(c.Strategy)
+	if err != nil {
+		return fft2d.Options{}, err
+	}
+	return fft2d.Options{
+		Strategy: s, Mu: c.Mu, BufferElems: c.BufferElems,
+		DataWorkers: c.DataWorkers, ComputeWorkers: c.ComputeWorkers,
+		Workers: c.Workers, SplitFormat: c.SplitFormat, Tracer: c.Tracer,
+	}, nil
+}
+
+func strategy3D(name string) (fft3d.Strategy, error) {
+	switch name {
+	case StrategyReference:
+		return fft3d.Reference, nil
+	case StrategyPencil:
+		return fft3d.Pencil, nil
+	case StrategySlab:
+		return fft3d.Slab, nil
+	case StrategyDoubleBuf, "":
+		return fft3d.DoubleBuf, nil
+	}
+	return 0, fmt.Errorf("core: unknown strategy %q", name)
+}
+
+func strategy2D(name string) (fft2d.Strategy, error) {
+	switch name {
+	case StrategyReference:
+		return fft2d.Reference, nil
+	case StrategyPencil:
+		return fft2d.Pencil, nil
+	case StrategySlab:
+		// 2D has no slab variant; pencil is the closest baseline.
+		return fft2d.Pencil, nil
+	case StrategyDoubleBuf, "":
+		return fft2d.DoubleBuf, nil
+	}
+	return 0, fmt.Errorf("core: unknown strategy %q", name)
+}
+
+// Plan3D is a sized 3D FFT executor.
+type Plan3D struct {
+	plan *fft3d.Plan
+	cfg  Config
+}
+
+// NewPlan3D builds a 3D plan for a k×n×m cube under cfg.
+func NewPlan3D(k, n, m int, cfg Config) (*Plan3D, error) {
+	opts, err := cfg.fft3dOptions()
+	if err != nil {
+		return nil, err
+	}
+	p, err := fft3d.NewPlan(k, n, m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan3D{plan: p, cfg: cfg}, nil
+}
+
+// Forward computes the unnormalized forward transform out of place.
+func (p *Plan3D) Forward(dst, src []complex128) error {
+	return p.plan.Transform(dst, src, fft1d.Forward)
+}
+
+// Inverse computes the normalized inverse transform out of place (a
+// Forward followed by Inverse returns the input).
+func (p *Plan3D) Inverse(dst, src []complex128) error {
+	if err := p.plan.Transform(dst, src, fft1d.Inverse); err != nil {
+		return err
+	}
+	fft1d.Scale(dst, 1/float64(p.plan.Len()))
+	return nil
+}
+
+// InPlace computes the unnormalized forward transform in place.
+func (p *Plan3D) InPlace(x []complex128) error {
+	return p.plan.InPlace(x, fft1d.Forward)
+}
+
+// ForwardMany transforms count back-to-back cubes out of place.
+func (p *Plan3D) ForwardMany(dst, src []complex128, count int) error {
+	return p.plan.TransformMany(dst, src, count, fft1d.Forward)
+}
+
+// Len returns k·n·m.
+func (p *Plan3D) Len() int { return p.plan.Len() }
+
+// Dims returns (k, n, m).
+func (p *Plan3D) Dims() (int, int, int) { return p.plan.Dims() }
+
+// Plan2D is a sized 2D FFT executor.
+type Plan2D struct {
+	plan *fft2d.Plan
+	n, m int
+}
+
+// NewPlan2D builds a 2D plan for an n×m matrix under cfg.
+func NewPlan2D(n, m int, cfg Config) (*Plan2D, error) {
+	opts, err := cfg.fft2dOptions()
+	if err != nil {
+		return nil, err
+	}
+	p, err := fft2d.NewPlan(n, m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan2D{plan: p, n: n, m: m}, nil
+}
+
+// Forward computes the unnormalized forward transform out of place.
+func (p *Plan2D) Forward(dst, src []complex128) error {
+	return p.plan.Transform(dst, src, fft1d.Forward)
+}
+
+// Inverse computes the normalized inverse transform out of place.
+func (p *Plan2D) Inverse(dst, src []complex128) error {
+	if err := p.plan.Transform(dst, src, fft1d.Inverse); err != nil {
+		return err
+	}
+	fft1d.Scale(dst, 1/float64(p.n*p.m))
+	return nil
+}
+
+// InPlace computes the unnormalized forward transform in place.
+func (p *Plan2D) InPlace(x []complex128) error {
+	return p.plan.InPlace(x, fft1d.Forward)
+}
+
+// Len returns n·m.
+func (p *Plan2D) Len() int { return p.n * p.m }
+
+// Dims returns (n, m).
+func (p *Plan2D) Dims() (int, int) { return p.n, p.m }

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cvec"
+	"repro/internal/machine"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	c := Default()
+	if c.Strategy != StrategyDoubleBuf || c.Mu != 4 || c.DataWorkers < 1 || c.ComputeWorkers < 1 {
+		t.Fatalf("Default() = %+v", c)
+	}
+}
+
+func TestForMachineAppliesPaperRules(t *testing.T) {
+	c := ForMachine(machine.KabyLake7700K)
+	if c.Mu != 4 {
+		t.Errorf("μ = %d, want 4 (64 B line / 16 B complex)", c.Mu)
+	}
+	if c.BufferElems != 131072 {
+		t.Errorf("b = %d, want 131072 (LLC/2 over two halves)", c.BufferElems)
+	}
+	if c.DataWorkers != 4 || c.ComputeWorkers != 4 {
+		t.Errorf("workers = %d/%d, want 4/4 (half of 8 threads each)", c.DataWorkers, c.ComputeWorkers)
+	}
+	if !c.SplitFormat {
+		t.Error("paper configuration should use split format")
+	}
+}
+
+func TestPlan3DRoundTrip(t *testing.T) {
+	cfg := Default()
+	cfg.DataWorkers, cfg.ComputeWorkers = 2, 2
+	cfg.BufferElems = 256
+	p, err := NewPlan3D(8, 8, 16, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1024 {
+		t.Fatal("Len wrong")
+	}
+	if k, n, m := p.Dims(); k != 8 || n != 8 || m != 16 {
+		t.Fatal("Dims wrong")
+	}
+	x := cvec.Random(rand.New(rand.NewSource(1)), p.Len())
+	y := make([]complex128, p.Len())
+	z := make([]complex128, p.Len())
+	if err := p.Forward(y, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Inverse(z, y); err != nil {
+		t.Fatal(err)
+	}
+	if d := cvec.MaxDiff(cvec.Vec(z), cvec.Vec(x)); d > 1e-9 {
+		t.Fatalf("round trip diff %g", d)
+	}
+	got := append([]complex128(nil), x...)
+	if err := p.InPlace(got); err != nil {
+		t.Fatal(err)
+	}
+	if d := cvec.MaxDiff(cvec.Vec(got), cvec.Vec(y)); d > 1e-9 {
+		t.Fatalf("InPlace diff %g", d)
+	}
+}
+
+func TestPlan2DRoundTrip(t *testing.T) {
+	cfg := Default()
+	cfg.BufferElems = 256
+	p, err := NewPlan2D(16, 32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 512 {
+		t.Fatal("Len wrong")
+	}
+	if n, m := p.Dims(); n != 16 || m != 32 {
+		t.Fatal("Dims wrong")
+	}
+	x := cvec.Random(rand.New(rand.NewSource(2)), p.Len())
+	y := make([]complex128, p.Len())
+	z := make([]complex128, p.Len())
+	if err := p.Forward(y, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Inverse(z, y); err != nil {
+		t.Fatal(err)
+	}
+	if d := cvec.MaxDiff(cvec.Vec(z), cvec.Vec(x)); d > 1e-9 {
+		t.Fatalf("round trip diff %g", d)
+	}
+	got := append([]complex128(nil), x...)
+	if err := p.InPlace(got); err != nil {
+		t.Fatal(err)
+	}
+	if d := cvec.MaxDiff(cvec.Vec(got), cvec.Vec(y)); d > 1e-9 {
+		t.Fatalf("InPlace diff %g", d)
+	}
+}
+
+func TestAllStrategiesBuildAndAgree(t *testing.T) {
+	x := cvec.Random(rand.New(rand.NewSource(3)), 8*8*8)
+	var ref []complex128
+	for _, s := range []string{StrategyReference, StrategyPencil, StrategySlab, StrategyDoubleBuf} {
+		cfg := Default()
+		cfg.Strategy = s
+		cfg.BufferElems = 128
+		p, err := NewPlan3D(8, 8, 8, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		y := make([]complex128, 512)
+		if err := p.Forward(y, x); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if ref == nil {
+			ref = y
+			continue
+		}
+		if d := cvec.MaxDiff(cvec.Vec(y), cvec.Vec(ref)); d > 1e-8 {
+			t.Errorf("%s disagrees with reference: %g", s, d)
+		}
+	}
+}
+
+func TestUnknownStrategyRejected(t *testing.T) {
+	cfg := Default()
+	cfg.Strategy = "warp-drive"
+	if _, err := NewPlan3D(8, 8, 8, cfg); err == nil {
+		t.Error("3D accepted unknown strategy")
+	}
+	if _, err := NewPlan2D(8, 8, cfg); err == nil {
+		t.Error("2D accepted unknown strategy")
+	}
+}
+
+func TestInvalidSizeRejected(t *testing.T) {
+	if _, err := NewPlan3D(0, 8, 8, Default()); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := NewPlan2D(8, 6, Default()); err == nil {
+		t.Error("accepted μ∤m under doublebuf")
+	}
+}

@@ -1,0 +1,60 @@
+package fft1d
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cvec"
+)
+
+// FuzzRoundTrip feeds arbitrary sizes and seeds through the planner and
+// checks the inverse-of-forward identity, Parseval, and that no input ever
+// panics the plan machinery. Seeds cover every algorithm family; `go test`
+// runs them as regular cases, `go test -fuzz=FuzzRoundTrip` explores.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint16(1), int64(0))
+	f.Add(uint16(2), int64(1))
+	f.Add(uint16(8), int64(2))    // codelet
+	f.Add(uint16(1024), int64(3)) // stockham pow2
+	f.Add(uint16(96), int64(4))   // mixed radix
+	f.Add(uint16(127), int64(5))  // bluestein
+	f.Add(uint16(2310), int64(6)) // 2·3·5·7·11
+	f.Add(uint16(4099), int64(7)) // prime > 2^12
+	f.Fuzz(func(t *testing.T, rawN uint16, seed int64) {
+		n := int(rawN)%4200 + 1
+		p := NewPlan(n)
+		rng := newDeterministicRand(seed)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng()*2-1, rng()*2-1)
+		}
+		y := make([]complex128, n)
+		z := make([]complex128, n)
+		p.Transform(y, x, Forward)
+		p.Transform(z, y, Inverse)
+		Scale(z, 1/float64(n))
+		if d := cvec.MaxDiff(cvec.Vec(z), cvec.Vec(x)); d > 1e-7 {
+			t.Fatalf("n=%d: round trip diff %g", n, d)
+		}
+		ex := cvec.Vec(x).L2()
+		ey := cvec.Vec(y).L2()
+		if ex > 0 {
+			ratio := ey / (ex * math.Sqrt(float64(n)))
+			if ratio < 0.999 || ratio > 1.001 {
+				t.Fatalf("n=%d: Parseval ratio %v", n, ratio)
+			}
+		}
+	})
+}
+
+// newDeterministicRand is a tiny xorshift so the fuzz body has no
+// dependency on math/rand's global state.
+func newDeterministicRand(seed int64) func() float64 {
+	s := uint64(seed)*2654435761 + 0x9e3779b97f4a7c15
+	return func() float64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return float64(s%(1<<53)) / (1 << 53)
+	}
+}

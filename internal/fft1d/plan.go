@@ -1,0 +1,255 @@
+// Package fft1d implements plan-based one-dimensional fast Fourier
+// transforms over complex128 data.
+//
+// The planner covers:
+//
+//   - power-of-two sizes via an iterative Stockham autosort radix-4/radix-2
+//     decomposition (no bit-reversal pass, contiguous writes);
+//   - arbitrary composite sizes via a recursive mixed-radix Cooley–Tukey
+//     factorization, DFT_mn = (DFT_m ⊗ I_n) D_n^{mn} (I_m ⊗ DFT_n) L_m^{mn},
+//     with hand-unrolled base codelets for 2,3,4,5,7,8;
+//   - large prime sizes via Bluestein's chirp-z algorithm on top of the
+//     power-of-two path.
+//
+// Every driver accepts a lane count μ, so the same plan computes DFT_n ⊗ I_μ
+// — the cacheline-granularity vector kernel at the heart of the paper's
+// blocked decompositions — as well as plain pencils (μ = 1), batched pencils
+// (I_b ⊗ DFT_n) and strided pencils (gather/scatter, used by the baseline
+// implementations).
+//
+// Forward transforms are unnormalized; inverse transforms are unnormalized
+// too (apply Scale(x, 1/n) for a round trip). This matches FFTW convention.
+package fft1d
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"repro/internal/kernels"
+	"repro/internal/twiddle"
+)
+
+// Direction re-exports for convenience.
+const (
+	Forward = kernels.Forward
+	Inverse = kernels.Inverse
+)
+
+// planKind discriminates the algorithm a Plan uses.
+type planKind int
+
+const (
+	kindSmall     planKind = iota // dense/unrolled codelet
+	kindPow2                      // iterative Stockham radix-4/2
+	kindMixed                     // recursive Cooley–Tukey split n = f · rest
+	kindBluestein                 // chirp-z for large primes
+)
+
+// Plan holds the precomputed factorization and twiddle tables for a 1D DFT
+// of a fixed size. Plans are immutable after construction and safe for
+// concurrent use; scratch buffers are always supplied by the caller or drawn
+// from an internal pool.
+type Plan struct {
+	n    int
+	kind planKind
+
+	// kindSmall
+	small func(dst, src []complex128, sign int)
+
+	// kindPow2: radices of each Stockham stage, outermost first, and the
+	// per-stage twiddles for each direction (index 0 forward, 1 inverse),
+	// built lazily.
+	radices     []int
+	stageOnce   [2]sync.Once
+	stages      [2][]kernels.StageTwiddles
+	splitOnce   [2]sync.Once
+	splitStages [2][]kernels.SplitTwiddles
+
+	// kindMixed: n = f · rest.
+	f, rest  int
+	subF     *Plan
+	subRest  *Plan
+	diagOnce [2]sync.Once
+	diag     [2][]complex128 // D_rest^{n} twiddles
+
+	// kindBluestein
+	blue *bluesteinPlan
+
+	pool sync.Pool // scratch []complex128 of length ≥ n (lane callers size up)
+}
+
+var planCache sync.Map // int -> *Plan
+
+// NewPlan returns a (possibly cached) plan for size n ≥ 1.
+func NewPlan(n int) *Plan {
+	if n < 1 {
+		panic(fmt.Sprintf("fft1d: NewPlan(%d): size must be ≥ 1", n))
+	}
+	if p, ok := planCache.Load(n); ok {
+		return p.(*Plan)
+	}
+	p := buildPlan(n)
+	actual, _ := planCache.LoadOrStore(n, p)
+	return actual.(*Plan)
+}
+
+// N returns the transform size.
+func (p *Plan) N() int { return p.n }
+
+// Kind returns a short human-readable description of the algorithm chosen.
+func (p *Plan) Kind() string {
+	switch p.kind {
+	case kindSmall:
+		return "codelet"
+	case kindPow2:
+		return "stockham-pow2"
+	case kindMixed:
+		return fmt.Sprintf("mixed(%d×%d)", p.f, p.rest)
+	case kindBluestein:
+		return "bluestein"
+	}
+	return "unknown"
+}
+
+func buildPlan(n int) *Plan {
+	p := &Plan{n: n}
+	p.pool.New = func() any { s := make([]complex128, n); return &s }
+	switch {
+	case n <= 8:
+		p.kind = kindSmall
+		p.small = kernels.Small(n)
+	case n&(n-1) == 0:
+		p.kind = kindPow2
+		p.radices = pow2Radices(n)
+	default:
+		f := smallestCodeletFactor(n)
+		if f == 0 {
+			// n is prime (or has no small factor and is itself prime
+			// since smallestCodeletFactor scans all primes ≤ √n).
+			p.kind = kindBluestein
+			p.blue = newBluestein(n)
+		} else {
+			p.kind = kindMixed
+			p.f = f
+			p.rest = n / f
+			p.subF = NewPlan(f)
+			p.subRest = NewPlan(n / f)
+		}
+	}
+	return p
+}
+
+// pow2Radices returns the Stockham stage radices for n = 2^k: radix-4
+// stages with a single leading radix-2 stage when k is odd.
+func pow2Radices(n int) []int {
+	k := bits.TrailingZeros(uint(n))
+	var r []int
+	if k%2 == 1 {
+		r = append(r, 2)
+		k--
+	}
+	for ; k > 0; k -= 2 {
+		r = append(r, 4)
+	}
+	return r
+}
+
+// smallestCodeletFactor returns the preferred factor to peel from composite
+// n: the largest codelet size in {8,4,2,3,5,7} dividing n, else the smallest
+// prime factor ≤ 31; 0 if n is prime.
+func smallestCodeletFactor(n int) int {
+	for _, f := range []int{8, 4, 5, 7, 3, 2} {
+		if n%f == 0 {
+			return f
+		}
+	}
+	for f := 11; f*f <= n; f += 2 {
+		if n%f == 0 {
+			return f
+		}
+	}
+	return 0
+}
+
+func signIdx(sign int) int {
+	if sign == Forward {
+		return 0
+	}
+	return 1
+}
+
+// stageTwiddles returns the lazily built per-stage twiddles for direction
+// sign on a pow2 plan.
+func (p *Plan) stageTwiddles(sign int) []kernels.StageTwiddles {
+	i := signIdx(sign)
+	p.stageOnce[i].Do(func() {
+		st := make([]kernels.StageTwiddles, len(p.radices))
+		n1 := p.n
+		for s, r := range p.radices {
+			st[s] = kernels.NewStageTwiddles(n1, r, sign)
+			n1 /= r
+		}
+		p.stages[i] = st
+	})
+	return p.stages[i]
+}
+
+// splitTwiddles returns the split-format stage twiddles for direction sign.
+func (p *Plan) splitTwiddles(sign int) []kernels.SplitTwiddles {
+	i := signIdx(sign)
+	p.splitOnce[i].Do(func() {
+		base := p.stageTwiddles(sign)
+		st := make([]kernels.SplitTwiddles, len(base))
+		for s := range base {
+			st[s] = kernels.NewSplitTwiddles(base[s])
+		}
+		p.splitStages[i] = st
+	})
+	return p.splitStages[i]
+}
+
+// diagTwiddles returns the mixed-radix D_rest^{n} diagonal for direction
+// sign (entry i·rest+j = ω_n^{i·j}, conjugated for the inverse).
+func (p *Plan) diagTwiddles(sign int) []complex128 {
+	i := signIdx(sign)
+	p.diagOnce[i].Do(func() {
+		d := twiddle.Shared.Diag(p.f, p.rest)
+		if sign == Forward {
+			p.diag[i] = d
+			return
+		}
+		c := make([]complex128, len(d))
+		for k, w := range d {
+			c[k] = complex(real(w), -imag(w))
+		}
+		p.diag[i] = c
+	})
+	return p.diag[i]
+}
+
+// getScratch returns a pooled scratch box whose slice has length ≥ size.
+// The pool stores *[]complex128 (the standard sync.Pool idiom), so the
+// get/put cycle allocates nothing once warm; callers deref the box and
+// return it with putScratch.
+func (p *Plan) getScratch(size int) *[]complex128 {
+	sp := p.pool.Get().(*[]complex128)
+	if cap(*sp) < size {
+		*sp = make([]complex128, size)
+	}
+	*sp = (*sp)[:size]
+	return sp
+}
+
+func (p *Plan) putScratch(sp *[]complex128) {
+	p.pool.Put(sp)
+}
+
+// Scale multiplies x elementwise by s; use Scale(x, 1/n) after an inverse
+// transform for a normalized round trip.
+func Scale(x []complex128, s float64) {
+	cs := complex(s, 0)
+	for i := range x {
+		x[i] *= cs
+	}
+}

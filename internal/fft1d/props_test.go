@@ -1,0 +1,110 @@
+package fft1d
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cvec"
+)
+
+// Property: Parseval holds for arbitrary sizes 1..200.
+func TestQuickParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	f := func(raw uint16) bool {
+		n := int(raw)%200 + 1
+		p := NewPlan(n)
+		x := cvec.Random(rng, n)
+		y := make([]complex128, n)
+		p.Transform(y, x, Forward)
+		ex := cvec.Vec(x).L2()
+		ey := cvec.Vec(y).L2()
+		ratio := ey * ey / (ex*ex*float64(n) + 1e-300)
+		return ratio > 0.999999 && ratio < 1.000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the circular convolution theorem — DFT(x ⊛ y) = DFT(x)·DFT(y)
+// elementwise — holds for arbitrary sizes.
+func TestQuickConvolutionTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	f := func(raw uint8) bool {
+		n := int(raw)%60 + 2
+		p := NewPlan(n)
+		x := cvec.Random(rng, n)
+		y := cvec.Random(rng, n)
+		// Direct circular convolution.
+		conv := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			var s complex128
+			for j := 0; j < n; j++ {
+				s += x[j] * y[(i-j+n)%n]
+			}
+			conv[i] = s
+		}
+		fc := make([]complex128, n)
+		fx := make([]complex128, n)
+		fy := make([]complex128, n)
+		p.Transform(fc, conv, Forward)
+		p.Transform(fx, x, Forward)
+		p.Transform(fy, y, Forward)
+		for i := range fc {
+			fx[i] *= fy[i]
+		}
+		return cvec.MaxDiff(cvec.Vec(fc), cvec.Vec(fx)) < 1e-7*float64(n*n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Forward then Inverse (scaled) is the identity for arbitrary
+// sizes and lane counts.
+func TestQuickRoundTripLanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	f := func(rawN, rawMu uint8) bool {
+		n := int(rawN)%100 + 1
+		mu := int(rawMu)%4 + 1
+		p := NewPlan(n)
+		x := cvec.Random(rng, n*mu)
+		y := make([]complex128, n*mu)
+		z := make([]complex128, n*mu)
+		p.Lanes(y, x, mu, Forward)
+		p.Lanes(z, y, mu, Inverse)
+		Scale(z, 1/float64(n))
+		return cvec.MaxDiff(cvec.Vec(z), cvec.Vec(x)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DFT of the conjugate-reversed input is the conjugate of the
+// DFT (x*[-n] ↔ X*): transforms respect the symmetry group.
+func TestQuickConjugateSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	f := func(raw uint8) bool {
+		n := int(raw)%80 + 2
+		p := NewPlan(n)
+		x := cvec.Random(rng, n)
+		xr := make([]complex128, n)
+		for i := range xr {
+			c := x[(n-i)%n]
+			xr[i] = complex(real(c), -imag(c))
+		}
+		fx := make([]complex128, n)
+		fr := make([]complex128, n)
+		p.Transform(fx, x, Forward)
+		p.Transform(fr, xr, Forward)
+		for i := range fx {
+			fx[i] = complex(real(fx[i]), -imag(fx[i]))
+		}
+		return cvec.MaxDiff(cvec.Vec(fr), cvec.Vec(fx)) < 1e-8*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package fft1d
+
+import (
+	"fmt"
+
+	"repro/internal/cvec"
+	"repro/internal/kernels"
+)
+
+// Split-format (block-interleaved) drivers. The paper's middle compute
+// stages run in split format so the vector units consume whole cachelines of
+// reals and imaginaries; these drivers provide that path for power-of-two
+// sizes (the only sizes the paper evaluates). Non-power-of-two plans fall
+// back to converting through the interleaved path.
+
+// LanesSplit computes (DFT_n ⊗ I_mu) over split-format data out of place.
+// All four slices must have length n·mu; dst and src must not overlap.
+func (p *Plan) LanesSplit(dstRe, dstIm, srcRe, srcIm []float64, mu, sign int) {
+	if mu < 1 {
+		panic(fmt.Sprintf("fft1d: LanesSplit with mu=%d", mu))
+	}
+	want := p.n * mu
+	if len(dstRe) != want || len(dstIm) != want || len(srcRe) != want || len(srcIm) != want {
+		panic(fmt.Sprintf("fft1d: LanesSplit length mismatch, want %d", want))
+	}
+	switch p.kind {
+	case kindPow2:
+		p.pow2LanesSplit(dstRe, dstIm, srcRe, srcIm, mu, sign)
+	default:
+		// Fallback through interleaved form; only exercised for
+		// non-power-of-two sizes, which are outside the paper's
+		// evaluated set.
+		src := cvec.Split{Re: srcRe, Im: srcIm}.ToVec()
+		dst := make([]complex128, want)
+		p.lanesInto(dst, src, mu, sign)
+		cvec.Deinterleave(cvec.Split{Re: dstRe, Im: dstIm}, dst)
+	}
+}
+
+func (p *Plan) pow2LanesSplit(dstRe, dstIm, srcRe, srcIm []float64, mu, sign int) {
+	st := p.splitTwiddles(sign)
+	t := len(st)
+	total := p.n * mu
+	scratchRe := make([]float64, total)
+	scratchIm := make([]float64, total)
+
+	curRe, curIm := srcRe, srcIm
+	n1 := p.n
+	s := mu
+	for i, tw := range st {
+		outRe, outIm := dstRe, dstIm
+		if (t-1-i)%2 != 0 {
+			outRe, outIm = scratchRe, scratchIm
+		}
+		r := p.radices[i]
+		if r == 4 {
+			kernels.SplitRadix4Step(outRe, outIm, curRe, curIm, n1/4, s, sign, tw)
+		} else {
+			kernels.SplitRadix2Step(outRe, outIm, curRe, curIm, n1/2, s, tw)
+		}
+		curRe, curIm = outRe, outIm
+		n1 /= r
+		s *= r
+	}
+}
+
+// BatchSplit computes (I_count ⊗ DFT_n) in place over split-format data:
+// count contiguous pencils of length n.
+func (p *Plan) BatchSplit(re, im []float64, count, sign int) {
+	if len(re) != count*p.n || len(im) != count*p.n {
+		panic(fmt.Sprintf("fft1d: BatchSplit length %d/%d, want %d·%d",
+			len(re), len(im), count, p.n))
+	}
+	tmpRe := make([]float64, p.n)
+	tmpIm := make([]float64, p.n)
+	for c := 0; c < count; c++ {
+		lo, hi := c*p.n, (c+1)*p.n
+		copy(tmpRe, re[lo:hi])
+		copy(tmpIm, im[lo:hi])
+		p.LanesSplit(re[lo:hi], im[lo:hi], tmpRe, tmpIm, 1, sign)
+	}
+}
+
+// InPlaceLanesSplit computes (DFT_n ⊗ I_mu) in place over split data.
+func (p *Plan) InPlaceLanesSplit(re, im []float64, mu, sign int) {
+	want := p.n * mu
+	if len(re) != want || len(im) != want {
+		panic(fmt.Sprintf("fft1d: InPlaceLanesSplit length %d/%d, want %d",
+			len(re), len(im), want))
+	}
+	tmpRe := make([]float64, want)
+	tmpIm := make([]float64, want)
+	copy(tmpRe, re)
+	copy(tmpIm, im)
+	p.LanesSplit(re, im, tmpRe, tmpIm, mu, sign)
+}
+
+// ScaleSplit multiplies split data elementwise by s.
+func ScaleSplit(re, im []float64, s float64) {
+	for i := range re {
+		re[i] *= s
+	}
+	for i := range im {
+		im[i] *= s
+	}
+}

@@ -1,0 +1,226 @@
+package fft1d
+
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+)
+
+// Transform computes dst = DFT_n(src) out of place. dst and src must each
+// have length n and must not overlap.
+func (p *Plan) Transform(dst, src []complex128, sign int) {
+	p.Lanes(dst, src, 1, sign)
+}
+
+// Lanes computes dst = (DFT_n ⊗ I_mu)(src) out of place: mu independent
+// transforms interleaved at lane granularity. dst and src must each have
+// length n·mu and must not overlap. This is the cacheline-vector kernel of
+// the paper's blocked decompositions (mu = cacheline elements).
+func (p *Plan) Lanes(dst, src []complex128, mu, sign int) {
+	if mu < 1 {
+		panic(fmt.Sprintf("fft1d: Lanes with mu=%d", mu))
+	}
+	if len(dst) != p.n*mu || len(src) != p.n*mu {
+		panic(fmt.Sprintf("fft1d: Lanes length mismatch: dst=%d src=%d want %d",
+			len(dst), len(src), p.n*mu))
+	}
+	p.lanesInto(dst, src, mu, sign)
+}
+
+func (p *Plan) lanesInto(dst, src []complex128, mu, sign int) {
+	switch p.kind {
+	case kindSmall:
+		p.smallLanes(dst, src, mu, sign)
+	case kindPow2:
+		p.pow2Lanes(dst, src, mu, sign)
+	case kindMixed:
+		p.mixedLanes(dst, src, mu, sign)
+	case kindBluestein:
+		p.bluesteinLanes(dst, src, mu, sign)
+	}
+}
+
+// smallLanes applies the dense codelet across mu lanes via gather/scatter.
+func (p *Plan) smallLanes(dst, src []complex128, mu, sign int) {
+	if mu == 1 {
+		p.small(dst, src, sign)
+		return
+	}
+	var a, b [8]complex128
+	n := p.n
+	for l := 0; l < mu; l++ {
+		for i := 0; i < n; i++ {
+			a[i] = src[i*mu+l]
+		}
+		p.small(b[:n], a[:n], sign)
+		for i := 0; i < n; i++ {
+			dst[i*mu+l] = b[i]
+		}
+	}
+}
+
+// pow2Lanes runs the Stockham stage pipeline, ping-ponging between dst and a
+// pooled scratch buffer so the final stage always lands in dst.
+func (p *Plan) pow2Lanes(dst, src []complex128, mu, sign int) {
+	st := p.stageTwiddles(sign)
+	t := len(st)
+	sp := p.getScratch(p.n * mu)
+	defer p.putScratch(sp)
+	scratch := *sp
+
+	cur := src
+	n1 := p.n
+	s := mu
+	for i, tw := range st {
+		out := dst
+		if (t-1-i)%2 != 0 {
+			out = scratch[:p.n*mu]
+		}
+		r := p.radices[i]
+		if r == 4 {
+			kernels.Radix4Step(out, cur, n1/4, s, sign, tw)
+		} else {
+			kernels.Radix2Step(out, cur, n1/2, s, tw)
+		}
+		cur = out
+		n1 /= r
+		s *= r
+	}
+}
+
+// mixedLanes implements the Cooley–Tukey split n = f·rest with lanes:
+//
+//	DFT_n ⊗ I_L = (DFT_f ⊗ I_{rest·L}) (D ⊗ I_L) (I_f ⊗ DFT_rest ⊗ I_L) (L_f^n ⊗ I_L).
+func (p *Plan) mixedLanes(dst, src []complex128, mu, sign int) {
+	f, rest, n := p.f, p.rest, p.n
+	tp := p.getScratch(n * mu)
+	defer p.putScratch(tp)
+	t := *tp
+
+	// Step 1: blocked stride permutation (L_f^n ⊗ I_mu): input block
+	// (i·f + j) → output block (j·rest + i), 0 ≤ i < rest, 0 ≤ j < f.
+	// Written into dst, which serves as the intermediate here.
+	for i := 0; i < rest; i++ {
+		for j := 0; j < f; j++ {
+			copy(dst[(j*rest+i)*mu:(j*rest+i)*mu+mu], src[(i*f+j)*mu:(i*f+j)*mu+mu])
+		}
+	}
+
+	// Step 2: I_f ⊗ (DFT_rest ⊗ I_mu) from dst into t.
+	blk := rest * mu
+	for j := 0; j < f; j++ {
+		p.subRest.lanesInto(t[j*blk:(j+1)*blk], dst[j*blk:(j+1)*blk], mu, sign)
+	}
+
+	// Step 3: (D_rest^n ⊗ I_mu) in place on t.
+	d := p.diagTwiddles(sign)
+	for b := 0; b < f*rest; b++ {
+		w := d[b]
+		if w == 1 {
+			continue
+		}
+		seg := t[b*mu : b*mu+mu]
+		for q := range seg {
+			seg[q] *= w
+		}
+	}
+
+	// Step 4: (DFT_f ⊗ I_{rest·mu}) from t into dst.
+	p.subF.lanesInto(dst, t, rest*mu, sign)
+}
+
+// bluesteinLanes applies the chirp-z transform per lane.
+func (p *Plan) bluesteinLanes(dst, src []complex128, mu, sign int) {
+	if mu == 1 {
+		p.blue.transform(dst, src, sign)
+		return
+	}
+	n := p.n
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	for l := 0; l < mu; l++ {
+		for i := 0; i < n; i++ {
+			a[i] = src[i*mu+l]
+		}
+		p.blue.transform(b, a, sign)
+		for i := 0; i < n; i++ {
+			dst[i*mu+l] = b[i]
+		}
+	}
+}
+
+// InPlace computes x = DFT_n(x) using a pooled scratch buffer.
+func (p *Plan) InPlace(x []complex128, sign int) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft1d: InPlace length %d, want %d", len(x), p.n))
+	}
+	tp := p.getScratch(p.n)
+	defer p.putScratch(tp)
+	tmp := *tp
+	copy(tmp, x)
+	p.lanesInto(x, tmp, 1, sign)
+}
+
+// InPlaceLanes computes x = (DFT_n ⊗ I_mu)(x) in place.
+func (p *Plan) InPlaceLanes(x []complex128, mu, sign int) {
+	if len(x) != p.n*mu {
+		panic(fmt.Sprintf("fft1d: InPlaceLanes length %d, want %d", len(x), p.n*mu))
+	}
+	tp := p.getScratch(p.n * mu)
+	defer p.putScratch(tp)
+	tmp := *tp
+	copy(tmp, x)
+	p.lanesInto(x, tmp, mu, sign)
+}
+
+// Batch computes x = (I_count ⊗ DFT_n)(x): count contiguous pencils of
+// length n transformed in place. This is the paper's compute-kernel shape
+// I_{b/m} ⊗ DFT_m.
+func (p *Plan) Batch(x []complex128, count, sign int) {
+	if len(x) != count*p.n {
+		panic(fmt.Sprintf("fft1d: Batch length %d, want %d·%d", len(x), count, p.n))
+	}
+	tp := p.getScratch(p.n)
+	defer p.putScratch(tp)
+	tmp := *tp
+	for c := 0; c < count; c++ {
+		pencil := x[c*p.n : (c+1)*p.n]
+		copy(tmp, pencil)
+		p.lanesInto(pencil, tmp, 1, sign)
+	}
+}
+
+// BatchInto computes dst = (I_count ⊗ DFT_n)(src) out of place.
+func (p *Plan) BatchInto(dst, src []complex128, count, sign int) {
+	if len(dst) != count*p.n || len(src) != count*p.n {
+		panic(fmt.Sprintf("fft1d: BatchInto lengths dst=%d src=%d, want %d·%d",
+			len(dst), len(src), count, p.n))
+	}
+	for c := 0; c < count; c++ {
+		p.lanesInto(dst[c*p.n:(c+1)*p.n], src[c*p.n:(c+1)*p.n], 1, sign)
+	}
+}
+
+// Strided transforms the pencil x[base], x[base+stride], …,
+// x[base+(n-1)·stride] in place via gather/scatter. This is the
+// memory-access pattern of the non-overlapped baseline implementations; it
+// is deliberately cache-hostile for large strides, exactly as the paper
+// describes for pencil-pencil MKL/FFTW-style stages.
+func (p *Plan) Strided(x []complex128, base, stride, sign int) {
+	need := base + (p.n-1)*stride + 1
+	if stride < 1 || len(x) < need {
+		panic(fmt.Sprintf("fft1d: Strided out of range: len=%d need=%d stride=%d",
+			len(x), need, stride))
+	}
+	tp := p.getScratch(2 * p.n)
+	defer p.putScratch(tp)
+	in := (*tp)[:p.n]
+	out := (*tp)[p.n : 2*p.n]
+	for i := 0; i < p.n; i++ {
+		in[i] = x[base+i*stride]
+	}
+	p.lanesInto(out, in, 1, sign)
+	for i := 0; i < p.n; i++ {
+		x[base+i*stride] = out[i]
+	}
+}

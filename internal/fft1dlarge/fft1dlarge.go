@@ -1,0 +1,248 @@
+// Package fft1dlarge applies the paper's double-buffering machinery to
+// large one-dimensional FFTs via the six-step (Bailey) factorization.
+//
+// The paper's earlier SPIRAL work targeted medium 1D FFTs without
+// compute/communication overlap (§V); this package is the natural
+// extension: split N = n1·n2 and use the transposed Cooley–Tukey form
+//
+//	DFT_N = L_{n1}^{N} (I_{n2} ⊗ DFT_{n1}) L_{n2}^{N} D_{n2}^{N} (I_{n1} ⊗ DFT_{n2}) L_{n1}^{N},
+//
+// in which every FFT runs over contiguous rows and all data movement is
+// three stride permutations. Each permutation executes as a pipelined
+// stage: data workers stream whole rows into the double buffer, compute
+// workers run the batched row FFTs (plus the twiddle scaling), the row
+// group is transposed in cache, and the store writes whole column blocks —
+// so main memory sees only contiguous reads and block-granular writes,
+// the same access discipline as the paper's multi-dimensional stages.
+package fft1dlarge
+
+import (
+	"fmt"
+
+	"repro/internal/fft1d"
+	"repro/internal/pipeline"
+	"repro/internal/twiddle"
+)
+
+// Options size the pipeline.
+type Options struct {
+	// DataWorkers / ComputeWorkers as in the multi-dimensional plans.
+	DataWorkers    int
+	ComputeWorkers int
+	// BufferElems is the per-half block size (default 1<<15).
+	BufferElems int
+	// MinN is the size below which the plan falls back to the plain
+	// in-cache 1D FFT (default 1<<12 — smaller transforms fit in cache
+	// and gain nothing from streaming).
+	MinN int
+}
+
+func (o Options) withDefaults() Options {
+	if o.DataWorkers == 0 {
+		o.DataWorkers = 1
+	}
+	if o.ComputeWorkers == 0 {
+		o.ComputeWorkers = 1
+	}
+	if o.BufferElems == 0 {
+		o.BufferElems = 1 << 15
+	}
+	if o.MinN == 0 {
+		o.MinN = 1 << 12
+	}
+	return o
+}
+
+// Plan is a reusable large-1D FFT plan.
+type Plan struct {
+	n      int
+	n1, n2 int         // n = n1·n2
+	direct *fft1d.Plan // small-n fallback
+	p1, p2 *fft1d.Plan
+
+	opts Options
+
+	w1, w2 []complex128    // full-size intermediates
+	bufs   [2][]complex128 // pipeline halves (load target / compute)
+	tbufs  [2][]complex128 // transposed halves (store source)
+}
+
+// NewPlan builds a large-1D plan for size n ≥ 1.
+func NewPlan(n int, opts Options) (*Plan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fft1dlarge: invalid size %d", n)
+	}
+	opts = opts.withDefaults()
+	p := &Plan{n: n, opts: opts}
+	n1, n2 := split(n)
+	if n < opts.MinN || n2 == 1 {
+		p.direct = fft1d.NewPlan(n)
+		return p, nil
+	}
+	p.n1, p.n2 = n1, n2
+	p.p1 = fft1d.NewPlan(n1)
+	p.p2 = fft1d.NewPlan(n2)
+	p.w1 = make([]complex128, n)
+	p.w2 = make([]complex128, n)
+	// Each half must hold at least one row of the wider stage.
+	b := opts.BufferElems
+	if b < n1 {
+		b = n1
+	}
+	if b > n {
+		b = n
+	}
+	for h := 0; h < 2; h++ {
+		p.bufs[h] = make([]complex128, b)
+		p.tbufs[h] = make([]complex128, b)
+	}
+	return p, nil
+}
+
+// split returns a balanced factorization n = n1·n2 with n1 ≥ n2 and n2 as
+// large as possible; (n, 1) when n is prime.
+func split(n int) (int, int) {
+	n1, n2 := n, 1
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			n1, n2 = n/d, d
+		}
+	}
+	return n1, n2
+}
+
+// N returns the transform size.
+func (p *Plan) N() int { return p.n }
+
+// Split returns the factorization (n1, n2); (n, 1) for the direct fallback.
+func (p *Plan) Split() (int, int) {
+	if p.direct != nil {
+		return p.n, 1
+	}
+	return p.n1, p.n2
+}
+
+// Direct reports whether the plan fell back to the in-cache 1D FFT.
+func (p *Plan) Direct() bool { return p.direct != nil }
+
+// Transform computes dst = DFT_n(src), unnormalized, out of place. dst and
+// src must not overlap.
+func (p *Plan) Transform(dst, src []complex128, sign int) error {
+	if len(dst) != p.n || len(src) != p.n {
+		return fmt.Errorf("fft1dlarge: lengths dst=%d src=%d, want %d", len(dst), len(src), p.n)
+	}
+	if p.direct != nil {
+		p.direct.Transform(dst, src, sign)
+		return nil
+	}
+	// Stage 1: w1 = L_{n1}^{N} src (transpose n2×n1 → n1×n2, no compute).
+	if err := p.transposeStage(p.w1, src, p.n2, p.n1, nil, sign, false); err != nil {
+		return err
+	}
+	// Stage 2: w2 = L_{n2}^{N} D_{n2}^{N} (I_{n1} ⊗ DFT_{n2}) w1
+	// (row FFTs of length n2 with twiddles, transpose n1×n2 → n2×n1).
+	if err := p.transposeStage(p.w2, p.w1, p.n1, p.n2, p.p2, sign, true); err != nil {
+		return err
+	}
+	// Stage 3: dst = L_{n1}^{N} (I_{n2} ⊗ DFT_{n1}) w2
+	// (row FFTs of length n1, transpose n2×n1 → n1×n2: natural order).
+	return p.transposeStage(dst, p.w2, p.n2, p.n1, p.p1, sign, false)
+}
+
+// transposeStage runs one pipelined pass over the rows×cols row-major
+// matrix src: load contiguous row groups, optionally apply rowPlan to every
+// row (scaling row j by ω_N^{j·i} when twiddles is set), transpose the
+// group in cache, and store whole column blocks into the cols×rows matrix
+// dst.
+func (p *Plan) transposeStage(dst, src []complex128, rows, cols int, rowPlan *fft1d.Plan, sign int, twiddles bool) error {
+	b := len(p.bufs[0])
+	rPer := largestDivisorAtMost(rows, maxI(b/cols, 1))
+	blk := rPer * cols
+	iters := rows / rPer
+
+	h := pipeline.Hooks{
+		Load: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.PartitionBlocks(rPer, cols, worker, workers)
+			copy(p.bufs[buf][lo:hi], src[iter*blk+lo:iter*blk+hi])
+		},
+		Compute: func(iter, buf, worker, workers int) {
+			half := p.bufs[buf][:blk]
+			thalf := p.tbufs[buf][:blk]
+			lo, hi := pipeline.Partition(rPer, worker, workers)
+			for r := lo; r < hi; r++ {
+				row := half[r*cols : (r+1)*cols]
+				if rowPlan != nil {
+					rowPlan.InPlace(row, sign)
+					if twiddles {
+						twiddleRow(row, iter*rPer+r, p.n, sign)
+					}
+				}
+				// Transpose this row into the column-major half.
+				for c := 0; c < cols; c++ {
+					thalf[c*rPer+r] = row[c]
+				}
+			}
+		},
+		Store: func(iter, buf, worker, workers int) {
+			// Column c's rPer elements land at dst[c·rows + iter·rPer]:
+			// one contiguous block per column.
+			thalf := p.tbufs[buf][:blk]
+			lo, hi := pipeline.Partition(cols, worker, workers)
+			base := iter * rPer
+			for c := lo; c < hi; c++ {
+				copy(dst[c*rows+base:c*rows+base+rPer], thalf[c*rPer:(c+1)*rPer])
+			}
+		},
+	}
+	cfg := pipeline.Config{
+		Iters:          iters,
+		DataWorkers:    p.opts.DataWorkers,
+		ComputeWorkers: p.opts.ComputeWorkers,
+	}
+	_, err := pipeline.Run(cfg, h)
+	return err
+}
+
+// twiddleRow scales row j by ω_N^{j·i} for i = 0..len-1 (conjugated for the
+// inverse), using a multiplicative recurrence resynchronized from the exact
+// table every 64 steps so no full-size twiddle array is needed.
+func twiddleRow(row []complex128, j, n, sign int) {
+	if j == 0 {
+		return
+	}
+	ws := twiddle.Omega(n, j)
+	if sign == fft1d.Inverse {
+		ws = complex(real(ws), -imag(ws))
+	}
+	w := complex(1, 0)
+	for i := 1; i < len(row); i++ {
+		if i&63 == 0 {
+			w = twiddle.Omega(n, (j*i)%n)
+			if sign == fft1d.Inverse {
+				w = complex(real(w), -imag(w))
+			}
+		} else {
+			w *= ws
+		}
+		row[i] *= w
+	}
+}
+
+func largestDivisorAtMost(n, cap int) int {
+	if cap >= n {
+		return n
+	}
+	for d := cap; d >= 1; d-- {
+		if n%d == 0 {
+			return d
+		}
+	}
+	return 1
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

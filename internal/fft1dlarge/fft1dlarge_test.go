@@ -1,0 +1,165 @@
+package fft1dlarge
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cvec"
+	"repro/internal/fft1d"
+)
+
+const tol = 1e-8
+
+func randVec(seed int64, n int) []complex128 {
+	return cvec.Random(rand.New(rand.NewSource(seed)), n)
+}
+
+func checkAgainstDirect(t *testing.T, n int, opts Options, sign int) {
+	t.Helper()
+	p, err := NewPlan(n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(int64(n+sign), n)
+	want := make([]complex128, n)
+	fft1d.NewPlan(n).Transform(want, x, sign)
+	got := make([]complex128, n)
+	if err := p.Transform(got, x, sign); err != nil {
+		t.Fatal(err)
+	}
+	if d := cvec.MaxDiff(cvec.Vec(got), cvec.Vec(want)); d > tol*float64(n) {
+		t.Errorf("n=%d split=%v: max diff %g", n, firstSecond(p), d)
+	}
+}
+
+func firstSecond(p *Plan) [2]int {
+	a, b := p.Split()
+	return [2]int{a, b}
+}
+
+func TestSixStepMatchesDirect(t *testing.T) {
+	opts := Options{MinN: 16, BufferElems: 1 << 10}
+	for _, n := range []int{16, 64, 256, 1024, 4096, 1 << 14, 1 << 16} {
+		checkAgainstDirect(t, n, opts, fft1d.Forward)
+	}
+}
+
+func TestSixStepInverse(t *testing.T) {
+	checkAgainstDirect(t, 1<<12, Options{MinN: 16, BufferElems: 1 << 10}, fft1d.Inverse)
+}
+
+func TestNonPow2Sizes(t *testing.T) {
+	opts := Options{MinN: 16, BufferElems: 512}
+	for _, n := range []int{36, 100, 600, 1000, 2310} {
+		checkAgainstDirect(t, n, opts, fft1d.Forward)
+	}
+}
+
+func TestMultiWorker(t *testing.T) {
+	checkAgainstDirect(t, 1<<14, Options{
+		MinN: 16, BufferElems: 1 << 11, DataWorkers: 2, ComputeWorkers: 3,
+	}, fft1d.Forward)
+}
+
+func TestRoundTrip(t *testing.T) {
+	const n = 1 << 13
+	p, err := NewPlan(n, Options{MinN: 16, BufferElems: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(7, n)
+	y := make([]complex128, n)
+	z := make([]complex128, n)
+	if err := p.Transform(y, x, fft1d.Forward); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Transform(z, y, fft1d.Inverse); err != nil {
+		t.Fatal(err)
+	}
+	fft1d.Scale(z, 1/float64(n))
+	if d := cvec.MaxDiff(cvec.Vec(z), cvec.Vec(x)); d > tol {
+		t.Fatalf("round trip diff %g", d)
+	}
+}
+
+func TestDirectFallback(t *testing.T) {
+	// Below MinN the plan must delegate to the in-cache FFT.
+	p, err := NewPlan(256, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Direct() {
+		t.Fatal("small plan should be direct")
+	}
+	if a, b := p.Split(); a != 256 || b != 1 {
+		t.Fatalf("Split = %d,%d", a, b)
+	}
+	checkAgainstDirect(t, 256, Options{}, fft1d.Forward)
+
+	// Primes cannot split: direct even above MinN.
+	pp, err := NewPlan(8191, Options{MinN: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pp.Direct() {
+		t.Fatal("prime plan should be direct")
+	}
+	checkAgainstDirect(t, 8191, Options{MinN: 16}, fft1d.Forward)
+}
+
+func TestSplitBalance(t *testing.T) {
+	cases := map[int][2]int{
+		1 << 16: {256, 256},
+		1 << 15: {256, 128},
+		1000:    {40, 25},
+		36:      {6, 6},
+	}
+	for n, want := range cases {
+		a, b := split(n)
+		if a != want[0] || b != want[1] {
+			t.Errorf("split(%d) = %d,%d want %v", n, a, b, want)
+		}
+		if a*b != n {
+			t.Errorf("split(%d) does not multiply back", n)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewPlan(0, Options{}); err == nil {
+		t.Error("accepted n=0")
+	}
+	p, _ := NewPlan(1<<14, Options{MinN: 16})
+	if err := p.Transform(make([]complex128, 5), make([]complex128, 1<<14), fft1d.Forward); err == nil {
+		t.Error("accepted bad lengths")
+	}
+}
+
+func TestTinyBufferStillCorrect(t *testing.T) {
+	// Buffer smaller than one row forces rPer = 1 (single-row blocks).
+	checkAgainstDirect(t, 1<<12, Options{MinN: 16, BufferElems: 8}, fft1d.Forward)
+}
+
+func BenchmarkSixStepVsDirect(b *testing.B) {
+	const n = 1 << 18
+	x := randVec(1, n)
+	y := make([]complex128, n)
+	b.Run("sixstep", func(b *testing.B) {
+		p, _ := NewPlan(n, Options{MinN: 16, BufferElems: 1 << 14})
+		b.SetBytes(int64(n * 16))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := p.Transform(y, x, fft1d.Forward); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		p := fft1d.NewPlan(n)
+		b.SetBytes(int64(n * 16))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Transform(y, x, fft1d.Forward)
+		}
+	})
+}

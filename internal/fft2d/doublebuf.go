@@ -1,0 +1,178 @@
+package fft2d
+
+import (
+	"repro/internal/pipeline"
+)
+
+// doubleBuf runs the paper's two pipelined stages in complex-interleaved
+// form. Stage 1 reads src and produces the blocked-transposed intermediate
+// in p.work; stage 2 reads p.work and produces dst in the original
+// row-major layout. Both stages load contiguous blocks, compute contiguous
+// pencils, and store at cacheline granularity.
+func (p *Plan) doubleBuf(dst, src []complex128, sign int) error {
+	n, m, mu, mb := p.n, p.m, p.opts.Mu, p.mb
+
+	// ---- Stage 1: (L_{m/μ}^{mn/μ} ⊗ I_μ) (I_n ⊗ DFT_m) ----
+	rows := p.rows1
+	b1 := rows * m
+	iters1 := n / rows
+	h1 := pipeline.Hooks{
+		Load: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.PartitionBlocks(rows, m, worker, workers)
+			copy(p.bufs[buf][lo:hi], src[iter*b1+lo:iter*b1+hi])
+		},
+		Compute: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(rows, worker, workers)
+			if lo < hi {
+				p.rowPlan.Batch(p.bufs[buf][lo*m:hi*m], hi-lo, sign)
+			}
+		},
+		Store: func(iter, buf, worker, workers int) {
+			// Blocked transpose: buffer row r (global row g), block xb →
+			// work[(xb·n + g)·μ …]. Partition by buffer rows.
+			lo, hi := pipeline.Partition(rows, worker, workers)
+			half := p.bufs[buf]
+			for r := lo; r < hi; r++ {
+				g := iter*rows + r
+				srcRow := half[r*m : (r+1)*m]
+				for xb := 0; xb < mb; xb++ {
+					d := (xb*n + g) * mu
+					copy(p.work[d:d+mu], srcRow[xb*mu:(xb+1)*mu])
+				}
+			}
+		},
+	}
+	cfg := pipeline.Config{
+		Iters:          iters1,
+		DataWorkers:    p.opts.DataWorkers,
+		ComputeWorkers: p.opts.ComputeWorkers,
+		Tracer:         p.opts.Tracer,
+	}
+	if _, err := pipeline.Run(cfg, h1); err != nil {
+		return err
+	}
+
+	// ---- Stage 2: (L_n^{mn/μ} ⊗ I_μ) (I_{m/μ} ⊗ DFT_n ⊗ I_μ) ----
+	xbs := p.xbs2
+	rowLen := n * mu // one xb-row of the (m/μ)×n block matrix
+	b2 := xbs * rowLen
+	iters2 := mb / xbs
+	h2 := pipeline.Hooks{
+		Load: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.PartitionBlocks(xbs, rowLen, worker, workers)
+			copy(p.bufs[buf][lo:hi], p.work[iter*b2+lo:iter*b2+hi])
+		},
+		Compute: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(xbs, worker, workers)
+			for xb := lo; xb < hi; xb++ {
+				p.colPlan.InPlaceLanes(p.bufs[buf][xb*rowLen:(xb+1)*rowLen], mu, sign)
+			}
+		},
+		Store: func(iter, buf, worker, workers int) {
+			// Transpose back: buffer xb-row (global block-column g),
+			// row r → dst[(r·mb + g)·μ …] = original row-major layout.
+			lo, hi := pipeline.Partition(xbs, worker, workers)
+			half := p.bufs[buf]
+			for xb := lo; xb < hi; xb++ {
+				g := iter*xbs + xb
+				srcRow := half[xb*rowLen : (xb+1)*rowLen]
+				for r := 0; r < n; r++ {
+					d := (r*mb + g) * mu
+					copy(dst[d:d+mu], srcRow[r*mu:(r+1)*mu])
+				}
+			}
+		},
+	}
+	cfg.Iters = iters2
+	_, err := pipeline.Run(cfg, h2)
+	return err
+}
+
+// doubleBufSplit is doubleBuf with the compute stages in block-interleaved
+// (split) format: the stage-1 load fuses the interleaved → split conversion
+// and the stage-2 store fuses split → interleaved, so the format changes
+// cost no extra memory round trips (§IV-A).
+func (p *Plan) doubleBufSplit(dst, src []complex128, sign int) error {
+	n, m, mu, mb := p.n, p.m, p.opts.Mu, p.mb
+
+	rows := p.rows1
+	b1 := rows * m
+	iters1 := n / rows
+	h1 := pipeline.Hooks{
+		Load: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.PartitionBlocks(rows, m, worker, workers)
+			re, im := p.bufsRe[buf], p.bufsIm[buf]
+			base := iter * b1
+			for j := lo; j < hi; j++ {
+				c := src[base+j]
+				re[j] = real(c)
+				im[j] = imag(c)
+			}
+		},
+		Compute: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(rows, worker, workers)
+			if lo < hi {
+				p.rowPlan.BatchSplit(p.bufsRe[buf][lo*m:hi*m], p.bufsIm[buf][lo*m:hi*m], hi-lo, sign)
+			}
+		},
+		Store: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(rows, worker, workers)
+			re, im := p.bufsRe[buf], p.bufsIm[buf]
+			for r := lo; r < hi; r++ {
+				g := iter*rows + r
+				for xb := 0; xb < mb; xb++ {
+					d := (xb*n + g) * mu
+					s := r*m + xb*mu
+					copy(p.workRe[d:d+mu], re[s:s+mu])
+					copy(p.workIm[d:d+mu], im[s:s+mu])
+				}
+			}
+		},
+	}
+	cfg := pipeline.Config{
+		Iters:          iters1,
+		DataWorkers:    p.opts.DataWorkers,
+		ComputeWorkers: p.opts.ComputeWorkers,
+		Tracer:         p.opts.Tracer,
+	}
+	if _, err := pipeline.Run(cfg, h1); err != nil {
+		return err
+	}
+
+	xbs := p.xbs2
+	rowLen := n * mu
+	b2 := xbs * rowLen
+	iters2 := mb / xbs
+	h2 := pipeline.Hooks{
+		Load: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.PartitionBlocks(xbs, rowLen, worker, workers)
+			base := iter * b2
+			copy(p.bufsRe[buf][lo:hi], p.workRe[base+lo:base+hi])
+			copy(p.bufsIm[buf][lo:hi], p.workIm[base+lo:base+hi])
+		},
+		Compute: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(xbs, worker, workers)
+			for xb := lo; xb < hi; xb++ {
+				s, e := xb*rowLen, (xb+1)*rowLen
+				p.colPlan.InPlaceLanesSplit(p.bufsRe[buf][s:e], p.bufsIm[buf][s:e], mu, sign)
+			}
+		},
+		Store: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(xbs, worker, workers)
+			re, im := p.bufsRe[buf], p.bufsIm[buf]
+			for xb := lo; xb < hi; xb++ {
+				g := iter*xbs + xb
+				for r := 0; r < n; r++ {
+					d := (r*mb + g) * mu
+					s := xb*rowLen + r*mu
+					for u := 0; u < mu; u++ {
+						dst[d+u] = complex(re[s+u], im[s+u])
+					}
+				}
+			}
+		},
+	}
+	cfg.Iters = iters2
+	_, err := pipeline.Run(cfg, h2)
+	return err
+}

@@ -1,0 +1,266 @@
+// Package fft2d implements two-dimensional FFTs over n×m row-major
+// complex128 matrices with three interchangeable strategies:
+//
+//   - Reference: straightforward row FFTs followed by column FFTs via the
+//     lane driver; simple and used as the correctness oracle.
+//
+//   - Pencil: the non-overlapped pencil-pencil decomposition with strided
+//     column pencils — the memory behaviour of MKL/FFTW-style libraries the
+//     paper compares against (§II-D).
+//
+//   - DoubleBuf: the paper's contribution (§III): every stage becomes
+//     load-contiguous → compute-contiguous-pencils → store-blocked-transpose,
+//     executed by the software-pipelined double-buffer engine with dedicated
+//     data workers (soft DMA engines) and compute workers. After the two
+//     stages the matrix is back in its original row-major layout:
+//
+//     DFT_{n×m} = (L_n^{mn/μ} ⊗ I_μ)(I_{m/μ} ⊗ DFT_n ⊗ I_μ)   Stage 2
+//     (L_{m/μ}^{mn/μ} ⊗ I_μ)(I_n ⊗ DFT_m)          Stage 1
+package fft2d
+
+import (
+	"fmt"
+
+	"repro/internal/fft1d"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// Strategy selects the execution plan.
+type Strategy int
+
+const (
+	// Reference is the simple two-stage row-column algorithm.
+	Reference Strategy = iota
+	// Pencil is the non-overlapped baseline with strided column pencils.
+	Pencil
+	// DoubleBuf is the paper's pipelined double-buffering scheme.
+	DoubleBuf
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Reference:
+		return "reference"
+	case Pencil:
+		return "pencil"
+	case DoubleBuf:
+		return "doublebuf"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Options configure a plan. Zero values select sensible defaults.
+type Options struct {
+	Strategy Strategy
+	// Mu is the cacheline block size in complex elements (default 4,
+	// one 64-byte line of doubles; complex128 counts as two lanes).
+	Mu int
+	// BufferElems is the per-half block size b in complex elements
+	// (default 1<<16). The engine uses two halves of this size. The
+	// effective value is rounded down so every stage has an integral
+	// number of whole blocks.
+	BufferElems int
+	// DataWorkers (p_d) and ComputeWorkers (p_c) for DoubleBuf; Workers
+	// is the pool size for Pencil. Defaults: 1/1 and 1.
+	DataWorkers    int
+	ComputeWorkers int
+	Workers        int
+	// SplitFormat runs the DoubleBuf compute stages in block-interleaved
+	// (split) format with fused format changes in the first load and last
+	// store, as in §IV-A.
+	SplitFormat bool
+	// Tracer records pipeline events for schedule verification.
+	Tracer *trace.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.Mu == 0 {
+		o.Mu = 4
+	}
+	if o.BufferElems == 0 {
+		o.BufferElems = 1 << 16
+	}
+	if o.DataWorkers == 0 {
+		o.DataWorkers = 1
+	}
+	if o.ComputeWorkers == 0 {
+		o.ComputeWorkers = 1
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// Plan is a reusable 2D FFT execution plan for a fixed n×m size.
+type Plan struct {
+	n, m int
+	opts Options
+
+	rowPlan *fft1d.Plan // DFT_m
+	colPlan *fft1d.Plan // DFT_n
+
+	// DoubleBuf state.
+	mb     int // m/μ
+	rows1  int // rows per stage-1 block
+	xbs2   int // xb-rows per stage-2 block
+	work   []complex128
+	workRe []float64
+	workIm []float64
+	bufs   [2][]complex128
+	bufsRe [2][]float64
+	bufsIm [2][]float64
+}
+
+// NewPlan validates the size and options and precomputes 1D sub-plans.
+func NewPlan(n, m int, opts Options) (*Plan, error) {
+	if n < 1 || m < 1 {
+		return nil, fmt.Errorf("fft2d: invalid size %dx%d", n, m)
+	}
+	opts = opts.withDefaults()
+	p := &Plan{n: n, m: m, opts: opts,
+		rowPlan: fft1d.NewPlan(m), colPlan: fft1d.NewPlan(n)}
+	if opts.Strategy == DoubleBuf {
+		mu := opts.Mu
+		if m%mu != 0 {
+			return nil, fmt.Errorf("fft2d: μ=%d does not divide m=%d", mu, m)
+		}
+		p.mb = m / mu
+		// Stage 1 blocks: whole rows; stage 2 blocks: whole xb-rows of
+		// the transposed block matrix. Both iteration counts must divide
+		// their loop extent so the pipeline sees uniform blocks.
+		p.rows1 = largestDivisorAtMost(n, max(1, opts.BufferElems/m))
+		p.xbs2 = largestDivisorAtMost(p.mb, max(1, opts.BufferElems/(n*mu)))
+		b := max(p.rows1*m, p.xbs2*n*mu)
+		p.work = make([]complex128, n*m)
+		if opts.SplitFormat {
+			p.workRe = make([]float64, n*m)
+			p.workIm = make([]float64, n*m)
+			for h := 0; h < 2; h++ {
+				p.bufsRe[h] = make([]float64, b)
+				p.bufsIm[h] = make([]float64, b)
+			}
+		} else {
+			for h := 0; h < 2; h++ {
+				p.bufs[h] = make([]complex128, b)
+			}
+		}
+	}
+	return p, nil
+}
+
+// N and M return the plan's dimensions (n rows × m columns).
+func (p *Plan) N() int { return p.n }
+
+// M returns the row length.
+func (p *Plan) M() int { return p.m }
+
+// Stage1Iters returns the number of pipeline blocks in the first DoubleBuf
+// stage (the paper's iter = mn/b); 0 for other strategies.
+func (p *Plan) Stage1Iters() int {
+	if p.opts.Strategy != DoubleBuf {
+		return 0
+	}
+	return p.n / p.rows1
+}
+
+// Transform computes dst = DFT_{n×m}(src) out of place; dst and src must
+// each have length n·m and must not overlap. The transform is unnormalized;
+// apply fft1d.Scale(dst, 1/(n·m)) after an inverse for a round trip.
+func (p *Plan) Transform(dst, src []complex128, sign int) error {
+	if len(dst) != p.n*p.m || len(src) != p.n*p.m {
+		return fmt.Errorf("fft2d: Transform lengths dst=%d src=%d, want %d",
+			len(dst), len(src), p.n*p.m)
+	}
+	switch p.opts.Strategy {
+	case Reference:
+		return p.reference(dst, src, sign)
+	case Pencil:
+		return p.pencil(dst, src, sign)
+	case DoubleBuf:
+		if p.opts.SplitFormat {
+			return p.doubleBufSplit(dst, src, sign)
+		}
+		return p.doubleBuf(dst, src, sign)
+	}
+	return fmt.Errorf("fft2d: unknown strategy %v", p.opts.Strategy)
+}
+
+// InPlace computes x = DFT_{n×m}(x) using the plan's work array.
+func (p *Plan) InPlace(x []complex128, sign int) error {
+	if len(x) != p.n*p.m {
+		return fmt.Errorf("fft2d: InPlace length %d, want %d", len(x), p.n*p.m)
+	}
+	tmp := make([]complex128, p.n*p.m)
+	if err := p.Transform(tmp, x, sign); err != nil {
+		return err
+	}
+	copy(x, tmp)
+	return nil
+}
+
+// reference: rows then columns, serial.
+func (p *Plan) reference(dst, src []complex128, sign int) error {
+	n, m := p.n, p.m
+	p.rowPlan.BatchInto(dst, src, n, sign)
+	p.colPlan.InPlaceLanes(dst, m, sign)
+	return nil
+}
+
+// pencil: the non-overlapped baseline. Stage 1 transforms rows in place;
+// stage 2 gathers each column at stride m, transforms it, and scatters it
+// back — the cache-hostile access pattern of a pencil-pencil library.
+func (p *Plan) pencil(dst, src []complex128, sign int) error {
+	n, m := p.n, p.m
+	copy(dst, src)
+	parallelFor(p.opts.Workers, n, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			p.rowPlan.InPlace(dst[r*m:(r+1)*m], sign)
+		}
+	})
+	parallelFor(p.opts.Workers, m, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			p.colPlan.Strided(dst, c, m, sign)
+		}
+	})
+	return nil
+}
+
+// parallelFor splits [0, total) across workers goroutines.
+func parallelFor(workers, total int, f func(lo, hi int)) {
+	if workers <= 1 || total <= 1 {
+		f(0, total)
+		return
+	}
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			lo, hi := pipeline.Partition(total, w, workers)
+			f(lo, hi)
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}
+
+func largestDivisorAtMost(n, cap int) int {
+	if cap >= n {
+		return n
+	}
+	for d := cap; d >= 1; d-- {
+		if n%d == 0 {
+			return d
+		}
+	}
+	return 1
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

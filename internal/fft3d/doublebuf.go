@@ -1,0 +1,256 @@
+package fft3d
+
+import (
+	"repro/internal/pipeline"
+)
+
+// doubleBuf runs the paper's three pipelined stages in complex-interleaved
+// form. Array flow: stage 1 src→dst, stage 2 dst→work, stage 3 work→dst,
+// so the input is preserved and only one internal work array is needed.
+//
+// Intermediate layouts (all row-major, μ-element blocks as atoms):
+//
+//	after stage 1: (m/μ) × k × n × μ   blocks (xb, z, y)
+//	after stage 2: n × (m/μ) × k × μ   blocks (y, xb, z)
+//	after stage 3: k × n × (m/μ) × μ   = original k×n×m
+func (p *Plan) doubleBuf(dst, src []complex128, sign int) error {
+	k, n, m, mu, mb := p.k, p.n, p.m, p.opts.Mu, p.mb
+	cfg := pipeline.Config{
+		DataWorkers:    p.opts.DataWorkers,
+		ComputeWorkers: p.opts.ComputeWorkers,
+		Tracer:         p.opts.Tracer,
+	}
+
+	// ---- Stage 1: (K_{m/μ}^{k,n} ⊗ I_μ) (I_{kn} ⊗ DFT_m), src → dst ----
+	rows := p.rows1
+	b1 := rows * m
+	cfg.Iters = k * n / rows
+	h1 := pipeline.Hooks{
+		Load: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.PartitionBlocks(rows, m, worker, workers)
+			copy(p.bufs[buf][lo:hi], src[iter*b1+lo:iter*b1+hi])
+		},
+		Compute: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(rows, worker, workers)
+			if lo < hi {
+				p.planM.Batch(p.bufs[buf][lo*m:hi*m], hi-lo, sign)
+			}
+		},
+		Store: func(iter, buf, worker, workers int) {
+			// Pencil g = z·n + y goes to blocks (xb, z, y).
+			lo, hi := pipeline.Partition(rows, worker, workers)
+			half := p.bufs[buf]
+			for r := lo; r < hi; r++ {
+				g := iter*rows + r
+				z, y := g/n, g%n
+				row := half[r*m : (r+1)*m]
+				for xb := 0; xb < mb; xb++ {
+					d := ((xb*k+z)*n + y) * mu
+					copy(dst[d:d+mu], row[xb*mu:(xb+1)*mu])
+				}
+			}
+		},
+	}
+	if _, err := pipeline.Run(cfg, h1); err != nil {
+		return err
+	}
+
+	// ---- Stage 2: (K_n^{m/μ,k} ⊗ I_μ) (I_{mk/μ} ⊗ DFT_n ⊗ I_μ), dst → work ----
+	units := p.units2
+	unitLen := n * mu // one (xb, z) unit
+	b2 := units * unitLen
+	cfg.Iters = mb * k / units
+	h2 := pipeline.Hooks{
+		Load: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.PartitionBlocks(units, unitLen, worker, workers)
+			copy(p.bufs[buf][lo:hi], dst[iter*b2+lo:iter*b2+hi])
+		},
+		Compute: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(units, worker, workers)
+			for u := lo; u < hi; u++ {
+				p.planN.InPlaceLanes(p.bufs[buf][u*unitLen:(u+1)*unitLen], mu, sign)
+			}
+		},
+		Store: func(iter, buf, worker, workers int) {
+			// Unit h = xb·k + z goes to blocks (y, xb, z).
+			lo, hi := pipeline.Partition(units, worker, workers)
+			half := p.bufs[buf]
+			for u := lo; u < hi; u++ {
+				h := iter*units + u
+				xb, z := h/k, h%k
+				unit := half[u*unitLen : (u+1)*unitLen]
+				for y := 0; y < n; y++ {
+					d := ((y*mb+xb)*k + z) * mu
+					copy(p.work[d:d+mu], unit[y*mu:(y+1)*mu])
+				}
+			}
+		},
+	}
+	if _, err := pipeline.Run(cfg, h2); err != nil {
+		return err
+	}
+
+	// ---- Stage 3: (K_k^{n,m/μ} ⊗ I_μ) (I_{nm/μ} ⊗ DFT_k ⊗ I_μ), work → dst ----
+	units = p.units3
+	unitLen = k * mu // one (y, xb) unit
+	b3 := units * unitLen
+	cfg.Iters = n * mb / units
+	h3 := pipeline.Hooks{
+		Load: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.PartitionBlocks(units, unitLen, worker, workers)
+			copy(p.bufs[buf][lo:hi], p.work[iter*b3+lo:iter*b3+hi])
+		},
+		Compute: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(units, worker, workers)
+			for u := lo; u < hi; u++ {
+				p.planK.InPlaceLanes(p.bufs[buf][u*unitLen:(u+1)*unitLen], mu, sign)
+			}
+		},
+		Store: func(iter, buf, worker, workers int) {
+			// Unit q = y·mb + xb goes to blocks (z, y, xb): the original
+			// row-major layout.
+			lo, hi := pipeline.Partition(units, worker, workers)
+			half := p.bufs[buf]
+			for u := lo; u < hi; u++ {
+				q := iter*units + u
+				y, xb := q/mb, q%mb
+				unit := half[u*unitLen : (u+1)*unitLen]
+				for z := 0; z < k; z++ {
+					d := ((z*n+y)*mb + xb) * mu
+					copy(dst[d:d+mu], unit[z*mu:(z+1)*mu])
+				}
+			}
+		},
+	}
+	_, err := pipeline.Run(cfg, h3)
+	return err
+}
+
+// doubleBufSplit is doubleBuf in block-interleaved format. Array flow:
+// stage 1 src→(workRe/Im) with a fused deinterleave in the load; stage 2
+// (workRe/Im)→(wrk2Re/Im); stage 3 (wrk2Re/Im)→dst with a fused interleave
+// in the store. Middle stages never touch interleaved data (§IV-A).
+func (p *Plan) doubleBufSplit(dst, src []complex128, sign int) error {
+	k, n, m, mu, mb := p.k, p.n, p.m, p.opts.Mu, p.mb
+	cfg := pipeline.Config{
+		DataWorkers:    p.opts.DataWorkers,
+		ComputeWorkers: p.opts.ComputeWorkers,
+		Tracer:         p.opts.Tracer,
+	}
+
+	// ---- Stage 1: fused deinterleave on load; rotation store to work ----
+	rows := p.rows1
+	b1 := rows * m
+	cfg.Iters = k * n / rows
+	h1 := pipeline.Hooks{
+		Load: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.PartitionBlocks(rows, m, worker, workers)
+			re, im := p.bufsRe[buf], p.bufsIm[buf]
+			base := iter * b1
+			for j := lo; j < hi; j++ {
+				c := src[base+j]
+				re[j] = real(c)
+				im[j] = imag(c)
+			}
+		},
+		Compute: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(rows, worker, workers)
+			if lo < hi {
+				p.planM.BatchSplit(p.bufsRe[buf][lo*m:hi*m], p.bufsIm[buf][lo*m:hi*m], hi-lo, sign)
+			}
+		},
+		Store: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(rows, worker, workers)
+			re, im := p.bufsRe[buf], p.bufsIm[buf]
+			for r := lo; r < hi; r++ {
+				g := iter*rows + r
+				z, y := g/n, g%n
+				for xb := 0; xb < mb; xb++ {
+					d := ((xb*k+z)*n + y) * mu
+					s := r*m + xb*mu
+					copy(p.workRe[d:d+mu], re[s:s+mu])
+					copy(p.workIm[d:d+mu], im[s:s+mu])
+				}
+			}
+		},
+	}
+	if _, err := pipeline.Run(cfg, h1); err != nil {
+		return err
+	}
+
+	// ---- Stage 2: split all the way ----
+	units := p.units2
+	unitLen := n * mu
+	b2 := units * unitLen
+	cfg.Iters = mb * k / units
+	h2 := pipeline.Hooks{
+		Load: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.PartitionBlocks(units, unitLen, worker, workers)
+			base := iter * b2
+			copy(p.bufsRe[buf][lo:hi], p.workRe[base+lo:base+hi])
+			copy(p.bufsIm[buf][lo:hi], p.workIm[base+lo:base+hi])
+		},
+		Compute: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(units, worker, workers)
+			for u := lo; u < hi; u++ {
+				s, e := u*unitLen, (u+1)*unitLen
+				p.planN.InPlaceLanesSplit(p.bufsRe[buf][s:e], p.bufsIm[buf][s:e], mu, sign)
+			}
+		},
+		Store: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(units, worker, workers)
+			re, im := p.bufsRe[buf], p.bufsIm[buf]
+			for u := lo; u < hi; u++ {
+				h := iter*units + u
+				xb, z := h/k, h%k
+				for y := 0; y < n; y++ {
+					d := ((y*mb+xb)*k + z) * mu
+					s := u*unitLen + y*mu
+					copy(p.wrk2Re[d:d+mu], re[s:s+mu])
+					copy(p.wrk2Im[d:d+mu], im[s:s+mu])
+				}
+			}
+		},
+	}
+	if _, err := pipeline.Run(cfg, h2); err != nil {
+		return err
+	}
+
+	// ---- Stage 3: fused interleave on store ----
+	units = p.units3
+	unitLen = k * mu
+	b3 := units * unitLen
+	cfg.Iters = n * mb / units
+	h3 := pipeline.Hooks{
+		Load: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.PartitionBlocks(units, unitLen, worker, workers)
+			base := iter * b3
+			copy(p.bufsRe[buf][lo:hi], p.wrk2Re[base+lo:base+hi])
+			copy(p.bufsIm[buf][lo:hi], p.wrk2Im[base+lo:base+hi])
+		},
+		Compute: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(units, worker, workers)
+			for u := lo; u < hi; u++ {
+				s, e := u*unitLen, (u+1)*unitLen
+				p.planK.InPlaceLanesSplit(p.bufsRe[buf][s:e], p.bufsIm[buf][s:e], mu, sign)
+			}
+		},
+		Store: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(units, worker, workers)
+			re, im := p.bufsRe[buf], p.bufsIm[buf]
+			for u := lo; u < hi; u++ {
+				q := iter*units + u
+				y, xb := q/mb, q%mb
+				for z := 0; z < k; z++ {
+					d := ((z*n+y)*mb + xb) * mu
+					s := u*unitLen + z*mu
+					for v := 0; v < mu; v++ {
+						dst[d+v] = complex(re[s+v], im[s+v])
+					}
+				}
+			}
+		},
+	}
+	_, err := pipeline.Run(cfg, h3)
+	return err
+}

@@ -1,0 +1,336 @@
+// Package fft3d implements three-dimensional FFTs over k×n×m row-major
+// complex128 cubes (z, y, x with x fastest) with four strategies:
+//
+//   - Reference: row-column-pillar via the lane driver; correctness oracle.
+//
+//   - Pencil: non-overlapped pencil-pencil-pencil with in-place strided
+//     stages — the memory behaviour the paper ascribes to MKL/FFTW.
+//
+//   - Slab: slab-pencil decomposition fusing the first two stages inside a
+//     z-slab (what FFTW effectively does on the big-cache AMD parts, §V).
+//
+//   - DoubleBuf: the paper's scheme (§III): three pipelined stages, each
+//     load-contiguous → compute-contiguous-pencils → store-blocked-rotation,
+//     with soft-DMA data workers and compute workers. After three rotations
+//     the cube is back in its original layout:
+//
+//     (K_k^{n,m/μ} ⊗ I_μ)(I_{nm/μ} ⊗ DFT_k ⊗ I_μ)    Stage 3
+//     (K_n^{m/μ,k} ⊗ I_μ)(I_{mk/μ} ⊗ DFT_n ⊗ I_μ)    Stage 2
+//     (K_{m/μ}^{k,n} ⊗ I_μ)(I_{kn} ⊗ DFT_m)          Stage 1
+package fft3d
+
+import (
+	"fmt"
+
+	"repro/internal/fft1d"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// Strategy selects the execution plan.
+type Strategy int
+
+const (
+	// Reference is the simple three-stage algorithm.
+	Reference Strategy = iota
+	// Pencil is the non-overlapped strided baseline.
+	Pencil
+	// Slab fuses stages 1+2 per z-slab, then does the strided z-stage.
+	Slab
+	// DoubleBuf is the paper's pipelined double-buffering scheme.
+	DoubleBuf
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Reference:
+		return "reference"
+	case Pencil:
+		return "pencil"
+	case Slab:
+		return "slab"
+	case DoubleBuf:
+		return "doublebuf"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Options configure a plan. Zero values select sensible defaults.
+type Options struct {
+	Strategy Strategy
+	// Mu is the cacheline block size in complex elements (default 4).
+	Mu int
+	// BufferElems is the per-half pipeline block size b in complex
+	// elements (default 1<<16 ≈ the paper's b = LLC/2 halves).
+	BufferElems int
+	// DataWorkers (p_d) / ComputeWorkers (p_c) drive DoubleBuf; Workers
+	// is the pool size for the baselines.
+	DataWorkers    int
+	ComputeWorkers int
+	Workers        int
+	// SplitFormat runs the DoubleBuf compute stages in block-interleaved
+	// format with fused conversions at the boundary stages (§IV-A).
+	SplitFormat bool
+	// Tracer records pipeline events.
+	Tracer *trace.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.Mu == 0 {
+		o.Mu = 4
+	}
+	if o.BufferElems == 0 {
+		o.BufferElems = 1 << 16
+	}
+	if o.DataWorkers == 0 {
+		o.DataWorkers = 1
+	}
+	if o.ComputeWorkers == 0 {
+		o.ComputeWorkers = 1
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// Plan is a reusable 3D FFT execution plan for a fixed k×n×m size.
+type Plan struct {
+	k, n, m int
+	opts    Options
+
+	planM *fft1d.Plan // DFT_m (x pencils)
+	planN *fft1d.Plan // DFT_n (y pencils)
+	planK *fft1d.Plan // DFT_k (z pencils)
+
+	// DoubleBuf geometry.
+	mb     int // m/μ
+	rows1  int // (z,y)-pencils per stage-1 block
+	units2 int // (xb,z) n·μ-units per stage-2 block
+	units3 int // (y,xb) k·μ-units per stage-3 block
+
+	work   []complex128
+	workRe []float64
+	workIm []float64
+	wrk2Re []float64
+	wrk2Im []float64
+	bufs   [2][]complex128
+	bufsRe [2][]float64
+	bufsIm [2][]float64
+}
+
+// NewPlan validates the size and options and precomputes sub-plans.
+func NewPlan(k, n, m int, opts Options) (*Plan, error) {
+	if k < 1 || n < 1 || m < 1 {
+		return nil, fmt.Errorf("fft3d: invalid size %dx%dx%d", k, n, m)
+	}
+	opts = opts.withDefaults()
+	p := &Plan{k: k, n: n, m: m, opts: opts,
+		planM: fft1d.NewPlan(m), planN: fft1d.NewPlan(n), planK: fft1d.NewPlan(k)}
+	if opts.Strategy == DoubleBuf {
+		mu := opts.Mu
+		if m%mu != 0 {
+			return nil, fmt.Errorf("fft3d: μ=%d does not divide m=%d", mu, m)
+		}
+		p.mb = m / mu
+		total := k * n * m
+		p.rows1 = largestDivisorAtMost(k*n, maxInt(1, opts.BufferElems/m))
+		p.units2 = largestDivisorAtMost(p.mb*k, maxInt(1, opts.BufferElems/(n*mu)))
+		p.units3 = largestDivisorAtMost(n*p.mb, maxInt(1, opts.BufferElems/(k*mu)))
+		b := maxInt(p.rows1*m, maxInt(p.units2*n*mu, p.units3*k*mu))
+		if opts.SplitFormat {
+			p.workRe = make([]float64, total)
+			p.workIm = make([]float64, total)
+			p.wrk2Re = make([]float64, total)
+			p.wrk2Im = make([]float64, total)
+			for h := 0; h < 2; h++ {
+				p.bufsRe[h] = make([]float64, b)
+				p.bufsIm[h] = make([]float64, b)
+			}
+		} else {
+			p.work = make([]complex128, total)
+			for h := 0; h < 2; h++ {
+				p.bufs[h] = make([]complex128, b)
+			}
+		}
+	}
+	return p, nil
+}
+
+// Dims returns (k, n, m).
+func (p *Plan) Dims() (k, n, m int) { return p.k, p.n, p.m }
+
+// Len returns the total element count k·n·m.
+func (p *Plan) Len() int { return p.k * p.n * p.m }
+
+// StageIters returns the pipeline iteration counts of the three DoubleBuf
+// stages (the paper's iter = knm/b); zeros for other strategies.
+func (p *Plan) StageIters() (s1, s2, s3 int) {
+	if p.opts.Strategy != DoubleBuf {
+		return 0, 0, 0
+	}
+	return p.k * p.n / p.rows1, p.mb * p.k / p.units2, p.n * p.mb / p.units3
+}
+
+// Transform computes dst = DFT_{k×n×m}(src) out of place; dst and src must
+// each have length k·n·m and must not overlap. Unnormalized in both
+// directions.
+func (p *Plan) Transform(dst, src []complex128, sign int) error {
+	if len(dst) != p.Len() || len(src) != p.Len() {
+		return fmt.Errorf("fft3d: Transform lengths dst=%d src=%d, want %d",
+			len(dst), len(src), p.Len())
+	}
+	switch p.opts.Strategy {
+	case Reference:
+		return p.reference(dst, src, sign)
+	case Pencil:
+		copy(dst, src)
+		return p.pencilInPlace(dst, sign)
+	case Slab:
+		copy(dst, src)
+		return p.slabInPlace(dst, sign)
+	case DoubleBuf:
+		if p.opts.SplitFormat {
+			return p.doubleBufSplit(dst, src, sign)
+		}
+		return p.doubleBuf(dst, src, sign)
+	}
+	return fmt.Errorf("fft3d: unknown strategy %v", p.opts.Strategy)
+}
+
+// InPlace computes x = DFT_{k×n×m}(x).
+func (p *Plan) InPlace(x []complex128, sign int) error {
+	if len(x) != p.Len() {
+		return fmt.Errorf("fft3d: InPlace length %d, want %d", len(x), p.Len())
+	}
+	switch p.opts.Strategy {
+	case Pencil:
+		return p.pencilInPlace(x, sign)
+	case Slab:
+		return p.slabInPlace(x, sign)
+	default:
+		tmp := make([]complex128, p.Len())
+		if err := p.Transform(tmp, x, sign); err != nil {
+			return err
+		}
+		copy(x, tmp)
+		return nil
+	}
+}
+
+// reference: three lane-driver stages, serial.
+func (p *Plan) reference(dst, src []complex128, sign int) error {
+	k, n, m := p.k, p.n, p.m
+	p.planM.BatchInto(dst, src, k*n, sign)
+	for z := 0; z < k; z++ {
+		p.planN.InPlaceLanes(dst[z*n*m:(z+1)*n*m], m, sign)
+	}
+	p.planK.InPlaceLanes(dst, n*m, sign)
+	return nil
+}
+
+// pencilInPlace: the non-overlapped baseline. Every stage reads and writes
+// the full cube in place; stage 2 works at stride m within slabs and stage 3
+// at stride n·m across the whole cube — the cache-hostile access pattern of
+// a pencil-pencil library on a large transform.
+func (p *Plan) pencilInPlace(x []complex128, sign int) error {
+	k, n, m := p.k, p.n, p.m
+	workers := p.opts.Workers
+	parallelFor(workers, k*n, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			p.planM.InPlace(x[r*m:(r+1)*m], sign)
+		}
+	})
+	parallelFor(workers, k, func(lo, hi int) {
+		for z := lo; z < hi; z++ {
+			p.planN.InPlaceLanes(x[z*n*m:(z+1)*n*m], m, sign)
+		}
+	})
+	// Stage 3: DFT_k ⊗ I_{nm}, parallelized over lane chunks via
+	// gather/transform/scatter to keep the strided behaviour.
+	parallelFor(workers, n*m, func(lo, hi int) {
+		p.stridedLanes(x, p.planK, k, n*m, lo, hi, sign)
+	})
+	return nil
+}
+
+// slabInPlace: slab-pencil decomposition. Stages 1+2 are fused per z-slab
+// (one pass over each slab, which on big-LLC machines stays cache resident),
+// then the strided z-stage runs as in pencil. This reduces main-memory round
+// trips from three to two (§II-B).
+func (p *Plan) slabInPlace(x []complex128, sign int) error {
+	k, n, m := p.k, p.n, p.m
+	workers := p.opts.Workers
+	parallelFor(workers, k, func(lo, hi int) {
+		for z := lo; z < hi; z++ {
+			slab := x[z*n*m : (z+1)*n*m]
+			for r := 0; r < n; r++ {
+				p.planM.InPlace(slab[r*m:(r+1)*m], sign)
+			}
+			p.planN.InPlaceLanes(slab, m, sign)
+		}
+	})
+	parallelFor(workers, n*m, func(lo, hi int) {
+		p.stridedLanes(x, p.planK, k, n*m, lo, hi, sign)
+	})
+	return nil
+}
+
+// stridedLanes applies DFT_len ⊗ I over the lane range [lo, hi) of a cube
+// whose lane stride is `stride`: it gathers the lanes, transforms them with
+// the lane driver, and scatters them back.
+func (p *Plan) stridedLanes(x []complex128, plan *fft1d.Plan, length, stride, lo, hi, sign int) {
+	w := hi - lo
+	if w <= 0 {
+		return
+	}
+	tmp := make([]complex128, length*w)
+	out := make([]complex128, length*w)
+	for z := 0; z < length; z++ {
+		copy(tmp[z*w:(z+1)*w], x[z*stride+lo:z*stride+hi])
+	}
+	plan.Lanes(out, tmp, w, sign)
+	for z := 0; z < length; z++ {
+		copy(x[z*stride+lo:z*stride+hi], out[z*w:(z+1)*w])
+	}
+}
+
+func parallelFor(workers, total int, f func(lo, hi int)) {
+	if workers <= 1 || total <= 1 {
+		f(0, total)
+		return
+	}
+	if workers > total {
+		workers = total
+	}
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			lo, hi := pipeline.Partition(total, w, workers)
+			f(lo, hi)
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}
+
+func largestDivisorAtMost(n, cap int) int {
+	if cap >= n {
+		return n
+	}
+	for d := cap; d >= 1; d-- {
+		if n%d == 0 {
+			return d
+		}
+	}
+	return 1
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

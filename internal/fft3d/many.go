@@ -1,0 +1,25 @@
+package fft3d
+
+import "fmt"
+
+// TransformMany applies the plan to count independent cubes stored
+// back-to-back (the FFTW "many"/howmany interface): dst and src must each
+// hold count·Len() elements and must not overlap. The cubes execute
+// sequentially, reusing the plan's pipeline buffers and work arrays, so the
+// per-transform planning and allocation cost is paid once.
+func (p *Plan) TransformMany(dst, src []complex128, count, sign int) error {
+	if count < 1 {
+		return fmt.Errorf("fft3d: TransformMany count=%d", count)
+	}
+	if len(dst) != count*p.Len() || len(src) != count*p.Len() {
+		return fmt.Errorf("fft3d: TransformMany lengths dst=%d src=%d, want %d·%d",
+			len(dst), len(src), count, p.Len())
+	}
+	n := p.Len()
+	for c := 0; c < count; c++ {
+		if err := p.Transform(dst[c*n:(c+1)*n], src[c*n:(c+1)*n], sign); err != nil {
+			return fmt.Errorf("fft3d: batch element %d: %w", c, err)
+		}
+	}
+	return nil
+}

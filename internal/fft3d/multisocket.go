@@ -1,0 +1,289 @@
+package fft3d
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/fft1d"
+	"repro/internal/numa"
+	"repro/internal/pipeline"
+)
+
+// DistPlan is the paper's dual-socket (general multi-socket) 3D FFT
+// (§IV-B): a slab-pencil split in which every socket owns a contiguous
+// z-slab, the first stage reads and writes entirely within its NUMA domain,
+// and the stage-2 and stage-3 rotations implement the Table III write
+// matrices W², W³ whose stores cross the QPI/HT link for the (sk-1)/sk
+// fraction of the data owned by other sockets (Fig. 8).
+//
+// Distributed data views (sk = sockets, ksl = k/sk, mb = m/μ):
+//
+//	A: k×n×m cube, z-partitioned; socket s owns z ∈ [s·ksl, (s+1)·ksl).
+//	B: per-socket rotated sub-cube mb × ksl × n × μ (blocks (xb, zl, y)).
+//	C: (y,xb)-partitioned pillars: unit q = y·mb+xb holds k×μ contiguous;
+//	   socket s owns q ∈ [s·n·mb/sk, (s+1)·n·mb/sk).
+//
+// Setting sockets = 1 reduces every write matrix to its single-socket form
+// (Table III: "By setting the number of sockets equal to sk = 1, the
+// implementation defaults to the single-socket implementation").
+type DistPlan struct {
+	k, n, m int
+	sk      int
+	opts    Options
+	mb      int
+	ksl     int // k/sk
+
+	planM, planN, planK *fft1d.Plan
+
+	sys  *numa.System
+	bIm  *numa.Distributed // intermediate B
+	cIm  *numa.Distributed // intermediate C
+	bufs [][2][]complex128 // per-socket double buffers
+
+	rows1, units2, units3 int
+
+	// StageTraffic records, for the most recent Transform, the local and
+	// cross-interconnect bytes written by each stage.
+	StageTraffic [3]TrafficStat
+}
+
+// TrafficStat is one stage's write-traffic split.
+type TrafficStat struct {
+	LocalBytes int64
+	CrossBytes int64
+}
+
+// NewDistPlan builds a multi-socket plan. Requirements: sk ≥ 1, sk | k,
+// μ | m, sk | n·(m/μ) (so the stage-2/3 ownership ranges are uniform).
+func NewDistPlan(k, n, m, sockets int, opts Options) (*DistPlan, error) {
+	if k < 1 || n < 1 || m < 1 {
+		return nil, fmt.Errorf("fft3d: invalid size %dx%dx%d", k, n, m)
+	}
+	if sockets < 1 {
+		return nil, fmt.Errorf("fft3d: invalid socket count %d", sockets)
+	}
+	opts = opts.withDefaults()
+	if m%opts.Mu != 0 {
+		return nil, fmt.Errorf("fft3d: μ=%d does not divide m=%d", opts.Mu, m)
+	}
+	if k%sockets != 0 {
+		return nil, fmt.Errorf("fft3d: sockets=%d does not divide k=%d", sockets, k)
+	}
+	mb := m / opts.Mu
+	if (n*mb)%sockets != 0 {
+		return nil, fmt.Errorf("fft3d: sockets=%d does not divide n·m/μ=%d", sockets, n*mb)
+	}
+	sys, err := numa.NewSystem(sockets)
+	if err != nil {
+		return nil, err
+	}
+	p := &DistPlan{
+		k: k, n: n, m: m, sk: sockets, opts: opts, mb: mb, ksl: k / sockets,
+		planM: fft1d.NewPlan(m), planN: fft1d.NewPlan(n), planK: fft1d.NewPlan(k),
+		sys: sys,
+	}
+	total := k * n * m
+	if p.bIm, err = sys.Alloc(total); err != nil {
+		return nil, err
+	}
+	if p.cIm, err = sys.Alloc(total); err != nil {
+		return nil, err
+	}
+	mu := opts.Mu
+	p.rows1 = largestDivisorAtMost(p.ksl*n, maxInt(1, opts.BufferElems/m))
+	p.units2 = largestDivisorAtMost(mb*p.ksl, maxInt(1, opts.BufferElems/(n*mu)))
+	p.units3 = largestDivisorAtMost(n*mb/sockets, maxInt(1, opts.BufferElems/(k*mu)))
+	b := maxInt(p.rows1*m, maxInt(p.units2*n*mu, p.units3*k*mu))
+	p.bufs = make([][2][]complex128, sockets)
+	for s := 0; s < sockets; s++ {
+		p.bufs[s][0] = make([]complex128, b)
+		p.bufs[s][1] = make([]complex128, b)
+	}
+	return p, nil
+}
+
+// System exposes the simulated NUMA system (for traffic inspection).
+func (p *DistPlan) System() *numa.System { return p.sys }
+
+// Sockets returns the socket count.
+func (p *DistPlan) Sockets() int { return p.sk }
+
+// Alloc allocates a z-partitioned data vector compatible with the plan.
+func (p *DistPlan) Alloc() (*numa.Distributed, error) {
+	return p.sys.Alloc(p.k * p.n * p.m)
+}
+
+// Transform computes dst = DFT_{k×n×m}(src) over the distributed slabs.
+// dst and src must come from Alloc and must be distinct.
+func (p *DistPlan) Transform(dst, src *numa.Distributed, sign int) error {
+	if src.Len() != p.k*p.n*p.m || dst.Len() != src.Len() {
+		return fmt.Errorf("fft3d: distributed size mismatch")
+	}
+	p.sys.ResetTraffic()
+
+	// Each stage runs all sockets concurrently, then barriers before the
+	// next stage (the cross-socket writes of stage i must land before
+	// stage i+1 reads them).
+	stages := []func(s int) error{
+		func(s int) error { return p.stage1(s, src, sign) },
+		func(s int) error { return p.stage2(s, sign) },
+		func(s int) error { return p.stage3(s, dst, sign) },
+	}
+	var prevLocal, prevCross int64
+	for st, stage := range stages {
+		var wg sync.WaitGroup
+		errs := make([]error, p.sk)
+		for s := 0; s < p.sk; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				errs[s] = stage(s)
+			}(s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		l, c := p.sys.LocalBytes(), p.sys.CrossBytes()
+		p.StageTraffic[st] = TrafficStat{LocalBytes: l - prevLocal, CrossBytes: c - prevCross}
+		prevLocal, prevCross = l, c
+	}
+	return nil
+}
+
+// stage1: local pencils + local rotation (W¹ = I_sk ⊗ K ⊗ I_μ · S).
+func (p *DistPlan) stage1(s int, src *numa.Distributed, sign int) error {
+	n, m, mu, mb, ksl := p.n, p.m, p.opts.Mu, p.mb, p.ksl
+	rows := p.rows1
+	b1 := rows * m
+	local := src.Part(s)
+	bPart := p.bIm.Part(s)
+	partBase := s * p.bIm.PartLen()
+	bufs := &p.bufs[s]
+
+	cfg := pipeline.Config{
+		Iters:          ksl * n / rows,
+		DataWorkers:    p.opts.DataWorkers,
+		ComputeWorkers: p.opts.ComputeWorkers,
+	}
+	h := pipeline.Hooks{
+		Load: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.PartitionBlocks(rows, m, worker, workers)
+			copy(bufs[buf][lo:hi], local[iter*b1+lo:iter*b1+hi])
+		},
+		Compute: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(rows, worker, workers)
+			if lo < hi {
+				p.planM.Batch(bufs[buf][lo*m:hi*m], hi-lo, sign)
+			}
+		},
+		Store: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(rows, worker, workers)
+			half := bufs[buf]
+			for r := lo; r < hi; r++ {
+				g := iter*rows + r // local pencil: zl·n + y
+				zl, y := g/n, g%n
+				row := half[r*m : (r+1)*m]
+				for xb := 0; xb < mb; xb++ {
+					off := partBase + ((xb*ksl+zl)*n+y)*mu
+					p.bIm.WriteBlock(s, off, row[xb*mu:(xb+1)*mu])
+				}
+			}
+			_ = bPart
+		},
+	}
+	_, err := pipeline.Run(cfg, h)
+	return err
+}
+
+// stage2: local y-pencils, then the W² redistribution: unit (xb, z) scatters
+// its y-blocks to the sockets owning each (y, xb) pillar.
+func (p *DistPlan) stage2(s int, sign int) error {
+	k, n, mu, mb, ksl := p.k, p.n, p.opts.Mu, p.mb, p.ksl
+	units := p.units2
+	unitLen := n * mu
+	b2 := units * unitLen
+	local := p.bIm.Part(s)
+	bufs := &p.bufs[s]
+
+	cfg := pipeline.Config{
+		Iters:          mb * ksl / units,
+		DataWorkers:    p.opts.DataWorkers,
+		ComputeWorkers: p.opts.ComputeWorkers,
+	}
+	h := pipeline.Hooks{
+		Load: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.PartitionBlocks(units, unitLen, worker, workers)
+			copy(bufs[buf][lo:hi], local[iter*b2+lo:iter*b2+hi])
+		},
+		Compute: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(units, worker, workers)
+			for u := lo; u < hi; u++ {
+				p.planN.InPlaceLanes(bufs[buf][u*unitLen:(u+1)*unitLen], mu, sign)
+			}
+		},
+		Store: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(units, worker, workers)
+			half := bufs[buf]
+			for u := lo; u < hi; u++ {
+				h2 := iter*units + u // local unit: xb·ksl + zl
+				xb, zl := h2/ksl, h2%ksl
+				z := s*ksl + zl
+				unit := half[u*unitLen : (u+1)*unitLen]
+				for y := 0; y < n; y++ {
+					q := y*mb + xb
+					off := (q*k + z) * mu
+					p.cIm.WriteBlock(s, off, unit[y*mu:(y+1)*mu])
+				}
+			}
+		},
+	}
+	_, err := pipeline.Run(cfg, h)
+	return err
+}
+
+// stage3: local z-pillars, then the W³ redistribution back to z-slabs.
+func (p *DistPlan) stage3(s int, dst *numa.Distributed, sign int) error {
+	k, n, mu, mb := p.k, p.n, p.opts.Mu, p.mb
+	units := p.units3
+	unitLen := k * mu
+	b3 := units * unitLen
+	local := p.cIm.Part(s)
+	qBase := s * (n * mb / p.sk) // first owned unit index
+	bufs := &p.bufs[s]
+
+	cfg := pipeline.Config{
+		Iters:          n * mb / p.sk / units,
+		DataWorkers:    p.opts.DataWorkers,
+		ComputeWorkers: p.opts.ComputeWorkers,
+	}
+	h := pipeline.Hooks{
+		Load: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.PartitionBlocks(units, unitLen, worker, workers)
+			copy(bufs[buf][lo:hi], local[iter*b3+lo:iter*b3+hi])
+		},
+		Compute: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(units, worker, workers)
+			for u := lo; u < hi; u++ {
+				p.planK.InPlaceLanes(bufs[buf][u*unitLen:(u+1)*unitLen], mu, sign)
+			}
+		},
+		Store: func(iter, buf, worker, workers int) {
+			lo, hi := pipeline.Partition(units, worker, workers)
+			half := bufs[buf]
+			for u := lo; u < hi; u++ {
+				q := qBase + iter*units + u // global unit: y·mb + xb
+				y, xb := q/mb, q%mb
+				unit := half[u*unitLen : (u+1)*unitLen]
+				for z := 0; z < k; z++ {
+					off := ((z*n+y)*mb + xb) * mu
+					dst.WriteBlock(s, off, unit[z*mu:(z+1)*mu])
+				}
+			}
+		},
+	}
+	_, err := pipeline.Run(cfg, h)
+	return err
+}

@@ -1,0 +1,158 @@
+// Package kernels provides the low-level FFT compute kernels used by the
+// plan-based drivers in internal/fft1d.
+//
+// Two families of kernels exist, mirroring the paper's "cache aware FFT"
+// discussion (§IV-A):
+//
+//   - complex-interleaved Stockham butterfly stages (Radix2Step, Radix4Step)
+//     operating on []complex128;
+//   - block-interleaved (split-format) stages (SplitRadix2Step,
+//     SplitRadix4Step) operating on separate real/imaginary arrays, which is
+//     the layout the paper uses for its middle compute stages so that SIMD
+//     lanes consume whole cachelines of reals and imaginaries.
+//
+// All stages are Stockham autosort steps: they read from src and write to
+// dst with the classic decimation-in-frequency butterfly, so no bit-reversal
+// pass is ever required. The `s` parameter is the number of interleaved
+// lanes; driving the same stages with s = μ computes DFT_n ⊗ I_μ, the
+// vectorized cacheline-granularity kernel from the paper's blocked
+// decompositions.
+//
+// The package also provides small dense codelets (Small) used as mixed-radix
+// base cases, and a NaiveDFT reference used by tests throughout the
+// repository.
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/twiddle"
+)
+
+// Forward and Inverse select the transform direction. The forward transform
+// uses ω_n = e^{-2πi/n}; the inverse uses the conjugate and is unnormalized
+// (drivers apply the 1/n scaling).
+const (
+	Forward = -1
+	Inverse = +1
+)
+
+// NaiveDFT computes the dense O(n²) DFT of x with the given direction and
+// returns a freshly allocated result. It is the correctness oracle for every
+// fast implementation in this repository.
+func NaiveDFT(x []complex128, sign int) []complex128 {
+	n := len(x)
+	y := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for l := 0; l < n; l++ {
+			w := twiddle.Omega(n, k*l)
+			if sign == Inverse {
+				w = complex(real(w), -imag(w))
+			}
+			s += w * x[l]
+		}
+		y[k] = s
+	}
+	return y
+}
+
+// StageTwiddles holds the per-butterfly twiddle factors for one Stockham
+// stage, precomputed at plan time. For a radix-4 stage over sub-size n1=4m,
+// W1[p] = ω_{n1}^p, W2[p] = ω_{n1}^{2p}, W3[p] = ω_{n1}^{3p} for p < m.
+// Radix-2 stages use only W1 with W1[p] = ω_{2m}^p.
+type StageTwiddles struct {
+	Radix int
+	W1    []complex128
+	W2    []complex128
+	W3    []complex128
+}
+
+// NewStageTwiddles precomputes the twiddles for one stage of sub-size n1
+// with the given radix (2 or 4) and direction sign.
+func NewStageTwiddles(n1, radix, sign int) StageTwiddles {
+	if radix != 2 && radix != 4 {
+		panic(fmt.Sprintf("kernels: unsupported radix %d", radix))
+	}
+	if n1%radix != 0 {
+		panic(fmt.Sprintf("kernels: stage size %d not divisible by radix %d", n1, radix))
+	}
+	m := n1 / radix
+	st := StageTwiddles{Radix: radix, W1: make([]complex128, m)}
+	conjIf := func(w complex128) complex128 {
+		if sign == Inverse {
+			return complex(real(w), -imag(w))
+		}
+		return w
+	}
+	if radix == 2 {
+		for p := 0; p < m; p++ {
+			st.W1[p] = conjIf(twiddle.Omega(n1, p))
+		}
+		return st
+	}
+	st.W2 = make([]complex128, m)
+	st.W3 = make([]complex128, m)
+	for p := 0; p < m; p++ {
+		w1 := conjIf(twiddle.Omega(n1, p))
+		st.W1[p] = w1
+		st.W2[p] = w1 * w1
+		st.W3[p] = w1 * w1 * w1
+	}
+	return st
+}
+
+// Radix2Step performs one Stockham decimation-in-frequency radix-2 stage.
+// src holds 2*m groups of s lanes (total 2*m*s elements); dst receives the
+// butterflied data. tw must come from NewStageTwiddles(2*m, 2, sign).
+func Radix2Step(dst, src []complex128, m, s int, tw StageTwiddles) {
+	for p := 0; p < m; p++ {
+		wp := tw.W1[p]
+		a := src[s*p : s*p+s]
+		b := src[s*(p+m) : s*(p+m)+s]
+		ya := dst[s*2*p : s*2*p+s]
+		yb := dst[s*(2*p+1) : s*(2*p+1)+s]
+		for q := 0; q < s; q++ {
+			aq, bq := a[q], b[q]
+			ya[q] = aq + bq
+			yb[q] = (aq - bq) * wp
+		}
+	}
+}
+
+// Radix4Step performs one Stockham decimation-in-frequency radix-4 stage.
+// src holds 4*m groups of s lanes; tw must come from
+// NewStageTwiddles(4*m, 4, sign). sign selects the direction and must match
+// the sign used to build tw (it controls the ±i rotation of the odd
+// butterfly leg).
+func Radix4Step(dst, src []complex128, m, s, sign int, tw StageTwiddles) {
+	// jdir is -i for the forward transform (ω_4 = -i), +i for inverse.
+	jim := 1.0
+	if sign == Forward {
+		jim = -1.0
+	}
+	for p := 0; p < m; p++ {
+		w1, w2, w3 := tw.W1[p], tw.W2[p], tw.W3[p]
+		xa := src[s*p : s*p+s]
+		xb := src[s*(p+m) : s*(p+m)+s]
+		xc := src[s*(p+2*m) : s*(p+2*m)+s]
+		xd := src[s*(p+3*m) : s*(p+3*m)+s]
+		y0 := dst[s*4*p : s*4*p+s]
+		y1 := dst[s*(4*p+1) : s*(4*p+1)+s]
+		y2 := dst[s*(4*p+2) : s*(4*p+2)+s]
+		y3 := dst[s*(4*p+3) : s*(4*p+3)+s]
+		for q := 0; q < s; q++ {
+			a, b, c, d := xa[q], xb[q], xc[q], xd[q]
+			apc := a + c
+			amc := a - c
+			bpd := b + d
+			bmd := b - d
+			// jbmd = jdir * (b - d)
+			jbmd := complex(-jim*imag(bmd), jim*real(bmd))
+			y0[q] = apc + bpd
+			y1[q] = (amc + jbmd) * w1
+			y2[q] = (apc - bpd) * w2
+			y3[q] = (amc - jbmd) * w3
+		}
+	}
+}

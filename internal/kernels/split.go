@@ -1,0 +1,112 @@
+package kernels
+
+// Split-format (block-interleaved) Stockham stages. These are the same
+// butterflies as Radix2Step/Radix4Step but over separate real and imaginary
+// float64 arrays. This is the layout the paper's compute stages use so that
+// vector units consume whole cachelines of reals followed by whole
+// cachelines of imaginaries (§IV-A, "Cache aware FFT").
+
+// SplitTwiddles holds split-format per-stage twiddles.
+type SplitTwiddles struct {
+	Radix      int
+	W1Re, W1Im []float64
+	W2Re, W2Im []float64
+	W3Re, W3Im []float64
+}
+
+// NewSplitTwiddles converts interleaved stage twiddles to split format.
+func NewSplitTwiddles(tw StageTwiddles) SplitTwiddles {
+	split := func(w []complex128) (re, im []float64) {
+		re = make([]float64, len(w))
+		im = make([]float64, len(w))
+		for i, c := range w {
+			re[i], im[i] = real(c), imag(c)
+		}
+		return
+	}
+	st := SplitTwiddles{Radix: tw.Radix}
+	st.W1Re, st.W1Im = split(tw.W1)
+	if tw.Radix == 4 {
+		st.W2Re, st.W2Im = split(tw.W2)
+		st.W3Re, st.W3Im = split(tw.W3)
+	}
+	return st
+}
+
+// SplitRadix2Step performs one Stockham radix-2 stage in split format.
+// The arrays hold 2*m groups of s lanes.
+func SplitRadix2Step(dstRe, dstIm, srcRe, srcIm []float64, m, s int, tw SplitTwiddles) {
+	for p := 0; p < m; p++ {
+		wr, wi := tw.W1Re[p], tw.W1Im[p]
+		aRe := srcRe[s*p : s*p+s]
+		aIm := srcIm[s*p : s*p+s]
+		bRe := srcRe[s*(p+m) : s*(p+m)+s]
+		bIm := srcIm[s*(p+m) : s*(p+m)+s]
+		yaRe := dstRe[s*2*p : s*2*p+s]
+		yaIm := dstIm[s*2*p : s*2*p+s]
+		ybRe := dstRe[s*(2*p+1) : s*(2*p+1)+s]
+		ybIm := dstIm[s*(2*p+1) : s*(2*p+1)+s]
+		for q := 0; q < s; q++ {
+			ar, ai := aRe[q], aIm[q]
+			br, bi := bRe[q], bIm[q]
+			yaRe[q] = ar + br
+			yaIm[q] = ai + bi
+			dr, di := ar-br, ai-bi
+			ybRe[q] = dr*wr - di*wi
+			ybIm[q] = dr*wi + di*wr
+		}
+	}
+}
+
+// SplitRadix4Step performs one Stockham radix-4 stage in split format.
+// sign must match the direction used to build tw.
+func SplitRadix4Step(dstRe, dstIm, srcRe, srcIm []float64, m, s, sign int, tw SplitTwiddles) {
+	jim := 1.0
+	if sign == Forward {
+		jim = -1.0
+	}
+	for p := 0; p < m; p++ {
+		w1r, w1i := tw.W1Re[p], tw.W1Im[p]
+		w2r, w2i := tw.W2Re[p], tw.W2Im[p]
+		w3r, w3i := tw.W3Re[p], tw.W3Im[p]
+		aRe := srcRe[s*p : s*p+s]
+		aIm := srcIm[s*p : s*p+s]
+		bRe := srcRe[s*(p+m) : s*(p+m)+s]
+		bIm := srcIm[s*(p+m) : s*(p+m)+s]
+		cRe := srcRe[s*(p+2*m) : s*(p+2*m)+s]
+		cIm := srcIm[s*(p+2*m) : s*(p+2*m)+s]
+		dRe := srcRe[s*(p+3*m) : s*(p+3*m)+s]
+		dIm := srcIm[s*(p+3*m) : s*(p+3*m)+s]
+		y0Re := dstRe[s*4*p : s*4*p+s]
+		y0Im := dstIm[s*4*p : s*4*p+s]
+		y1Re := dstRe[s*(4*p+1) : s*(4*p+1)+s]
+		y1Im := dstIm[s*(4*p+1) : s*(4*p+1)+s]
+		y2Re := dstRe[s*(4*p+2) : s*(4*p+2)+s]
+		y2Im := dstIm[s*(4*p+2) : s*(4*p+2)+s]
+		y3Re := dstRe[s*(4*p+3) : s*(4*p+3)+s]
+		y3Im := dstIm[s*(4*p+3) : s*(4*p+3)+s]
+		for q := 0; q < s; q++ {
+			ar, ai := aRe[q], aIm[q]
+			br, bi := bRe[q], bIm[q]
+			cr, ci := cRe[q], cIm[q]
+			dr, di := dRe[q], dIm[q]
+			apcR, apcI := ar+cr, ai+ci
+			amcR, amcI := ar-cr, ai-ci
+			bpdR, bpdI := br+dr, bi+di
+			bmdR, bmdI := br-dr, bi-di
+			// jbmd = (jim*i)*(bmd): re = -jim*bmdI, im = jim*bmdR
+			jbR, jbI := -jim*bmdI, jim*bmdR
+			y0Re[q] = apcR + bpdR
+			y0Im[q] = apcI + bpdI
+			t1R, t1I := amcR+jbR, amcI+jbI
+			y1Re[q] = t1R*w1r - t1I*w1i
+			y1Im[q] = t1R*w1i + t1I*w1r
+			t2R, t2I := apcR-bpdR, apcI-bpdI
+			y2Re[q] = t2R*w2r - t2I*w2i
+			y2Im[q] = t2R*w2i + t2I*w2r
+			t3R, t3I := amcR-jbR, amcI-jbI
+			y3Re[q] = t3R*w3r - t3I*w3i
+			y3Im[q] = t3R*w3i + t3I*w3r
+		}
+	}
+}

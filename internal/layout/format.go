@@ -1,0 +1,43 @@
+package layout
+
+import "fmt"
+
+// Format-change kernels (§IV-A, "Cache aware FFT"). The paper converts from
+// complex-interleaved storage to block-interleaved (split) storage in the
+// first compute stage, keeps all middle stages in block-interleaved form,
+// and converts back in the last stage. Fusing the conversion into the
+// load/store block copies keeps it free of extra memory round trips.
+
+// LoadToSplit copies a contiguous block of interleaved complex values into
+// split-format buffers (fused load + format change, used by stage-1 loads).
+func LoadToSplit(dstRe, dstIm []float64, src []complex128) {
+	if len(dstRe) != len(src) || len(dstIm) != len(src) {
+		panic(fmt.Sprintf("layout: LoadToSplit dst=%d/%d src=%d",
+			len(dstRe), len(dstIm), len(src)))
+	}
+	for i, c := range src {
+		dstRe[i] = real(c)
+		dstIm[i] = imag(c)
+	}
+}
+
+// StoreFromSplit copies split-format buffers into a contiguous interleaved
+// block (fused store + format change, used by last-stage stores).
+func StoreFromSplit(dst []complex128, srcRe, srcIm []float64) {
+	if len(srcRe) != len(dst) || len(srcIm) != len(dst) {
+		panic(fmt.Sprintf("layout: StoreFromSplit dst=%d src=%d/%d",
+			len(dst), len(srcRe), len(srcIm)))
+	}
+	for i := range dst {
+		dst[i] = complex(srcRe[i], srcIm[i])
+	}
+}
+
+// CopyBlock is a plain contiguous copy, the R_{b,i} read matrix body: b
+// contiguous elements streamed from main memory into the cached buffer.
+func CopyBlock(dst, src []complex128) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("layout: CopyBlock dst=%d src=%d", len(dst), len(src)))
+	}
+	copy(dst, src)
+}

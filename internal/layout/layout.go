@@ -1,0 +1,152 @@
+// Package layout provides the data-reshaping primitives of the paper's FFT
+// stages: 2D transposes, 3D cube rotations (Fig. 5), their cacheline-blocked
+// variants (the ⊗ I_μ forms of §III-A), and the complex-interleaved ↔
+// block-interleaved format changes of §IV-A.
+//
+// The blocked variants move whole μ-element cachelines, which is what lets
+// the paper's store matrices W_{b,i} write at cacheline granularity with
+// non-temporal stores instead of scattering single elements. The elementwise
+// variants exist as ablation baselines.
+//
+// All functions are plain sequential loops; parallelization happens a level
+// up, in internal/pipeline, which carves the index space across data-threads.
+package layout
+
+import "fmt"
+
+// Transpose writes the transpose of the rows×cols row-major matrix src into
+// dst: dst[j·rows + i] = src[i·cols + j]. This is the elementwise stride
+// permutation L^{rows·cols} (an L matrix in the paper's notation). dst and
+// src must not alias. The loop is tiled to keep both access streams within
+// cache lines.
+func Transpose(dst, src []complex128, rows, cols int) {
+	if len(dst) != rows*cols || len(src) != rows*cols {
+		panic(fmt.Sprintf("layout: Transpose %dx%d on dst=%d src=%d",
+			rows, cols, len(dst), len(src)))
+	}
+	const tile = 32
+	for ii := 0; ii < rows; ii += tile {
+		iMax := min(ii+tile, rows)
+		for jj := 0; jj < cols; jj += tile {
+			jMax := min(jj+tile, cols)
+			for i := ii; i < iMax; i++ {
+				for j := jj; j < jMax; j++ {
+					dst[j*rows+i] = src[i*cols+j]
+				}
+			}
+		}
+	}
+}
+
+// TransposeBlocked transposes a rows×cols matrix of μ-element blocks:
+// dst block (j, i) = src block (i, j). In SPL this is L^{rows·cols} ⊗ I_μ,
+// the blocked transposition the paper uses after each 2D FFT stage.
+func TransposeBlocked(dst, src []complex128, rows, cols, mu int) {
+	if len(dst) != rows*cols*mu || len(src) != rows*cols*mu {
+		panic(fmt.Sprintf("layout: TransposeBlocked %dx%dx%d on dst=%d src=%d",
+			rows, cols, mu, len(dst), len(src)))
+	}
+	const tile = 16
+	for ii := 0; ii < rows; ii += tile {
+		iMax := min(ii+tile, rows)
+		for jj := 0; jj < cols; jj += tile {
+			jMax := min(jj+tile, cols)
+			for i := ii; i < iMax; i++ {
+				for j := jj; j < jMax; j++ {
+					copy(dst[(j*rows+i)*mu:(j*rows+i)*mu+mu],
+						src[(i*cols+j)*mu:(i*cols+j)*mu+mu])
+				}
+			}
+		}
+	}
+}
+
+// Rotate3D applies the paper's cube rotation K_m^{k,n} elementwise: the
+// k×n×m input cube (z, y, x) becomes the m×k×n output cube with
+// out[x][z][y] = in[z][y][x] (Fig. 5).
+func Rotate3D(dst, src []complex128, k, n, m int) {
+	if len(dst) != k*n*m || len(src) != k*n*m {
+		panic(fmt.Sprintf("layout: Rotate3D %dx%dx%d on dst=%d src=%d",
+			k, n, m, len(dst), len(src)))
+	}
+	const tile = 16
+	for z := 0; z < k; z++ {
+		base := z * n * m
+		for yy := 0; yy < n; yy += tile {
+			yMax := min(yy+tile, n)
+			for xx := 0; xx < m; xx += tile {
+				xMax := min(xx+tile, m)
+				for y := yy; y < yMax; y++ {
+					row := base + y*m
+					for x := xx; x < xMax; x++ {
+						dst[(x*k+z)*n+y] = src[row+x]
+					}
+				}
+			}
+		}
+	}
+}
+
+// Rotate3DBlocked applies K_{m/μ}^{k,n} ⊗ I_μ: the rotation at μ-element
+// cacheline granularity. src is a k×n×mb cube of μ-blocks (mb = m/μ); dst
+// receives the mb×k×n cube of blocks:
+// dst block (xb, z, y) = src block (z, y, xb).
+func Rotate3DBlocked(dst, src []complex128, k, n, mb, mu int) {
+	if len(dst) != k*n*mb*mu || len(src) != k*n*mb*mu {
+		panic(fmt.Sprintf("layout: Rotate3DBlocked %dx%dx%dx%d on dst=%d src=%d",
+			k, n, mb, mu, len(dst), len(src)))
+	}
+	for z := 0; z < k; z++ {
+		for y := 0; y < n; y++ {
+			srcRow := (z*n + y) * mb * mu
+			for xb := 0; xb < mb; xb++ {
+				d := ((xb*k+z)*n + y) * mu
+				copy(dst[d:d+mu], src[srcRow+xb*mu:srcRow+xb*mu+mu])
+			}
+		}
+	}
+}
+
+// Rotate3DBlockedSplit is Rotate3DBlocked over split-format data.
+func Rotate3DBlockedSplit(dstRe, dstIm, srcRe, srcIm []float64, k, n, mb, mu int) {
+	if len(dstRe) != k*n*mb*mu || len(srcRe) != k*n*mb*mu ||
+		len(dstIm) != k*n*mb*mu || len(srcIm) != k*n*mb*mu {
+		panic(fmt.Sprintf("layout: Rotate3DBlockedSplit %dx%dx%dx%d invalid lengths",
+			k, n, mb, mu))
+	}
+	for z := 0; z < k; z++ {
+		for y := 0; y < n; y++ {
+			srcRow := (z*n + y) * mb * mu
+			for xb := 0; xb < mb; xb++ {
+				d := ((xb*k+z)*n + y) * mu
+				s := srcRow + xb*mu
+				copy(dstRe[d:d+mu], srcRe[s:s+mu])
+				copy(dstIm[d:d+mu], srcIm[s:s+mu])
+			}
+		}
+	}
+}
+
+// TransposeBlockedSplit is TransposeBlocked over split-format data.
+func TransposeBlockedSplit(dstRe, dstIm, srcRe, srcIm []float64, rows, cols, mu int) {
+	if len(dstRe) != rows*cols*mu || len(srcRe) != rows*cols*mu ||
+		len(dstIm) != rows*cols*mu || len(srcIm) != rows*cols*mu {
+		panic(fmt.Sprintf("layout: TransposeBlockedSplit %dx%dx%d invalid lengths",
+			rows, cols, mu))
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			d := (j*rows + i) * mu
+			s := (i*cols + j) * mu
+			copy(dstRe[d:d+mu], srcRe[s:s+mu])
+			copy(dstIm[d:d+mu], srcIm[s:s+mu])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

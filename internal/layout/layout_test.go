@@ -1,0 +1,220 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cvec"
+	"repro/internal/spl"
+)
+
+func randVec(seed int64, n int) []complex128 {
+	return cvec.Random(rand.New(rand.NewSource(seed)), n)
+}
+
+func TestTransposeMatchesSPL(t *testing.T) {
+	for _, c := range []struct{ rows, cols int }{
+		{1, 1}, {2, 3}, {8, 8}, {33, 65}, {7, 128}, {100, 3},
+	} {
+		x := randVec(int64(c.rows*c.cols), c.rows*c.cols)
+		want := spl.Eval(spl.L(c.rows*c.cols, c.cols), x)
+		got := make([]complex128, len(x))
+		Transpose(got, x, c.rows, c.cols)
+		if cvec.MaxDiff(cvec.Vec(got), cvec.Vec(want)) != 0 {
+			t.Errorf("Transpose %dx%d disagrees with L", c.rows, c.cols)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	const rows, cols = 37, 53
+	x := randVec(3, rows*cols)
+	y := make([]complex128, len(x))
+	z := make([]complex128, len(x))
+	Transpose(y, x, rows, cols)
+	Transpose(z, y, cols, rows)
+	if cvec.MaxDiff(cvec.Vec(z), cvec.Vec(x)) != 0 {
+		t.Fatal("transpose twice is not the identity")
+	}
+}
+
+func TestTransposeBlockedMatchesSPL(t *testing.T) {
+	for _, c := range []struct{ rows, cols, mu int }{
+		{2, 3, 4}, {8, 8, 2}, {5, 7, 8}, {16, 4, 1},
+	} {
+		total := c.rows * c.cols * c.mu
+		x := randVec(int64(total), total)
+		want := spl.Eval(spl.Kron(spl.L(c.rows*c.cols, c.cols), spl.I(c.mu)), x)
+		got := make([]complex128, total)
+		TransposeBlocked(got, x, c.rows, c.cols, c.mu)
+		if cvec.MaxDiff(cvec.Vec(got), cvec.Vec(want)) != 0 {
+			t.Errorf("TransposeBlocked %dx%d μ=%d disagrees with L ⊗ I", c.rows, c.cols, c.mu)
+		}
+	}
+}
+
+func TestRotate3DMatchesSPL(t *testing.T) {
+	for _, c := range []struct{ k, n, m int }{
+		{2, 3, 4}, {4, 4, 4}, {1, 5, 7}, {6, 2, 8},
+	} {
+		total := c.k * c.n * c.m
+		x := randVec(int64(total), total)
+		want := spl.Eval(spl.K(c.k, c.n, c.m), x)
+		got := make([]complex128, total)
+		Rotate3D(got, x, c.k, c.n, c.m)
+		if cvec.MaxDiff(cvec.Vec(got), cvec.Vec(want)) != 0 {
+			t.Errorf("Rotate3D %dx%dx%d disagrees with K", c.k, c.n, c.m)
+		}
+	}
+}
+
+func TestRotate3DThreeTimesIdentity(t *testing.T) {
+	const k, n, m = 3, 4, 5
+	x := randVec(5, k*n*m)
+	a := make([]complex128, len(x))
+	b := make([]complex128, len(x))
+	c := make([]complex128, len(x))
+	Rotate3D(a, x, k, n, m) // → m×k×n
+	Rotate3D(b, a, m, k, n) // → n×m×k
+	Rotate3D(c, b, n, m, k) // → k×n×m
+	if cvec.MaxDiff(cvec.Vec(c), cvec.Vec(x)) != 0 {
+		t.Fatal("three rotations did not restore the cube")
+	}
+}
+
+func TestRotate3DBlockedMatchesSPL(t *testing.T) {
+	for _, c := range []struct{ k, n, mb, mu int }{
+		{2, 3, 4, 2}, {4, 4, 2, 4}, {3, 2, 5, 8},
+	} {
+		total := c.k * c.n * c.mb * c.mu
+		x := randVec(int64(total), total)
+		want := spl.Eval(spl.Kron(spl.K(c.k, c.n, c.mb), spl.I(c.mu)), x)
+		got := make([]complex128, total)
+		Rotate3DBlocked(got, x, c.k, c.n, c.mb, c.mu)
+		if cvec.MaxDiff(cvec.Vec(got), cvec.Vec(want)) != 0 {
+			t.Errorf("Rotate3DBlocked %dx%dx%d μ=%d disagrees with K ⊗ I",
+				c.k, c.n, c.mb, c.mu)
+		}
+	}
+}
+
+func TestSplitVariantsMatchInterleaved(t *testing.T) {
+	const k, n, mb, mu = 3, 4, 5, 2
+	total := k * n * mb * mu
+	x := randVec(7, total)
+	want := make([]complex128, total)
+	Rotate3DBlocked(want, x, k, n, mb, mu)
+
+	s := cvec.FromVec(cvec.Vec(x))
+	outRe := make([]float64, total)
+	outIm := make([]float64, total)
+	Rotate3DBlockedSplit(outRe, outIm, s.Re, s.Im, k, n, mb, mu)
+	got := cvec.Split{Re: outRe, Im: outIm}.ToVec()
+	if cvec.MaxDiff(cvec.Vec(got), cvec.Vec(want)) != 0 {
+		t.Fatal("Rotate3DBlockedSplit disagrees with interleaved version")
+	}
+
+	const rows, cols = 6, 5
+	total2 := rows * cols * mu
+	x2 := randVec(8, total2)
+	want2 := make([]complex128, total2)
+	TransposeBlocked(want2, x2, rows, cols, mu)
+	s2 := cvec.FromVec(cvec.Vec(x2))
+	outRe2 := make([]float64, total2)
+	outIm2 := make([]float64, total2)
+	TransposeBlockedSplit(outRe2, outIm2, s2.Re, s2.Im, rows, cols, mu)
+	got2 := cvec.Split{Re: outRe2, Im: outIm2}.ToVec()
+	if cvec.MaxDiff(cvec.Vec(got2), cvec.Vec(want2)) != 0 {
+		t.Fatal("TransposeBlockedSplit disagrees with interleaved version")
+	}
+}
+
+func TestFormatChangeRoundTrip(t *testing.T) {
+	x := randVec(9, 64)
+	re := make([]float64, 64)
+	im := make([]float64, 64)
+	LoadToSplit(re, im, x)
+	back := make([]complex128, 64)
+	StoreFromSplit(back, re, im)
+	if cvec.MaxDiff(cvec.Vec(back), cvec.Vec(x)) != 0 {
+		t.Fatal("format change round trip lost data")
+	}
+}
+
+func TestCopyBlock(t *testing.T) {
+	x := randVec(10, 32)
+	y := make([]complex128, 32)
+	CopyBlock(y, x)
+	if cvec.MaxDiff(cvec.Vec(y), cvec.Vec(x)) != 0 {
+		t.Fatal("CopyBlock mismatch")
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Transpose(make([]complex128, 5), make([]complex128, 6), 2, 3) },
+		func() { TransposeBlocked(make([]complex128, 12), make([]complex128, 11), 2, 3, 2) },
+		func() { Rotate3D(make([]complex128, 23), make([]complex128, 24), 2, 3, 4) },
+		func() { Rotate3DBlocked(make([]complex128, 24), make([]complex128, 23), 2, 3, 2, 2) },
+		func() {
+			Rotate3DBlockedSplit(make([]float64, 24), make([]float64, 23),
+				make([]float64, 24), make([]float64, 24), 2, 3, 2, 2)
+		},
+		func() {
+			TransposeBlockedSplit(make([]float64, 12), make([]float64, 12),
+				make([]float64, 12), make([]float64, 11), 2, 3, 2)
+		},
+		func() { LoadToSplit(make([]float64, 3), make([]float64, 4), make([]complex128, 4)) },
+		func() { StoreFromSplit(make([]complex128, 4), make([]float64, 4), make([]float64, 3)) },
+		func() { CopyBlock(make([]complex128, 4), make([]complex128, 5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkRotateElementwise(b *testing.B) {
+	const k, n, m = 64, 64, 64
+	x := randVec(1, k*n*m)
+	y := make([]complex128, len(x))
+	b.SetBytes(int64(len(x) * 16))
+	for i := 0; i < b.N; i++ {
+		Rotate3D(y, x, k, n, m)
+	}
+}
+
+func BenchmarkRotateBlocked(b *testing.B) {
+	const k, n, mb, mu = 64, 64, 16, 4
+	x := randVec(1, k*n*mb*mu)
+	y := make([]complex128, len(x))
+	b.SetBytes(int64(len(x) * 16))
+	for i := 0; i < b.N; i++ {
+		Rotate3DBlocked(y, x, k, n, mb, mu)
+	}
+}
+
+func BenchmarkTransposeElementwise(b *testing.B) {
+	const rows, cols = 512, 512
+	x := randVec(1, rows*cols)
+	y := make([]complex128, len(x))
+	b.SetBytes(int64(len(x) * 16))
+	for i := 0; i < b.N; i++ {
+		Transpose(y, x, rows, cols)
+	}
+}
+
+func BenchmarkTransposeBlocked(b *testing.B) {
+	const rows, cols, mu = 512, 128, 4
+	x := randVec(1, rows*cols*mu)
+	y := make([]complex128, len(x))
+	b.SetBytes(int64(len(x) * 16))
+	for i := 0; i < b.N; i++ {
+		TransposeBlocked(y, x, rows, cols, mu)
+	}
+}

@@ -1,0 +1,83 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cvec"
+)
+
+// Property: Transpose is a bijection — sorting-free check via double
+// application and via multiset preservation of a tagged vector.
+func TestQuickTransposeBijection(t *testing.T) {
+	f := func(rawR, rawC uint8) bool {
+		rows := int(rawR)%40 + 1
+		cols := int(rawC)%40 + 1
+		x := make([]complex128, rows*cols)
+		for i := range x {
+			x[i] = complex(float64(i), 0) // unique tags
+		}
+		y := make([]complex128, len(x))
+		z := make([]complex128, len(x))
+		Transpose(y, x, rows, cols)
+		Transpose(z, y, cols, rows)
+		return cvec.MaxDiff(cvec.Vec(z), cvec.Vec(x)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: three successive rotations restore any cube.
+func TestQuickRotationOrderThree(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	f := func(rawK, rawN, rawM uint8) bool {
+		k := int(rawK)%8 + 1
+		n := int(rawN)%8 + 1
+		m := int(rawM)%8 + 1
+		x := cvec.Random(rng, k*n*m)
+		a := make([]complex128, len(x))
+		b := make([]complex128, len(x))
+		c := make([]complex128, len(x))
+		Rotate3D(a, x, k, n, m)
+		Rotate3D(b, a, m, k, n)
+		Rotate3D(c, b, n, m, k)
+		return cvec.MaxDiff(cvec.Vec(c), cvec.Vec(x)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the blocked rotation equals the elementwise rotation applied to
+// a cube whose fastest dimension is pre-grouped into μ-blocks.
+func TestQuickBlockedEqualsGroupedElementwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	f := func(rawK, rawN, rawMB, rawMu uint8) bool {
+		k := int(rawK)%5 + 1
+		n := int(rawN)%5 + 1
+		mb := int(rawMB)%5 + 1
+		mu := int(rawMu)%4 + 1
+		total := k * n * mb * mu
+		x := cvec.Random(rng, total)
+		blocked := make([]complex128, total)
+		Rotate3DBlocked(blocked, x, k, n, mb, mu)
+		// Elementwise rotation of the k×n×mb cube of μ-sized "atoms":
+		// emulate by rotating indices and copying blocks.
+		want := make([]complex128, total)
+		for z := 0; z < k; z++ {
+			for y := 0; y < n; y++ {
+				for xb := 0; xb < mb; xb++ {
+					s := ((z*n+y)*mb + xb) * mu
+					d := ((xb*k+z)*n + y) * mu
+					copy(want[d:d+mu], x[s:s+mu])
+				}
+			}
+		}
+		return cvec.MaxDiff(cvec.Vec(blocked), cvec.Vec(want)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

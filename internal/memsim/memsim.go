@@ -1,0 +1,118 @@
+// Package memsim is a discrete-event simulator of the paper's pipelined
+// stages over shared machine resources. Where internal/perfmodel evaluates
+// closed-form expressions (max of data/link/compute time per stage with a
+// fill factor), memsim actually plays out the Table II schedule event by
+// event: load, compute and store tasks acquire bandwidth from shared DRAM,
+// link and compute resources, and the stage time emerges from the
+// simulation. The two estimates are produced independently, so their
+// agreement (tested in this package and recorded in EXPERIMENTS.md) is
+// evidence the figure regenerations aren't an artifact of one model's
+// simplifications.
+package memsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resource is a shared throughput resource (DRAM bandwidth, link bandwidth,
+// compute). Concurrent demands divide its capacity equally (processor
+// sharing) — the standard fluid model for bandwidth-bound streams.
+type Resource struct {
+	Name     string
+	Capacity float64 // units/second (bytes/s or flops/s)
+	active   map[*Task]struct{}
+}
+
+// NewResource creates a resource with the given capacity.
+func NewResource(name string, capacity float64) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("memsim: resource %q capacity %v", name, capacity))
+	}
+	return &Resource{Name: name, Capacity: capacity, active: make(map[*Task]struct{})}
+}
+
+// rate returns the per-task share.
+func (r *Resource) rate() float64 {
+	if len(r.active) == 0 {
+		return r.Capacity
+	}
+	return r.Capacity / float64(len(r.active))
+}
+
+// Task is one unit of work consuming a fixed amount of one resource.
+type Task struct {
+	Name     string
+	Resource *Resource
+	Units    float64 // bytes or flops
+	remain   float64
+	done     bool
+}
+
+// Engine advances a set of running tasks through fluid time.
+type Engine struct {
+	now     float64
+	running []*Task
+}
+
+// Now returns the simulation clock in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Start begins executing a task; it runs concurrently with every other
+// running task, sharing its resource.
+func (e *Engine) Start(t *Task) {
+	if t.done || t.remain > 0 {
+		panic(fmt.Sprintf("memsim: task %q started twice", t.Name))
+	}
+	t.remain = t.Units
+	if t.Units <= 0 {
+		t.done = true
+		return
+	}
+	t.Resource.active[t] = struct{}{}
+	e.running = append(e.running, t)
+}
+
+// WaitAll advances time until every given task has finished (tasks not in
+// the list keep making progress too).
+func (e *Engine) WaitAll(tasks ...*Task) {
+	pending := func() bool {
+		for _, t := range tasks {
+			if !t.done {
+				return true
+			}
+		}
+		return false
+	}
+	for pending() {
+		e.step()
+	}
+}
+
+// step advances to the next task completion.
+func (e *Engine) step() {
+	if len(e.running) == 0 {
+		return
+	}
+	// Find the earliest finishing task under current rates.
+	dt := math.Inf(1)
+	for _, t := range e.running {
+		rate := t.Resource.rate()
+		if d := t.remain / rate; d < dt {
+			dt = d
+		}
+	}
+	// Advance everyone by dt.
+	e.now += dt
+	var still []*Task
+	for _, t := range e.running {
+		t.remain -= t.Resource.rate() * dt
+		if t.remain <= 1e-12 {
+			t.done = true
+			delete(t.Resource.active, t)
+		} else {
+			still = append(still, t)
+		}
+	}
+	e.running = still
+}

@@ -1,0 +1,170 @@
+// Package numa simulates the two-socket NUMA systems of §IV-B: per-socket
+// memory domains holding slab partitions of a dataset, with byte-accurate
+// accounting of local versus cross-interconnect (QPI/HT) traffic.
+//
+// The paper allocates and partitions data per NUMA node with libnuma and
+// pays careful attention to which stage writes cross the link (Fig. 8,
+// Table III). This container has one socket, so the *placement* is
+// simulated: a Distributed vector is a set of per-domain slices, every
+// store records whether it stayed in-domain or crossed the link, and the
+// performance model converts the recorded bytes into link-limited time.
+// The arithmetic performed on the data is real.
+package numa
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// System is a set of NUMA domains joined by a full interconnect.
+type System struct {
+	domains int
+	// traffic[src][dst] counts bytes written by a worker pinned to domain
+	// src into memory owned by domain dst.
+	traffic [][]atomic.Int64
+}
+
+// NewSystem creates a system with the given number of domains (sockets).
+func NewSystem(domains int) (*System, error) {
+	if domains < 1 {
+		return nil, fmt.Errorf("numa: need ≥ 1 domain, got %d", domains)
+	}
+	s := &System{domains: domains}
+	s.traffic = make([][]atomic.Int64, domains)
+	for i := range s.traffic {
+		s.traffic[i] = make([]atomic.Int64, domains)
+	}
+	return s, nil
+}
+
+// Domains returns the domain count.
+func (s *System) Domains() int { return s.domains }
+
+// RecordWrite accounts bytes written by domain src into domain dst.
+func (s *System) RecordWrite(src, dst, bytes int) {
+	s.traffic[src][dst].Add(int64(bytes))
+}
+
+// LocalBytes returns the total bytes written within their own domain.
+func (s *System) LocalBytes() int64 {
+	var t int64
+	for i := 0; i < s.domains; i++ {
+		t += s.traffic[i][i].Load()
+	}
+	return t
+}
+
+// CrossBytes returns the total bytes that crossed the interconnect.
+func (s *System) CrossBytes() int64 {
+	var t int64
+	for i := 0; i < s.domains; i++ {
+		for j := 0; j < s.domains; j++ {
+			if i != j {
+				t += s.traffic[i][j].Load()
+			}
+		}
+	}
+	return t
+}
+
+// Matrix returns a copy of the src×dst byte matrix.
+func (s *System) Matrix() [][]int64 {
+	m := make([][]int64, s.domains)
+	for i := range m {
+		m[i] = make([]int64, s.domains)
+		for j := range m[i] {
+			m[i][j] = s.traffic[i][j].Load()
+		}
+	}
+	return m
+}
+
+// ResetTraffic clears the counters.
+func (s *System) ResetTraffic() {
+	for i := range s.traffic {
+		for j := range s.traffic[i] {
+			s.traffic[i][j].Store(0)
+		}
+	}
+}
+
+// Distributed is a complex vector slab-partitioned over the domains along
+// its slowest dimension: part p holds global elements
+// [p·PartLen, (p+1)·PartLen).
+type Distributed struct {
+	sys     *System
+	parts   [][]complex128
+	partLen int
+}
+
+// Alloc allocates a distributed vector of total elements, split evenly.
+// total must be divisible by the domain count.
+func (s *System) Alloc(total int) (*Distributed, error) {
+	if total <= 0 || total%s.domains != 0 {
+		return nil, fmt.Errorf("numa: cannot split %d elements over %d domains", total, s.domains)
+	}
+	d := &Distributed{sys: s, partLen: total / s.domains}
+	for p := 0; p < s.domains; p++ {
+		d.parts = append(d.parts, make([]complex128, d.partLen))
+	}
+	return d, nil
+}
+
+// Len returns the total element count.
+func (d *Distributed) Len() int { return d.partLen * len(d.parts) }
+
+// PartLen returns the elements per domain.
+func (d *Distributed) PartLen() int { return d.partLen }
+
+// Part returns domain p's slice (local access, no accounting).
+func (d *Distributed) Part(p int) []complex128 { return d.parts[p] }
+
+// Owner returns the domain owning global index i.
+func (d *Distributed) Owner(i int) int { return i / d.partLen }
+
+// WriteBlock copies src into the distributed vector at global offset off on
+// behalf of a worker pinned to domain from, recording local or cross
+// traffic. The block must lie within one partition.
+func (d *Distributed) WriteBlock(from, off int, src []complex128) {
+	p := off / d.partLen
+	lo := off % d.partLen
+	if lo+len(src) > d.partLen {
+		panic(fmt.Sprintf("numa: WriteBlock [%d,%d) spans partitions", off, off+len(src)))
+	}
+	copy(d.parts[p][lo:lo+len(src)], src)
+	d.sys.RecordWrite(from, p, len(src)*16)
+}
+
+// ReadBlock copies the block at global offset off into dst on behalf of
+// domain from. Reads are not charged to the link counters by default (the
+// paper's scheme reads locally in every stage; use RecordWrite manually for
+// schemes that read remotely).
+func (d *Distributed) ReadBlock(from, off int, dst []complex128) {
+	p := off / d.partLen
+	lo := off % d.partLen
+	if lo+len(dst) > d.partLen {
+		panic(fmt.Sprintf("numa: ReadBlock [%d,%d) spans partitions", off, off+len(dst)))
+	}
+	copy(dst, d.parts[p][lo:lo+len(dst)])
+	_ = from
+}
+
+// Gather copies the whole distributed vector into a regular slice.
+func (d *Distributed) Gather(dst []complex128) {
+	if len(dst) != d.Len() {
+		panic(fmt.Sprintf("numa: Gather into %d, want %d", len(dst), d.Len()))
+	}
+	for p, part := range d.parts {
+		copy(dst[p*d.partLen:(p+1)*d.partLen], part)
+	}
+}
+
+// Scatter fills the distributed vector from a regular slice.
+func (d *Distributed) Scatter(src []complex128) {
+	if len(src) != d.Len() {
+		panic(fmt.Sprintf("numa: Scatter from %d, want %d", len(src), d.Len()))
+	}
+	for p, part := range d.parts {
+		copy(part, src[p*d.partLen:(p+1)*d.partLen])
+	}
+}

@@ -1,0 +1,128 @@
+package numa
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSystemValidation(t *testing.T) {
+	if _, err := NewSystem(0); err == nil {
+		t.Error("accepted 0 domains")
+	}
+	s, err := NewSystem(2)
+	if err != nil || s.Domains() != 2 {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if _, err := s.Alloc(0); err == nil {
+		t.Error("accepted 0 elements")
+	}
+	if _, err := s.Alloc(7); err == nil {
+		t.Error("accepted non-divisible size")
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	s, _ := NewSystem(2)
+	s.RecordWrite(0, 0, 100)
+	s.RecordWrite(0, 1, 40)
+	s.RecordWrite(1, 1, 60)
+	s.RecordWrite(1, 0, 10)
+	if s.LocalBytes() != 160 {
+		t.Fatalf("local = %d, want 160", s.LocalBytes())
+	}
+	if s.CrossBytes() != 50 {
+		t.Fatalf("cross = %d, want 50", s.CrossBytes())
+	}
+	m := s.Matrix()
+	if m[0][1] != 40 || m[1][0] != 10 {
+		t.Fatalf("matrix = %v", m)
+	}
+	s.ResetTraffic()
+	if s.LocalBytes() != 0 || s.CrossBytes() != 0 {
+		t.Fatal("ResetTraffic failed")
+	}
+}
+
+func TestDistributedRoundTrip(t *testing.T) {
+	s, _ := NewSystem(4)
+	d, err := s.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 64 || d.PartLen() != 16 {
+		t.Fatalf("Len/PartLen = %d/%d", d.Len(), d.PartLen())
+	}
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(float64(i), 1)
+	}
+	d.Scatter(x)
+	y := make([]complex128, 64)
+	d.Gather(y)
+	for i := range y {
+		if y[i] != x[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+	if d.Owner(0) != 0 || d.Owner(16) != 1 || d.Owner(63) != 3 {
+		t.Fatal("Owner wrong")
+	}
+}
+
+func TestWriteReadBlock(t *testing.T) {
+	s, _ := NewSystem(2)
+	d, _ := s.Alloc(32)
+	blk := []complex128{1, 2, 3, 4}
+	d.WriteBlock(0, 20, blk) // into domain 1, from domain 0
+	if s.CrossBytes() != 64 {
+		t.Fatalf("cross bytes = %d, want 64", s.CrossBytes())
+	}
+	got := make([]complex128, 4)
+	d.ReadBlock(1, 20, got)
+	for i := range got {
+		if got[i] != blk[i] {
+			t.Fatal("ReadBlock mismatch")
+		}
+	}
+	if d.Part(1)[4] != 1 {
+		t.Fatal("block not placed at partition-local offset 4")
+	}
+}
+
+func TestBlockSpanningPanics(t *testing.T) {
+	s, _ := NewSystem(2)
+	d, _ := s.Alloc(32)
+	for i, f := range []func(){
+		func() { d.WriteBlock(0, 14, make([]complex128, 4)) },
+		func() { d.ReadBlock(0, 15, make([]complex128, 2)) },
+		func() { d.Gather(make([]complex128, 31)) },
+		func() { d.Scatter(make([]complex128, 33)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConcurrentAccounting(t *testing.T) {
+	s, _ := NewSystem(2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.RecordWrite(g%2, (g+i)%2, 16)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.LocalBytes()+s.CrossBytes() != 8*1000*16 {
+		t.Fatal("concurrent accounting lost updates")
+	}
+}

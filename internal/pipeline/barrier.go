@@ -1,0 +1,56 @@
+package pipeline
+
+import "sync"
+
+// barrier is a reusable cyclic barrier for a fixed party count, the Go
+// analogue of the paper's #pragma omp barrier. It can be aborted: a worker
+// that panics poisons the barrier so the remaining workers unblock and bail
+// out instead of deadlocking.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	gen     uint64
+	aborted bool
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all parties have called wait for the current
+// generation. It reports false if the barrier was aborted (callers must
+// stop participating).
+func (b *barrier) wait() bool {
+	b.mu.Lock()
+	if b.aborted {
+		b.mu.Unlock()
+		return false
+	}
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return true
+	}
+	for gen == b.gen && !b.aborted {
+		b.cond.Wait()
+	}
+	ok := !b.aborted
+	b.mu.Unlock()
+	return ok
+}
+
+// abort poisons the barrier, waking every waiter with a failure result.
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: Partition tiles [0, total) exactly, in order, with sizes
+// differing by at most one.
+func TestQuickPartitionTiles(t *testing.T) {
+	f := func(rawTotal uint16, rawWorkers uint8) bool {
+		total := int(rawTotal) % 5000
+		workers := int(rawWorkers)%32 + 1
+		prev := 0
+		minSz, maxSz := 1<<30, -1
+		for w := 0; w < workers; w++ {
+			lo, hi := Partition(total, w, workers)
+			if lo != prev || hi < lo {
+				return false
+			}
+			sz := hi - lo
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			prev = hi
+		}
+		return prev == total && maxSz-minSz <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PartitionBlocks ranges are block-aligned and tile the total.
+func TestQuickPartitionBlocksAligned(t *testing.T) {
+	f := func(rawBlocks uint8, rawSize uint8, rawWorkers uint8) bool {
+		nblocks := int(rawBlocks) % 200
+		size := int(rawSize)%64 + 1
+		workers := int(rawWorkers)%16 + 1
+		prev := 0
+		for w := 0; w < workers; w++ {
+			lo, hi := PartitionBlocks(nblocks, size, w, workers)
+			if lo != prev || lo%size != 0 || hi%size != 0 {
+				return false
+			}
+			prev = hi
+		}
+		return prev == nblocks*size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any iteration count and worker mix, the pipeline moves and
+// transforms every element exactly once (the memHooks data check).
+func TestQuickPipelineCompleteness(t *testing.T) {
+	f := func(rawIters, rawPd, rawPc uint8) bool {
+		iters := int(rawIters)%12 + 1
+		pd := int(rawPd)%3 + 1
+		pc := int(rawPc)%3 + 1
+		const b = 48
+		input := make([]complex128, iters*b)
+		for i := range input {
+			input[i] = complex(float64(i), 1)
+		}
+		output := make([]complex128, iters*b)
+		var bufs [2][]complex128
+		bufs[0] = make([]complex128, b)
+		bufs[1] = make([]complex128, b)
+		if _, err := Run(Config{Iters: iters, DataWorkers: pd, ComputeWorkers: pc},
+			memHooks(input, output, &bufs, b)); err != nil {
+			return false
+		}
+		for i := range output {
+			if output[i] != 2*input[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

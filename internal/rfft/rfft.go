@@ -1,0 +1,129 @@
+// Package rfft provides real-input (r2c) and real-output (c2r) transforms
+// on top of the complex machinery — the form most of the paper's motivating
+// workloads (PDE solvers, convolutions over real fields) actually consume.
+//
+// The 1D transform uses the classic packing trick: a real sequence of
+// length n = 2L is viewed as L complex points, transformed with a
+// half-length complex FFT, and untangled into the n/2+1 Hermitian spectrum
+// coefficients — halving both compute and memory traffic relative to a
+// padded complex transform. Multi-dimensional transforms apply the packed
+// stage along the fastest (x) dimension and complex lane-driver stages on
+// the remaining dimensions of the half-grid.
+package rfft
+
+import (
+	"fmt"
+
+	"repro/internal/fft1d"
+	"repro/internal/twiddle"
+)
+
+// Plan1D computes DFTs of real sequences of even length n.
+type Plan1D struct {
+	n    int // real length (even)
+	l    int // n/2
+	half *fft1d.Plan
+	// wf[k] = e^{-2πik/n} for the forward untangle; the inverse uses the
+	// conjugate.
+	wf []complex128
+}
+
+// NewPlan1D builds a real-input plan; n must be even and ≥ 2.
+func NewPlan1D(n int) (*Plan1D, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("rfft: length %d must be even and ≥ 2", n)
+	}
+	l := n / 2
+	wf := make([]complex128, l)
+	for k := range wf {
+		wf[k] = twiddle.Omega(n, k)
+	}
+	return &Plan1D{n: n, l: l, half: fft1d.NewPlan(l), wf: wf}, nil
+}
+
+// N returns the real length.
+func (p *Plan1D) N() int { return p.n }
+
+// SpectrumLen returns n/2+1, the number of independent Hermitian
+// coefficients.
+func (p *Plan1D) SpectrumLen() int { return p.l + 1 }
+
+// Forward computes the unnormalized half spectrum X[0..n/2] of the real
+// input. dst must have length n/2+1, src length n.
+func (p *Plan1D) Forward(dst []complex128, src []float64) error {
+	if len(dst) != p.l+1 || len(src) != p.n {
+		return fmt.Errorf("rfft: Forward lengths dst=%d src=%d, want %d/%d",
+			len(dst), len(src), p.l+1, p.n)
+	}
+	l := p.l
+	// Pack: z[j] = x[2j] + i·x[2j+1].
+	z := make([]complex128, l)
+	for j := 0; j < l; j++ {
+		z[j] = complex(src[2*j], src[2*j+1])
+	}
+	zf := make([]complex128, l)
+	p.half.Transform(zf, z, fft1d.Forward)
+	p.untangleForward(dst, zf)
+	return nil
+}
+
+// untangleForward converts the packed half-length spectrum Z into the
+// real-input spectrum X[0..l]:
+//
+//	Ze[k] = (Z[k] + conj(Z[l-k]))/2        (spectrum of the even samples)
+//	Zo[k] = (Z[k] - conj(Z[l-k]))/(2i)     (spectrum of the odd samples)
+//	X[k]  = Ze[k] + ω_n^k · Zo[k]
+func (p *Plan1D) untangleForward(dst, zf []complex128) {
+	l := p.l
+	for k := 0; k <= l; k++ {
+		zk := zf[k%l]
+		zc := conj(zf[(l-k)%l])
+		ze := (zk + zc) / 2
+		zo := (zk - zc) / 2
+		// divide by i: (a+bi)/i = b - ai
+		zo = complex(imag(zo), -real(zo))
+		w := complex(-1, 0) // ω_n^l
+		if k < l {
+			w = p.wf[k]
+		}
+		dst[k] = ze + w*zo
+	}
+}
+
+// Inverse computes the normalized real inverse from the half spectrum:
+// Inverse ∘ Forward = identity. dst must have length n, src length n/2+1.
+// The Hermitian-implied entries (src[k] for k > n/2) are not consulted;
+// src[0] and src[n/2] should have zero imaginary parts (they are forced).
+func (p *Plan1D) Inverse(dst []float64, src []complex128) error {
+	if len(dst) != p.n || len(src) != p.l+1 {
+		return fmt.Errorf("rfft: Inverse lengths dst=%d src=%d, want %d/%d",
+			len(dst), len(src), p.n, p.l+1)
+	}
+	l := p.l
+	// Re-tangle, inverting untangleForward. From X[k] = Ze[k] + ω^k·Zo[k]
+	// and conj(X[l-k]) = Ze[k] - ω^k·Zo[k] (using ω_{l-k} = -conj(ω_k) and
+	// the Hermitian symmetries of Ze/Zo):
+	//
+	//	Ze[k] = (X[k] + conj(X[l-k]))/2
+	//	Zo[k] = ω_n^{-k} · (X[k] - conj(X[l-k]))/2
+	//	Z[k]  = Ze[k] + i·Zo[k]
+	z := make([]complex128, l)
+	for k := 0; k < l; k++ {
+		xk := src[k]
+		xc := conj(src[l-k])
+		ze := (xk + xc) / 2
+		zo := (xk - xc) / 2 * conj(p.wf[k])
+		z[k] = ze + mulI(zo)
+	}
+	zt := make([]complex128, l)
+	p.half.Transform(zt, z, fft1d.Inverse)
+	fft1d.Scale(zt, 1/float64(l))
+	for j := 0; j < l; j++ {
+		dst[2*j] = real(zt[j])
+		dst[2*j+1] = imag(zt[j])
+	}
+	return nil
+}
+
+func conj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+func mulI(c complex128) complex128 { return complex(-imag(c), real(c)) }

@@ -1,0 +1,71 @@
+package rfft
+
+import (
+	"fmt"
+
+	"repro/internal/fft1d"
+)
+
+// Plan2D computes real-input 2D DFTs on n×m row-major grids (m even),
+// producing the half spectrum n×(m/2+1).
+type Plan2D struct {
+	n, m  int
+	mc    int
+	row   *Plan1D
+	planN *fft1d.Plan
+}
+
+// NewPlan2D builds a 2D real-input plan; m must be even.
+func NewPlan2D(n, m int) (*Plan2D, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("rfft: invalid size %dx%d", n, m)
+	}
+	row, err := NewPlan1D(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan2D{n: n, m: m, mc: m/2 + 1, row: row, planN: fft1d.NewPlan(n)}, nil
+}
+
+// Dims returns (n, m).
+func (p *Plan2D) Dims() (int, int) { return p.n, p.m }
+
+// SpectrumLen returns n·(m/2+1).
+func (p *Plan2D) SpectrumLen() int { return p.n * p.mc }
+
+// RealLen returns n·m.
+func (p *Plan2D) RealLen() int { return p.n * p.m }
+
+// Forward computes the unnormalized half spectrum.
+func (p *Plan2D) Forward(dst []complex128, src []float64) error {
+	if len(dst) != p.SpectrumLen() || len(src) != p.RealLen() {
+		return fmt.Errorf("rfft: Forward lengths dst=%d src=%d, want %d/%d",
+			len(dst), len(src), p.SpectrumLen(), p.RealLen())
+	}
+	for r := 0; r < p.n; r++ {
+		if err := p.row.Forward(dst[r*p.mc:(r+1)*p.mc], src[r*p.m:(r+1)*p.m]); err != nil {
+			return err
+		}
+	}
+	p.planN.InPlaceLanes(dst, p.mc, fft1d.Forward)
+	return nil
+}
+
+// Inverse computes the normalized real inverse; src is used as scratch.
+func (p *Plan2D) Inverse(dst []float64, src []complex128) error {
+	if len(dst) != p.RealLen() || len(src) != p.SpectrumLen() {
+		return fmt.Errorf("rfft: Inverse lengths dst=%d src=%d, want %d/%d",
+			len(dst), len(src), p.RealLen(), p.SpectrumLen())
+	}
+	p.planN.InPlaceLanes(src, p.mc, fft1d.Inverse)
+	inv := complex(1/float64(p.n), 0)
+	for i := range src {
+		src[i] *= inv
+	}
+	for r := 0; r < p.n; r++ {
+		if err := p.row.Inverse(dst[r*p.m:(r+1)*p.m], src[r*p.mc:(r+1)*p.mc]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

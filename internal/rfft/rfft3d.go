@@ -1,0 +1,94 @@
+package rfft
+
+import (
+	"fmt"
+
+	"repro/internal/fft1d"
+)
+
+// Plan3D computes real-input 3D DFTs on k×n×m row-major grids (m even),
+// producing the half spectrum k×n×(m/2+1): the x-dimension stores only the
+// non-redundant Hermitian coefficients, so the transform moves roughly half
+// the bytes of a padded complex transform — the bandwidth saving that makes
+// r2c the format of choice for the paper's motivating workloads.
+type Plan3D struct {
+	k, n, m int
+	mc      int // m/2 + 1
+	row     *Plan1D
+	planN   *fft1d.Plan
+	planK   *fft1d.Plan
+}
+
+// NewPlan3D builds a 3D real-input plan; m must be even.
+func NewPlan3D(k, n, m int) (*Plan3D, error) {
+	if k < 1 || n < 1 {
+		return nil, fmt.Errorf("rfft: invalid size %dx%dx%d", k, n, m)
+	}
+	row, err := NewPlan1D(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan3D{
+		k: k, n: n, m: m, mc: m/2 + 1,
+		row: row, planN: fft1d.NewPlan(n), planK: fft1d.NewPlan(k),
+	}, nil
+}
+
+// Dims returns (k, n, m).
+func (p *Plan3D) Dims() (int, int, int) { return p.k, p.n, p.m }
+
+// SpectrumLen returns k·n·(m/2+1).
+func (p *Plan3D) SpectrumLen() int { return p.k * p.n * p.mc }
+
+// RealLen returns k·n·m.
+func (p *Plan3D) RealLen() int { return p.k * p.n * p.m }
+
+// Forward computes the unnormalized half spectrum. dst must have length
+// SpectrumLen(), src RealLen().
+func (p *Plan3D) Forward(dst []complex128, src []float64) error {
+	if len(dst) != p.SpectrumLen() || len(src) != p.RealLen() {
+		return fmt.Errorf("rfft: Forward lengths dst=%d src=%d, want %d/%d",
+			len(dst), len(src), p.SpectrumLen(), p.RealLen())
+	}
+	k, n, m, mc := p.k, p.n, p.m, p.mc
+	// Stage 1: packed r2c along every x row.
+	for r := 0; r < k*n; r++ {
+		if err := p.row.Forward(dst[r*mc:(r+1)*mc], src[r*m:(r+1)*m]); err != nil {
+			return err
+		}
+	}
+	// Stage 2: complex DFT_n along y with mc lanes, per z slab.
+	for z := 0; z < k; z++ {
+		p.planN.InPlaceLanes(dst[z*n*mc:(z+1)*n*mc], mc, fft1d.Forward)
+	}
+	// Stage 3: complex DFT_k along z with n·mc lanes.
+	p.planK.InPlaceLanes(dst, n*mc, fft1d.Forward)
+	return nil
+}
+
+// Inverse computes the normalized real inverse: Inverse ∘ Forward is the
+// identity. src is modified in place (it is the natural scratch; clone it
+// first if you need it preserved).
+func (p *Plan3D) Inverse(dst []float64, src []complex128) error {
+	if len(dst) != p.RealLen() || len(src) != p.SpectrumLen() {
+		return fmt.Errorf("rfft: Inverse lengths dst=%d src=%d, want %d/%d",
+			len(dst), len(src), p.RealLen(), p.SpectrumLen())
+	}
+	k, n, m, mc := p.k, p.n, p.m, p.mc
+	// Undo stage 3 and 2 (unnormalized inverses, scaled at the end
+	// through the 1D inverse's 1/m and explicit 1/(k·n)).
+	p.planK.InPlaceLanes(src, n*mc, fft1d.Inverse)
+	for z := 0; z < k; z++ {
+		p.planN.InPlaceLanes(src[z*n*mc:(z+1)*n*mc], mc, fft1d.Inverse)
+	}
+	inv := complex(1/float64(k*n), 0)
+	for i := range src {
+		src[i] *= inv
+	}
+	for r := 0; r < k*n; r++ {
+		if err := p.row.Inverse(dst[r*m:(r+1)*m], src[r*mc:(r+1)*mc]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

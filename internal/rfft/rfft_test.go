@@ -1,0 +1,292 @@
+package rfft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cvec"
+	"repro/internal/kernels"
+	"repro/internal/spl"
+)
+
+const tol = 1e-10
+
+func randReal(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	return x
+}
+
+func asComplex(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return c
+}
+
+func TestForward1DMatchesNaive(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 8, 16, 64, 100, 256} {
+		p, err := NewPlan1D(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randReal(int64(n), n)
+		want := kernels.NaiveDFT(asComplex(x), kernels.Forward)
+		got := make([]complex128, p.SpectrumLen())
+		if err := p.Forward(got, x); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= n/2; k++ {
+			if d := cvec.MaxDiff(cvec.Vec{got[k]}, cvec.Vec{want[k]}); d > tol*float64(n) {
+				t.Errorf("n=%d k=%d: got %v want %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestHermitianEndpointsReal(t *testing.T) {
+	p, _ := NewPlan1D(32)
+	x := randReal(9, 32)
+	spec := make([]complex128, p.SpectrumLen())
+	if err := p.Forward(spec, x); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(imag(spec[0])) > tol || math.Abs(imag(spec[16])) > tol {
+		t.Fatalf("DC/Nyquist not real: %v %v", spec[0], spec[16])
+	}
+}
+
+func TestRoundTrip1D(t *testing.T) {
+	for _, n := range []int{2, 4, 10, 32, 128, 250} {
+		p, err := NewPlan1D(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randReal(int64(n+1), n)
+		spec := make([]complex128, p.SpectrumLen())
+		if err := p.Forward(spec, x); err != nil {
+			t.Fatal(err)
+		}
+		back := make([]float64, n)
+		if err := p.Inverse(back, spec); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > tol {
+				t.Fatalf("n=%d: round trip off at %d: %v vs %v", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func TestPlan1DValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 7} {
+		if _, err := NewPlan1D(n); err == nil {
+			t.Errorf("accepted n=%d", n)
+		}
+	}
+	p, _ := NewPlan1D(8)
+	if p.N() != 8 || p.SpectrumLen() != 5 {
+		t.Fatal("metadata wrong")
+	}
+	if err := p.Forward(make([]complex128, 4), make([]float64, 8)); err == nil {
+		t.Error("accepted short dst")
+	}
+	if err := p.Inverse(make([]float64, 7), make([]complex128, 5)); err == nil {
+		t.Error("accepted short dst")
+	}
+}
+
+func TestForward3DMatchesComplexReference(t *testing.T) {
+	const k, n, m = 4, 6, 8
+	p, err := NewPlan3D(k, n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randReal(5, k*n*m)
+	full := spl.Eval(spl.DFT3D(k, n, m), asComplex(x))
+	got := make([]complex128, p.SpectrumLen())
+	if err := p.Forward(got, x); err != nil {
+		t.Fatal(err)
+	}
+	mc := m/2 + 1
+	for z := 0; z < k; z++ {
+		for y := 0; y < n; y++ {
+			for xx := 0; xx < mc; xx++ {
+				g := got[(z*n+y)*mc+xx]
+				w := full[(z*n+y)*m+xx]
+				if d := cvec.MaxDiff(cvec.Vec{g}, cvec.Vec{w}); d > tol*float64(k*n*m) {
+					t.Fatalf("(%d,%d,%d): got %v want %v", z, y, xx, g, w)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTrip3D(t *testing.T) {
+	for _, c := range []struct{ k, n, m int }{
+		{1, 1, 2}, {2, 3, 4}, {4, 4, 8}, {8, 8, 16}, {3, 5, 6},
+	} {
+		p, err := NewPlan3D(c.k, c.n, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randReal(int64(c.k+c.n+c.m), p.RealLen())
+		spec := make([]complex128, p.SpectrumLen())
+		if err := p.Forward(spec, x); err != nil {
+			t.Fatal(err)
+		}
+		back := make([]float64, p.RealLen())
+		if err := p.Inverse(back, spec); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > tol {
+				t.Fatalf("%dx%dx%d: round trip off at %d", c.k, c.n, c.m, i)
+			}
+		}
+	}
+}
+
+func TestPlan3DValidation(t *testing.T) {
+	if _, err := NewPlan3D(0, 4, 4); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := NewPlan3D(4, 4, 7); err == nil {
+		t.Error("accepted odd m")
+	}
+	p, _ := NewPlan3D(2, 2, 4)
+	if p.SpectrumLen() != 2*2*3 || p.RealLen() != 16 {
+		t.Fatal("lengths wrong")
+	}
+	if k, n, m := p.Dims(); k != 2 || n != 2 || m != 4 {
+		t.Fatal("Dims wrong")
+	}
+	if err := p.Forward(make([]complex128, 11), make([]float64, 16)); err == nil {
+		t.Error("accepted short dst")
+	}
+	if err := p.Inverse(make([]float64, 15), make([]complex128, 12)); err == nil {
+		t.Error("accepted short dst")
+	}
+}
+
+// Property: spectrum of a real even sequence is real.
+func TestRealEvenSpectrumReal(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(77))
+	x := make([]float64, n)
+	x[0] = rng.Float64()
+	x[n/2] = rng.Float64()
+	for i := 1; i < n/2; i++ {
+		v := rng.Float64()
+		x[i] = v
+		x[n-i] = v
+	}
+	p, _ := NewPlan1D(n)
+	spec := make([]complex128, p.SpectrumLen())
+	if err := p.Forward(spec, x); err != nil {
+		t.Fatal(err)
+	}
+	for k, c := range spec {
+		if math.Abs(imag(c)) > 1e-10 {
+			t.Fatalf("even sequence spectrum has imag %g at %d", imag(c), k)
+		}
+	}
+}
+
+func BenchmarkRFFT1DForward(b *testing.B) {
+	const n = 4096
+	p, _ := NewPlan1D(n)
+	x := randReal(1, n)
+	dst := make([]complex128, p.SpectrumLen())
+	b.SetBytes(int64(n * 8))
+	for i := 0; i < b.N; i++ {
+		if err := p.Forward(dst, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRFFT3DForward(b *testing.B) {
+	const k, n, m = 32, 32, 32
+	p, _ := NewPlan3D(k, n, m)
+	x := randReal(1, p.RealLen())
+	dst := make([]complex128, p.SpectrumLen())
+	b.SetBytes(int64(p.RealLen() * 8))
+	for i := 0; i < b.N; i++ {
+		if err := p.Forward(dst, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestForward2DMatchesComplexReference(t *testing.T) {
+	const n, m = 6, 8
+	p, err := NewPlan2D(n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randReal(15, n*m)
+	full := spl.Eval(spl.DFT2D(n, m), asComplex(x))
+	got := make([]complex128, p.SpectrumLen())
+	if err := p.Forward(got, x); err != nil {
+		t.Fatal(err)
+	}
+	mc := m/2 + 1
+	for y := 0; y < n; y++ {
+		for xx := 0; xx < mc; xx++ {
+			g := got[y*mc+xx]
+			w := full[y*m+xx]
+			if d := cvec.MaxDiff(cvec.Vec{g}, cvec.Vec{w}); d > tol*float64(n*m) {
+				t.Fatalf("(%d,%d): got %v want %v", y, xx, g, w)
+			}
+		}
+	}
+}
+
+func TestRoundTrip2D(t *testing.T) {
+	for _, c := range []struct{ n, m int }{{1, 2}, {3, 4}, {8, 16}, {5, 6}} {
+		p, err := NewPlan2D(c.n, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randReal(int64(c.n*c.m), p.RealLen())
+		spec := make([]complex128, p.SpectrumLen())
+		if err := p.Forward(spec, x); err != nil {
+			t.Fatal(err)
+		}
+		back := make([]float64, p.RealLen())
+		if err := p.Inverse(back, spec); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > tol {
+				t.Fatalf("%dx%d: round trip off at %d", c.n, c.m, i)
+			}
+		}
+	}
+}
+
+func TestPlan2DValidation(t *testing.T) {
+	if _, err := NewPlan2D(0, 4); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := NewPlan2D(4, 3); err == nil {
+		t.Error("accepted odd m")
+	}
+	p, _ := NewPlan2D(2, 4)
+	if n, m := p.Dims(); n != 2 || m != 4 {
+		t.Error("Dims wrong")
+	}
+	if err := p.Forward(make([]complex128, 5), make([]float64, 8)); err == nil {
+		t.Error("accepted short dst")
+	}
+	if err := p.Inverse(make([]float64, 7), make([]complex128, 6)); err == nil {
+		t.Error("accepted short dst")
+	}
+}

@@ -1,0 +1,116 @@
+package spl
+
+// Simplify applies the paper's §II-C identities as rewrite rules until a
+// fixed point:
+//
+//	I_m ⊗ I_n            → I_{mn}
+//	L_n^{mn} · L_m^{mn}  → I_{mn}
+//	A · I                → A,  I · A → A
+//	perm · perm          → fused perm
+//	Compose flattening / singleton elimination
+//
+// Simplify never changes the denoted matrix; tests verify DenseEqual before
+// and after.
+func Simplify(f Formula) Formula {
+	for {
+		g, changed := simplifyOnce(f)
+		if !changed {
+			return g
+		}
+		f = g
+	}
+}
+
+func simplifyOnce(f Formula) (Formula, bool) {
+	switch n := f.(type) {
+	case kron:
+		a, ca := simplifyOnce(n.a)
+		b, cb := simplifyOnce(n.b)
+		if ia, okA := a.(identity); okA {
+			if ib, okB := b.(identity); okB {
+				return identity{ia.n * ib.n}, true
+			}
+		}
+		if ca || cb {
+			return kron{a, b}, true
+		}
+		return n, false
+	case compose:
+		changed := false
+		fs := make([]Formula, 0, len(n.fs))
+		for _, g := range n.fs {
+			s, c := simplifyOnce(g)
+			changed = changed || c
+			if inner, ok := s.(compose); ok {
+				fs = append(fs, inner.fs...)
+				changed = true
+			} else {
+				fs = append(fs, s)
+			}
+		}
+		// Drop square identities.
+		kept := fs[:0]
+		for _, g := range fs {
+			if _, ok := g.(identity); ok && len(fs) > 1 {
+				changed = true
+				continue
+			}
+			kept = append(kept, g)
+		}
+		fs = kept
+		// Fuse adjacent permutations (covers L·L = I and any
+		// permutation chain).
+		for i := 0; i+1 < len(fs); i++ {
+			p1, ok1 := fs[i].(perm)
+			p2, ok2 := fs[i+1].(perm)
+			if !ok1 || !ok2 || len(p1.to) != len(p2.to) {
+				continue
+			}
+			fused := fusePerm(p1, p2)
+			nf := append(append([]Formula{}, fs[:i]...), fused)
+			nf = append(nf, fs[i+2:]...)
+			return Compose(nf...), true
+		}
+		if len(fs) == 0 {
+			// Everything was identity; recover the size from the original.
+			return identity{n.Rows()}, true
+		}
+		if len(fs) == 1 {
+			return fs[0], true
+		}
+		if changed {
+			return compose{fs}, true
+		}
+		return n, false
+	default:
+		return f, false
+	}
+}
+
+// fusePerm composes two permutations p1·p2 (p2 applied first) into one node,
+// returning an identity when the composition is trivial.
+func fusePerm(p1, p2 perm) Formula {
+	n := len(p1.to)
+	to := make([]int, n)
+	trivial := true
+	for i := 0; i < n; i++ {
+		to[i] = p1.to[p2.to[i]]
+		if to[i] != i {
+			trivial = false
+		}
+	}
+	if trivial {
+		return identity{n}
+	}
+	return perm{to, p1.name + "∘" + p2.name}
+}
+
+// CommuteKron returns the right-hand side of the paper's commutation
+// identity A_m ⊗ B_n = L_m^{mn} (B_n ⊗ A_m) L_n^{mn} for square operands.
+func CommuteKron(a, b Formula) Formula {
+	m, n := a.Rows(), b.Rows()
+	if a.Cols() != m || b.Cols() != n {
+		panic("spl: CommuteKron requires square operands")
+	}
+	return Compose(L(m*n, m), Kron(b, a), L(m*n, n))
+}

@@ -1,0 +1,79 @@
+package stream
+
+import "testing"
+
+func TestRunAllKernels(t *testing.T) {
+	res := Run(Config{Elems: 1 << 16, Trials: 2})
+	if len(res) != 4 {
+		t.Fatalf("got %d results, want 4", len(res))
+	}
+	order := []Kernel{Copy, Scale, Add, Triad}
+	for i, r := range res {
+		if r.Kernel != order[i] {
+			t.Errorf("result %d kernel %v, want %v", i, r.Kernel, order[i])
+		}
+		if r.BestGBs <= 0 || r.AvgGBs <= 0 || r.WorstGBs <= 0 {
+			t.Errorf("%v: non-positive bandwidth", r.Kernel)
+		}
+		if r.BestGBs < r.AvgGBs-1e-9 || r.AvgGBs < r.WorstGBs-1e-9 {
+			t.Errorf("%v: best/avg/worst out of order: %v %v %v",
+				r.Kernel, r.BestGBs, r.AvgGBs, r.WorstGBs)
+		}
+		if !r.CheckedOK {
+			t.Errorf("%v: verification failed", r.Kernel)
+		}
+		if r.Elems != 1<<16 || r.Trials != 2 {
+			t.Errorf("%v: config not recorded", r.Kernel)
+		}
+	}
+}
+
+func TestKernelMetadata(t *testing.T) {
+	if Copy.String() != "copy" || Triad.String() != "triad" {
+		t.Fatal("kernel names wrong")
+	}
+	if Copy.bytesMoved() != 16 || Scale.bytesMoved() != 16 {
+		t.Fatal("copy/scale move 16 B per element")
+	}
+	if Add.bytesMoved() != 24 || Triad.bytesMoved() != 24 {
+		t.Fatal("add/triad move 24 B per element")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Elems != 8<<20 || c.Trials != 5 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}
+
+func TestBestCopyGBs(t *testing.T) {
+	if bw := BestCopyGBs(Config{Elems: 1 << 14, Trials: 1}); bw <= 0 {
+		t.Fatalf("BestCopyGBs = %v", bw)
+	}
+}
+
+func BenchmarkStreamCopy(b *testing.B) {
+	const n = 1 << 22
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	b.SetBytes(n * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(dst, src)
+	}
+}
+
+func BenchmarkStreamTriad(b *testing.B) {
+	const n = 1 << 22
+	a := make([]float64, n)
+	bb := make([]float64, n)
+	c := make([]float64, n)
+	b.SetBytes(n * 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range a {
+			a[j] = bb[j] + 3*c[j]
+		}
+	}
+}

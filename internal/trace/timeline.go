@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RenderTimeline writes an ASCII Gantt chart of the recorded schedule, one
+// row per (role, worker), one column group per step — the visual form of
+// the paper's Table II. Example output for 4 iterations:
+//
+//	step            0    1    2    3    4    5
+//	data/0          L    L    SL   SL   S    S
+//	compute/0            C    C    C    C
+//
+// where L = load, C = compute, S = store (S before L within a step).
+func (r *Recorder) RenderTimeline(w io.Writer) error {
+	evs := r.Events()
+	if len(evs) == 0 {
+		_, err := fmt.Fprintln(w, "(no events recorded)")
+		return err
+	}
+	maxStep := 0
+	type key struct {
+		role   string
+		worker int
+	}
+	rows := map[key]map[int][]Op{}
+	for _, e := range evs {
+		if e.Step > maxStep {
+			maxStep = e.Step
+		}
+		k := key{e.Role, e.Worker}
+		if rows[k] == nil {
+			rows[k] = map[int][]Op{}
+		}
+		rows[k][e.Step] = append(rows[k][e.Step], e.Op)
+	}
+
+	keys := make([]key, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].role != keys[j].role {
+			return keys[i].role < keys[j].role // compute before data
+		}
+		return keys[i].worker < keys[j].worker
+	})
+
+	// Build all cells first so the column width fits the widest one
+	// (several pipeline stages may share step numbers).
+	cells := map[key][]string{}
+	width := 3
+	for _, k := range keys {
+		row := make([]string, maxStep+1)
+		for s := 0; s <= maxStep; s++ {
+			ops := rows[k][s]
+			sort.Slice(ops, func(i, j int) bool { return opOrder(ops[i]) < opOrder(ops[j]) })
+			cell := ""
+			for _, o := range ops {
+				cell += opLetter(o)
+			}
+			row[s] = cell
+			if len(cell)+2 > width {
+				width = len(cell) + 2
+			}
+		}
+		cells[k] = row
+	}
+
+	var b strings.Builder
+	b.WriteString("step        ")
+	for s := 0; s <= maxStep; s++ {
+		fmt.Fprintf(&b, "%-*d", width, s)
+	}
+	b.WriteString("\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-12s", fmt.Sprintf("%s/%d", k.role, k.worker))
+		for s := 0; s <= maxStep; s++ {
+			fmt.Fprintf(&b, "%-*s", width, cells[k][s])
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// opOrder sorts store before load within a step (the §III-C ordering).
+func opOrder(o Op) int {
+	switch o {
+	case Store:
+		return 0
+	case Load:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func opLetter(o Op) string {
+	switch o {
+	case Load:
+		return "L"
+	case Compute:
+		return "C"
+	case Store:
+		return "S"
+	}
+	return "?"
+}

@@ -1,0 +1,219 @@
+// Package trace records pipeline execution events so tests can prove — not
+// just assume — that the double-buffering schedule has the paper's Table II
+// shape: a prologue that only loads, a steady state in which data movement
+// and computation proceed in the same step on opposite buffer halves, and an
+// epilogue that drains stores.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Op identifies what a worker did.
+type Op int
+
+const (
+	Load Op = iota
+	Compute
+	Store
+)
+
+func (o Op) String() string {
+	switch o {
+	case Load:
+		return "load"
+	case Compute:
+		return "compute"
+	case Store:
+		return "store"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Event is one recorded worker action. Iter is the pipeline iteration the
+// action belongs to (the i of R_{b,i}/W_{b,i}), Step the schedule step it
+// executed in, Buf the buffer half it touched.
+type Event struct {
+	Op     Op
+	Step   int
+	Iter   int
+	Buf    int
+	Worker int
+	Role   string
+	Start  time.Time
+	End    time.Time
+}
+
+// Recorder accumulates events. A nil *Recorder is valid and records nothing,
+// so production paths can pass nil with zero overhead beyond a nil check.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Emit records one event. Safe for concurrent use; no-op on nil.
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of all recorded events sorted by start time.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]Event(nil), r.events...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// ByStep groups events by schedule step.
+func (r *Recorder) ByStep() map[int][]Event {
+	m := make(map[int][]Event)
+	for _, e := range r.Events() {
+		m[e.Step] = append(m[e.Step], e)
+	}
+	return m
+}
+
+// OpsInStep returns the distinct operations that ran in a step, in
+// load/compute/store order.
+func OpsInStep(events []Event) []Op {
+	var have [3]bool
+	for _, e := range events {
+		have[e.Op] = true
+	}
+	var ops []Op
+	for _, o := range []Op{Load, Compute, Store} {
+		if have[o] {
+			ops = append(ops, o)
+		}
+	}
+	return ops
+}
+
+// CheckTableII verifies that the recorded events follow the paper's Table II
+// software-pipelining schedule for the given iteration count:
+//
+//   - step 0 loads iter 0 and does nothing else (prologue);
+//   - step 1 loads iter 1 and computes iter 0;
+//   - steps s in [2, iters-1] store iter s-2, load iter s, compute iter s-1;
+//   - step iters stores iter iters-2 and computes iter iters-1 (epilogue);
+//   - step iters+1 only stores iter iters-1;
+//   - every load/store of iter i touches buffer i mod 2, every compute of
+//     iter i touches buffer i mod 2;
+//   - within a step, a buffer half is never touched by both the data ops of
+//     one iteration and the compute of another.
+//
+// It returns a descriptive error on the first violation.
+func (r *Recorder) CheckTableII(iters int) error {
+	byStep := r.ByStep()
+	for s := 0; s <= iters+1; s++ {
+		evs := byStep[s]
+		wantLoad := s < iters
+		wantCompute := s >= 1 && s <= iters
+		wantStore := s >= 2
+		var sawLoad, sawCompute, sawStore bool
+		for _, e := range evs {
+			switch e.Op {
+			case Load:
+				sawLoad = true
+				if !wantLoad {
+					return fmt.Errorf("step %d: unexpected load of iter %d", s, e.Iter)
+				}
+				if e.Iter != s {
+					return fmt.Errorf("step %d: load of iter %d, want %d", s, e.Iter, s)
+				}
+				if e.Buf != e.Iter%2 {
+					return fmt.Errorf("step %d: load iter %d into buf %d, want %d",
+						s, e.Iter, e.Buf, e.Iter%2)
+				}
+			case Compute:
+				sawCompute = true
+				if !wantCompute {
+					return fmt.Errorf("step %d: unexpected compute of iter %d", s, e.Iter)
+				}
+				if e.Iter != s-1 {
+					return fmt.Errorf("step %d: compute of iter %d, want %d", s, e.Iter, s-1)
+				}
+				if e.Buf != e.Iter%2 {
+					return fmt.Errorf("step %d: compute iter %d on buf %d, want %d",
+						s, e.Iter, e.Buf, e.Iter%2)
+				}
+			case Store:
+				sawStore = true
+				if !wantStore {
+					return fmt.Errorf("step %d: unexpected store of iter %d", s, e.Iter)
+				}
+				if e.Iter != s-2 {
+					return fmt.Errorf("step %d: store of iter %d, want %d", s, e.Iter, s-2)
+				}
+				if e.Buf != e.Iter%2 {
+					return fmt.Errorf("step %d: store iter %d from buf %d, want %d",
+						s, e.Iter, e.Buf, e.Iter%2)
+				}
+			}
+		}
+		if wantLoad && !sawLoad {
+			return fmt.Errorf("step %d: missing load of iter %d", s, s)
+		}
+		if wantCompute && !sawCompute {
+			return fmt.Errorf("step %d: missing compute of iter %d", s, s-1)
+		}
+		if wantStore && s-2 < iters && !sawStore {
+			return fmt.Errorf("step %d: missing store of iter %d", s, s-2)
+		}
+	}
+	// Data ops and compute within one step must use opposite halves
+	// (steady state): load/store use buf s%2, compute uses (s-1)%2.
+	for s, evs := range byStep {
+		for _, e := range evs {
+			if e.Op == Compute && e.Buf == s%2 {
+				return fmt.Errorf("step %d: compute on data half %d", s, e.Buf)
+			}
+		}
+	}
+	return nil
+}
+
+// OverlapFraction estimates how much of the data-movement time can hide
+// under computation given the recorded schedule: per step it credits
+// min(dataDur, computeDur) as hidden and reports hidden / totalData.
+// 1 means every byte moved while compute ran; 0 means no step had both.
+func (r *Recorder) OverlapFraction() float64 {
+	byStep := r.ByStep()
+	var hidden, totalData time.Duration
+	for _, evs := range byStep {
+		var data, comp time.Duration
+		for _, e := range evs {
+			d := e.End.Sub(e.Start)
+			if e.Op == Compute {
+				comp += d
+			} else {
+				data += d
+			}
+		}
+		totalData += data
+		if data < comp {
+			hidden += data
+		} else {
+			hidden += comp
+		}
+	}
+	if totalData == 0 {
+		return 0
+	}
+	return float64(hidden) / float64(totalData)
+}

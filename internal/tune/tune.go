@@ -1,0 +1,180 @@
+// Package tune searches the paper's execution parameters — buffer size b,
+// the p_d : p_c worker split, cacheline granularity μ and the compute
+// format — empirically on the host, the way FFTW's planner or SPIRAL's
+// search would. The paper fixes these by rule (b = LLC/2, half the threads
+// per role); the tuner exists for hosts whose cache/thread geometry is
+// unknown, and its results can be persisted as "wisdom" (JSON) and replayed.
+package tune
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fft1d"
+	"repro/internal/fft2d"
+	"repro/internal/fft3d"
+)
+
+// Candidate is one point in the search space.
+type Candidate struct {
+	BufferElems    int  `json:"buffer_elems"`
+	DataWorkers    int  `json:"data_workers"`
+	ComputeWorkers int  `json:"compute_workers"`
+	Mu             int  `json:"mu"`
+	SplitFormat    bool `json:"split_format"`
+}
+
+func (c Candidate) String() string {
+	return fmt.Sprintf("b=%d p_d=%d p_c=%d μ=%d split=%v",
+		c.BufferElems, c.DataWorkers, c.ComputeWorkers, c.Mu, c.SplitFormat)
+}
+
+// Result is a measured candidate.
+type Result struct {
+	Candidate
+	Seconds float64 `json:"seconds"`
+}
+
+// Space enumerates the candidates to try.
+type Space struct {
+	Buffers      []int
+	WorkerSplits [][2]int // {p_d, p_c}
+	Mus          []int
+	SplitFormats []bool
+}
+
+// DefaultSpace returns a modest space appropriate for `threads` hardware
+// threads: buffer sizes bracketing typical LLC halves, balanced and skewed
+// worker splits, and both compute formats.
+func DefaultSpace(threads int) Space {
+	if threads < 2 {
+		threads = 2
+	}
+	half := threads / 2
+	splits := [][2]int{{half, threads - half}}
+	if half > 1 {
+		splits = append(splits, [2]int{1, threads - 1}, [2]int{threads - 1, 1})
+	}
+	return Space{
+		Buffers:      []int{1 << 12, 1 << 14, 1 << 16},
+		WorkerSplits: splits,
+		Mus:          []int{4},
+		SplitFormats: []bool{false, true},
+	}
+}
+
+// candidates expands the space.
+func (s Space) candidates() []Candidate {
+	var out []Candidate
+	for _, b := range s.Buffers {
+		for _, ws := range s.WorkerSplits {
+			for _, mu := range s.Mus {
+				for _, sf := range s.SplitFormats {
+					out = append(out, Candidate{
+						BufferElems: b, DataWorkers: ws[0], ComputeWorkers: ws[1],
+						Mu: mu, SplitFormat: sf,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Tune3D measures every candidate on a real k×n×m transform (reps times,
+// best time kept) and returns the winner plus all results sorted by the
+// search order. Candidates incompatible with the size (μ ∤ m) are skipped.
+func Tune3D(k, n, m int, space Space, reps int) (Result, []Result, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	x := make([]complex128, k*n*m)
+	for i := range x {
+		x[i] = complex(float64(i%31)-15, float64(i%17)-8)
+	}
+	y := make([]complex128, len(x))
+
+	var all []Result
+	best := Result{Seconds: -1}
+	for _, c := range space.candidates() {
+		if m%c.Mu != 0 {
+			continue
+		}
+		p, err := fft3d.NewPlan(k, n, m, fft3d.Options{
+			Strategy: fft3d.DoubleBuf, Mu: c.Mu, BufferElems: c.BufferElems,
+			DataWorkers: c.DataWorkers, ComputeWorkers: c.ComputeWorkers,
+			SplitFormat: c.SplitFormat,
+		})
+		if err != nil {
+			return Result{}, nil, err
+		}
+		secs, err := timeBest(reps, func() error { return p.Transform(y, x, fft1d.Forward) })
+		if err != nil {
+			return Result{}, nil, err
+		}
+		r := Result{Candidate: c, Seconds: secs}
+		all = append(all, r)
+		if best.Seconds < 0 || secs < best.Seconds {
+			best = r
+		}
+	}
+	if best.Seconds < 0 {
+		return Result{}, nil, fmt.Errorf("tune: no feasible candidate for %dx%dx%d", k, n, m)
+	}
+	return best, all, nil
+}
+
+// Tune2D is Tune3D for the 2D transform.
+func Tune2D(n, m int, space Space, reps int) (Result, []Result, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	x := make([]complex128, n*m)
+	for i := range x {
+		x[i] = complex(float64(i%29)-14, float64(i%19)-9)
+	}
+	y := make([]complex128, len(x))
+
+	var all []Result
+	best := Result{Seconds: -1}
+	for _, c := range space.candidates() {
+		if m%c.Mu != 0 {
+			continue
+		}
+		p, err := fft2d.NewPlan(n, m, fft2d.Options{
+			Strategy: fft2d.DoubleBuf, Mu: c.Mu, BufferElems: c.BufferElems,
+			DataWorkers: c.DataWorkers, ComputeWorkers: c.ComputeWorkers,
+			SplitFormat: c.SplitFormat,
+		})
+		if err != nil {
+			return Result{}, nil, err
+		}
+		secs, err := timeBest(reps, func() error { return p.Transform(y, x, fft1d.Forward) })
+		if err != nil {
+			return Result{}, nil, err
+		}
+		r := Result{Candidate: c, Seconds: secs}
+		all = append(all, r)
+		if best.Seconds < 0 || secs < best.Seconds {
+			best = r
+		}
+	}
+	if best.Seconds < 0 {
+		return Result{}, nil, fmt.Errorf("tune: no feasible candidate for %dx%d", n, m)
+	}
+	return best, all, nil
+}
+
+func timeBest(reps int, f func() error) (float64, error) {
+	best := -1.0
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		if el := time.Since(start).Seconds(); best < 0 || el < best {
+			best = el
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,124 @@
+package tune
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func smallSpace() Space {
+	return Space{
+		Buffers:      []int{256, 1024},
+		WorkerSplits: [][2]int{{1, 1}, {1, 2}},
+		Mus:          []int{4},
+		SplitFormats: []bool{false, true},
+	}
+}
+
+func TestTune3DFindsABest(t *testing.T) {
+	best, all, err := Tune3D(16, 16, 16, smallSpace(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 8 {
+		t.Fatalf("tried %d candidates, want 8", len(all))
+	}
+	if best.Seconds <= 0 {
+		t.Fatal("best has no time")
+	}
+	for _, r := range all {
+		if r.Seconds < best.Seconds {
+			t.Fatal("best is not the minimum")
+		}
+	}
+	if best.Mu != 4 {
+		t.Fatalf("unexpected μ %d", best.Mu)
+	}
+}
+
+func TestTune2DFindsABest(t *testing.T) {
+	best, all, err := Tune2D(32, 32, smallSpace(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 || best.Seconds <= 0 {
+		t.Fatal("no results")
+	}
+}
+
+func TestTuneSkipsInfeasibleMu(t *testing.T) {
+	space := smallSpace()
+	space.Mus = []int{4, 5} // 5 ∤ 16
+	_, all, err := Tune3D(16, 16, 16, space, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range all {
+		if r.Mu == 5 {
+			t.Fatal("infeasible μ was measured")
+		}
+	}
+	// Nothing feasible at all:
+	space.Mus = []int{5}
+	if _, _, err := Tune3D(16, 16, 16, space, 1); err == nil {
+		t.Fatal("expected error when no candidate is feasible")
+	}
+}
+
+func TestDefaultSpace(t *testing.T) {
+	s := DefaultSpace(8)
+	if len(s.Buffers) == 0 || len(s.WorkerSplits) < 2 || len(s.SplitFormats) != 2 {
+		t.Fatalf("space too small: %+v", s)
+	}
+	s1 := DefaultSpace(1)
+	if len(s1.WorkerSplits) == 0 || s1.WorkerSplits[0][0] < 1 {
+		t.Fatal("single-thread space invalid")
+	}
+}
+
+func TestCandidateString(t *testing.T) {
+	c := Candidate{BufferElems: 64, DataWorkers: 1, ComputeWorkers: 2, Mu: 4}
+	if !strings.Contains(c.String(), "b=64") || !strings.Contains(c.String(), "p_c=2") {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestWisdomRoundTrip(t *testing.T) {
+	w := NewWisdom()
+	c := Candidate{BufferElems: 1 << 14, DataWorkers: 2, ComputeWorkers: 2, Mu: 4, SplitFormat: true}
+	w.Put(Key3D(512, 512, 512), c)
+	w.Put(Key2D(1024, 1024), Candidate{BufferElems: 1 << 12, DataWorkers: 1, ComputeWorkers: 3, Mu: 4})
+
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := LoadWisdom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := w2.Get(Key3D(512, 512, 512))
+	if !ok || got != c {
+		t.Fatalf("loaded %+v, want %+v", got, c)
+	}
+	if len(w2.Keys()) != 2 || w2.Keys()[0] != "2d:1024:1024" {
+		t.Fatalf("Keys = %v", w2.Keys())
+	}
+	if _, ok := w2.Get("3d:1:1:1"); ok {
+		t.Fatal("Get returned a missing key")
+	}
+}
+
+func TestWisdomRejectsCorruption(t *testing.T) {
+	if _, err := LoadWisdom(strings.NewReader("{not json")); err == nil {
+		t.Fatal("accepted corrupt JSON")
+	}
+	bad := `{"entries":{"3d:1:1:1":{"buffer_elems":0,"data_workers":1,"compute_workers":1,"mu":4}}}`
+	if _, err := LoadWisdom(strings.NewReader(bad)); err == nil {
+		t.Fatal("accepted invalid candidate")
+	}
+	empty, err := LoadWisdom(strings.NewReader(`{}`))
+	if err != nil || empty.Entries == nil {
+		t.Fatal("empty wisdom should load with a usable map")
+	}
+}

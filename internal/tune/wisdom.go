@@ -1,0 +1,69 @@
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Wisdom persists tuned candidates per transform shape, in the spirit of
+// FFTW's wisdom files. Keys are produced by Key2D/Key3D.
+type Wisdom struct {
+	Entries map[string]Candidate `json:"entries"`
+}
+
+// NewWisdom returns an empty store.
+func NewWisdom() *Wisdom {
+	return &Wisdom{Entries: make(map[string]Candidate)}
+}
+
+// Key3D returns the wisdom key for a k×n×m transform.
+func Key3D(k, n, m int) string { return fmt.Sprintf("3d:%d:%d:%d", k, n, m) }
+
+// Key2D returns the wisdom key for an n×m transform.
+func Key2D(n, m int) string { return fmt.Sprintf("2d:%d:%d", n, m) }
+
+// Put stores a candidate under key.
+func (w *Wisdom) Put(key string, c Candidate) { w.Entries[key] = c }
+
+// Get returns the stored candidate and whether one exists.
+func (w *Wisdom) Get(key string) (Candidate, bool) {
+	c, ok := w.Entries[key]
+	return c, ok
+}
+
+// Keys returns the stored keys sorted.
+func (w *Wisdom) Keys() []string {
+	keys := make([]string, 0, len(w.Entries))
+	for k := range w.Entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Save writes the store as JSON.
+func (w *Wisdom) Save(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(w)
+}
+
+// LoadWisdom reads a store written by Save. Entries are validated: a
+// malformed candidate (non-positive workers, buffer or μ) is rejected.
+func LoadWisdom(in io.Reader) (*Wisdom, error) {
+	var w Wisdom
+	if err := json.NewDecoder(in).Decode(&w); err != nil {
+		return nil, fmt.Errorf("tune: corrupt wisdom: %w", err)
+	}
+	if w.Entries == nil {
+		w.Entries = make(map[string]Candidate)
+	}
+	for k, c := range w.Entries {
+		if c.BufferElems < 1 || c.DataWorkers < 1 || c.ComputeWorkers < 1 || c.Mu < 1 {
+			return nil, fmt.Errorf("tune: wisdom entry %q invalid: %+v", k, c)
+		}
+	}
+	return &w, nil
+}
