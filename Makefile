@@ -1,0 +1,31 @@
+# Developer entry points. Everything is stdlib-only Go; `make ci` is the
+# gate run before merging.
+
+GO ?= go
+
+# Packages whose tests exercise real concurrency (worker pools, barriers,
+# shared plans); they get a dedicated -race pass in ci.
+RACE_PKGS = . ./internal/pipeline ./internal/stagegraph ./internal/fft2d \
+            ./internal/fft3d ./internal/fft1dlarge
+
+.PHONY: ci vet build test race bench fmt
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+fmt:
+	gofmt -l .

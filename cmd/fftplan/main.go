@@ -1,11 +1,17 @@
-// Command fftplan prints the SPL decomposition and the software-pipelining
-// schedule the library would execute for a given 2D/3D size — the formulas
-// of §III and the Table II schedule, instantiated.
+// Command fftplan prints the SPL decomposition, the software-pipelining
+// schedule, and the compiled stage graph the library would execute for a
+// given 2D/3D size — the formulas of §III, the Table II schedule, and the
+// fused cross-stage schedule, instantiated. For sizes small enough to
+// build, the plan's actual compiled graph (per-stage geometry, rotation
+// shape, step counts and fill overheads) is printed; -trace executes a
+// scaled-down transform and renders the recorded fused timeline, stage row
+// included.
 //
 // Usage:
 //
 //	fftplan -size 512,512,512 -mu 4 -b 131072
 //	fftplan -size 1024,2048          # 2D
+//	fftplan -size 64,32,32 -trace    # + compiled graph + recorded timeline
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/fft1d"
+	"repro/internal/fft2d"
 	"repro/internal/fft3d"
 	"repro/internal/machine"
 	"repro/internal/spl"
@@ -78,6 +85,11 @@ func printTraceDemo() error {
 	return tr.RenderTimeline(os.Stdout)
 }
 
+// describeElems caps the size at which fftplan instantiates a real plan
+// just to print its compiled graph (the plan allocates full-size work
+// arrays; beyond this the schedule summary is printed instead).
+const describeElems = 1 << 22
+
 func print2D(n, m, mu, b int) {
 	fmt.Printf("2D FFT %d×%d, μ=%d, b=%d\n\n", n, m, mu, b)
 	fmt.Println("Pencil-pencil form:")
@@ -86,7 +98,14 @@ func print2D(n, m, mu, b int) {
 		fmt.Println("\nBlocked double-buffering form (§III-A):")
 		fmt.Println(" ", spl.DFT2DBlocked(n, m, mu))
 	}
-	printSchedule("Stage 1", n*m/b)
+	printSchedule(2, n*m/b)
+	if n*m <= describeElems && m%mu == 0 {
+		if p, err := fft2d.NewPlan(n, m, fft2d.Options{
+			Strategy: fft2d.DoubleBuf, Mu: mu, BufferElems: b,
+		}); err == nil {
+			printGraph(p.DescribeGraph())
+		}
+	}
 }
 
 func print3D(k, n, m, mu, b int) {
@@ -99,14 +118,32 @@ func print3D(k, n, m, mu, b int) {
 		fmt.Println("\nBlocked double-buffering form:")
 		fmt.Println(" ", spl.DFT3DBlocked(k, n, m, mu))
 	}
-	printSchedule("Each stage", k*n*m/b)
+	printSchedule(3, k*n*m/b)
+	if k*n*m <= describeElems && m%mu == 0 {
+		if p, err := fft3d.NewPlan(k, n, m, fft3d.Options{
+			Strategy: fft3d.DoubleBuf, Mu: mu, BufferElems: b,
+		}); err == nil {
+			printGraph(p.DescribeGraph())
+		}
+	}
 }
 
-func printSchedule(label string, iters int) {
+// printGraph prints the plan's compiled stage graph, indented.
+func printGraph(desc string) {
+	if desc == "" {
+		return
+	}
+	fmt.Println("\nCompiled stage graph:")
+	for _, line := range strings.Split(strings.TrimRight(desc, "\n"), "\n") {
+		fmt.Println(" ", line)
+	}
+}
+
+func printSchedule(stages, iters int) {
 	if iters < 1 {
 		iters = 1
 	}
-	fmt.Printf("\n%s runs iter = %d pipeline blocks (Table II):\n", label, iters)
+	fmt.Printf("\nEach stage runs iter = %d pipeline blocks (Table II):\n", iters)
 	fmt.Println("  step 0:         load(0)                                  — prologue")
 	fmt.Println("  step 1:         load(1)            compute(0)")
 	fmt.Printf("  step s:         store(s-2) load(s)  compute(s-1)          — steady state ×%d\n", max(iters-2, 0))
@@ -114,7 +151,13 @@ func printSchedule(label string, iters int) {
 		iters, strings.Repeat(" ", 8), iters-2, iters-1)
 	fmt.Printf("  step %d:%s store(%d)                                — epilogue\n",
 		iters+1, strings.Repeat(" ", 8), iters-1)
-	fmt.Printf("fill overhead: (iter+2)/iter = %.3f\n", float64(iters+2)/float64(iters))
+	total := stages * iters
+	fmt.Printf("\nWhole transform as a fused stage graph (%d stages × %d iterations):\n", stages, iters)
+	fmt.Printf("  fused (default): %d steps — steady state flows through stage boundaries,\n", total+stages+1)
+	fmt.Printf("                   one fill/drain per transform; overhead %.3f\n",
+		float64(total+stages+1)/float64(total))
+	fmt.Printf("  unfused:         %d steps — every stage drains; overhead %.3f\n",
+		total+2*stages, float64(total+2*stages)/float64(total))
 }
 
 func max(a, b int) int {

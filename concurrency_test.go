@@ -1,0 +1,109 @@
+package repro
+
+// Concurrency guarantees of the public plans: a single plan owns shared
+// scratch (work arrays + the double buffer), so concurrent Transforms on
+// one plan serialize on its internal lock rather than corrupting each
+// other, and independent plans run fully in parallel. Run under -race by
+// the ci target.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/cvec"
+)
+
+func TestSharedPlanConcurrentTransforms(t *testing.T) {
+	const k, n, m = 8, 8, 16
+	p, err := NewFFT3D(k, n, m, WithBufferElems(128), WithWorkers(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewFFT3D(k, n, m, WithStrategy("reference"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 4
+	inputs := make([][]complex128, goroutines)
+	wants := make([][]complex128, goroutines)
+	for g := range inputs {
+		inputs[g] = cvec.Random(rand.New(rand.NewSource(int64(g))), k*n*m)
+		wants[g] = make([]complex128, k*n*m)
+		if err := ref.Forward(wants[g], inputs[g]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	diffs := make([]float64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got := make([]complex128, k*n*m)
+			for rep := 0; rep < 3; rep++ {
+				if err := p.Forward(got, inputs[g]); err != nil {
+					errs[g] = err
+					return
+				}
+				if d := cvec.MaxDiff(cvec.Vec(got), cvec.Vec(wants[g])); d > diffs[g] {
+					diffs[g] = d
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if diffs[g] > 1e-9*float64(k*n*m) {
+			t.Fatalf("goroutine %d: shared plan corrupted a transform (diff %g)", g, diffs[g])
+		}
+	}
+}
+
+func TestIndependentPlansRunInParallel(t *testing.T) {
+	sizes := [][3]int{{8, 8, 8}, {8, 8, 16}, {4, 16, 8}, {16, 4, 8}}
+	var wg sync.WaitGroup
+	failures := make([]error, len(sizes))
+	diffs := make([]float64, len(sizes))
+	for i, s := range sizes {
+		wg.Add(1)
+		go func(i int, k, n, m int) {
+			defer wg.Done()
+			p, err := NewFFT3D(k, n, m, WithBufferElems(128), WithWorkers(1, 2))
+			if err != nil {
+				failures[i] = err
+				return
+			}
+			ref, err := NewFFT3D(k, n, m, WithStrategy("reference"))
+			if err != nil {
+				failures[i] = err
+				return
+			}
+			x := cvec.Random(rand.New(rand.NewSource(int64(100+i))), k*n*m)
+			want := make([]complex128, len(x))
+			got := make([]complex128, len(x))
+			if err := ref.Forward(want, x); err != nil {
+				failures[i] = err
+				return
+			}
+			if err := p.Forward(got, x); err != nil {
+				failures[i] = err
+				return
+			}
+			diffs[i] = cvec.MaxDiff(cvec.Vec(got), cvec.Vec(want))
+		}(i, s[0], s[1], s[2])
+	}
+	wg.Wait()
+	for i := range sizes {
+		if failures[i] != nil {
+			t.Fatalf("plan %v: %v", sizes[i], failures[i])
+		}
+		if lim := 1e-9 * float64(sizes[i][0]*sizes[i][1]*sizes[i][2]); diffs[i] > lim {
+			t.Fatalf("plan %v: diff %g", sizes[i], diffs[i])
+		}
+	}
+}

@@ -91,6 +91,20 @@ func WithSplitFormat(on bool) Option {
 	}
 }
 
+// WithStageFusion enables or disables cross-stage pipeline fusion (enabled
+// by default). When on, a doublebuf transform executes as one fused stage
+// graph: the pipeline's steady state flows through every stage boundary —
+// the last stores of one stage overlap the first loads of the next on
+// opposite buffer halves — so the whole transform fills and drains the
+// pipeline once. When off, every stage drains before the next begins (the
+// stage-at-a-time baseline, useful for A/B comparison).
+func WithStageFusion(on bool) Option {
+	return func(c *core.Config) error {
+		c.StageFusion = on
+		return nil
+	}
+}
+
 // WithMachineDefaults applies the paper's parameter rules (buffer = LLC/2,
 // μ = cacheline, half the threads per role) for one of the five described
 // evaluation machines; see Machines for the names.
@@ -155,6 +169,16 @@ func (f *FFT3D) Len() int { return f.p.Len() }
 // Dims returns (k, n, m).
 func (f *FFT3D) Dims() (k, n, m int) { return f.p.Dims() }
 
+// Stats returns whole-transform executor statistics for the most recent
+// doublebuf transform: pipeline steps, aggregate data-mover and compute
+// time, and the fraction of data time hidden behind compute (the zero
+// value before the first transform, or for other strategies).
+func (f *FFT3D) Stats() Stats { return f.p.Stats() }
+
+// DescribeGraph renders the compiled stage graph the plan executes (stage
+// geometry and the fused schedule); empty for non-doublebuf strategies.
+func (f *FFT3D) DescribeGraph() string { return f.p.DescribeGraph() }
+
 // FFT2D is a reusable plan for n×m matrices (row-major).
 type FFT2D struct{ p *core.Plan2D }
 
@@ -185,6 +209,21 @@ func (f *FFT2D) Len() int { return f.p.Len() }
 
 // Dims returns (n, m).
 func (f *FFT2D) Dims() (n, m int) { return f.p.Dims() }
+
+// Stats returns whole-transform executor statistics for the most recent
+// doublebuf transform; see FFT3D.Stats.
+func (f *FFT2D) Stats() Stats { return f.p.Stats() }
+
+// DescribeGraph renders the compiled stage graph the plan executes; empty
+// for non-doublebuf strategies.
+func (f *FFT2D) DescribeGraph() string { return f.p.DescribeGraph() }
+
+// Stats reports whole-transform execution statistics from the stage-graph
+// executor: Steps is the total pipeline step count (a fused S-stage graph
+// runs sum(iters)+S+1 steps instead of sum(iters)+2S), DataTime and
+// ComputeTime aggregate per-step worker time, and Overlap is the fraction
+// of data-mover time hidden behind compute (1 = fully overlapped).
+type Stats = core.Stats
 
 // MachineInfo summarizes one of the paper's evaluation systems.
 type MachineInfo struct {

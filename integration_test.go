@@ -152,8 +152,12 @@ func TestIntegrationTuneAndReplay(t *testing.T) {
 	}
 }
 
-// The full 3D transform under a tracer: every one of the three stages must
-// satisfy the Table II invariants simultaneously.
+// The full 3D transform under a tracer: the three stages execute as one
+// fused stage graph — every event lands on the global fused schedule, the
+// last store of each stage shares a step with the first load of the next
+// (on the opposite buffer half role: store drains half h while the load
+// fills the same half after the data barrier), and the whole transform
+// drains the pipeline exactly once, not once per stage.
 func TestIntegrationFullTransformScheduleInvariants(t *testing.T) {
 	tr := trace.New()
 	p, err := fft3d.NewPlan(8, 8, 16, fft3d.Options{
@@ -168,23 +172,31 @@ func TestIntegrationFullTransformScheduleInvariants(t *testing.T) {
 	if err := p.Transform(y, x, fft1d.Forward); err != nil {
 		t.Fatal(err)
 	}
-	// Stages share step numbers in one recorder; the per-event invariants
-	// (op ↔ iter ↔ buffer-half relations) must still hold for every event.
-	for _, e := range tr.Events() {
-		switch e.Op {
-		case trace.Load:
-			if e.Iter != e.Step || e.Buf != e.Iter%2 {
-				t.Fatalf("load invariant violated: %+v", e)
-			}
-		case trace.Compute:
-			if e.Iter != e.Step-1 || e.Buf != e.Iter%2 {
-				t.Fatalf("compute invariant violated: %+v", e)
-			}
-		case trace.Store:
-			if e.Iter != e.Step-2 || e.Buf != e.Iter%2 {
-				t.Fatalf("store invariant violated: %+v", e)
+	// For 8×8×16 with μ=4 and b=128: stage 1 streams 64 pencils 8 rows at a
+	// time, stages 2 and 3 stream 32 units 4 at a time — 8 iterations each.
+	iters := []int{8, 8, 8}
+	if err := tr.CheckStageGraph(iters, true); err != nil {
+		t.Fatal(err)
+	}
+	// Fused boundaries: store(stage s, last iter) and load(stage s+1, 0)
+	// share a pipeline step.
+	step := func(stage, iter int, op trace.Op) int {
+		for _, e := range tr.Events() {
+			if e.Stage == stage && e.Iter == iter && e.Op == op {
+				return e.Step
 			}
 		}
+		t.Fatalf("no event stage=%d iter=%d op=%v", stage, iter, op)
+		return -1
+	}
+	for s := 0; s < len(iters)-1; s++ {
+		if st, ld := step(s, iters[s]-1, trace.Store), step(s+1, 0, trace.Load); st != ld {
+			t.Fatalf("boundary %d→%d not fused: last store at step %d, first load at step %d", s, s+1, st, ld)
+		}
+	}
+	// One drain for the whole transform, not one per stage.
+	if d := tr.DrainCount(); d != 1 {
+		t.Fatalf("fused 3-stage transform drained %d times, want 1", d)
 	}
 	if f := tr.OverlapFraction(); f <= 0 {
 		t.Fatal("no overlap recorded across the full transform")

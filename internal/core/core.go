@@ -16,6 +16,7 @@ import (
 	"repro/internal/fft2d"
 	"repro/internal/fft3d"
 	"repro/internal/machine"
+	"repro/internal/stagegraph"
 	"repro/internal/trace"
 )
 
@@ -36,7 +37,12 @@ type Config struct {
 	ComputeWorkers int
 	Workers        int
 	SplitFormat    bool
-	Tracer         *trace.Recorder
+	// StageFusion runs every transform as one fused stage graph (steady
+	// state flows through stage boundaries; one pipeline drain per
+	// transform). Default() and ForMachine() enable it; disable for the
+	// stage-at-a-time A/B baseline.
+	StageFusion bool
+	Tracer      *trace.Recorder
 }
 
 // Default returns the configuration this host would use: the paper's
@@ -55,6 +61,7 @@ func Default() Config {
 		ComputeWorkers: pd,
 		Workers:        threads,
 		SplitFormat:    true,
+		StageFusion:    true,
 	}
 }
 
@@ -74,6 +81,7 @@ func ForMachine(m machine.Machine) Config {
 		ComputeWorkers: pairs,
 		Workers:        m.Threads(),
 		SplitFormat:    true,
+		StageFusion:    true,
 	}
 }
 
@@ -85,7 +93,8 @@ func (c Config) fft3dOptions() (fft3d.Options, error) {
 	return fft3d.Options{
 		Strategy: s, Mu: c.Mu, BufferElems: c.BufferElems,
 		DataWorkers: c.DataWorkers, ComputeWorkers: c.ComputeWorkers,
-		Workers: c.Workers, SplitFormat: c.SplitFormat, Tracer: c.Tracer,
+		Workers: c.Workers, SplitFormat: c.SplitFormat,
+		Unfused: !c.StageFusion, Tracer: c.Tracer,
 	}, nil
 }
 
@@ -97,7 +106,8 @@ func (c Config) fft2dOptions() (fft2d.Options, error) {
 	return fft2d.Options{
 		Strategy: s, Mu: c.Mu, BufferElems: c.BufferElems,
 		DataWorkers: c.DataWorkers, ComputeWorkers: c.ComputeWorkers,
-		Workers: c.Workers, SplitFormat: c.SplitFormat, Tracer: c.Tracer,
+		Workers: c.Workers, SplitFormat: c.SplitFormat,
+		Unfused: !c.StageFusion, Tracer: c.Tracer,
 	}, nil
 }
 
@@ -223,3 +233,24 @@ func (p *Plan2D) Len() int { return p.n * p.m }
 
 // Dims returns (n, m).
 func (p *Plan2D) Dims() (int, int) { return p.n, p.m }
+
+// Stats is the whole-transform executor statistics of a DoubleBuf plan:
+// total pipeline steps, aggregate data-mover and compute time, and the
+// fraction of data time hidden behind compute.
+type Stats = stagegraph.Stats
+
+// Stats returns the executor statistics of the most recent DoubleBuf
+// transform (zero value before the first, or for other strategies).
+func (p *Plan3D) Stats() Stats { return p.plan.Stats() }
+
+// DescribeGraph renders the compiled stage graph the plan executes; empty
+// for non-DoubleBuf strategies.
+func (p *Plan3D) DescribeGraph() string { return p.plan.DescribeGraph() }
+
+// Stats returns the executor statistics of the most recent DoubleBuf
+// transform (zero value before the first, or for other strategies).
+func (p *Plan2D) Stats() Stats { return p.plan.Stats() }
+
+// DescribeGraph renders the compiled stage graph the plan executes; empty
+// for non-DoubleBuf strategies.
+func (p *Plan2D) DescribeGraph() string { return p.plan.DescribeGraph() }

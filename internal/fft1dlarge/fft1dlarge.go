@@ -8,19 +8,24 @@
 //	DFT_N = L_{n1}^{N} (I_{n2} ⊗ DFT_{n1}) L_{n2}^{N} D_{n2}^{N} (I_{n1} ⊗ DFT_{n2}) L_{n1}^{N},
 //
 // in which every FFT runs over contiguous rows and all data movement is
-// three stride permutations. Each permutation executes as a pipelined
-// stage: data workers stream whole rows into the double buffer, compute
-// workers run the batched row FFTs (plus the twiddle scaling), the row
-// group is transposed in cache, and the store writes whole column blocks —
-// so main memory sees only contiguous reads and block-granular writes,
-// the same access discipline as the paper's multi-dimensional stages.
+// three stride permutations. The three permutations compile into one
+// three-stage graph executed by the shared stagegraph engine: data workers
+// stream whole rows into the double buffer, compute workers run the batched
+// row FFTs (plus the twiddle scaling) and transpose the row group in cache
+// into the staging half, and the store writes whole column blocks — so main
+// memory sees only contiguous reads and block-granular writes, the same
+// access discipline as the paper's multi-dimensional stages. With fusion
+// (the default) the whole 1D transform is a single pipeline that drains
+// once, not three back-to-back passes.
 package fft1dlarge
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/fft1d"
-	"repro/internal/pipeline"
+	"repro/internal/stagegraph"
+	"repro/internal/trace"
 	"repro/internal/twiddle"
 )
 
@@ -35,6 +40,11 @@ type Options struct {
 	// in-cache 1D FFT (default 1<<12 — smaller transforms fit in cache
 	// and gain nothing from streaming).
 	MinN int
+	// Unfused disables cross-stage pipeline fusion (each permutation
+	// drains the pipeline before the next begins); fusion is the default.
+	Unfused bool
+	// Tracer records pipeline events for schedule verification.
+	Tracer *trace.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -62,9 +72,11 @@ type Plan struct {
 
 	opts Options
 
-	w1, w2 []complex128    // full-size intermediates
-	bufs   [2][]complex128 // pipeline halves (load target / compute)
-	tbufs  [2][]complex128 // transposed halves (store source)
+	w1, w2 []complex128 // full-size intermediates
+	bufs   *stagegraph.Buffers
+
+	lock      sync.Mutex // w1/w2/bufs are shared scratch
+	lastStats stagegraph.Stats
 }
 
 // NewPlan builds a large-1D plan for size n ≥ 1.
@@ -92,10 +104,7 @@ func NewPlan(n int, opts Options) (*Plan, error) {
 	if b > n {
 		b = n
 	}
-	for h := 0; h < 2; h++ {
-		p.bufs[h] = make([]complex128, b)
-		p.tbufs[h] = make([]complex128, b)
-	}
+	p.bufs = stagegraph.NewBuffers(b, false, true)
 	return p, nil
 }
 
@@ -135,72 +144,92 @@ func (p *Plan) Transform(dst, src []complex128, sign int) error {
 		p.direct.Transform(dst, src, sign)
 		return nil
 	}
-	// Stage 1: w1 = L_{n1}^{N} src (transpose n2×n1 → n1×n2, no compute).
-	if err := p.transposeStage(p.w1, src, p.n2, p.n1, nil, sign, false); err != nil {
+	p.lock.Lock()
+	defer p.lock.Unlock()
+	st, err := stagegraph.Run(stagegraph.Config{
+		DataWorkers:    p.opts.DataWorkers,
+		ComputeWorkers: p.opts.ComputeWorkers,
+		Fused:          !p.opts.Unfused,
+		Tracer:         p.opts.Tracer,
+	}, p.bufs, p.buildStages(dst, src, sign))
+	if err != nil {
 		return err
 	}
-	// Stage 2: w2 = L_{n2}^{N} D_{n2}^{N} (I_{n1} ⊗ DFT_{n2}) w1
-	// (row FFTs of length n2 with twiddles, transpose n1×n2 → n2×n1).
-	if err := p.transposeStage(p.w2, p.w1, p.n1, p.n2, p.p2, sign, true); err != nil {
-		return err
-	}
-	// Stage 3: dst = L_{n1}^{N} (I_{n2} ⊗ DFT_{n1}) w2
-	// (row FFTs of length n1, transpose n2×n1 → n1×n2: natural order).
-	return p.transposeStage(dst, p.w2, p.n2, p.n1, p.p1, sign, false)
+	p.lastStats = st
+	return nil
 }
 
-// transposeStage runs one pipelined pass over the rows×cols row-major
-// matrix src: load contiguous row groups, optionally apply rowPlan to every
-// row (scaling row j by ω_N^{j·i} when twiddles is set), transpose the
-// group in cache, and store whole column blocks into the cols×rows matrix
-// dst.
-func (p *Plan) transposeStage(dst, src []complex128, rows, cols int, rowPlan *fft1d.Plan, sign int, twiddles bool) error {
-	b := len(p.bufs[0])
-	rPer := largestDivisorAtMost(rows, maxI(b/cols, 1))
-	blk := rPer * cols
-	iters := rows / rPer
+// Stats returns the whole-transform executor stats of the most recent
+// Transform (zero value before the first, or for the direct fallback).
+func (p *Plan) Stats() stagegraph.Stats {
+	p.lock.Lock()
+	defer p.lock.Unlock()
+	return p.lastStats
+}
 
-	h := pipeline.Hooks{
-		Load: func(iter, buf, worker, workers int) {
-			lo, hi := pipeline.PartitionBlocks(rPer, cols, worker, workers)
-			copy(p.bufs[buf][lo:hi], src[iter*blk+lo:iter*blk+hi])
-		},
-		Compute: func(iter, buf, worker, workers int) {
-			half := p.bufs[buf][:blk]
-			thalf := p.tbufs[buf][:blk]
-			lo, hi := pipeline.Partition(rPer, worker, workers)
+// DescribeGraph renders the compiled stage graph the plan would execute;
+// empty for the direct fallback.
+func (p *Plan) DescribeGraph() string {
+	if p.direct != nil {
+		return ""
+	}
+	return stagegraph.Describe(p.buildStages(nil, nil, fft1d.Forward), !p.opts.Unfused)
+}
+
+// buildStages compiles the six-step factorization into a three-stage graph:
+//
+//	stage 1: w1  = L_{n1}^{N} src                      (pure transpose)
+//	stage 2: w2  = L_{n2}^{N} D (I_{n1} ⊗ DFT_{n2}) w1 (row FFTs + twiddles)
+//	stage 3: dst = L_{n1}^{N} (I_{n2} ⊗ DFT_{n1}) w2   (row FFTs)
+//
+// Endpoints may be nil when only describing the graph.
+func (p *Plan) buildStages(dst, src []complex128, sign int) []stagegraph.Stage {
+	return []stagegraph.Stage{
+		p.transposeStage("reorder", p.w1, src, p.n2, p.n1, nil, sign, false),
+		p.transposeStage("n2-rows", p.w2, p.w1, p.n1, p.n2, p.p2, sign, true),
+		p.transposeStage("n1-rows", dst, p.w2, p.n2, p.n1, p.p1, sign, false),
+	}
+}
+
+// transposeStage compiles one stride-permutation pass over the rows×cols
+// row-major matrix src into a Stage: load contiguous row groups, optionally
+// apply rowPlan to every row (scaling row j by ω_N^{j·i} when twiddles is
+// set), transpose the group in cache into the staging half, and store whole
+// column blocks into the cols×rows matrix dst.
+func (p *Plan) transposeStage(name string, dst, src []complex128, rows, cols int, rowPlan *fft1d.Plan, sign int, twiddles bool) stagegraph.Stage {
+	rPer := largestDivisorAtMost(rows, maxI(p.bufs.Elems/cols, 1))
+	return stagegraph.Stage{
+		Name: name, Iters: rows / rPer, Units: rPer, UnitLen: cols,
+		Src: stagegraph.Endpoint{C: src},
+		Dst: stagegraph.Endpoint{C: dst},
+		Compute: func(b *stagegraph.Buffers, half, iter, lo, hi int) {
+			blk := rPer * cols
+			rowsHalf := b.C[half][:blk]
+			thalf := b.T[half][:blk]
 			for r := lo; r < hi; r++ {
-				row := half[r*cols : (r+1)*cols]
+				row := rowsHalf[r*cols : (r+1)*cols]
 				if rowPlan != nil {
 					rowPlan.InPlace(row, sign)
 					if twiddles {
 						twiddleRow(row, iter*rPer+r, p.n, sign)
 					}
 				}
-				// Transpose this row into the column-major half.
+				// Transpose this row into the column-major staging half.
 				for c := 0; c < cols; c++ {
 					thalf[c*rPer+r] = row[c]
 				}
 			}
 		},
-		Store: func(iter, buf, worker, workers int) {
-			// Column c's rPer elements land at dst[c·rows + iter·rPer]:
-			// one contiguous block per column.
-			thalf := p.tbufs[buf][:blk]
-			lo, hi := pipeline.Partition(cols, worker, workers)
-			base := iter * rPer
-			for c := lo; c < hi; c++ {
-				copy(dst[c*rows+base:c*rows+base+rPer], thalf[c*rPer:(c+1)*rPer])
-			}
-		},
+		// Store column c of iteration it as one contiguous rPer-element
+		// block at dst[c·rows + it·rPer], read from the staging half.
+		StoreFromStaging: true,
+		StoreUnits:       cols, StoreLen: rPer,
+		Rot: stagegraph.Rotation{Blocks: 1, BlockLen: rPer,
+			Map: func(g, _ int) int {
+				it, c := g/cols, g%cols
+				return c*rows + it*rPer
+			}},
 	}
-	cfg := pipeline.Config{
-		Iters:          iters,
-		DataWorkers:    p.opts.DataWorkers,
-		ComputeWorkers: p.opts.ComputeWorkers,
-	}
-	_, err := pipeline.Run(cfg, h)
-	return err
 }
 
 // twiddleRow scales row j by ω_N^{j·i} for i = 0..len-1 (conjugated for the

@@ -1,0 +1,96 @@
+package fft1dlarge
+
+import (
+	"testing"
+
+	"repro/internal/cvec"
+	"repro/internal/fft1d"
+)
+
+// The six-step transform runs as one fused three-stage graph; with fusion
+// off every permutation drains separately. Both must match the direct FFT
+// and each other exactly — across odd composite sizes, buffer sizes and
+// worker splits.
+func TestFusionEquivalence(t *testing.T) {
+	sizes := []int{105, 360, 1155, 4096} // 105 = 3·5·7, 1155 = 3·5·7·11
+	splits := [][2]int{{1, 1}, {2, 2}, {1, 3}}
+	for _, n := range sizes {
+		for _, w := range splits {
+			for _, b := range []int{64, 512} {
+				x := randVec(int64(n+b), n)
+				want := make([]complex128, n)
+				fft1d.NewPlan(n).Transform(want, x, fft1d.Forward)
+				var outs [2][]complex128
+				for i, unfused := range []bool{false, true} {
+					p, err := NewPlan(n, Options{
+						MinN: 16, BufferElems: b,
+						DataWorkers: w[0], ComputeWorkers: w[1],
+						Unfused: unfused,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					outs[i] = make([]complex128, n)
+					if err := p.Transform(outs[i], x, fft1d.Forward); err != nil {
+						t.Fatal(err)
+					}
+					if d := cvec.MaxDiff(cvec.Vec(outs[i]), cvec.Vec(want)); d > tol*float64(n) {
+						t.Errorf("n=%d b=%d p=%v unfused=%v: diff vs direct %g",
+							n, b, w, unfused, d)
+					}
+				}
+				for i := range outs[0] {
+					if outs[0][i] != outs[1][i] {
+						t.Fatalf("n=%d b=%d p=%v: fused/unfused outputs differ at %d",
+							n, b, w, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The whole six-step transform is one pipeline: stats report 3 stages and
+// fusion saves exactly S-1 = 2 steps.
+func TestFusionStatsSteps(t *testing.T) {
+	steps := func(unfused bool) int {
+		p, err := NewPlan(1<<12, Options{
+			MinN: 16, BufferElems: 256, Unfused: unfused,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randVec(3, p.N())
+		y := make([]complex128, p.N())
+		if err := p.Transform(y, x, fft1d.Forward); err != nil {
+			t.Fatal(err)
+		}
+		st := p.Stats()
+		if st.Stages != 3 || st.Steps == 0 {
+			t.Fatalf("unexpected stats %+v", st)
+		}
+		return st.Steps
+	}
+	if f, u := steps(false), steps(true); u-f != 2 {
+		t.Fatalf("fused %d steps, unfused %d, want a saving of exactly 2", f, u)
+	}
+}
+
+// DescribeGraph documents the compiled plan (and is empty for the direct
+// fallback).
+func TestDescribeGraph(t *testing.T) {
+	p, err := NewPlan(1<<12, Options{MinN: 16, BufferElems: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := p.DescribeGraph(); d == "" {
+		t.Fatal("expected a graph description")
+	}
+	small, err := NewPlan(8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := small.DescribeGraph(); d != "" {
+		t.Fatalf("direct fallback should have no graph, got %q", d)
+	}
+}

@@ -20,9 +20,11 @@ package fft2d
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/fft1d"
 	"repro/internal/pipeline"
+	"repro/internal/stagegraph"
 	"repro/internal/trace"
 )
 
@@ -70,6 +72,10 @@ type Options struct {
 	// (split) format with fused format changes in the first load and last
 	// store, as in §IV-A.
 	SplitFormat bool
+	// Unfused disables cross-stage pipeline fusion: each stage drains the
+	// pipeline before the next begins, as if run by a separate engine
+	// invocation (the A/B baseline; fusion is on by default).
+	Unfused bool
 	// Tracer records pipeline events for schedule verification.
 	Tracer *trace.Recorder
 }
@@ -101,16 +107,19 @@ type Plan struct {
 	rowPlan *fft1d.Plan // DFT_m
 	colPlan *fft1d.Plan // DFT_n
 
-	// DoubleBuf state.
+	// DoubleBuf state. The work arrays and double buffer are shared
+	// scratch, so DoubleBuf transforms serialize on lock (the plan stays
+	// safe for concurrent use; independent plans run fully in parallel).
 	mb     int // m/μ
 	rows1  int // rows per stage-1 block
 	xbs2   int // xb-rows per stage-2 block
 	work   []complex128
 	workRe []float64
 	workIm []float64
-	bufs   [2][]complex128
-	bufsRe [2][]float64
-	bufsIm [2][]float64
+	bufs   *stagegraph.Buffers
+
+	lock      sync.Mutex
+	lastStats stagegraph.Stats
 }
 
 // NewPlan validates the size and options and precomputes 1D sub-plans.
@@ -133,19 +142,13 @@ func NewPlan(n, m int, opts Options) (*Plan, error) {
 		p.rows1 = largestDivisorAtMost(n, max(1, opts.BufferElems/m))
 		p.xbs2 = largestDivisorAtMost(p.mb, max(1, opts.BufferElems/(n*mu)))
 		b := max(p.rows1*m, p.xbs2*n*mu)
-		p.work = make([]complex128, n*m)
 		if opts.SplitFormat {
 			p.workRe = make([]float64, n*m)
 			p.workIm = make([]float64, n*m)
-			for h := 0; h < 2; h++ {
-				p.bufsRe[h] = make([]float64, b)
-				p.bufsIm[h] = make([]float64, b)
-			}
 		} else {
-			for h := 0; h < 2; h++ {
-				p.bufs[h] = make([]complex128, b)
-			}
+			p.work = make([]complex128, n*m)
 		}
+		p.bufs = stagegraph.NewBuffers(b, opts.SplitFormat, false)
 	}
 	return p, nil
 }
@@ -179,12 +182,27 @@ func (p *Plan) Transform(dst, src []complex128, sign int) error {
 	case Pencil:
 		return p.pencil(dst, src, sign)
 	case DoubleBuf:
-		if p.opts.SplitFormat {
-			return p.doubleBufSplit(dst, src, sign)
-		}
 		return p.doubleBuf(dst, src, sign)
 	}
 	return fmt.Errorf("fft2d: unknown strategy %v", p.opts.Strategy)
+}
+
+// Stats returns the whole-transform executor stats of the most recent
+// DoubleBuf transform (zero value before the first, or for other
+// strategies).
+func (p *Plan) Stats() stagegraph.Stats {
+	p.lock.Lock()
+	defer p.lock.Unlock()
+	return p.lastStats
+}
+
+// DescribeGraph renders the compiled stage graph the plan would execute;
+// empty for non-DoubleBuf strategies.
+func (p *Plan) DescribeGraph() string {
+	if p.opts.Strategy != DoubleBuf {
+		return ""
+	}
+	return stagegraph.Describe(p.buildStages(nil, nil, fft1d.Forward), !p.opts.Unfused)
 }
 
 // InPlace computes x = DFT_{n×m}(x) using the plan's work array.

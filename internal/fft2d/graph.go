@@ -1,0 +1,87 @@
+package fft2d
+
+import (
+	"repro/internal/stagegraph"
+)
+
+// buildStages compiles the plan's two-stage SPL factorization into a stage
+// graph. Stage 1 reads src and produces the blocked-transposed
+// intermediate in the work array; stage 2 reads the intermediate and
+// produces dst in the original row-major layout. Both stages load
+// contiguous blocks, compute contiguous pencils, and store at cacheline
+// granularity; in split format the stage-1 load fuses the
+// interleaved→split conversion and the stage-2 store fuses split→
+// interleaved (§IV-A). Endpoints may be nil when only describing.
+func (p *Plan) buildStages(dst, src []complex128, sign int) []stagegraph.Stage {
+	n, m, mu, mb := p.n, p.m, p.opts.Mu, p.mb
+	rows, xbs := p.rows1, p.xbs2
+	rowLen := n * mu
+
+	// ---- Stage 1: (L_{m/μ}^{mn/μ} ⊗ I_μ) (I_n ⊗ DFT_m) ----
+	s1 := stagegraph.Stage{
+		Name: "rows", Iters: n / rows, Units: rows, UnitLen: m,
+		Src: stagegraph.Endpoint{C: src},
+		// Blocked transpose: buffer row r (global row g), block xb →
+		// work[(xb·n + g)·μ …].
+		Rot: stagegraph.Rotation{Blocks: mb, BlockLen: mu,
+			Map: func(g, xb int) int { return (xb*n + g) * mu }},
+	}
+	// ---- Stage 2: (L_n^{mn/μ} ⊗ I_μ) (I_{m/μ} ⊗ DFT_n ⊗ I_μ) ----
+	s2 := stagegraph.Stage{
+		Name: "cols", Iters: mb / xbs, Units: xbs, UnitLen: rowLen,
+		Dst: stagegraph.Endpoint{C: dst},
+		// Transpose back: buffer xb-row (global block-column g), row r →
+		// dst[(r·mb + g)·μ …] = original row-major layout.
+		Rot: stagegraph.Rotation{Blocks: n, BlockLen: mu,
+			Map: func(g, r int) int { return (r*mb + g) * mu }},
+	}
+
+	if p.opts.SplitFormat {
+		s1.Dst = stagegraph.Endpoint{Re: p.workRe, Im: p.workIm}
+		s2.Src = stagegraph.Endpoint{Re: p.workRe, Im: p.workIm}
+		s1.Compute = func(b *stagegraph.Buffers, half, iter, lo, hi int) {
+			if lo < hi {
+				p.rowPlan.BatchSplit(b.Re[half][lo*m:hi*m], b.Im[half][lo*m:hi*m], hi-lo, sign)
+			}
+		}
+		s2.Compute = func(b *stagegraph.Buffers, half, iter, lo, hi int) {
+			for xb := lo; xb < hi; xb++ {
+				s, e := xb*rowLen, (xb+1)*rowLen
+				p.colPlan.InPlaceLanesSplit(b.Re[half][s:e], b.Im[half][s:e], mu, sign)
+			}
+		}
+	} else {
+		s1.Dst = stagegraph.Endpoint{C: p.work}
+		s2.Src = stagegraph.Endpoint{C: p.work}
+		s1.Compute = func(b *stagegraph.Buffers, half, iter, lo, hi int) {
+			if lo < hi {
+				p.rowPlan.Batch(b.C[half][lo*m:hi*m], hi-lo, sign)
+			}
+		}
+		s2.Compute = func(b *stagegraph.Buffers, half, iter, lo, hi int) {
+			for xb := lo; xb < hi; xb++ {
+				p.colPlan.InPlaceLanes(b.C[half][xb*rowLen:(xb+1)*rowLen], mu, sign)
+			}
+		}
+	}
+	return []stagegraph.Stage{s1, s2}
+}
+
+// doubleBuf executes the compiled two-stage graph through the shared
+// executor, fusing the stage boundary unless the plan is configured
+// unfused.
+func (p *Plan) doubleBuf(dst, src []complex128, sign int) error {
+	p.lock.Lock()
+	defer p.lock.Unlock()
+	st, err := stagegraph.Run(stagegraph.Config{
+		DataWorkers:    p.opts.DataWorkers,
+		ComputeWorkers: p.opts.ComputeWorkers,
+		Fused:          !p.opts.Unfused,
+		Tracer:         p.opts.Tracer,
+	}, p.bufs, p.buildStages(dst, src, sign))
+	if err != nil {
+		return err
+	}
+	p.lastStats = st
+	return nil
+}

@@ -21,9 +21,11 @@ package fft3d
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/fft1d"
 	"repro/internal/pipeline"
+	"repro/internal/stagegraph"
 	"repro/internal/trace"
 )
 
@@ -71,6 +73,10 @@ type Options struct {
 	// SplitFormat runs the DoubleBuf compute stages in block-interleaved
 	// format with fused conversions at the boundary stages (§IV-A).
 	SplitFormat bool
+	// Unfused disables cross-stage pipeline fusion: each stage drains the
+	// pipeline before the next begins, as if run by a separate engine
+	// invocation (the A/B baseline; fusion is on by default).
+	Unfused bool
 	// Tracer records pipeline events.
 	Tracer *trace.Recorder
 }
@@ -109,14 +115,18 @@ type Plan struct {
 	units2 int // (xb,z) n·μ-units per stage-2 block
 	units3 int // (y,xb) k·μ-units per stage-3 block
 
+	// The work arrays and double buffer are shared scratch, so DoubleBuf
+	// transforms serialize on lock (the plan stays safe for concurrent
+	// use; independent plans run fully in parallel).
 	work   []complex128
 	workRe []float64
 	workIm []float64
 	wrk2Re []float64
 	wrk2Im []float64
-	bufs   [2][]complex128
-	bufsRe [2][]float64
-	bufsIm [2][]float64
+	bufs   *stagegraph.Buffers
+
+	lock      sync.Mutex
+	lastStats stagegraph.Stats
 }
 
 // NewPlan validates the size and options and precomputes sub-plans.
@@ -143,16 +153,10 @@ func NewPlan(k, n, m int, opts Options) (*Plan, error) {
 			p.workIm = make([]float64, total)
 			p.wrk2Re = make([]float64, total)
 			p.wrk2Im = make([]float64, total)
-			for h := 0; h < 2; h++ {
-				p.bufsRe[h] = make([]float64, b)
-				p.bufsIm[h] = make([]float64, b)
-			}
 		} else {
 			p.work = make([]complex128, total)
-			for h := 0; h < 2; h++ {
-				p.bufs[h] = make([]complex128, b)
-			}
 		}
+		p.bufs = stagegraph.NewBuffers(b, opts.SplitFormat, false)
 	}
 	return p, nil
 }
@@ -190,12 +194,27 @@ func (p *Plan) Transform(dst, src []complex128, sign int) error {
 		copy(dst, src)
 		return p.slabInPlace(dst, sign)
 	case DoubleBuf:
-		if p.opts.SplitFormat {
-			return p.doubleBufSplit(dst, src, sign)
-		}
 		return p.doubleBuf(dst, src, sign)
 	}
 	return fmt.Errorf("fft3d: unknown strategy %v", p.opts.Strategy)
+}
+
+// Stats returns the whole-transform executor stats of the most recent
+// DoubleBuf transform (zero value before the first, or for other
+// strategies).
+func (p *Plan) Stats() stagegraph.Stats {
+	p.lock.Lock()
+	defer p.lock.Unlock()
+	return p.lastStats
+}
+
+// DescribeGraph renders the compiled stage graph the plan would execute;
+// empty for non-DoubleBuf strategies.
+func (p *Plan) DescribeGraph() string {
+	if p.opts.Strategy != DoubleBuf {
+		return ""
+	}
+	return stagegraph.Describe(p.buildStages(nil, nil, fft1d.Forward), !p.opts.Unfused)
 }
 
 // InPlace computes x = DFT_{k×n×m}(x).

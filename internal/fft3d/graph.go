@@ -1,0 +1,132 @@
+package fft3d
+
+import (
+	"repro/internal/fft1d"
+	"repro/internal/stagegraph"
+)
+
+// buildStages compiles the plan's three-stage SPL factorization into a
+// stage graph.
+//
+// Interleaved array flow: stage 1 src→dst, stage 2 dst→work, stage 3
+// work→dst, so the input is preserved and only one internal work array is
+// needed. The fused schedule keeps this safe: stage 3's first store runs
+// strictly after stage 2's last load of dst (see stagegraph.BuildSchedule).
+// Split-format flow: stage 1 src→(workRe/Im) with a fused deinterleave in
+// the load; stage 2 (workRe/Im)→(wrk2Re/Im); stage 3 (wrk2Re/Im)→dst with
+// a fused interleave in the store — the middle stages never touch
+// interleaved data (§IV-A).
+//
+// Intermediate layouts (all row-major, μ-element blocks as atoms):
+//
+//	after stage 1: (m/μ) × k × n × μ   blocks (xb, z, y)
+//	after stage 2: n × (m/μ) × k × μ   blocks (y, xb, z)
+//	after stage 3: k × n × (m/μ) × μ   = original k×n×m
+//
+// Endpoints may be nil when only describing the graph.
+func (p *Plan) buildStages(dst, src []complex128, sign int) []stagegraph.Stage {
+	k, n, mu, mb := p.k, p.n, p.opts.Mu, p.mb
+	m := p.m
+	rows, units2, units3 := p.rows1, p.units2, p.units3
+
+	// ---- Stage 1: (K_{m/μ}^{k,n} ⊗ I_μ) (I_{kn} ⊗ DFT_m) ----
+	s1 := stagegraph.Stage{
+		Name: "x-pencils", Iters: k * n / rows, Units: rows, UnitLen: m,
+		// Pencil g = z·n + y goes to blocks (xb, z, y).
+		Rot: stagegraph.Rotation{Blocks: mb, BlockLen: mu,
+			Map: func(g, xb int) int {
+				z, y := g/n, g%n
+				return ((xb*k+z)*n + y) * mu
+			}},
+	}
+	// ---- Stage 2: (K_n^{m/μ,k} ⊗ I_μ) (I_{mk/μ} ⊗ DFT_n ⊗ I_μ) ----
+	s2 := stagegraph.Stage{
+		Name: "y-pencils", Iters: mb * k / units2, Units: units2, UnitLen: n * mu,
+		// Unit h = xb·k + z goes to blocks (y, xb, z).
+		Rot: stagegraph.Rotation{Blocks: n, BlockLen: mu,
+			Map: func(g, y int) int {
+				xb, z := g/k, g%k
+				return ((y*mb+xb)*k + z) * mu
+			}},
+	}
+	// ---- Stage 3: (K_k^{n,m/μ} ⊗ I_μ) (I_{nm/μ} ⊗ DFT_k ⊗ I_μ) ----
+	s3 := stagegraph.Stage{
+		Name: "z-pencils", Iters: n * mb / units3, Units: units3, UnitLen: k * mu,
+		// Unit q = y·mb + xb goes to blocks (z, y, xb): the original
+		// row-major layout.
+		Rot: stagegraph.Rotation{Blocks: k, BlockLen: mu,
+			Map: func(g, z int) int {
+				y, xb := g/mb, g%mb
+				return ((z*n+y)*mb + xb) * mu
+			}},
+	}
+
+	if p.opts.SplitFormat {
+		s1.Src = stagegraph.Endpoint{C: src}
+		s1.Dst = stagegraph.Endpoint{Re: p.workRe, Im: p.workIm}
+		s2.Src = stagegraph.Endpoint{Re: p.workRe, Im: p.workIm}
+		s2.Dst = stagegraph.Endpoint{Re: p.wrk2Re, Im: p.wrk2Im}
+		s3.Src = stagegraph.Endpoint{Re: p.wrk2Re, Im: p.wrk2Im}
+		s3.Dst = stagegraph.Endpoint{C: dst}
+		s1.Compute = func(b *stagegraph.Buffers, half, iter, lo, hi int) {
+			if lo < hi {
+				p.planM.BatchSplit(b.Re[half][lo*m:hi*m], b.Im[half][lo*m:hi*m], hi-lo, sign)
+			}
+		}
+		s2.Compute = lanesSplit(p.planN, n*mu, mu, sign)
+		s3.Compute = lanesSplit(p.planK, k*mu, mu, sign)
+	} else {
+		s1.Src = stagegraph.Endpoint{C: src}
+		s1.Dst = stagegraph.Endpoint{C: dst}
+		s2.Src = stagegraph.Endpoint{C: dst}
+		s2.Dst = stagegraph.Endpoint{C: p.work}
+		s3.Src = stagegraph.Endpoint{C: p.work}
+		s3.Dst = stagegraph.Endpoint{C: dst}
+		s1.Compute = func(b *stagegraph.Buffers, half, iter, lo, hi int) {
+			if lo < hi {
+				p.planM.Batch(b.C[half][lo*m:hi*m], hi-lo, sign)
+			}
+		}
+		s2.Compute = lanes(p.planN, n*mu, mu, sign)
+		s3.Compute = lanes(p.planK, k*mu, mu, sign)
+	}
+	return []stagegraph.Stage{s1, s2, s3}
+}
+
+// lanes returns a compute hook applying plan ⊗ I_μ over every unit of
+// unitLen elements in the worker's range.
+func lanes(plan *fft1d.Plan, unitLen, mu, sign int) stagegraph.ComputeFn {
+	return func(b *stagegraph.Buffers, half, iter, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			plan.InPlaceLanes(b.C[half][u*unitLen:(u+1)*unitLen], mu, sign)
+		}
+	}
+}
+
+func lanesSplit(plan *fft1d.Plan, unitLen, mu, sign int) stagegraph.ComputeFn {
+	return func(b *stagegraph.Buffers, half, iter, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			s, e := u*unitLen, (u+1)*unitLen
+			plan.InPlaceLanesSplit(b.Re[half][s:e], b.Im[half][s:e], mu, sign)
+		}
+	}
+}
+
+// doubleBuf executes the compiled three-stage graph through the shared
+// executor: one pipeline that flows through both stage boundaries (a
+// single drain per transform) unless the plan is configured unfused.
+func (p *Plan) doubleBuf(dst, src []complex128, sign int) error {
+	p.lock.Lock()
+	defer p.lock.Unlock()
+	st, err := stagegraph.Run(stagegraph.Config{
+		DataWorkers:    p.opts.DataWorkers,
+		ComputeWorkers: p.opts.ComputeWorkers,
+		Fused:          !p.opts.Unfused,
+		Tracer:         p.opts.Tracer,
+	}, p.bufs, p.buildStages(dst, src, sign))
+	if err != nil {
+		return err
+	}
+	p.lastStats = st
+	return nil
+}

@@ -6,7 +6,7 @@ import (
 
 	"repro/internal/fft1d"
 	"repro/internal/numa"
-	"repro/internal/pipeline"
+	"repro/internal/stagegraph"
 )
 
 // DistPlan is the paper's dual-socket (general multi-socket) 3D FFT
@@ -23,6 +23,14 @@ import (
 //	C: (y,xb)-partitioned pillars: unit q = y·mb+xb holds k×μ contiguous;
 //	   socket s owns q ∈ [s·n·mb/sk, (s+1)·n·mb/sk).
 //
+// Each socket compiles its slab's work into a stage graph and executes it
+// through the shared stagegraph executor. Stages 1 and 2 fuse per socket —
+// stage 1's rotation (W¹) is entirely NUMA-local, so socket s's stage-2
+// loads depend only on socket s's own stage-1 stores and the intra-socket
+// store-before-load ordering suffices. The stage-2 stores scatter across
+// all sockets, so a global barrier separates them from stage 3, which runs
+// as a second per-socket graph.
+//
 // Setting sockets = 1 reduces every write matrix to its single-socket form
 // (Table III: "By setting the number of sockets equal to sk = 1, the
 // implementation defaults to the single-socket implementation").
@@ -36,11 +44,13 @@ type DistPlan struct {
 	planM, planN, planK *fft1d.Plan
 
 	sys  *numa.System
-	bIm  *numa.Distributed // intermediate B
-	cIm  *numa.Distributed // intermediate C
-	bufs [][2][]complex128 // per-socket double buffers
+	bIm  *numa.Distributed     // intermediate B
+	cIm  *numa.Distributed     // intermediate C
+	bufs []*stagegraph.Buffers // per-socket double buffers
 
 	rows1, units2, units3 int
+
+	lock sync.Mutex // serializes Transform: bufs/bIm/cIm are shared scratch
 
 	// StageTraffic records, for the most recent Transform, the local and
 	// cross-interconnect bytes written by each stage.
@@ -94,10 +104,9 @@ func NewDistPlan(k, n, m, sockets int, opts Options) (*DistPlan, error) {
 	p.units2 = largestDivisorAtMost(mb*p.ksl, maxInt(1, opts.BufferElems/(n*mu)))
 	p.units3 = largestDivisorAtMost(n*mb/sockets, maxInt(1, opts.BufferElems/(k*mu)))
 	b := maxInt(p.rows1*m, maxInt(p.units2*n*mu, p.units3*k*mu))
-	p.bufs = make([][2][]complex128, sockets)
+	p.bufs = make([]*stagegraph.Buffers, sockets)
 	for s := 0; s < sockets; s++ {
-		p.bufs[s][0] = make([]complex128, b)
-		p.bufs[s][1] = make([]complex128, b)
+		p.bufs[s] = stagegraph.NewBuffers(b, false, false)
 	}
 	return p, nil
 }
@@ -113,31 +122,90 @@ func (p *DistPlan) Alloc() (*numa.Distributed, error) {
 	return p.sys.Alloc(p.k * p.n * p.m)
 }
 
+// socketStages compiles socket s's slab into its two graphs: the fusible
+// front (stages 1+2, all dependencies NUMA-local) and the back (stage 3,
+// which must wait for every socket's stage-2 scatter).
+func (p *DistPlan) socketStages(s int, dst, src *numa.Distributed, sign int) (front, back []stagegraph.Stage) {
+	k, n, m, mu, mb, ksl := p.k, p.n, p.m, p.opts.Mu, p.mb, p.ksl
+	partBase := s * p.bIm.PartLen()
+	qBase := s * (n * mb / p.sk) // first owned stage-3 unit index
+
+	// Stage 1: local pencils + local rotation (W¹ = I_sk ⊗ K ⊗ I_μ · S).
+	s1 := stagegraph.Stage{
+		Name: "x-pencils", Iters: ksl * n / p.rows1, Units: p.rows1, UnitLen: m,
+		Src: stagegraph.Endpoint{C: src.Part(s)},
+		Dst: stagegraph.Endpoint{WriteC: func(off int, blk []complex128) {
+			p.bIm.WriteBlock(s, off, blk)
+		}},
+		Compute: func(b *stagegraph.Buffers, half, iter, lo, hi int) {
+			if lo < hi {
+				p.planM.Batch(b.C[half][lo*m:hi*m], hi-lo, sign)
+			}
+		},
+		// Local pencil g = zl·n + y goes to local blocks (xb, zl, y).
+		Rot: stagegraph.Rotation{Blocks: mb, BlockLen: mu,
+			Map: func(g, xb int) int {
+				zl, y := g/n, g%n
+				return partBase + ((xb*ksl+zl)*n+y)*mu
+			}},
+	}
+	// Stage 2: local y-pencils, then the W² redistribution: unit (xb, zl)
+	// scatters its y-blocks to the sockets owning each (y, xb) pillar.
+	s2 := stagegraph.Stage{
+		Name: "y-pencils", Iters: mb * ksl / p.units2, Units: p.units2, UnitLen: n * mu,
+		Src: stagegraph.Endpoint{C: p.bIm.Part(s)},
+		Dst: stagegraph.Endpoint{WriteC: func(off int, blk []complex128) {
+			p.cIm.WriteBlock(s, off, blk)
+		}},
+		Compute: lanes(p.planN, n*mu, mu, sign),
+		Rot: stagegraph.Rotation{Blocks: n, BlockLen: mu,
+			Map: func(g, y int) int {
+				xb, zl := g/ksl, g%ksl
+				z := s*ksl + zl
+				return ((y*mb+xb)*k + z) * mu
+			}},
+	}
+	// Stage 3: local z-pillars, then the W³ redistribution back to z-slabs.
+	s3 := stagegraph.Stage{
+		Name: "z-pencils", Iters: n * mb / p.sk / p.units3, Units: p.units3, UnitLen: k * mu,
+		Src: stagegraph.Endpoint{C: p.cIm.Part(s)},
+		Dst: stagegraph.Endpoint{WriteC: func(off int, blk []complex128) {
+			dst.WriteBlock(s, off, blk)
+		}},
+		Compute: lanes(p.planK, k*mu, mu, sign),
+		Rot: stagegraph.Rotation{Blocks: k, BlockLen: mu,
+			Map: func(g, z int) int {
+				q := qBase + g // global unit: y·mb + xb
+				y, xb := q/mb, q%mb
+				return ((z*n+y)*mb + xb) * mu
+			}},
+	}
+	return []stagegraph.Stage{s1, s2}, []stagegraph.Stage{s3}
+}
+
 // Transform computes dst = DFT_{k×n×m}(src) over the distributed slabs.
 // dst and src must come from Alloc and must be distinct.
 func (p *DistPlan) Transform(dst, src *numa.Distributed, sign int) error {
 	if src.Len() != p.k*p.n*p.m || dst.Len() != src.Len() {
 		return fmt.Errorf("fft3d: distributed size mismatch")
 	}
+	p.lock.Lock()
+	defer p.lock.Unlock()
 	p.sys.ResetTraffic()
 
-	// Each stage runs all sockets concurrently, then barriers before the
-	// next stage (the cross-socket writes of stage i must land before
-	// stage i+1 reads them).
-	stages := []func(s int) error{
-		func(s int) error { return p.stage1(s, src, sign) },
-		func(s int) error { return p.stage2(s, sign) },
-		func(s int) error { return p.stage3(s, dst, sign) },
+	cfg := stagegraph.Config{
+		DataWorkers:    p.opts.DataWorkers,
+		ComputeWorkers: p.opts.ComputeWorkers,
+		Fused:          !p.opts.Unfused,
 	}
-	var prevLocal, prevCross int64
-	for st, stage := range stages {
+	runPhase := func(pick func(s int) []stagegraph.Stage) error {
 		var wg sync.WaitGroup
 		errs := make([]error, p.sk)
 		for s := 0; s < p.sk; s++ {
 			wg.Add(1)
 			go func(s int) {
 				defer wg.Done()
-				errs[s] = stage(s)
+				_, errs[s] = stagegraph.Run(cfg, p.bufs[s], pick(s))
 			}(s)
 		}
 		wg.Wait()
@@ -146,144 +214,36 @@ func (p *DistPlan) Transform(dst, src *numa.Distributed, sign int) error {
 				return err
 			}
 		}
-		l, c := p.sys.LocalBytes(), p.sys.CrossBytes()
-		p.StageTraffic[st] = TrafficStat{LocalBytes: l - prevLocal, CrossBytes: c - prevCross}
-		prevLocal, prevCross = l, c
+		return nil
 	}
+
+	// Phase A: stages 1+2, fused per socket. A global barrier (the phase
+	// boundary) orders every socket's stage-2 scatter before any stage-3
+	// load.
+	if err := runPhase(func(s int) []stagegraph.Stage {
+		front, _ := p.socketStages(s, dst, src, sign)
+		return front
+	}); err != nil {
+		return err
+	}
+	la, ca := p.sys.LocalBytes(), p.sys.CrossBytes()
+	// Phase B: stage 3.
+	if err := runPhase(func(s int) []stagegraph.Stage {
+		_, back := p.socketStages(s, dst, src, sign)
+		return back
+	}); err != nil {
+		return err
+	}
+	lb, cb := p.sys.LocalBytes(), p.sys.CrossBytes()
+
+	// Per-stage traffic attribution. Stages 1 and 2 execute in one fused
+	// graph, so the counters only expose their sum — but stage 1's W¹
+	// rotation is entirely local and writes every element exactly once, so
+	// its contribution is known in closed form and stage 2's follows by
+	// subtraction.
+	stage1Local := int64(p.k*p.n*p.m) * 16
+	p.StageTraffic[0] = TrafficStat{LocalBytes: stage1Local}
+	p.StageTraffic[1] = TrafficStat{LocalBytes: la - stage1Local, CrossBytes: ca}
+	p.StageTraffic[2] = TrafficStat{LocalBytes: lb - la, CrossBytes: cb - ca}
 	return nil
-}
-
-// stage1: local pencils + local rotation (W¹ = I_sk ⊗ K ⊗ I_μ · S).
-func (p *DistPlan) stage1(s int, src *numa.Distributed, sign int) error {
-	n, m, mu, mb, ksl := p.n, p.m, p.opts.Mu, p.mb, p.ksl
-	rows := p.rows1
-	b1 := rows * m
-	local := src.Part(s)
-	bPart := p.bIm.Part(s)
-	partBase := s * p.bIm.PartLen()
-	bufs := &p.bufs[s]
-
-	cfg := pipeline.Config{
-		Iters:          ksl * n / rows,
-		DataWorkers:    p.opts.DataWorkers,
-		ComputeWorkers: p.opts.ComputeWorkers,
-	}
-	h := pipeline.Hooks{
-		Load: func(iter, buf, worker, workers int) {
-			lo, hi := pipeline.PartitionBlocks(rows, m, worker, workers)
-			copy(bufs[buf][lo:hi], local[iter*b1+lo:iter*b1+hi])
-		},
-		Compute: func(iter, buf, worker, workers int) {
-			lo, hi := pipeline.Partition(rows, worker, workers)
-			if lo < hi {
-				p.planM.Batch(bufs[buf][lo*m:hi*m], hi-lo, sign)
-			}
-		},
-		Store: func(iter, buf, worker, workers int) {
-			lo, hi := pipeline.Partition(rows, worker, workers)
-			half := bufs[buf]
-			for r := lo; r < hi; r++ {
-				g := iter*rows + r // local pencil: zl·n + y
-				zl, y := g/n, g%n
-				row := half[r*m : (r+1)*m]
-				for xb := 0; xb < mb; xb++ {
-					off := partBase + ((xb*ksl+zl)*n+y)*mu
-					p.bIm.WriteBlock(s, off, row[xb*mu:(xb+1)*mu])
-				}
-			}
-			_ = bPart
-		},
-	}
-	_, err := pipeline.Run(cfg, h)
-	return err
-}
-
-// stage2: local y-pencils, then the W² redistribution: unit (xb, z) scatters
-// its y-blocks to the sockets owning each (y, xb) pillar.
-func (p *DistPlan) stage2(s int, sign int) error {
-	k, n, mu, mb, ksl := p.k, p.n, p.opts.Mu, p.mb, p.ksl
-	units := p.units2
-	unitLen := n * mu
-	b2 := units * unitLen
-	local := p.bIm.Part(s)
-	bufs := &p.bufs[s]
-
-	cfg := pipeline.Config{
-		Iters:          mb * ksl / units,
-		DataWorkers:    p.opts.DataWorkers,
-		ComputeWorkers: p.opts.ComputeWorkers,
-	}
-	h := pipeline.Hooks{
-		Load: func(iter, buf, worker, workers int) {
-			lo, hi := pipeline.PartitionBlocks(units, unitLen, worker, workers)
-			copy(bufs[buf][lo:hi], local[iter*b2+lo:iter*b2+hi])
-		},
-		Compute: func(iter, buf, worker, workers int) {
-			lo, hi := pipeline.Partition(units, worker, workers)
-			for u := lo; u < hi; u++ {
-				p.planN.InPlaceLanes(bufs[buf][u*unitLen:(u+1)*unitLen], mu, sign)
-			}
-		},
-		Store: func(iter, buf, worker, workers int) {
-			lo, hi := pipeline.Partition(units, worker, workers)
-			half := bufs[buf]
-			for u := lo; u < hi; u++ {
-				h2 := iter*units + u // local unit: xb·ksl + zl
-				xb, zl := h2/ksl, h2%ksl
-				z := s*ksl + zl
-				unit := half[u*unitLen : (u+1)*unitLen]
-				for y := 0; y < n; y++ {
-					q := y*mb + xb
-					off := (q*k + z) * mu
-					p.cIm.WriteBlock(s, off, unit[y*mu:(y+1)*mu])
-				}
-			}
-		},
-	}
-	_, err := pipeline.Run(cfg, h)
-	return err
-}
-
-// stage3: local z-pillars, then the W³ redistribution back to z-slabs.
-func (p *DistPlan) stage3(s int, dst *numa.Distributed, sign int) error {
-	k, n, mu, mb := p.k, p.n, p.opts.Mu, p.mb
-	units := p.units3
-	unitLen := k * mu
-	b3 := units * unitLen
-	local := p.cIm.Part(s)
-	qBase := s * (n * mb / p.sk) // first owned unit index
-	bufs := &p.bufs[s]
-
-	cfg := pipeline.Config{
-		Iters:          n * mb / p.sk / units,
-		DataWorkers:    p.opts.DataWorkers,
-		ComputeWorkers: p.opts.ComputeWorkers,
-	}
-	h := pipeline.Hooks{
-		Load: func(iter, buf, worker, workers int) {
-			lo, hi := pipeline.PartitionBlocks(units, unitLen, worker, workers)
-			copy(bufs[buf][lo:hi], local[iter*b3+lo:iter*b3+hi])
-		},
-		Compute: func(iter, buf, worker, workers int) {
-			lo, hi := pipeline.Partition(units, worker, workers)
-			for u := lo; u < hi; u++ {
-				p.planK.InPlaceLanes(bufs[buf][u*unitLen:(u+1)*unitLen], mu, sign)
-			}
-		},
-		Store: func(iter, buf, worker, workers int) {
-			lo, hi := pipeline.Partition(units, worker, workers)
-			half := bufs[buf]
-			for u := lo; u < hi; u++ {
-				q := qBase + iter*units + u // global unit: y·mb + xb
-				y, xb := q/mb, q%mb
-				unit := half[u*unitLen : (u+1)*unitLen]
-				for z := 0; z < k; z++ {
-					off := ((z*n+y)*mb + xb) * mu
-					dst.WriteBlock(s, off, unit[z*mu:(z+1)*mu])
-				}
-			}
-		},
-	}
-	_, err := pipeline.Run(cfg, h)
-	return err
 }

@@ -26,37 +26,73 @@ type Resources struct {
 }
 
 // SimulateStage plays the Table II schedule for one stage and returns its
-// wall time in seconds. Each step starts the data chain (store of iteration
-// s-2: local writeback then cross-link transfer, followed by the load of
-// iteration s) concurrently with the compute of iteration s-1, and the
-// step's barrier falls when both finish. Prologue and epilogue emerge
-// naturally from the iteration guards, so the pipeline fill cost is
-// simulated rather than approximated.
+// wall time in seconds. It is SimulateGraph on a single-stage graph.
 func SimulateStage(r Resources, s StageSpec) float64 {
+	return SimulateGraph(r, []StageSpec{s}, false)
+}
+
+// SimulateGraph plays the stage-graph schedule for a whole multi-stage
+// transform on one shared set of resources and returns its wall time in
+// seconds. Each global step starts the data chain (stores of iteration
+// base+s-2 of any active stage: local writeback then cross-link transfer,
+// followed by the loads of iteration base+s) concurrently with the active
+// compute, and the step's barrier falls when both finish. Prologue and
+// epilogue emerge naturally from the iteration guards, so pipeline fill is
+// simulated rather than approximated.
+//
+// With fused=true the stages share the steady state exactly as the real
+// executor does: stage k's epilogue stores and stage k+1's prologue loads
+// land in the same step's data chain, so an S-stage graph runs
+// sum(iters)+S+1 steps and pays one fill/drain for the whole transform.
+// With fused=false each stage drains before the next begins
+// (sum(iters)+2S steps): the per-stage cost sums the way separate engine
+// invocations would.
+func SimulateGraph(r Resources, stages []StageSpec, fused bool) float64 {
 	e := &Engine{}
-	for step := 0; step <= s.Iters+1; step++ {
+	bases := make([]int, len(stages))
+	total := 0
+	for i, s := range stages {
+		bases[i] = total
+		total += s.Iters + 1
+		if !fused {
+			total++
+		}
+	}
+	if fused {
+		total++ // the single epilogue store step
+	}
+	for step := 0; step < total; step++ {
 		var wait []*Task
-		// Data chain: store(s-2) then load(s), sequential for the data
-		// workers but concurrent with compute.
+		// Data chain: stores strictly before loads, as the data workers'
+		// store-then-barrier-then-load ordering guarantees; sequential for
+		// the data workers but concurrent with compute.
 		var chain []*Task
-		if si := step - 2; si >= 0 && si < s.Iters {
-			if s.StoreLocalBytes > 0 {
-				chain = append(chain, &Task{Name: "store-local", Resource: r.DRAM, Units: s.StoreLocalBytes})
-			}
-			if s.StoreCrossBytes > 0 && r.Link != nil {
-				chain = append(chain, &Task{Name: "store-cross", Resource: r.Link, Units: s.StoreCrossBytes})
-				// Cross writes also land in the remote DRAM.
-				chain = append(chain, &Task{Name: "store-remote", Resource: r.DRAM, Units: s.StoreCrossBytes})
+		for si := range stages {
+			s := &stages[si]
+			if i := step - bases[si] - 2; i >= 0 && i < s.Iters {
+				if s.StoreLocalBytes > 0 {
+					chain = append(chain, &Task{Name: "store-local", Resource: r.DRAM, Units: s.StoreLocalBytes})
+				}
+				if s.StoreCrossBytes > 0 && r.Link != nil {
+					chain = append(chain, &Task{Name: "store-cross", Resource: r.Link, Units: s.StoreCrossBytes})
+					// Cross writes also land in the remote DRAM.
+					chain = append(chain, &Task{Name: "store-remote", Resource: r.DRAM, Units: s.StoreCrossBytes})
+				}
 			}
 		}
-		if step < s.Iters {
-			chain = append(chain, &Task{Name: "load", Resource: r.DRAM, Units: s.LoadBytes})
+		for si := range stages {
+			s := &stages[si]
+			if i := step - bases[si]; i >= 0 && i < s.Iters {
+				chain = append(chain, &Task{Name: "load", Resource: r.DRAM, Units: s.LoadBytes})
+			}
 		}
-		var comp *Task
-		if ci := step - 1; ci >= 0 && ci < s.Iters {
-			comp = &Task{Name: "compute", Resource: r.Compute, Units: s.Flops}
-			e.Start(comp)
-			wait = append(wait, comp)
+		for si := range stages {
+			s := &stages[si]
+			if i := step - bases[si] - 1; i >= 0 && i < s.Iters {
+				comp := &Task{Name: "compute", Resource: r.Compute, Units: s.Flops}
+				e.Start(comp)
+				wait = append(wait, comp)
+			}
 		}
 		// Run the chain links one after another, letting compute overlap.
 		for _, t := range chain {
@@ -69,11 +105,18 @@ func SimulateStage(r Resources, s StageSpec) float64 {
 	return e.Now()
 }
 
-// SimulateDoubleBuf3D plays all three stages of the paper's 3D transform on
-// machine m with the given socket count and returns total seconds. The
-// byte/flop accounting matches internal/perfmodel's (same inputs), but the
-// timing comes from the event simulation rather than closed forms.
+// SimulateDoubleBuf3D plays the paper's 3D transform on machine m with the
+// given socket count and returns total seconds, executing the three stages
+// as one fused stage graph on shared resources (the production schedule).
+// The byte/flop accounting matches internal/perfmodel's (same inputs), but
+// the timing comes from the event simulation rather than closed forms.
 func SimulateDoubleBuf3D(m machine.Machine, k, n, mm, sockets int) (float64, error) {
+	return SimulateDoubleBuf3DSchedule(m, k, n, mm, sockets, true)
+}
+
+// SimulateDoubleBuf3DSchedule is SimulateDoubleBuf3D with the cross-stage
+// fusion choice exposed, for A/B comparison of the two schedules.
+func SimulateDoubleBuf3DSchedule(m machine.Machine, k, n, mm, sockets int, fused bool) (float64, error) {
 	if sockets < 1 || sockets > m.Sockets {
 		return 0, fmt.Errorf("memsim: %s has %d socket(s)", m.Name, m.Sockets)
 	}
@@ -100,7 +143,7 @@ func SimulateDoubleBuf3D(m machine.Machine, k, n, mm, sockets int) (float64, err
 	computeCap := m.FreqGHz * m.FlopsPerCycle() * float64(coresPerSocket) * mo.FFTComputeEff * 1e9
 	flopsPerBlock := 5 * float64(elems) * log2(elems) / 3 / float64(sockets) / float64(iters)
 
-	var total float64
+	specs := make([]StageSpec, 3)
 	for st := 1; st <= 3; st++ {
 		crossFrac := 0.0
 		if sockets > 1 && st >= 2 {
@@ -110,7 +153,7 @@ func SimulateDoubleBuf3D(m machine.Machine, k, n, mm, sockets int) (float64, err
 		if sockets > 1 {
 			directions = sockets - 1
 		}
-		spec := StageSpec{
+		specs[st-1] = StageSpec{
 			Iters:     iters,
 			LoadBytes: blockBytes,
 			StoreLocalBytes: blockBytes * (1 - crossFrac) /
@@ -118,16 +161,15 @@ func SimulateDoubleBuf3D(m machine.Machine, k, n, mm, sockets int) (float64, err
 			StoreCrossBytes: blockBytes * crossFrac / float64(directions),
 			Flops:           flopsPerBlock,
 		}
-		r := Resources{
-			DRAM:    NewResource("dram", m.SocketStreamGBs()*1e9),
-			Compute: NewResource("compute", computeCap),
-		}
-		if sockets > 1 && m.LinkGBs > 0 {
-			r.Link = NewResource("link", m.LinkGBs*1e9)
-		}
-		total += SimulateStage(r, spec)
 	}
-	return total, nil
+	r := Resources{
+		DRAM:    NewResource("dram", m.SocketStreamGBs()*1e9),
+		Compute: NewResource("compute", computeCap),
+	}
+	if sockets > 1 && m.LinkGBs > 0 {
+		r.Link = NewResource("link", m.LinkGBs*1e9)
+	}
+	return SimulateGraph(r, specs, fused), nil
 }
 
 func log2(n int) float64 {

@@ -15,7 +15,6 @@ func (mo *Model) DoubleBuf3D(k, n, m, sockets int) Estimate {
 
 	bufElems := mo.M.DefaultBufferElems()
 	iters := elems / sockets / maxI(bufElems, 1)
-	f := fill(iters)
 
 	// Compute: pc threads across the active sockets.
 	cores := mo.computeCoresDoubleBuf() * sockets / mo.M.Sockets
@@ -44,6 +43,7 @@ func (mo *Model) DoubleBuf3D(k, n, m, sockets int) Estimate {
 		}
 		dataSec := readSec + localWrite + linkSec
 		compSec := flopsPerStage / (cGflops * 1e9)
+		f := mo.stageFill(iters, st == 3)
 		sec := maxF(dataSec, compSec) * f
 		stages = append(stages, StageCost{
 			Name: fmt.Sprintf("stage%d", st), DataSec: dataSec,

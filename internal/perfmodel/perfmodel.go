@@ -93,6 +93,12 @@ type Model struct {
 	// ScatterDRAMEff is the DRAM efficiency of isolated 64 B bursts at
 	// large strides relative to streaming (row-buffer locality loss).
 	ScatterDRAMEff float64
+	// Fused selects the cross-stage-fused stage-graph schedule (the
+	// default): the whole transform fills and drains the pipeline once, so
+	// a non-final stage pays only one extra step ((iters+1)/iters) and the
+	// final stage pays the drain too ((iters+2)/iters). When false each
+	// stage fills and drains separately ((iters+2)/iters everywhere).
+	Fused bool
 
 	mu      sync.Mutex
 	strided map[string]float64 // cached cachesim-derived efficiencies
@@ -111,6 +117,7 @@ func New(m machine.Machine) *Model {
 		BaselineRemotePenalty: 1.0,
 		TLBRowCost:            2.0,
 		ScatterDRAMEff:        0.85,
+		Fused:                 true,
 		strided:               make(map[string]float64),
 	}
 }
@@ -245,10 +252,25 @@ func clampDim(v, hi int) int {
 	return v
 }
 
-// fill returns the software-pipeline fill factor for it iterations.
+// fill returns the software-pipeline fill factor of one stage run in
+// isolation (fill + drain) for it iterations.
 func fill(iters int) float64 {
 	if iters < 1 {
 		iters = 1
 	}
 	return float64(iters+2) / float64(iters)
+}
+
+// stageFill returns the fill factor charged to one stage of a multi-stage
+// transform under the model's schedule. Under fusion the S-stage graph runs
+// sum(iters)+S+1 steps, attributed as iters+1 steps per non-final stage and
+// iters+2 for the final one; unfused, every stage runs its own iters+2.
+func (mo *Model) stageFill(iters int, last bool) float64 {
+	if iters < 1 {
+		iters = 1
+	}
+	if mo.Fused && !last {
+		return float64(iters+1) / float64(iters)
+	}
+	return fill(iters)
 }

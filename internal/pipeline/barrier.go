@@ -2,11 +2,13 @@ package pipeline
 
 import "sync"
 
-// barrier is a reusable cyclic barrier for a fixed party count, the Go
+// Barrier is a reusable cyclic barrier for a fixed party count, the Go
 // analogue of the paper's #pragma omp barrier. It can be aborted: a worker
 // that panics poisons the barrier so the remaining workers unblock and bail
-// out instead of deadlocking.
-type barrier struct {
+// out instead of deadlocking. It is exported so the stage-graph executor
+// (internal/stagegraph) shares the exact synchronization primitive of the
+// single-stage engine.
+type Barrier struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	parties int
@@ -15,16 +17,17 @@ type barrier struct {
 	aborted bool
 }
 
-func newBarrier(parties int) *barrier {
-	b := &barrier{parties: parties}
+// NewBarrier returns a barrier for the given party count.
+func NewBarrier(parties int) *Barrier {
+	b := &Barrier{parties: parties}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
-// wait blocks until all parties have called wait for the current
+// Wait blocks until all parties have called Wait for the current
 // generation. It reports false if the barrier was aborted (callers must
 // stop participating).
-func (b *barrier) wait() bool {
+func (b *Barrier) Wait() bool {
 	b.mu.Lock()
 	if b.aborted {
 		b.mu.Unlock()
@@ -47,8 +50,8 @@ func (b *barrier) wait() bool {
 	return ok
 }
 
-// abort poisons the barrier, waking every waiter with a failure result.
-func (b *barrier) abort() {
+// Abort poisons the barrier, waking every waiter with a failure result.
+func (b *Barrier) Abort() {
 	b.mu.Lock()
 	b.aborted = true
 	b.cond.Broadcast()

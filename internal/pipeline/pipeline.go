@@ -103,8 +103,8 @@ func Run(cfg Config, h Hooks) (Stats, error) {
 	// partitions of the shared half differ between the two ops); compute
 	// workers must not wait on that ordering or the store phase would
 	// serialize against computation and break the overlap.
-	dataBar := newBarrier(cfg.DataWorkers)
-	stepBar := newBarrier(total)
+	dataBar := NewBarrier(cfg.DataWorkers)
+	stepBar := NewBarrier(total)
 
 	// Per-step phase durations, written by worker 0 of each role.
 	dataDur := make([]time.Duration, steps)
@@ -126,8 +126,8 @@ func Run(cfg Config, h Hooks) (Stats, error) {
 						panicErr = fmt.Errorf("pipeline: %s worker %d panicked: %v",
 							role, slot, r)
 					})
-					dataBar.abort()
-					stepBar.abort()
+					dataBar.Abort()
+					stepBar.Abort()
 				}
 				done <- struct{}{}
 			}()
@@ -146,7 +146,7 @@ func Run(cfg Config, h Hooks) (Stats, error) {
 					}
 					// Data workers must agree the store finished before
 					// any of them overwrites the half with the new load.
-					if !dataBar.wait() {
+					if !dataBar.Wait() {
 						return
 					}
 					if s < iters {
@@ -178,7 +178,7 @@ func Run(cfg Config, h Hooks) (Stats, error) {
 				}
 				// End-of-step barrier: nobody proceeds to step s+1 until
 				// the loads and computes of step s completed.
-				if !stepBar.wait() {
+				if !stepBar.Wait() {
 					return
 				}
 			}

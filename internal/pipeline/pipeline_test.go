@@ -322,7 +322,7 @@ func TestPartition(t *testing.T) {
 
 func TestBarrierReuse(t *testing.T) {
 	const parties, rounds = 5, 50
-	b := newBarrier(parties)
+	b := NewBarrier(parties)
 	var phase atomic.Int64
 	var wg sync.WaitGroup
 	errs := make(chan string, parties*rounds)
@@ -336,9 +336,9 @@ func TestBarrierReuse(t *testing.T) {
 					errs <- "goroutine observed a future phase before its barrier"
 					return
 				}
-				b.wait()
+				b.Wait()
 				phase.CompareAndSwap(int64(r), int64(r+1))
-				b.wait()
+				b.Wait()
 			}
 		}()
 	}
@@ -458,13 +458,13 @@ func TestPanicInSequentialBecomesError(t *testing.T) {
 }
 
 func TestBarrierAbortUnblocksWaiters(t *testing.T) {
-	b := newBarrier(3)
+	b := NewBarrier(3)
 	results := make(chan bool, 2)
 	for i := 0; i < 2; i++ {
-		go func() { results <- b.wait() }()
+		go func() { results <- b.Wait() }()
 	}
 	time.Sleep(10 * time.Millisecond) // let both block
-	b.abort()
+	b.Abort()
 	for i := 0; i < 2; i++ {
 		select {
 		case ok := <-results:
@@ -476,7 +476,7 @@ func TestBarrierAbortUnblocksWaiters(t *testing.T) {
 		}
 	}
 	// Subsequent waits fail fast.
-	if b.wait() {
+	if b.Wait() {
 		t.Fatal("wait on aborted barrier succeeded")
 	}
 }

@@ -1,0 +1,258 @@
+package stagegraph
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/affinity"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// Config sizes the executor.
+type Config struct {
+	// DataWorkers (p_d) and ComputeWorkers (p_c), as in the single-stage
+	// engine.
+	DataWorkers    int
+	ComputeWorkers int
+	// Fused flows the steady state through stage boundaries; unfused
+	// reproduces the drain-then-refill behaviour of one pipeline run per
+	// stage (the A/B baseline for WithStageFusion).
+	Fused bool
+	// Tracer records every task with its stage index and global step.
+	Tracer *trace.Recorder
+	// YieldInData and LockThreads as in pipeline.Config.
+	YieldInData bool
+	LockThreads bool
+}
+
+// Stats summarizes one graph execution — the whole transform, not one
+// stage.
+type Stats struct {
+	Steps          int
+	Stages         int
+	DataTime       time.Duration // summed worker-0 data-phase time
+	ComputeTime    time.Duration // summed worker-0 compute-phase time
+	WallTime       time.Duration
+	DataWorkers    int
+	ComputeWorkers int
+	// Overlap is the fraction of data-phase time hidden under compute:
+	// per step min(data, compute) summed, over total data time.
+	Overlap float64
+}
+
+// slotRef names one (stage, iteration) pipeline slot and the buffer half
+// its load step assigned it.
+type slotRef struct {
+	stage, iter, half int
+}
+
+// BuildSchedule compiles a stage graph into per-step op tables: loadAt[t],
+// computeAt[t] and storeAt[t] give the slot whose load/compute/store runs
+// at global step t (stage −1 = idle). The load of (stage s, iter i) runs
+// at step base[s]+i, its compute one step later, its store two steps
+// later, and it owns buffer half (base[s]+i) mod 2 for all three — exactly
+// Table II within each stage.
+//
+// Fused boundaries place base[s+1] two steps after stage s's last load, so
+// the first load of stage s+1 shares a step — and, by parity, a buffer
+// half — with the last store of stage s; the engine's store-before-load
+// ordering among data workers makes that legal, and every earlier store of
+// stage s (the data the load reads) completed in strictly earlier steps.
+// Stage s+1's first store then runs two steps after stage s's last load,
+// after every read of stage s's source — so chains that reuse an array at
+// distance two (3D: src→dst→work→dst) are safe as well. Unfused
+// boundaries add one more step, reproducing separate runs: sum(iters+2)
+// steps versus sum(iters)+stages+1 fused.
+func BuildSchedule(stages []Stage, fused bool) (loadAt, computeAt, storeAt []slotRef, steps int) {
+	iters := make([]int, len(stages))
+	for i := range stages {
+		iters[i] = stages[i].Iters
+	}
+	bases := trace.StageGraphBases(iters, fused)
+	last := len(stages) - 1
+	steps = bases[last] + iters[last] + 2
+
+	idle := slotRef{stage: -1}
+	loadAt = make([]slotRef, steps)
+	computeAt = make([]slotRef, steps)
+	storeAt = make([]slotRef, steps)
+	for t := range loadAt {
+		loadAt[t], computeAt[t], storeAt[t] = idle, idle, idle
+	}
+	for s := range stages {
+		for i := 0; i < stages[s].Iters; i++ {
+			l := bases[s] + i
+			ref := slotRef{stage: s, iter: i, half: l % 2}
+			loadAt[l] = ref
+			computeAt[l+1] = ref
+			storeAt[l+2] = ref
+		}
+	}
+	return loadAt, computeAt, storeAt, steps
+}
+
+// Steps returns the schedule length of a graph without compiling it.
+func Steps(stages []Stage, fused bool) int {
+	total := 0
+	for i := range stages {
+		total += stages[i].Iters
+	}
+	if fused {
+		return total + len(stages) + 1
+	}
+	return total + 2*len(stages)
+}
+
+// Run executes the compiled stage graph end to end through the double
+// buffer and returns whole-transform stats. It blocks until the final
+// store lands.
+func Run(cfg Config, b *Buffers, stages []Stage) (Stats, error) {
+	if len(stages) == 0 {
+		return Stats{}, fmt.Errorf("stagegraph: empty graph")
+	}
+	if cfg.DataWorkers < 1 || cfg.ComputeWorkers < 1 {
+		return Stats{}, fmt.Errorf("stagegraph: need ≥1 data and compute workers, got %d/%d",
+			cfg.DataWorkers, cfg.ComputeWorkers)
+	}
+	if b == nil {
+		return Stats{}, fmt.Errorf("stagegraph: nil buffers")
+	}
+	for i := range stages {
+		if err := stages[i].validate(i, b); err != nil {
+			return Stats{}, err
+		}
+	}
+
+	loadAt, computeAt, storeAt, steps := BuildSchedule(stages, cfg.Fused)
+	total := cfg.DataWorkers + cfg.ComputeWorkers
+	// Data workers order store-before-load among themselves; at fused
+	// boundaries this same barrier also orders the last store of stage k
+	// before the first load of stage k+1 within their shared step.
+	dataBar := pipeline.NewBarrier(cfg.DataWorkers)
+	stepBar := pipeline.NewBarrier(total)
+
+	dataDur := make([]time.Duration, steps)
+	compDur := make([]time.Duration, steps)
+
+	start := time.Now()
+	done := make(chan struct{}, total)
+
+	var panicErr error
+	panicked := make(chan error, total)
+
+	runWorker := func(role affinity.Role, slot, workers int) {
+		body := func() {
+			defer func() {
+				if r := recover(); r != nil {
+					select {
+					case panicked <- fmt.Errorf("stagegraph: %s worker %d panicked: %v", role, slot, r):
+					default:
+					}
+					dataBar.Abort()
+					stepBar.Abort()
+				}
+				done <- struct{}{}
+			}()
+			for s := 0; s < steps; s++ {
+				t0 := time.Now()
+				if role == affinity.DataRole {
+					if ref := storeAt[s]; ref.stage >= 0 {
+						st := &stages[ref.stage]
+						t := time.Now()
+						st.store(b, ref.half, ref.iter, slot, workers)
+						cfg.Tracer.Emit(trace.Event{
+							Op: trace.Store, Step: s, Stage: ref.stage, Iter: ref.iter,
+							Buf: ref.half, Worker: slot, Role: "data", Start: t, End: time.Now(),
+						})
+					}
+					if !dataBar.Wait() {
+						return
+					}
+					if ref := loadAt[s]; ref.stage >= 0 {
+						st := &stages[ref.stage]
+						t := time.Now()
+						st.load(b, ref.half, ref.iter, slot, workers)
+						cfg.Tracer.Emit(trace.Event{
+							Op: trace.Load, Step: s, Stage: ref.stage, Iter: ref.iter,
+							Buf: ref.half, Worker: slot, Role: "data", Start: t, End: time.Now(),
+						})
+					}
+					if cfg.YieldInData {
+						affinity.Yield()
+					}
+					if slot == 0 {
+						dataDur[s] = time.Since(t0)
+					}
+				} else {
+					if ref := computeAt[s]; ref.stage >= 0 {
+						st := &stages[ref.stage]
+						lo, hi := partition(st.Units, slot, workers)
+						t := time.Now()
+						st.Compute(b, ref.half, ref.iter, lo, hi)
+						cfg.Tracer.Emit(trace.Event{
+							Op: trace.Compute, Step: s, Stage: ref.stage, Iter: ref.iter,
+							Buf: ref.half, Worker: slot, Role: "compute", Start: t, End: time.Now(),
+						})
+					}
+					if slot == 0 {
+						compDur[s] = time.Since(t0)
+					}
+				}
+				if !stepBar.Wait() {
+					return
+				}
+			}
+		}
+		if cfg.LockThreads {
+			affinity.Pin(body)
+		} else {
+			body()
+		}
+	}
+
+	for w := 0; w < cfg.DataWorkers; w++ {
+		go runWorker(affinity.DataRole, w, cfg.DataWorkers)
+	}
+	for w := 0; w < cfg.ComputeWorkers; w++ {
+		go runWorker(affinity.ComputeRole, w, cfg.ComputeWorkers)
+	}
+	for i := 0; i < total; i++ {
+		<-done
+	}
+	select {
+	case panicErr = <-panicked:
+		return Stats{}, panicErr
+	default:
+	}
+
+	st := Stats{
+		Steps:          steps,
+		Stages:         len(stages),
+		WallTime:       time.Since(start),
+		DataWorkers:    cfg.DataWorkers,
+		ComputeWorkers: cfg.ComputeWorkers,
+	}
+	var hidden time.Duration
+	for s := 0; s < steps; s++ {
+		st.DataTime += dataDur[s]
+		st.ComputeTime += compDur[s]
+		if dataDur[s] < compDur[s] {
+			hidden += dataDur[s]
+		} else {
+			hidden += compDur[s]
+		}
+	}
+	if st.DataTime > 0 {
+		st.Overlap = float64(hidden) / float64(st.DataTime)
+	}
+	return st, nil
+}
+
+func partition(total, worker, workers int) (int, int) {
+	return pipeline.Partition(total, worker, workers)
+}
+
+func partitionBlocks(nblocks, blockSize, worker, workers int) (int, int) {
+	return pipeline.PartitionBlocks(nblocks, blockSize, worker, workers)
+}

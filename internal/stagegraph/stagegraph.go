@@ -1,0 +1,250 @@
+// Package stagegraph is the stage-graph intermediate representation that
+// all of the repo's pipelined transforms compile into, plus the single
+// multi-stage executor that runs a compiled graph end to end.
+//
+// One Stage describes the paper's load → batched-pencil-compute →
+// blocked-rotation-store pattern declaratively: block geometry (how many
+// uniform units per pipeline block and how long each is), source and
+// destination arrays, the rotation/transpose descriptor mapping every
+// stored cacheline block to its destination offset, and the compute hook
+// (batched FFTs, twiddles, in-cache transposes). The executor (exec.go)
+// plays a []Stage on the Table II double-buffering schedule and — unlike
+// the old per-package drivers that issued one pipeline.Run per stage —
+// flows the steady state through stage boundaries: the last stores of
+// stage k overlap the first loads of stage k+1 instead of draining the
+// pipeline at every boundary (see BuildSchedule for the legality
+// argument).
+package stagegraph
+
+import "fmt"
+
+// Endpoint is one side of a stage's data movement: a complex-interleaved
+// array, a split (block-interleaved) pair, or an opaque block writer (used
+// by the multi-socket plans to route stores through NUMA traffic
+// accounting). Exactly one representation must be set.
+type Endpoint struct {
+	C      []complex128
+	Re, Im []float64
+	// WriteC, when set, receives every stored block instead of a direct
+	// copy into C (destination endpoints only).
+	WriteC func(off int, block []complex128)
+}
+
+func (e Endpoint) valid(dst bool) bool {
+	switch {
+	case e.Re != nil || e.Im != nil:
+		return e.Re != nil && e.Im != nil && e.C == nil && e.WriteC == nil
+	case e.WriteC != nil:
+		return dst && e.C == nil
+	default:
+		return e.C != nil
+	}
+}
+
+// Rotation is the blocked store descriptor (the paper's W write matrices):
+// every store unit g is cut into Blocks cacheline blocks of BlockLen
+// elements, and block j of unit g lands at destination offset Map(g, j).
+// Map must be safe for concurrent use.
+type Rotation struct {
+	Blocks   int
+	BlockLen int
+	Map      func(g, j int) int
+}
+
+// ComputeFn runs the batched pencil kernel of one stage over the unit
+// range [lo, hi) of buffer half `half` holding iteration `iter`.
+type ComputeFn func(b *Buffers, half, iter, lo, hi int)
+
+// Stage is one declarative load/compute/store stage of a transform.
+type Stage struct {
+	// Name labels the stage in descriptions and stats.
+	Name string
+	// Iters is the pipeline block count (the paper's knm/b).
+	Iters int
+	// Units × UnitLen elements are loaded contiguously per block from Src
+	// (rows, xb-rows, (xb,z)-units, ... — the stage's atom of compute).
+	Units   int
+	UnitLen int
+	// Src and Dst are the stage's memory endpoints. Consecutive stages
+	// chain: stage k+1's Src is stage k's Dst.
+	Src, Dst Endpoint
+	// Compute is the batched pencil kernel; it partitions [0, Units).
+	Compute ComputeFn
+	// StoreUnits × StoreLen re-tiles the buffer for the store when the
+	// store granularity differs from the load's (the 1D-large transposed
+	// stages store whole column blocks); zero values inherit Units and
+	// UnitLen.
+	StoreUnits int
+	StoreLen   int
+	// StoreFromStaging stores from the staging halves (Buffers.T) that
+	// the compute filled — used for in-cache transposes — instead of the
+	// main halves.
+	StoreFromStaging bool
+	// Rot maps stored blocks to destination offsets; Blocks·BlockLen must
+	// equal the store unit length.
+	Rot Rotation
+}
+
+func (st *Stage) storeGeometry() (units, unitLen int) {
+	units, unitLen = st.StoreUnits, st.StoreLen
+	if units == 0 {
+		units = st.Units
+	}
+	if unitLen == 0 {
+		unitLen = st.UnitLen
+	}
+	return units, unitLen
+}
+
+// BlockElems returns the buffer-half footprint of one pipeline block.
+func (st *Stage) BlockElems() int { return st.Units * st.UnitLen }
+
+func (st *Stage) validate(i int, b *Buffers) error {
+	if st.Iters < 1 {
+		return fmt.Errorf("stagegraph: stage %d (%s): Iters=%d, need ≥ 1", i, st.Name, st.Iters)
+	}
+	if st.Units < 1 || st.UnitLen < 1 {
+		return fmt.Errorf("stagegraph: stage %d (%s): units %d×%d, need ≥ 1", i, st.Name, st.Units, st.UnitLen)
+	}
+	if st.Compute == nil {
+		return fmt.Errorf("stagegraph: stage %d (%s): nil Compute", i, st.Name)
+	}
+	if st.Rot.Map == nil {
+		return fmt.Errorf("stagegraph: stage %d (%s): nil Rotation.Map", i, st.Name)
+	}
+	sunits, slen := st.storeGeometry()
+	if st.Rot.Blocks*st.Rot.BlockLen != slen {
+		return fmt.Errorf("stagegraph: stage %d (%s): rotation %d×%d ≠ store unit %d",
+			i, st.Name, st.Rot.Blocks, st.Rot.BlockLen, slen)
+	}
+	if !st.Src.valid(false) {
+		return fmt.Errorf("stagegraph: stage %d (%s): invalid Src endpoint", i, st.Name)
+	}
+	if !st.Dst.valid(true) {
+		return fmt.Errorf("stagegraph: stage %d (%s): invalid Dst endpoint", i, st.Name)
+	}
+	if b != nil {
+		if need := st.BlockElems(); need > b.Elems {
+			return fmt.Errorf("stagegraph: stage %d (%s): block %d elems > buffer half %d",
+				i, st.Name, need, b.Elems)
+		}
+		if need := sunits * slen; need > b.Elems {
+			return fmt.Errorf("stagegraph: stage %d (%s): store tile %d elems > buffer half %d",
+				i, st.Name, need, b.Elems)
+		}
+		if b.Split && st.StoreFromStaging {
+			return fmt.Errorf("stagegraph: stage %d (%s): staging store unsupported in split format", i, st.Name)
+		}
+		if st.StoreFromStaging && b.T[0] == nil {
+			return fmt.Errorf("stagegraph: stage %d (%s): staging store needs staging buffers", i, st.Name)
+		}
+		if !b.Split && st.Src.Re != nil {
+			return fmt.Errorf("stagegraph: stage %d (%s): split Src with interleaved buffers", i, st.Name)
+		}
+		if !b.Split && st.Dst.Re != nil {
+			return fmt.Errorf("stagegraph: stage %d (%s): split Dst with interleaved buffers", i, st.Name)
+		}
+		if b.Split && st.Dst.WriteC != nil {
+			return fmt.Errorf("stagegraph: stage %d (%s): WriteC Dst with split buffers", i, st.Name)
+		}
+	}
+	return nil
+}
+
+// Buffers owns the cache-resident double buffer a graph executes through:
+// two halves in complex-interleaved or split format, plus optional staging
+// halves for stages whose compute transposes into a separate tile.
+type Buffers struct {
+	Split bool
+	Elems int
+	C     [2][]complex128
+	Re    [2][]float64
+	Im    [2][]float64
+	T     [2][]complex128 // staging (transposed) halves
+}
+
+// NewBuffers allocates a double buffer of `elems` complex elements per
+// half. With split=true the halves are block-interleaved float pairs; with
+// staging=true matching complex staging halves are allocated too.
+func NewBuffers(elems int, split, staging bool) *Buffers {
+	b := &Buffers{Split: split, Elems: elems}
+	for h := 0; h < 2; h++ {
+		if split {
+			b.Re[h] = make([]float64, elems)
+			b.Im[h] = make([]float64, elems)
+		} else {
+			b.C[h] = make([]complex128, elems)
+		}
+		if staging {
+			b.T[h] = make([]complex128, elems)
+		}
+	}
+	return b
+}
+
+// load streams this worker's share of block `iter` from Src into buffer
+// half `half`, contiguously, fusing the interleaved→split conversion when
+// the buffers are split but the source is not (§IV-A).
+func (st *Stage) load(b *Buffers, half, iter, worker, workers int) {
+	lo, hi := partitionBlocks(st.Units, st.UnitLen, worker, workers)
+	if lo == hi {
+		return
+	}
+	base := iter * st.BlockElems()
+	if b.Split {
+		re, im := b.Re[half], b.Im[half]
+		if st.Src.Re != nil {
+			copy(re[lo:hi], st.Src.Re[base+lo:base+hi])
+			copy(im[lo:hi], st.Src.Im[base+lo:base+hi])
+			return
+		}
+		src := st.Src.C
+		for j := lo; j < hi; j++ {
+			c := src[base+j]
+			re[j] = real(c)
+			im[j] = imag(c)
+		}
+		return
+	}
+	copy(b.C[half][lo:hi], st.Src.C[base+lo:base+hi])
+}
+
+// store writes this worker's share of block `iter` from buffer half `half`
+// to Dst through the blocked rotation, fusing the split→interleaved
+// conversion when the buffers are split but the destination is not.
+func (st *Stage) store(b *Buffers, half, iter, worker, workers int) {
+	units, unitLen := st.storeGeometry()
+	lo, hi := partition(units, worker, workers)
+	bl := st.Rot.BlockLen
+	for u := lo; u < hi; u++ {
+		g := iter*units + u
+		for j := 0; j < st.Rot.Blocks; j++ {
+			st.writeBlock(b, half, st.Rot.Map(g, j), u*unitLen+j*bl, bl)
+		}
+	}
+}
+
+func (st *Stage) writeBlock(b *Buffers, half, d, s, n int) {
+	switch {
+	case st.StoreFromStaging:
+		src := b.T[half][s : s+n]
+		if st.Dst.WriteC != nil {
+			st.Dst.WriteC(d, src)
+		} else {
+			copy(st.Dst.C[d:d+n], src)
+		}
+	case b.Split && st.Dst.Re != nil:
+		copy(st.Dst.Re[d:d+n], b.Re[half][s:s+n])
+		copy(st.Dst.Im[d:d+n], b.Im[half][s:s+n])
+	case b.Split:
+		re, im := b.Re[half][s:s+n], b.Im[half][s:s+n]
+		out := st.Dst.C[d : d+n]
+		for v := range out {
+			out[v] = complex(re[v], im[v])
+		}
+	case st.Dst.WriteC != nil:
+		st.Dst.WriteC(d, b.C[half][s:s+n])
+	default:
+		copy(st.Dst.C[d:d+n], b.C[half][s:s+n])
+	}
+}

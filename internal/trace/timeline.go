@@ -71,12 +71,40 @@ func (r *Recorder) RenderTimeline(w io.Writer) error {
 		cells[k] = row
 	}
 
+	// Stage header: which stage-graph stage each step belongs to (the
+	// stage of the step's load, or of its store during drains). Only
+	// rendered when the trace actually spans several stages.
+	stageOf := make([]int, maxStep+1)
+	multiStage := false
+	for i := range stageOf {
+		stageOf[i] = -1
+	}
+	for _, e := range evs {
+		if e.Stage > 0 {
+			multiStage = true
+		}
+		if stageOf[e.Step] < 0 || e.Op == Load {
+			stageOf[e.Step] = e.Stage
+		}
+	}
+
 	var b strings.Builder
 	b.WriteString("step        ")
 	for s := 0; s <= maxStep; s++ {
 		fmt.Fprintf(&b, "%-*d", width, s)
 	}
 	b.WriteString("\n")
+	if multiStage {
+		b.WriteString("stage       ")
+		for s := 0; s <= maxStep; s++ {
+			if stageOf[s] < 0 {
+				fmt.Fprintf(&b, "%-*s", width, "·")
+			} else {
+				fmt.Fprintf(&b, "%-*d", width, stageOf[s])
+			}
+		}
+		b.WriteString("\n")
+	}
 	for _, k := range keys {
 		fmt.Fprintf(&b, "%-12s", fmt.Sprintf("%s/%d", k.role, k.worker))
 		for s := 0; s <= maxStep; s++ {

@@ -35,10 +35,13 @@ func (o Op) String() string {
 
 // Event is one recorded worker action. Iter is the pipeline iteration the
 // action belongs to (the i of R_{b,i}/W_{b,i}), Step the schedule step it
-// executed in, Buf the buffer half it touched.
+// executed in, Buf the buffer half it touched. Stage is the stage-graph
+// stage the action belongs to (0 for single-stage pipeline runs); under the
+// fused executor Step is global across the whole transform, not per stage.
 type Event struct {
 	Op     Op
 	Step   int
+	Stage  int
 	Iter   int
 	Buf    int
 	Worker int
@@ -186,6 +189,90 @@ func (r *Recorder) CheckTableII(iters int) error {
 		}
 	}
 	return nil
+}
+
+// StageGraphBases returns the schedule base step of every stage in a
+// multi-stage run with the given per-stage iteration counts: stage s loads
+// its iteration i at step Bases[s]+i. Within a stage consecutive loads are
+// one step apart; across a stage boundary the first load of stage s+1
+// trails the last load of stage s by two steps when fused (it shares a step
+// with the last store of stage s, on the same buffer half, ordered
+// store-before-load by the engine) and by three steps when unfused (the
+// drain-then-refill of separate pipeline runs).
+func StageGraphBases(iters []int, fused bool) []int {
+	bases := make([]int, len(iters))
+	for s := 1; s < len(iters); s++ {
+		bases[s] = bases[s-1] + iters[s-1] + 1
+		if !fused {
+			bases[s]++
+		}
+	}
+	return bases
+}
+
+// CheckStageGraph verifies that the recorded events follow the fused (or
+// unfused) stage-graph schedule for the given per-stage iteration counts:
+// every load of (stage s, iter i) runs at step Bases[s]+i, its compute one
+// step later and its store two steps later, all on buffer half
+// (Bases[s]+i) mod 2; every expected (stage, iter, op) triple is present;
+// and no event falls outside the schedule.
+func (r *Recorder) CheckStageGraph(iters []int, fused bool) error {
+	bases := StageGraphBases(iters, fused)
+	seen := make(map[[3]int]bool) // (stage, iter, op)
+	for _, e := range r.Events() {
+		if e.Stage < 0 || e.Stage >= len(iters) {
+			return fmt.Errorf("event with stage %d outside graph of %d stages", e.Stage, len(iters))
+		}
+		if e.Iter < 0 || e.Iter >= iters[e.Stage] {
+			return fmt.Errorf("stage %d: iter %d outside [0,%d)", e.Stage, e.Iter, iters[e.Stage])
+		}
+		load := bases[e.Stage] + e.Iter
+		want := load + int(e.Op) // Load=0, Compute=1, Store=2
+		if e.Step != want {
+			return fmt.Errorf("stage %d: %v of iter %d at step %d, want %d",
+				e.Stage, e.Op, e.Iter, e.Step, want)
+		}
+		if e.Buf != load%2 {
+			return fmt.Errorf("stage %d: %v of iter %d on buf %d, want %d",
+				e.Stage, e.Op, e.Iter, e.Buf, load%2)
+		}
+		seen[[3]int{e.Stage, e.Iter, int(e.Op)}] = true
+	}
+	for s, n := range iters {
+		for i := 0; i < n; i++ {
+			for _, op := range []Op{Load, Compute, Store} {
+				if !seen[[3]int{s, i, int(op)}] {
+					return fmt.Errorf("stage %d: missing %v of iter %d", s, op, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// DrainCount returns the number of pipeline-drain steps: steps in which a
+// store ran but neither a load nor a compute did, i.e. steps where the
+// whole machine waits for write-back. A single fused stage graph drains
+// exactly once (its final store step); S unfused stages drain S times.
+func (r *Recorder) DrainCount() int {
+	n := 0
+	for _, evs := range r.ByStep() {
+		var load, comp, store bool
+		for _, e := range evs {
+			switch e.Op {
+			case Load:
+				load = true
+			case Compute:
+				comp = true
+			case Store:
+				store = true
+			}
+		}
+		if store && !load && !comp {
+			n++
+		}
+	}
+	return n
 }
 
 // OverlapFraction estimates how much of the data-movement time can hide
