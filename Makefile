@@ -8,9 +8,9 @@ GO ?= go
 RACE_PKGS = . ./internal/pipeline ./internal/stagegraph ./internal/fft2d \
             ./internal/fft3d ./internal/fft1dlarge
 
-.PHONY: ci vet build test race bench fmt
+.PHONY: ci vet build test race bench benchsmoke fmt
 
-ci: vet build test race
+ci: vet build test race benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# One-iteration pass over the transform benchmarks: catches benchmarks that
+# no longer compile or crash without paying for a timed run.
+benchsmoke:
+	$(GO) test -run=NONE -bench='Fig|Table|PublicAPI|StageFusion' -benchtime=1x -benchmem .
 
 fmt:
 	gofmt -l .

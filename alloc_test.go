@@ -1,0 +1,119 @@
+package repro
+
+// Zero-allocation steady state: once a plan has executed one warm-up
+// transform (growing its executor arenas and building lazy twiddle tables),
+// every subsequent Transform on the reused plan must perform zero heap
+// allocations and spawn zero goroutines — the plan's persistent executor
+// wakes its parked workers, replays the compiled schedule, and draws all
+// scratch from the per-worker arenas.
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/fft1d"
+)
+
+// assertZeroAllocs runs f once to warm the plan, then asserts the steady
+// state allocates nothing and leaves the goroutine count unchanged (no
+// worker spawned per run).
+func assertZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race (instrumentation allocates; sync.Pool drops items at random)")
+	}
+	f() // warm-up: lazy twiddles, arena growth, pool fills
+	before := runtime.NumGoroutine()
+	if allocs := testing.AllocsPerRun(10, f); allocs != 0 {
+		t.Errorf("%s: %v allocs per steady-state run, want 0", name, allocs)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("%s: goroutine count grew %d → %d across steady-state runs", name, before, after)
+	}
+}
+
+func TestSteadyStateZeroAllocs1DBatch(t *testing.T) {
+	const n, count = 256, 8
+	p := fft1d.NewPlan(n)
+	x := make([]complex128, count*n)
+	for i := range x {
+		x[i] = complex(float64(i%17), float64(i%5))
+	}
+	assertZeroAllocs(t, "fft1d.Batch", func() {
+		p.Batch(x, count, fft1d.Forward)
+	})
+	re := make([]float64, count*n)
+	im := make([]float64, count*n)
+	assertZeroAllocs(t, "fft1d.BatchSplit", func() {
+		p.BatchSplit(re, im, count, fft1d.Forward)
+	})
+}
+
+func TestSteadyStateZeroAllocs1DLarge(t *testing.T) {
+	// 8192 ≥ the default MinN, so the public FFT1D takes the six-step
+	// stage-graph path (128×64 split) through its persistent executor.
+	const n = 8192
+	p, err := NewFFT1D(n, WithWorkers(2, 2), WithBufferElems(1<<11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1, n2 := p.Split(); n2 == 1 {
+		t.Fatalf("size %d fell back to direct (%d×%d); test needs the staged path", n, n1, n2)
+	}
+	src := make([]complex128, n)
+	dst := make([]complex128, n)
+	for i := range src {
+		src[i] = complex(float64(i%23), -float64(i%7))
+	}
+	assertZeroAllocs(t, "FFT1D.Forward", func() {
+		if err := p.Forward(dst, src); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestSteadyStateZeroAllocs2D(t *testing.T) {
+	for _, split := range []bool{false, true} {
+		name := map[bool]string{false: "interleaved", true: "split"}[split]
+		t.Run(name, func(t *testing.T) {
+			p, err := NewFFT2D(64, 64,
+				WithWorkers(2, 2), WithBufferElems(1<<10), WithSplitFormat(split))
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := make([]complex128, p.Len())
+			dst := make([]complex128, p.Len())
+			for i := range src {
+				src[i] = complex(float64(i%31), float64(i%11))
+			}
+			assertZeroAllocs(t, "FFT2D.Forward/"+name, func() {
+				if err := p.Forward(dst, src); err != nil {
+					t.Fatal(err)
+				}
+			})
+		})
+	}
+}
+
+func TestSteadyStateZeroAllocs3D(t *testing.T) {
+	for _, split := range []bool{false, true} {
+		name := map[bool]string{false: "interleaved", true: "split"}[split]
+		t.Run(name, func(t *testing.T) {
+			p, err := NewFFT3D(16, 16, 32,
+				WithWorkers(2, 2), WithBufferElems(1<<9), WithSplitFormat(split))
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := make([]complex128, p.Len())
+			dst := make([]complex128, p.Len())
+			for i := range src {
+				src[i] = complex(float64(i%29), -float64(i%13))
+			}
+			assertZeroAllocs(t, "FFT3D.Forward/"+name, func() {
+				if err := p.Forward(dst, src); err != nil {
+					t.Fatal(err)
+				}
+			})
+		})
+	}
+}

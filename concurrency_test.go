@@ -7,6 +7,7 @@ package repro
 // the ci target.
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -104,6 +105,93 @@ func TestIndependentPlansRunInParallel(t *testing.T) {
 		}
 		if lim := 1e-9 * float64(sizes[i][0]*sizes[i][1]*sizes[i][2]); diffs[i] > lim {
 			t.Fatalf("plan %v: diff %g", sizes[i], diffs[i])
+		}
+	}
+}
+
+// TestPersistentExecutorSequentialReuse drives one plan's persistent
+// executor through many back-to-back transforms with varying directions and
+// inputs: the parked worker team must produce bit-identical results to a
+// fresh reference on every wake, and an inverse round trip must return to
+// the input. Run under -race by the ci target to verify the park/wake
+// barrier protocol publishes each run's state correctly.
+func TestPersistentExecutorSequentialReuse(t *testing.T) {
+	const k, n, m = 8, 16, 16
+	p, err := NewFFT3D(k, n, m, WithBufferElems(256), WithWorkers(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewFFT3D(k, n, m, WithStrategy("reference"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]complex128, k*n*m)
+	want := make([]complex128, k*n*m)
+	back := make([]complex128, k*n*m)
+	for rep := 0; rep < 10; rep++ {
+		x := cvec.Random(rand.New(rand.NewSource(int64(rep))), k*n*m)
+		if err := ref.Forward(want, x); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Forward(got, x); err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+		if d := cvec.MaxDiff(cvec.Vec(got), cvec.Vec(want)); d > 1e-9*float64(k*n*m) {
+			t.Fatalf("rep %d: reused executor diverged from reference (diff %g)", rep, d)
+		}
+		if err := p.Inverse(back, got); err != nil {
+			t.Fatalf("rep %d inverse: %v", rep, err)
+		}
+		if d := cvec.MaxDiff(cvec.Vec(back), cvec.Vec(x)); d > 1e-9*float64(k*n*m) {
+			t.Fatalf("rep %d: round trip diverged (diff %g)", rep, d)
+		}
+	}
+}
+
+// TestIndependentExecutorsRunConcurrently exercises several independent
+// plans' persistent executors at the same time, each being reused across
+// repetitions, so the worker teams of different plans interleave freely.
+func TestIndependentExecutorsRunConcurrently(t *testing.T) {
+	sizes := [][3]int{{8, 8, 16}, {4, 16, 16}, {16, 8, 8}, {8, 16, 8}}
+	var wg sync.WaitGroup
+	failures := make([]error, len(sizes))
+	for i, s := range sizes {
+		wg.Add(1)
+		go func(i, k, n, m int) {
+			defer wg.Done()
+			p, err := NewFFT3D(k, n, m, WithBufferElems(256), WithWorkers(2, 2))
+			if err != nil {
+				failures[i] = err
+				return
+			}
+			ref, err := NewFFT3D(k, n, m, WithStrategy("reference"))
+			if err != nil {
+				failures[i] = err
+				return
+			}
+			x := cvec.Random(rand.New(rand.NewSource(int64(200+i))), k*n*m)
+			want := make([]complex128, len(x))
+			got := make([]complex128, len(x))
+			if err := ref.Forward(want, x); err != nil {
+				failures[i] = err
+				return
+			}
+			for rep := 0; rep < 5; rep++ {
+				if err := p.Forward(got, x); err != nil {
+					failures[i] = err
+					return
+				}
+				if d := cvec.MaxDiff(cvec.Vec(got), cvec.Vec(want)); d > 1e-9*float64(k*n*m) {
+					failures[i] = fmt.Errorf("rep %d: diff %g", rep, d)
+					return
+				}
+			}
+		}(i, s[0], s[1], s[2])
+	}
+	wg.Wait()
+	for i := range sizes {
+		if failures[i] != nil {
+			t.Fatalf("plan %v: %v", sizes[i], failures[i])
 		}
 	}
 }

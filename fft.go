@@ -163,6 +163,12 @@ func (f *FFT3D) ForwardMany(dst, src []complex128, count int) error {
 	return f.p.ForwardMany(dst, src, count)
 }
 
+// Close releases the plan's persistent pipeline workers (parked goroutines
+// reused across transforms). Optional — plans dropped without Close are
+// reclaimed by a finalizer — and idempotent; the plan must not be used
+// after Close.
+func (f *FFT3D) Close() { f.p.Close() }
+
 // Len returns the total element count k·n·m.
 func (f *FFT3D) Len() int { return f.p.Len() }
 
@@ -203,6 +209,10 @@ func (f *FFT2D) Inverse(dst, src []complex128) error { return f.p.Inverse(dst, s
 
 // InPlace computes the unnormalized forward DFT in place.
 func (f *FFT2D) InPlace(x []complex128) error { return f.p.InPlace(x) }
+
+// Close releases the plan's persistent pipeline workers; optional and
+// idempotent (see FFT3D.Close).
+func (f *FFT2D) Close() { f.p.Close() }
 
 // Len returns n·m.
 func (f *FFT2D) Len() int { return f.p.Len() }

@@ -48,6 +48,10 @@ func (f *FFT1D) Inverse(dst, src []complex128) error {
 	return nil
 }
 
+// Close releases the plan's persistent pipeline workers; optional and
+// idempotent (see FFT3D.Close).
+func (f *FFT1D) Close() { f.p.Close() }
+
 // Len returns the transform size.
 func (f *FFT1D) Len() int { return f.p.N() }
 

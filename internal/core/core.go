@@ -184,6 +184,11 @@ func (p *Plan3D) ForwardMany(dst, src []complex128, count int) error {
 	return p.plan.TransformMany(dst, src, count, fft1d.Forward)
 }
 
+// Close releases the plan's persistent executor workers (a no-op for
+// strategies without one). Idempotent; the plan must not be used after
+// Close. Plans dropped without Close are reclaimed by a finalizer.
+func (p *Plan3D) Close() { p.plan.Close() }
+
 // Len returns k·n·m.
 func (p *Plan3D) Len() int { return p.plan.Len() }
 
@@ -227,6 +232,11 @@ func (p *Plan2D) Inverse(dst, src []complex128) error {
 func (p *Plan2D) InPlace(x []complex128) error {
 	return p.plan.InPlace(x, fft1d.Forward)
 }
+
+// Close releases the plan's persistent executor workers (a no-op for
+// strategies without one). Idempotent; the plan must not be used after
+// Close. Plans dropped without Close are reclaimed by a finalizer.
+func (p *Plan2D) Close() { p.plan.Close() }
 
 // Len returns n·m.
 func (p *Plan2D) Len() int { return p.n * p.m }

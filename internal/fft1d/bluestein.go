@@ -3,6 +3,7 @@ package fft1d
 import (
 	"sync"
 
+	"repro/internal/kernels"
 	"repro/internal/twiddle"
 )
 
@@ -65,15 +66,15 @@ func (b *bluesteinPlan) tables(sign int) (chirp, kernel []complex128) {
 }
 
 // transform computes dst = DFT_n(src) with direction sign. dst and src must
-// not alias.
-func (b *bluesteinPlan) transform(dst, src []complex128, sign int) {
+// not alias. All work buffers come from the caller's arena, sized at the
+// first (warmup) call and reused thereafter.
+func (b *bluesteinPlan) transform(dst, src []complex128, sign int, ar *kernels.Arena) {
 	n, m := b.n, b.m
 	chirp, kernel := b.tables(sign)
 
-	wp := b.mPlan.getScratch(2 * m)
-	defer b.mPlan.putScratch(wp)
-	a := (*wp)[:m]
-	fa := (*wp)[m : 2*m]
+	mk := ar.Mark()
+	a := ar.Complex(m)
+	fa := ar.Complex(m)
 
 	for j := 0; j < n; j++ {
 		a[j] = src[j] * chirp[j]
@@ -81,13 +82,14 @@ func (b *bluesteinPlan) transform(dst, src []complex128, sign int) {
 	for j := n; j < m; j++ {
 		a[j] = 0
 	}
-	b.mPlan.Transform(fa, a, Forward)
+	b.mPlan.lanesInto(fa, a, 1, Forward, ar)
 	for j := 0; j < m; j++ {
 		fa[j] *= kernel[j]
 	}
-	b.mPlan.Transform(a, fa, Inverse)
+	b.mPlan.lanesInto(a, fa, 1, Inverse, ar)
 	inv := complex(1/float64(m), 0)
 	for k := 0; k < n; k++ {
 		dst[k] = a[k] * inv * chirp[k]
 	}
+	ar.Rewind(mk)
 }

@@ -75,8 +75,6 @@ type Plan struct {
 
 	// kindBluestein
 	blue *bluesteinPlan
-
-	pool sync.Pool // scratch []complex128 of length ≥ n (lane callers size up)
 }
 
 var planCache sync.Map // int -> *Plan
@@ -114,7 +112,6 @@ func (p *Plan) Kind() string {
 
 func buildPlan(n int) *Plan {
 	p := &Plan{n: n}
-	p.pool.New = func() any { s := make([]complex128, n); return &s }
 	switch {
 	case n <= 8:
 		p.kind = kindSmall
@@ -228,21 +225,19 @@ func (p *Plan) diagTwiddles(sign int) []complex128 {
 	return p.diag[i]
 }
 
-// getScratch returns a pooled scratch box whose slice has length ≥ size.
-// The pool stores *[]complex128 (the standard sync.Pool idiom), so the
-// get/put cycle allocates nothing once warm; callers deref the box and
-// return it with putScratch.
-func (p *Plan) getScratch(size int) *[]complex128 {
-	sp := p.pool.Get().(*[]complex128)
-	if cap(*sp) < size {
-		*sp = make([]complex128, size)
-	}
-	*sp = (*sp)[:size]
-	return sp
-}
+// arenaPool backs the legacy arena-less entry points (Transform, InPlace,
+// Batch, …). Plans are cached process-wide in planCache and shared between
+// callers, so scratch cannot live unsynchronized on the Plan; the executor
+// path threads each compute worker's private arena through the *Arena entry
+// points instead, and everything else borrows a pooled arena here. Get/Put
+// of a pointer type is allocation-free once the pool is warm.
+var arenaPool = sync.Pool{New: func() any { return kernels.NewArena(0, 0) }}
 
-func (p *Plan) putScratch(sp *[]complex128) {
-	p.pool.Put(sp)
+func getArena() *kernels.Arena { return arenaPool.Get().(*kernels.Arena) }
+
+func putArena(a *kernels.Arena) {
+	a.Reset()
+	arenaPool.Put(a)
 }
 
 // Scale multiplies x elementwise by s; use Scale(x, 1/n) after an inverse

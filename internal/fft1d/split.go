@@ -16,6 +16,12 @@ import (
 // LanesSplit computes (DFT_n ⊗ I_mu) over split-format data out of place.
 // All four slices must have length n·mu; dst and src must not overlap.
 func (p *Plan) LanesSplit(dstRe, dstIm, srcRe, srcIm []float64, mu, sign int) {
+	ar := getArena()
+	p.lanesSplitInto(dstRe, dstIm, srcRe, srcIm, mu, sign, ar)
+	putArena(ar)
+}
+
+func (p *Plan) lanesSplitInto(dstRe, dstIm, srcRe, srcIm []float64, mu, sign int, ar *kernels.Arena) {
 	if mu < 1 {
 		panic(fmt.Sprintf("fft1d: LanesSplit with mu=%d", mu))
 	}
@@ -25,24 +31,28 @@ func (p *Plan) LanesSplit(dstRe, dstIm, srcRe, srcIm []float64, mu, sign int) {
 	}
 	switch p.kind {
 	case kindPow2:
-		p.pow2LanesSplit(dstRe, dstIm, srcRe, srcIm, mu, sign)
+		p.pow2LanesSplit(dstRe, dstIm, srcRe, srcIm, mu, sign, ar)
 	default:
 		// Fallback through interleaved form; only exercised for
 		// non-power-of-two sizes, which are outside the paper's
 		// evaluated set.
-		src := cvec.Split{Re: srcRe, Im: srcIm}.ToVec()
-		dst := make([]complex128, want)
-		p.lanesInto(dst, src, mu, sign)
+		mk := ar.Mark()
+		src := ar.Complex(want)
+		cvec.Interleave(src, cvec.Split{Re: srcRe, Im: srcIm})
+		dst := ar.Complex(want)
+		p.lanesInto(dst, src, mu, sign, ar)
 		cvec.Deinterleave(cvec.Split{Re: dstRe, Im: dstIm}, dst)
+		ar.Rewind(mk)
 	}
 }
 
-func (p *Plan) pow2LanesSplit(dstRe, dstIm, srcRe, srcIm []float64, mu, sign int) {
+func (p *Plan) pow2LanesSplit(dstRe, dstIm, srcRe, srcIm []float64, mu, sign int, ar *kernels.Arena) {
 	st := p.splitTwiddles(sign)
 	t := len(st)
 	total := p.n * mu
-	scratchRe := make([]float64, total)
-	scratchIm := make([]float64, total)
+	mk := ar.Mark()
+	scratchRe := ar.Float(total)
+	scratchIm := ar.Float(total)
 
 	curRe, curIm := srcRe, srcIm
 	n1 := p.n
@@ -62,37 +72,109 @@ func (p *Plan) pow2LanesSplit(dstRe, dstIm, srcRe, srcIm []float64, mu, sign int
 		n1 /= r
 		s *= r
 	}
+	ar.Rewind(mk)
+}
+
+// batchPow2Split is the split-format analogue of batchPow2: `pencils`
+// contiguous in-place lane groups of stride n·mu swept one butterfly stage
+// at a time across all pencils, twiddle tables cache-hot per sweep.
+func (p *Plan) batchPow2Split(re, im []float64, pencils, mu, sign int, ar *kernels.Arena) {
+	st := p.splitTwiddles(sign)
+	t := len(st)
+	stride := p.n * mu
+	mk := ar.Mark()
+	scratchRe := ar.Float(pencils * stride)
+	scratchIm := ar.Float(pencils * stride)
+
+	curRe, curIm := re, im
+	if t%2 == 1 {
+		copy(scratchRe, re)
+		copy(scratchIm, im)
+		curRe, curIm = scratchRe, scratchIm
+	}
+	n1 := p.n
+	s := mu
+	for i, tw := range st {
+		outRe, outIm := re, im
+		if (t-1-i)%2 != 0 {
+			outRe, outIm = scratchRe, scratchIm
+		}
+		r := p.radices[i]
+		if r == 4 {
+			kernels.BatchSplitRadix4Step(outRe, outIm, curRe, curIm, pencils, stride, n1/4, s, sign, tw)
+		} else {
+			kernels.BatchSplitRadix2Step(outRe, outIm, curRe, curIm, pencils, stride, n1/2, s, tw)
+		}
+		curRe, curIm = outRe, outIm
+		n1 /= r
+		s *= r
+	}
+	ar.Rewind(mk)
 }
 
 // BatchSplit computes (I_count ⊗ DFT_n) in place over split-format data:
 // count contiguous pencils of length n.
 func (p *Plan) BatchSplit(re, im []float64, count, sign int) {
-	if len(re) != count*p.n || len(im) != count*p.n {
-		panic(fmt.Sprintf("fft1d: BatchSplit length %d/%d, want %d·%d",
-			len(re), len(im), count, p.n))
+	ar := getArena()
+	p.BatchSplitArena(re, im, count, sign, ar)
+	putArena(ar)
+}
+
+// BatchSplitArena is BatchSplit drawing scratch from the caller's arena.
+func (p *Plan) BatchSplitArena(re, im []float64, count, sign int, ar *kernels.Arena) {
+	p.BatchLanesSplitArena(re, im, count, 1, sign, ar)
+}
+
+// BatchLanesSplitArena computes (I_count ⊗ DFT_n ⊗ I_mu) in place over
+// split data: count contiguous lane groups of stride n·mu each.
+func (p *Plan) BatchLanesSplitArena(re, im []float64, count, mu, sign int, ar *kernels.Arena) {
+	if len(re) != count*p.n*mu || len(im) != count*p.n*mu {
+		panic(fmt.Sprintf("fft1d: BatchLanesSplitArena length %d/%d, want %d·%d·%d",
+			len(re), len(im), count, p.n, mu))
 	}
-	tmpRe := make([]float64, p.n)
-	tmpIm := make([]float64, p.n)
+	if p.kind == kindPow2 {
+		p.batchPow2Split(re, im, count, mu, sign, ar)
+		return
+	}
+	stride := p.n * mu
+	mk := ar.Mark()
+	tmpRe := ar.Float(stride)
+	tmpIm := ar.Float(stride)
 	for c := 0; c < count; c++ {
-		lo, hi := c*p.n, (c+1)*p.n
+		lo, hi := c*stride, (c+1)*stride
 		copy(tmpRe, re[lo:hi])
 		copy(tmpIm, im[lo:hi])
-		p.LanesSplit(re[lo:hi], im[lo:hi], tmpRe, tmpIm, 1, sign)
+		p.lanesSplitInto(re[lo:hi], im[lo:hi], tmpRe, tmpIm, mu, sign, ar)
 	}
+	ar.Rewind(mk)
 }
 
 // InPlaceLanesSplit computes (DFT_n ⊗ I_mu) in place over split data.
 func (p *Plan) InPlaceLanesSplit(re, im []float64, mu, sign int) {
+	ar := getArena()
+	p.InPlaceLanesSplitArena(re, im, mu, sign, ar)
+	putArena(ar)
+}
+
+// InPlaceLanesSplitArena is InPlaceLanesSplit drawing scratch from the
+// caller's arena.
+func (p *Plan) InPlaceLanesSplitArena(re, im []float64, mu, sign int, ar *kernels.Arena) {
 	want := p.n * mu
 	if len(re) != want || len(im) != want {
 		panic(fmt.Sprintf("fft1d: InPlaceLanesSplit length %d/%d, want %d",
 			len(re), len(im), want))
 	}
-	tmpRe := make([]float64, want)
-	tmpIm := make([]float64, want)
+	if p.kind == kindPow2 {
+		p.batchPow2Split(re, im, 1, mu, sign, ar)
+		return
+	}
+	mk := ar.Mark()
+	tmpRe := ar.Float(want)
+	tmpIm := ar.Float(want)
 	copy(tmpRe, re)
 	copy(tmpIm, im)
-	p.LanesSplit(re, im, tmpRe, tmpIm, mu, sign)
+	p.lanesSplitInto(re, im, tmpRe, tmpIm, mu, sign, ar)
+	ar.Rewind(mk)
 }
 
 // ScaleSplit multiplies split data elementwise by s.

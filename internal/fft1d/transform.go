@@ -24,19 +24,21 @@ func (p *Plan) Lanes(dst, src []complex128, mu, sign int) {
 		panic(fmt.Sprintf("fft1d: Lanes length mismatch: dst=%d src=%d want %d",
 			len(dst), len(src), p.n*mu))
 	}
-	p.lanesInto(dst, src, mu, sign)
+	ar := getArena()
+	p.lanesInto(dst, src, mu, sign, ar)
+	putArena(ar)
 }
 
-func (p *Plan) lanesInto(dst, src []complex128, mu, sign int) {
+func (p *Plan) lanesInto(dst, src []complex128, mu, sign int, ar *kernels.Arena) {
 	switch p.kind {
 	case kindSmall:
 		p.smallLanes(dst, src, mu, sign)
 	case kindPow2:
-		p.pow2Lanes(dst, src, mu, sign)
+		p.pow2Lanes(dst, src, mu, sign, ar)
 	case kindMixed:
-		p.mixedLanes(dst, src, mu, sign)
+		p.mixedLanes(dst, src, mu, sign, ar)
 	case kindBluestein:
-		p.bluesteinLanes(dst, src, mu, sign)
+		p.bluesteinLanes(dst, src, mu, sign, ar)
 	}
 }
 
@@ -59,14 +61,13 @@ func (p *Plan) smallLanes(dst, src []complex128, mu, sign int) {
 	}
 }
 
-// pow2Lanes runs the Stockham stage pipeline, ping-ponging between dst and a
-// pooled scratch buffer so the final stage always lands in dst.
-func (p *Plan) pow2Lanes(dst, src []complex128, mu, sign int) {
+// pow2Lanes runs the Stockham stage pipeline, ping-ponging between dst and
+// arena scratch so the final stage always lands in dst.
+func (p *Plan) pow2Lanes(dst, src []complex128, mu, sign int, ar *kernels.Arena) {
 	st := p.stageTwiddles(sign)
 	t := len(st)
-	sp := p.getScratch(p.n * mu)
-	defer p.putScratch(sp)
-	scratch := *sp
+	m := ar.Mark()
+	scratch := ar.Complex(p.n * mu)
 
 	cur := src
 	n1 := p.n
@@ -74,7 +75,7 @@ func (p *Plan) pow2Lanes(dst, src []complex128, mu, sign int) {
 	for i, tw := range st {
 		out := dst
 		if (t-1-i)%2 != 0 {
-			out = scratch[:p.n*mu]
+			out = scratch
 		}
 		r := p.radices[i]
 		if r == 4 {
@@ -86,16 +87,55 @@ func (p *Plan) pow2Lanes(dst, src []complex128, mu, sign int) {
 		n1 /= r
 		s *= r
 	}
+	ar.Rewind(m)
+}
+
+// batchPow2 transforms `pencils` contiguous in-place pencils of shape
+// DFT_n ⊗ I_mu (stride n·mu each) through the batched Stockham sweeps: one
+// butterfly stage is applied across every pencil before the next begins, so
+// each stage's twiddle table streams through the cache once per sweep
+// rather than once per pencil. Ping-pong parity lands the final stage in x;
+// with an odd stage count the pipeline starts from a scratch copy so no
+// stage reads the half it is writing.
+func (p *Plan) batchPow2(x []complex128, pencils, mu, sign int, ar *kernels.Arena) {
+	st := p.stageTwiddles(sign)
+	t := len(st)
+	stride := p.n * mu
+	m := ar.Mark()
+	scratch := ar.Complex(pencils * stride)
+
+	cur := x
+	if t%2 == 1 {
+		copy(scratch, x)
+		cur = scratch
+	}
+	n1 := p.n
+	s := mu
+	for i, tw := range st {
+		out := x
+		if (t-1-i)%2 != 0 {
+			out = scratch
+		}
+		r := p.radices[i]
+		if r == 4 {
+			kernels.BatchRadix4Step(out, cur, pencils, stride, n1/4, s, sign, tw)
+		} else {
+			kernels.BatchRadix2Step(out, cur, pencils, stride, n1/2, s, tw)
+		}
+		cur = out
+		n1 /= r
+		s *= r
+	}
+	ar.Rewind(m)
 }
 
 // mixedLanes implements the Cooley–Tukey split n = f·rest with lanes:
 //
 //	DFT_n ⊗ I_L = (DFT_f ⊗ I_{rest·L}) (D ⊗ I_L) (I_f ⊗ DFT_rest ⊗ I_L) (L_f^n ⊗ I_L).
-func (p *Plan) mixedLanes(dst, src []complex128, mu, sign int) {
+func (p *Plan) mixedLanes(dst, src []complex128, mu, sign int, ar *kernels.Arena) {
 	f, rest, n := p.f, p.rest, p.n
-	tp := p.getScratch(n * mu)
-	defer p.putScratch(tp)
-	t := *tp
+	mk := ar.Mark()
+	t := ar.Complex(n * mu)
 
 	// Step 1: blocked stride permutation (L_f^n ⊗ I_mu): input block
 	// (i·f + j) → output block (j·rest + i), 0 ≤ i < rest, 0 ≤ j < f.
@@ -109,7 +149,7 @@ func (p *Plan) mixedLanes(dst, src []complex128, mu, sign int) {
 	// Step 2: I_f ⊗ (DFT_rest ⊗ I_mu) from dst into t.
 	blk := rest * mu
 	for j := 0; j < f; j++ {
-		p.subRest.lanesInto(t[j*blk:(j+1)*blk], dst[j*blk:(j+1)*blk], mu, sign)
+		p.subRest.lanesInto(t[j*blk:(j+1)*blk], dst[j*blk:(j+1)*blk], mu, sign, ar)
 	}
 
 	// Step 3: (D_rest^n ⊗ I_mu) in place on t.
@@ -126,39 +166,40 @@ func (p *Plan) mixedLanes(dst, src []complex128, mu, sign int) {
 	}
 
 	// Step 4: (DFT_f ⊗ I_{rest·mu}) from t into dst.
-	p.subF.lanesInto(dst, t, rest*mu, sign)
+	p.subF.lanesInto(dst, t, rest*mu, sign, ar)
+	ar.Rewind(mk)
 }
 
 // bluesteinLanes applies the chirp-z transform per lane.
-func (p *Plan) bluesteinLanes(dst, src []complex128, mu, sign int) {
+func (p *Plan) bluesteinLanes(dst, src []complex128, mu, sign int, ar *kernels.Arena) {
 	if mu == 1 {
-		p.blue.transform(dst, src, sign)
+		p.blue.transform(dst, src, sign, ar)
 		return
 	}
 	n := p.n
-	a := make([]complex128, n)
-	b := make([]complex128, n)
+	mk := ar.Mark()
+	a := ar.Complex(n)
+	b := ar.Complex(n)
 	for l := 0; l < mu; l++ {
 		for i := 0; i < n; i++ {
 			a[i] = src[i*mu+l]
 		}
-		p.blue.transform(b, a, sign)
+		p.blue.transform(b, a, sign, ar)
 		for i := 0; i < n; i++ {
 			dst[i*mu+l] = b[i]
 		}
 	}
+	ar.Rewind(mk)
 }
 
-// InPlace computes x = DFT_n(x) using a pooled scratch buffer.
+// InPlace computes x = DFT_n(x) using pooled arena scratch.
 func (p *Plan) InPlace(x []complex128, sign int) {
 	if len(x) != p.n {
 		panic(fmt.Sprintf("fft1d: InPlace length %d, want %d", len(x), p.n))
 	}
-	tp := p.getScratch(p.n)
-	defer p.putScratch(tp)
-	tmp := *tp
-	copy(tmp, x)
-	p.lanesInto(x, tmp, 1, sign)
+	ar := getArena()
+	p.inPlaceLanes(x, 1, sign, ar)
+	putArena(ar)
 }
 
 // InPlaceLanes computes x = (DFT_n ⊗ I_mu)(x) in place.
@@ -166,28 +207,68 @@ func (p *Plan) InPlaceLanes(x []complex128, mu, sign int) {
 	if len(x) != p.n*mu {
 		panic(fmt.Sprintf("fft1d: InPlaceLanes length %d, want %d", len(x), p.n*mu))
 	}
-	tp := p.getScratch(p.n * mu)
-	defer p.putScratch(tp)
-	tmp := *tp
+	ar := getArena()
+	p.inPlaceLanes(x, mu, sign, ar)
+	putArena(ar)
+}
+
+// InPlaceLanesArena is InPlaceLanes drawing scratch from the caller's arena
+// — the executor compute path.
+func (p *Plan) InPlaceLanesArena(x []complex128, mu, sign int, ar *kernels.Arena) {
+	if len(x) != p.n*mu {
+		panic(fmt.Sprintf("fft1d: InPlaceLanesArena length %d, want %d", len(x), p.n*mu))
+	}
+	p.inPlaceLanes(x, mu, sign, ar)
+}
+
+func (p *Plan) inPlaceLanes(x []complex128, mu, sign int, ar *kernels.Arena) {
+	if p.kind == kindPow2 {
+		p.batchPow2(x, 1, mu, sign, ar)
+		return
+	}
+	mk := ar.Mark()
+	tmp := ar.Complex(p.n * mu)
 	copy(tmp, x)
-	p.lanesInto(x, tmp, mu, sign)
+	p.lanesInto(x, tmp, mu, sign, ar)
+	ar.Rewind(mk)
 }
 
 // Batch computes x = (I_count ⊗ DFT_n)(x): count contiguous pencils of
 // length n transformed in place. This is the paper's compute-kernel shape
 // I_{b/m} ⊗ DFT_m.
 func (p *Plan) Batch(x []complex128, count, sign int) {
-	if len(x) != count*p.n {
-		panic(fmt.Sprintf("fft1d: Batch length %d, want %d·%d", len(x), count, p.n))
+	ar := getArena()
+	p.BatchArena(x, count, sign, ar)
+	putArena(ar)
+}
+
+// BatchArena is Batch drawing scratch from the caller's arena. Power-of-two
+// plans with ≥ 2 pencils go through the batched Stockham sweeps.
+func (p *Plan) BatchArena(x []complex128, count, sign int, ar *kernels.Arena) {
+	p.BatchLanesArena(x, count, 1, sign, ar)
+}
+
+// BatchLanesArena computes x = (I_count ⊗ DFT_n ⊗ I_mu)(x) in place: count
+// contiguous lane groups of stride n·mu each, scratch from the caller's
+// arena. This is the batched-unit shape of the stage-graph compute hooks.
+func (p *Plan) BatchLanesArena(x []complex128, count, mu, sign int, ar *kernels.Arena) {
+	if len(x) != count*p.n*mu {
+		panic(fmt.Sprintf("fft1d: BatchLanesArena length %d, want %d·%d·%d",
+			len(x), count, p.n, mu))
 	}
-	tp := p.getScratch(p.n)
-	defer p.putScratch(tp)
-	tmp := *tp
+	if p.kind == kindPow2 {
+		p.batchPow2(x, count, mu, sign, ar)
+		return
+	}
+	stride := p.n * mu
+	mk := ar.Mark()
+	tmp := ar.Complex(stride)
 	for c := 0; c < count; c++ {
-		pencil := x[c*p.n : (c+1)*p.n]
+		pencil := x[c*stride : (c+1)*stride]
 		copy(tmp, pencil)
-		p.lanesInto(pencil, tmp, 1, sign)
+		p.lanesInto(pencil, tmp, mu, sign, ar)
 	}
+	ar.Rewind(mk)
 }
 
 // BatchInto computes dst = (I_count ⊗ DFT_n)(src) out of place.
@@ -196,9 +277,11 @@ func (p *Plan) BatchInto(dst, src []complex128, count, sign int) {
 		panic(fmt.Sprintf("fft1d: BatchInto lengths dst=%d src=%d, want %d·%d",
 			len(dst), len(src), count, p.n))
 	}
+	ar := getArena()
 	for c := 0; c < count; c++ {
-		p.lanesInto(dst[c*p.n:(c+1)*p.n], src[c*p.n:(c+1)*p.n], 1, sign)
+		p.lanesInto(dst[c*p.n:(c+1)*p.n], src[c*p.n:(c+1)*p.n], 1, sign, ar)
 	}
+	putArena(ar)
 }
 
 // Strided transforms the pencil x[base], x[base+stride], …,
@@ -212,15 +295,17 @@ func (p *Plan) Strided(x []complex128, base, stride, sign int) {
 		panic(fmt.Sprintf("fft1d: Strided out of range: len=%d need=%d stride=%d",
 			len(x), need, stride))
 	}
-	tp := p.getScratch(2 * p.n)
-	defer p.putScratch(tp)
-	in := (*tp)[:p.n]
-	out := (*tp)[p.n : 2*p.n]
+	ar := getArena()
+	mk := ar.Mark()
+	in := ar.Complex(p.n)
+	out := ar.Complex(p.n)
 	for i := 0; i < p.n; i++ {
 		in[i] = x[base+i*stride]
 	}
-	p.lanesInto(out, in, 1, sign)
+	p.lanesInto(out, in, 1, sign, ar)
 	for i := 0; i < p.n; i++ {
 		x[base+i*stride] = out[i]
 	}
+	ar.Rewind(mk)
+	putArena(ar)
 }

@@ -21,9 +21,11 @@ package fft1dlarge
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/fft1d"
+	"repro/internal/kernels"
 	"repro/internal/stagegraph"
 	"repro/internal/trace"
 	"repro/internal/twiddle"
@@ -75,6 +77,13 @@ type Plan struct {
 	w1, w2 []complex128 // full-size intermediates
 	bufs   *stagegraph.Buffers
 
+	// Cached stage graph, compiled schedule, and persistent executor; per
+	// call only the src/dst endpoints and curSign are patched.
+	stages  []stagegraph.Stage
+	sched   *stagegraph.Schedule
+	exec    *stagegraph.Executor
+	curSign int
+
 	lock      sync.Mutex // w1/w2/bufs are shared scratch
 	lastStats stagegraph.Stats
 }
@@ -105,7 +114,32 @@ func NewPlan(n int, opts Options) (*Plan, error) {
 		b = n
 	}
 	p.bufs = stagegraph.NewBuffers(b, false, true)
+	p.stages = p.buildStages(nil, nil)
+	p.sched = stagegraph.Compile(p.stages, !opts.Unfused)
+	exec, err := stagegraph.NewExecutor(stagegraph.Config{
+		DataWorkers:    opts.DataWorkers,
+		ComputeWorkers: opts.ComputeWorkers,
+		ScratchComplex: b,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.exec = exec
+	// Backstop for callers that drop the plan without Close: once the plan
+	// is unreachable no Run can be in flight, so the finalizer may release
+	// the parked workers.
+	runtime.SetFinalizer(p, (*Plan).Close)
 	return p, nil
+}
+
+// Close releases the plan's persistent executor workers. Idempotent; the
+// plan must not be used after Close. Plans dropped without Close are
+// cleaned up by a finalizer.
+func (p *Plan) Close() {
+	if p.exec != nil {
+		p.exec.Close()
+		runtime.SetFinalizer(p, nil)
+	}
 }
 
 // split returns a balanced factorization n = n1·n2 with n1 ≥ n2 and n2 as
@@ -146,12 +180,12 @@ func (p *Plan) Transform(dst, src []complex128, sign int) error {
 	}
 	p.lock.Lock()
 	defer p.lock.Unlock()
-	st, err := stagegraph.Run(stagegraph.Config{
-		DataWorkers:    p.opts.DataWorkers,
-		ComputeWorkers: p.opts.ComputeWorkers,
-		Fused:          !p.opts.Unfused,
-		Tracer:         p.opts.Tracer,
-	}, p.bufs, p.buildStages(dst, src, sign))
+	p.curSign = sign
+	p.stages[0].Src.C = src
+	p.stages[2].Dst.C = dst
+	st, err := p.exec.Run(p.bufs, p.stages, p.sched, p.opts.Tracer)
+	p.stages[0].Src.C = nil
+	p.stages[2].Dst.C = nil
 	if err != nil {
 		return err
 	}
@@ -173,7 +207,7 @@ func (p *Plan) DescribeGraph() string {
 	if p.direct != nil {
 		return ""
 	}
-	return stagegraph.Describe(p.buildStages(nil, nil, fft1d.Forward), !p.opts.Unfused)
+	return stagegraph.Describe(p.buildStages(nil, nil), !p.opts.Unfused)
 }
 
 // buildStages compiles the six-step factorization into a three-stage graph:
@@ -182,12 +216,14 @@ func (p *Plan) DescribeGraph() string {
 //	stage 2: w2  = L_{n2}^{N} D (I_{n1} ⊗ DFT_{n2}) w1 (row FFTs + twiddles)
 //	stage 3: dst = L_{n1}^{N} (I_{n2} ⊗ DFT_{n1}) w2   (row FFTs)
 //
-// Endpoints may be nil when only describing the graph.
-func (p *Plan) buildStages(dst, src []complex128, sign int) []stagegraph.Stage {
+// The graph is built once at plan time and cached; compute closures read
+// the direction from p.curSign and the src/dst endpoints are patched per
+// call. Endpoints may be nil when only describing the graph.
+func (p *Plan) buildStages(dst, src []complex128) []stagegraph.Stage {
 	return []stagegraph.Stage{
-		p.transposeStage("reorder", p.w1, src, p.n2, p.n1, nil, sign, false),
-		p.transposeStage("n2-rows", p.w2, p.w1, p.n1, p.n2, p.p2, sign, true),
-		p.transposeStage("n1-rows", dst, p.w2, p.n2, p.n1, p.p1, sign, false),
+		p.transposeStage("reorder", p.w1, src, p.n2, p.n1, nil, false),
+		p.transposeStage("n2-rows", p.w2, p.w1, p.n1, p.n2, p.p2, true),
+		p.transposeStage("n1-rows", dst, p.w2, p.n2, p.n1, p.p1, false),
 	}
 }
 
@@ -196,23 +232,26 @@ func (p *Plan) buildStages(dst, src []complex128, sign int) []stagegraph.Stage {
 // apply rowPlan to every row (scaling row j by ω_N^{j·i} when twiddles is
 // set), transpose the group in cache into the staging half, and store whole
 // column blocks into the cols×rows matrix dst.
-func (p *Plan) transposeStage(name string, dst, src []complex128, rows, cols int, rowPlan *fft1d.Plan, sign int, twiddles bool) stagegraph.Stage {
+func (p *Plan) transposeStage(name string, dst, src []complex128, rows, cols int, rowPlan *fft1d.Plan, twiddles bool) stagegraph.Stage {
 	rPer := largestDivisorAtMost(rows, maxI(p.bufs.Elems/cols, 1))
 	return stagegraph.Stage{
 		Name: name, Iters: rows / rPer, Units: rPer, UnitLen: cols,
 		Src: stagegraph.Endpoint{C: src},
 		Dst: stagegraph.Endpoint{C: dst},
-		Compute: func(b *stagegraph.Buffers, half, iter, lo, hi int) {
+		Compute: func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
 			blk := rPer * cols
 			rowsHalf := b.C[half][:blk]
 			thalf := b.T[half][:blk]
+			sign := p.curSign
+			if rowPlan != nil && lo < hi {
+				// One batched Stockham sweep across the worker's whole
+				// contiguous row range, then the per-row twiddle pass.
+				rowPlan.BatchArena(rowsHalf[lo*cols:hi*cols], hi-lo, sign, a)
+			}
 			for r := lo; r < hi; r++ {
 				row := rowsHalf[r*cols : (r+1)*cols]
-				if rowPlan != nil {
-					rowPlan.InPlace(row, sign)
-					if twiddles {
-						twiddleRow(row, iter*rPer+r, p.n, sign)
-					}
+				if rowPlan != nil && twiddles {
+					twiddleRow(row, iter*rPer+r, p.n, sign)
 				}
 				// Transpose this row into the column-major staging half.
 				for c := 0; c < cols; c++ {

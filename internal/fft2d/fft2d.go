@@ -20,6 +20,7 @@ package fft2d
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/fft1d"
@@ -107,16 +108,23 @@ type Plan struct {
 	rowPlan *fft1d.Plan // DFT_m
 	colPlan *fft1d.Plan // DFT_n
 
-	// DoubleBuf state. The work arrays and double buffer are shared
-	// scratch, so DoubleBuf transforms serialize on lock (the plan stays
-	// safe for concurrent use; independent plans run fully in parallel).
-	mb     int // m/μ
-	rows1  int // rows per stage-1 block
-	xbs2   int // xb-rows per stage-2 block
-	work   []complex128
-	workRe []float64
-	workIm []float64
-	bufs   *stagegraph.Buffers
+	// DoubleBuf state. The work arrays, double buffer, cached stage graph
+	// and persistent executor are shared scratch, so DoubleBuf transforms
+	// serialize on lock (the plan stays safe for concurrent use;
+	// independent plans run fully in parallel). The stage graph and its
+	// compiled schedule are built once here; per call only the src/dst
+	// endpoints and curSign are patched.
+	mb      int // m/μ
+	rows1   int // rows per stage-1 block
+	xbs2    int // xb-rows per stage-2 block
+	work    []complex128
+	workRe  []float64
+	workIm  []float64
+	bufs    *stagegraph.Buffers
+	stages  []stagegraph.Stage
+	sched   *stagegraph.Schedule
+	exec    *stagegraph.Executor
+	curSign int
 
 	lock      sync.Mutex
 	lastStats stagegraph.Stats
@@ -149,8 +157,38 @@ func NewPlan(n, m int, opts Options) (*Plan, error) {
 			p.work = make([]complex128, n*m)
 		}
 		p.bufs = stagegraph.NewBuffers(b, opts.SplitFormat, false)
+		p.stages = p.buildStages(nil, nil)
+		p.sched = stagegraph.Compile(p.stages, !opts.Unfused)
+		scratchC, scratchF := b, 0
+		if opts.SplitFormat {
+			scratchC, scratchF = 0, 2*b
+		}
+		exec, err := stagegraph.NewExecutor(stagegraph.Config{
+			DataWorkers:    opts.DataWorkers,
+			ComputeWorkers: opts.ComputeWorkers,
+			ScratchComplex: scratchC,
+			ScratchFloat:   scratchF,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.exec = exec
+		// Backstop for callers that drop the plan without Close: once the
+		// plan is unreachable no Run can be in flight, so the finalizer may
+		// release the parked workers.
+		runtime.SetFinalizer(p, (*Plan).Close)
 	}
 	return p, nil
+}
+
+// Close releases the plan's persistent executor workers. Idempotent; the
+// plan must not be used after Close. Plans dropped without Close are
+// cleaned up by a finalizer.
+func (p *Plan) Close() {
+	if p.exec != nil {
+		p.exec.Close()
+		runtime.SetFinalizer(p, nil)
+	}
 }
 
 // N and M return the plan's dimensions (n rows × m columns).
@@ -202,7 +240,7 @@ func (p *Plan) DescribeGraph() string {
 	if p.opts.Strategy != DoubleBuf {
 		return ""
 	}
-	return stagegraph.Describe(p.buildStages(nil, nil, fft1d.Forward), !p.opts.Unfused)
+	return stagegraph.Describe(p.buildStages(nil, nil), !p.opts.Unfused)
 }
 
 // InPlace computes x = DFT_{n×m}(x) using the plan's work array.

@@ -1,6 +1,7 @@
 package fft2d
 
 import (
+	"repro/internal/kernels"
 	"repro/internal/stagegraph"
 )
 
@@ -11,8 +12,14 @@ import (
 // contiguous blocks, compute contiguous pencils, and store at cacheline
 // granularity; in split format the stage-1 load fuses the
 // interleaved→split conversion and the stage-2 store fuses split→
-// interleaved (§IV-A). Endpoints may be nil when only describing.
-func (p *Plan) buildStages(dst, src []complex128, sign int) []stagegraph.Stage {
+// interleaved (§IV-A).
+//
+// The graph is built once at plan time and cached: the compute closures
+// read the transform direction from p.curSign (set under the plan lock
+// before each run), and the per-call src/dst endpoints are patched into
+// the cached stages — so a reused plan's Transform rebuilds nothing.
+// Endpoints may be nil when only describing.
+func (p *Plan) buildStages(dst, src []complex128) []stagegraph.Stage {
 	n, m, mu, mb := p.n, p.m, p.opts.Mu, p.mb
 	rows, xbs := p.rows1, p.xbs2
 	rowLen := n * mu
@@ -39,46 +46,47 @@ func (p *Plan) buildStages(dst, src []complex128, sign int) []stagegraph.Stage {
 	if p.opts.SplitFormat {
 		s1.Dst = stagegraph.Endpoint{Re: p.workRe, Im: p.workIm}
 		s2.Src = stagegraph.Endpoint{Re: p.workRe, Im: p.workIm}
-		s1.Compute = func(b *stagegraph.Buffers, half, iter, lo, hi int) {
+		s1.Compute = func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
 			if lo < hi {
-				p.rowPlan.BatchSplit(b.Re[half][lo*m:hi*m], b.Im[half][lo*m:hi*m], hi-lo, sign)
+				p.rowPlan.BatchSplitArena(b.Re[half][lo*m:hi*m], b.Im[half][lo*m:hi*m], hi-lo, p.curSign, a)
 			}
 		}
-		s2.Compute = func(b *stagegraph.Buffers, half, iter, lo, hi int) {
-			for xb := lo; xb < hi; xb++ {
-				s, e := xb*rowLen, (xb+1)*rowLen
-				p.colPlan.InPlaceLanesSplit(b.Re[half][s:e], b.Im[half][s:e], mu, sign)
+		s2.Compute = func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
+			if lo < hi {
+				s, e := lo*rowLen, hi*rowLen
+				p.colPlan.BatchLanesSplitArena(b.Re[half][s:e], b.Im[half][s:e], hi-lo, mu, p.curSign, a)
 			}
 		}
 	} else {
 		s1.Dst = stagegraph.Endpoint{C: p.work}
 		s2.Src = stagegraph.Endpoint{C: p.work}
-		s1.Compute = func(b *stagegraph.Buffers, half, iter, lo, hi int) {
+		s1.Compute = func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
 			if lo < hi {
-				p.rowPlan.Batch(b.C[half][lo*m:hi*m], hi-lo, sign)
+				p.rowPlan.BatchArena(b.C[half][lo*m:hi*m], hi-lo, p.curSign, a)
 			}
 		}
-		s2.Compute = func(b *stagegraph.Buffers, half, iter, lo, hi int) {
-			for xb := lo; xb < hi; xb++ {
-				p.colPlan.InPlaceLanes(b.C[half][xb*rowLen:(xb+1)*rowLen], mu, sign)
+		s2.Compute = func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
+			if lo < hi {
+				p.colPlan.BatchLanesArena(b.C[half][lo*rowLen:hi*rowLen], hi-lo, mu, p.curSign, a)
 			}
 		}
 	}
 	return []stagegraph.Stage{s1, s2}
 }
 
-// doubleBuf executes the compiled two-stage graph through the shared
-// executor, fusing the stage boundary unless the plan is configured
-// unfused.
+// doubleBuf executes the cached stage graph on the plan's persistent
+// executor: patch the per-call endpoints and direction into the compiled
+// stages, wake the parked workers, and collect whole-transform stats. In
+// steady state this spawns no goroutines and performs no heap allocations.
 func (p *Plan) doubleBuf(dst, src []complex128, sign int) error {
 	p.lock.Lock()
 	defer p.lock.Unlock()
-	st, err := stagegraph.Run(stagegraph.Config{
-		DataWorkers:    p.opts.DataWorkers,
-		ComputeWorkers: p.opts.ComputeWorkers,
-		Fused:          !p.opts.Unfused,
-		Tracer:         p.opts.Tracer,
-	}, p.bufs, p.buildStages(dst, src, sign))
+	p.curSign = sign
+	p.stages[0].Src.C = src
+	p.stages[1].Dst.C = dst
+	st, err := p.exec.Run(p.bufs, p.stages, p.sched, p.opts.Tracer)
+	p.stages[0].Src.C = nil
+	p.stages[1].Dst.C = nil
 	if err != nil {
 		return err
 	}

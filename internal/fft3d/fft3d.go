@@ -21,6 +21,7 @@ package fft3d
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/fft1d"
@@ -115,15 +116,21 @@ type Plan struct {
 	units2 int // (xb,z) n·μ-units per stage-2 block
 	units3 int // (y,xb) k·μ-units per stage-3 block
 
-	// The work arrays and double buffer are shared scratch, so DoubleBuf
-	// transforms serialize on lock (the plan stays safe for concurrent
-	// use; independent plans run fully in parallel).
-	work   []complex128
-	workRe []float64
-	workIm []float64
-	wrk2Re []float64
-	wrk2Im []float64
-	bufs   *stagegraph.Buffers
+	// The work arrays, double buffer, cached stage graph and persistent
+	// executor are shared scratch, so DoubleBuf transforms serialize on
+	// lock (the plan stays safe for concurrent use; independent plans run
+	// fully in parallel). Stages and schedule compile once at plan time;
+	// per call only the src/dst endpoints and curSign are patched.
+	work    []complex128
+	workRe  []float64
+	workIm  []float64
+	wrk2Re  []float64
+	wrk2Im  []float64
+	bufs    *stagegraph.Buffers
+	stages  []stagegraph.Stage
+	sched   *stagegraph.Schedule
+	exec    *stagegraph.Executor
+	curSign int
 
 	lock      sync.Mutex
 	lastStats stagegraph.Stats
@@ -157,8 +164,38 @@ func NewPlan(k, n, m int, opts Options) (*Plan, error) {
 			p.work = make([]complex128, total)
 		}
 		p.bufs = stagegraph.NewBuffers(b, opts.SplitFormat, false)
+		p.stages = p.buildStages(nil, nil)
+		p.sched = stagegraph.Compile(p.stages, !opts.Unfused)
+		scratchC, scratchF := b, 0
+		if opts.SplitFormat {
+			scratchC, scratchF = 0, 2*b
+		}
+		exec, err := stagegraph.NewExecutor(stagegraph.Config{
+			DataWorkers:    opts.DataWorkers,
+			ComputeWorkers: opts.ComputeWorkers,
+			ScratchComplex: scratchC,
+			ScratchFloat:   scratchF,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.exec = exec
+		// Backstop for callers that drop the plan without Close: once the
+		// plan is unreachable no Run can be in flight, so the finalizer may
+		// release the parked workers.
+		runtime.SetFinalizer(p, (*Plan).Close)
 	}
 	return p, nil
+}
+
+// Close releases the plan's persistent executor workers. Idempotent; the
+// plan must not be used after Close. Plans dropped without Close are
+// cleaned up by a finalizer.
+func (p *Plan) Close() {
+	if p.exec != nil {
+		p.exec.Close()
+		runtime.SetFinalizer(p, nil)
+	}
 }
 
 // Dims returns (k, n, m).
@@ -214,7 +251,7 @@ func (p *Plan) DescribeGraph() string {
 	if p.opts.Strategy != DoubleBuf {
 		return ""
 	}
-	return stagegraph.Describe(p.buildStages(nil, nil, fft1d.Forward), !p.opts.Unfused)
+	return stagegraph.Describe(p.buildStages(nil, nil), !p.opts.Unfused)
 }
 
 // InPlace computes x = DFT_{k×n×m}(x).

@@ -2,6 +2,7 @@ package fft3d
 
 import (
 	"repro/internal/fft1d"
+	"repro/internal/kernels"
 	"repro/internal/stagegraph"
 )
 
@@ -23,8 +24,11 @@ import (
 //	after stage 2: n × (m/μ) × k × μ   blocks (y, xb, z)
 //	after stage 3: k × n × (m/μ) × μ   = original k×n×m
 //
-// Endpoints may be nil when only describing the graph.
-func (p *Plan) buildStages(dst, src []complex128, sign int) []stagegraph.Stage {
+// The graph is built once at plan time and cached: compute closures read
+// the direction from p.curSign (set under the plan lock) and the per-call
+// src/dst endpoints are patched into the cached stages. Endpoints may be
+// nil when only describing the graph.
+func (p *Plan) buildStages(dst, src []complex128) []stagegraph.Stage {
 	k, n, mu, mb := p.k, p.n, p.opts.Mu, p.mb
 	m := p.m
 	rows, units2, units3 := p.rows1, p.units2, p.units3
@@ -68,13 +72,13 @@ func (p *Plan) buildStages(dst, src []complex128, sign int) []stagegraph.Stage {
 		s2.Dst = stagegraph.Endpoint{Re: p.wrk2Re, Im: p.wrk2Im}
 		s3.Src = stagegraph.Endpoint{Re: p.wrk2Re, Im: p.wrk2Im}
 		s3.Dst = stagegraph.Endpoint{C: dst}
-		s1.Compute = func(b *stagegraph.Buffers, half, iter, lo, hi int) {
+		s1.Compute = func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
 			if lo < hi {
-				p.planM.BatchSplit(b.Re[half][lo*m:hi*m], b.Im[half][lo*m:hi*m], hi-lo, sign)
+				p.planM.BatchSplitArena(b.Re[half][lo*m:hi*m], b.Im[half][lo*m:hi*m], hi-lo, p.curSign, a)
 			}
 		}
-		s2.Compute = lanesSplit(p.planN, n*mu, mu, sign)
-		s3.Compute = lanesSplit(p.planK, k*mu, mu, sign)
+		s2.Compute = p.lanesSplit(p.planN, n*mu, mu)
+		s3.Compute = p.lanesSplit(p.planK, k*mu, mu)
 	} else {
 		s1.Src = stagegraph.Endpoint{C: src}
 		s1.Dst = stagegraph.Endpoint{C: dst}
@@ -82,48 +86,64 @@ func (p *Plan) buildStages(dst, src []complex128, sign int) []stagegraph.Stage {
 		s2.Dst = stagegraph.Endpoint{C: p.work}
 		s3.Src = stagegraph.Endpoint{C: p.work}
 		s3.Dst = stagegraph.Endpoint{C: dst}
-		s1.Compute = func(b *stagegraph.Buffers, half, iter, lo, hi int) {
+		s1.Compute = func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
 			if lo < hi {
-				p.planM.Batch(b.C[half][lo*m:hi*m], hi-lo, sign)
+				p.planM.BatchArena(b.C[half][lo*m:hi*m], hi-lo, p.curSign, a)
 			}
 		}
-		s2.Compute = lanes(p.planN, n*mu, mu, sign)
-		s3.Compute = lanes(p.planK, k*mu, mu, sign)
+		s2.Compute = p.lanes(p.planN, n*mu, mu)
+		s3.Compute = p.lanes(p.planK, k*mu, mu)
 	}
 	return []stagegraph.Stage{s1, s2, s3}
 }
 
 // lanes returns a compute hook applying plan ⊗ I_μ over every unit of
-// unitLen elements in the worker's range.
-func lanes(plan *fft1d.Plan, unitLen, mu, sign int) stagegraph.ComputeFn {
-	return func(b *stagegraph.Buffers, half, iter, lo, hi int) {
-		for u := lo; u < hi; u++ {
-			plan.InPlaceLanes(b.C[half][u*unitLen:(u+1)*unitLen], mu, sign)
+// unitLen elements in the worker's range — one batched Stockham sweep
+// across all hi−lo contiguous units.
+func (p *Plan) lanes(plan *fft1d.Plan, unitLen, mu int) stagegraph.ComputeFn {
+	return func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
+		if lo < hi {
+			plan.BatchLanesArena(b.C[half][lo*unitLen:hi*unitLen], hi-lo, mu, p.curSign, a)
 		}
 	}
 }
 
-func lanesSplit(plan *fft1d.Plan, unitLen, mu, sign int) stagegraph.ComputeFn {
-	return func(b *stagegraph.Buffers, half, iter, lo, hi int) {
-		for u := lo; u < hi; u++ {
-			s, e := u*unitLen, (u+1)*unitLen
-			plan.InPlaceLanesSplit(b.Re[half][s:e], b.Im[half][s:e], mu, sign)
+func (p *Plan) lanesSplit(plan *fft1d.Plan, unitLen, mu int) stagegraph.ComputeFn {
+	return func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
+		if lo < hi {
+			s, e := lo*unitLen, hi*unitLen
+			plan.BatchLanesSplitArena(b.Re[half][s:e], b.Im[half][s:e], hi-lo, mu, p.curSign, a)
 		}
 	}
 }
 
-// doubleBuf executes the compiled three-stage graph through the shared
-// executor: one pipeline that flows through both stage boundaries (a
-// single drain per transform) unless the plan is configured unfused.
+// doubleBuf executes the cached three-stage graph on the plan's persistent
+// executor: patch the per-call endpoints and direction into the compiled
+// stages, wake the parked workers, and collect whole-transform stats. In
+// steady state this spawns no goroutines and performs no heap allocations.
 func (p *Plan) doubleBuf(dst, src []complex128, sign int) error {
 	p.lock.Lock()
 	defer p.lock.Unlock()
-	st, err := stagegraph.Run(stagegraph.Config{
-		DataWorkers:    p.opts.DataWorkers,
-		ComputeWorkers: p.opts.ComputeWorkers,
-		Fused:          !p.opts.Unfused,
-		Tracer:         p.opts.Tracer,
-	}, p.bufs, p.buildStages(dst, src, sign))
+	p.curSign = sign
+	if p.opts.SplitFormat {
+		p.stages[0].Src.C = src
+		p.stages[2].Dst.C = dst
+	} else {
+		p.stages[0].Src.C = src
+		p.stages[0].Dst.C = dst
+		p.stages[1].Src.C = dst
+		p.stages[2].Dst.C = dst
+	}
+	st, err := p.exec.Run(p.bufs, p.stages, p.sched, p.opts.Tracer)
+	if p.opts.SplitFormat {
+		p.stages[0].Src.C = nil
+		p.stages[2].Dst.C = nil
+	} else {
+		p.stages[0].Src.C = nil
+		p.stages[0].Dst.C = nil
+		p.stages[1].Src.C = nil
+		p.stages[2].Dst.C = nil
+	}
 	if err != nil {
 		return err
 	}

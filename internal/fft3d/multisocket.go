@@ -2,9 +2,11 @@ package fft3d
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/fft1d"
+	"repro/internal/kernels"
 	"repro/internal/numa"
 	"repro/internal/stagegraph"
 )
@@ -49,6 +51,17 @@ type DistPlan struct {
 	bufs []*stagegraph.Buffers // per-socket double buffers
 
 	rows1, units2, units3 int
+
+	// Per-socket persistent executors and cached graphs. The fronts
+	// (stages 1+2) and backs (stage 3) compile once at plan time; per call
+	// only curSign/curDst and the stage-1 Src endpoints are patched.
+	execs      []*stagegraph.Executor
+	fronts     [][]stagegraph.Stage
+	backs      [][]stagegraph.Stage
+	schedFront *stagegraph.Schedule
+	schedBack  *stagegraph.Schedule
+	curSign    int
+	curDst     *numa.Distributed
 
 	lock sync.Mutex // serializes Transform: bufs/bIm/cIm are shared scratch
 
@@ -105,10 +118,40 @@ func NewDistPlan(k, n, m, sockets int, opts Options) (*DistPlan, error) {
 	p.units3 = largestDivisorAtMost(n*mb/sockets, maxInt(1, opts.BufferElems/(k*mu)))
 	b := maxInt(p.rows1*m, maxInt(p.units2*n*mu, p.units3*k*mu))
 	p.bufs = make([]*stagegraph.Buffers, sockets)
+	p.execs = make([]*stagegraph.Executor, sockets)
+	p.fronts = make([][]stagegraph.Stage, sockets)
+	p.backs = make([][]stagegraph.Stage, sockets)
 	for s := 0; s < sockets; s++ {
 		p.bufs[s] = stagegraph.NewBuffers(b, false, false)
+		p.fronts[s], p.backs[s] = p.socketStages(s)
+		exec, err := stagegraph.NewExecutor(stagegraph.Config{
+			DataWorkers:    opts.DataWorkers,
+			ComputeWorkers: opts.ComputeWorkers,
+			ScratchComplex: b,
+		})
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.execs[s] = exec
 	}
+	// Every socket's front (and back) has identical stage shapes, so one
+	// compiled schedule per phase serves all sockets.
+	p.schedFront = stagegraph.Compile(p.fronts[0], !opts.Unfused)
+	p.schedBack = stagegraph.Compile(p.backs[0], !opts.Unfused)
+	runtime.SetFinalizer(p, (*DistPlan).Close)
 	return p, nil
+}
+
+// Close releases every socket's persistent executor workers. Idempotent;
+// the plan must not be used after Close.
+func (p *DistPlan) Close() {
+	for _, e := range p.execs {
+		if e != nil {
+			e.Close()
+		}
+	}
+	runtime.SetFinalizer(p, nil)
 }
 
 // System exposes the simulated NUMA system (for traffic inspection).
@@ -124,8 +167,11 @@ func (p *DistPlan) Alloc() (*numa.Distributed, error) {
 
 // socketStages compiles socket s's slab into its two graphs: the fusible
 // front (stages 1+2, all dependencies NUMA-local) and the back (stage 3,
-// which must wait for every socket's stage-2 scatter).
-func (p *DistPlan) socketStages(s int, dst, src *numa.Distributed, sign int) (front, back []stagegraph.Stage) {
+// which must wait for every socket's stage-2 scatter). Built once at plan
+// time: compute closures read the direction from p.curSign, the stage-3
+// scatter target from p.curDst, and the stage-1 Src endpoint is patched per
+// Transform.
+func (p *DistPlan) socketStages(s int) (front, back []stagegraph.Stage) {
 	k, n, m, mu, mb, ksl := p.k, p.n, p.m, p.opts.Mu, p.mb, p.ksl
 	partBase := s * p.bIm.PartLen()
 	qBase := s * (n * mb / p.sk) // first owned stage-3 unit index
@@ -133,13 +179,12 @@ func (p *DistPlan) socketStages(s int, dst, src *numa.Distributed, sign int) (fr
 	// Stage 1: local pencils + local rotation (W¹ = I_sk ⊗ K ⊗ I_μ · S).
 	s1 := stagegraph.Stage{
 		Name: "x-pencils", Iters: ksl * n / p.rows1, Units: p.rows1, UnitLen: m,
-		Src: stagegraph.Endpoint{C: src.Part(s)},
 		Dst: stagegraph.Endpoint{WriteC: func(off int, blk []complex128) {
 			p.bIm.WriteBlock(s, off, blk)
 		}},
-		Compute: func(b *stagegraph.Buffers, half, iter, lo, hi int) {
+		Compute: func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
 			if lo < hi {
-				p.planM.Batch(b.C[half][lo*m:hi*m], hi-lo, sign)
+				p.planM.BatchArena(b.C[half][lo*m:hi*m], hi-lo, p.curSign, a)
 			}
 		},
 		// Local pencil g = zl·n + y goes to local blocks (xb, zl, y).
@@ -157,7 +202,7 @@ func (p *DistPlan) socketStages(s int, dst, src *numa.Distributed, sign int) (fr
 		Dst: stagegraph.Endpoint{WriteC: func(off int, blk []complex128) {
 			p.cIm.WriteBlock(s, off, blk)
 		}},
-		Compute: lanes(p.planN, n*mu, mu, sign),
+		Compute: p.distLanes(p.planN, n*mu, mu),
 		Rot: stagegraph.Rotation{Blocks: n, BlockLen: mu,
 			Map: func(g, y int) int {
 				xb, zl := g/ksl, g%ksl
@@ -170,9 +215,9 @@ func (p *DistPlan) socketStages(s int, dst, src *numa.Distributed, sign int) (fr
 		Name: "z-pencils", Iters: n * mb / p.sk / p.units3, Units: p.units3, UnitLen: k * mu,
 		Src: stagegraph.Endpoint{C: p.cIm.Part(s)},
 		Dst: stagegraph.Endpoint{WriteC: func(off int, blk []complex128) {
-			dst.WriteBlock(s, off, blk)
+			p.curDst.WriteBlock(s, off, blk)
 		}},
-		Compute: lanes(p.planK, k*mu, mu, sign),
+		Compute: p.distLanes(p.planK, k*mu, mu),
 		Rot: stagegraph.Rotation{Blocks: k, BlockLen: mu,
 			Map: func(g, z int) int {
 				q := qBase + g // global unit: y·mb + xb
@@ -181,6 +226,16 @@ func (p *DistPlan) socketStages(s int, dst, src *numa.Distributed, sign int) (fr
 			}},
 	}
 	return []stagegraph.Stage{s1, s2}, []stagegraph.Stage{s3}
+}
+
+// distLanes is the DistPlan analogue of Plan.lanes: a batched lane-group
+// sweep over the worker's unit range, direction read from p.curSign.
+func (p *DistPlan) distLanes(plan *fft1d.Plan, unitLen, mu int) stagegraph.ComputeFn {
+	return func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
+		if lo < hi {
+			plan.BatchLanesArena(b.C[half][lo*unitLen:hi*unitLen], hi-lo, mu, p.curSign, a)
+		}
+	}
 }
 
 // Transform computes dst = DFT_{k×n×m}(src) over the distributed slabs.
@@ -193,19 +248,26 @@ func (p *DistPlan) Transform(dst, src *numa.Distributed, sign int) error {
 	defer p.lock.Unlock()
 	p.sys.ResetTraffic()
 
-	cfg := stagegraph.Config{
-		DataWorkers:    p.opts.DataWorkers,
-		ComputeWorkers: p.opts.ComputeWorkers,
-		Fused:          !p.opts.Unfused,
+	p.curSign = sign
+	p.curDst = dst
+	for s := 0; s < p.sk; s++ {
+		p.fronts[s][0].Src.C = src.Part(s)
 	}
-	runPhase := func(pick func(s int) []stagegraph.Stage) error {
+	defer func() {
+		p.curDst = nil
+		for s := 0; s < p.sk; s++ {
+			p.fronts[s][0].Src.C = nil
+		}
+	}()
+
+	runPhase := func(graphs [][]stagegraph.Stage, sched *stagegraph.Schedule) error {
 		var wg sync.WaitGroup
 		errs := make([]error, p.sk)
 		for s := 0; s < p.sk; s++ {
 			wg.Add(1)
 			go func(s int) {
 				defer wg.Done()
-				_, errs[s] = stagegraph.Run(cfg, p.bufs[s], pick(s))
+				_, errs[s] = p.execs[s].Run(p.bufs[s], graphs[s], sched, nil)
 			}(s)
 		}
 		wg.Wait()
@@ -220,18 +282,12 @@ func (p *DistPlan) Transform(dst, src *numa.Distributed, sign int) error {
 	// Phase A: stages 1+2, fused per socket. A global barrier (the phase
 	// boundary) orders every socket's stage-2 scatter before any stage-3
 	// load.
-	if err := runPhase(func(s int) []stagegraph.Stage {
-		front, _ := p.socketStages(s, dst, src, sign)
-		return front
-	}); err != nil {
+	if err := runPhase(p.fronts, p.schedFront); err != nil {
 		return err
 	}
 	la, ca := p.sys.LocalBytes(), p.sys.CrossBytes()
 	// Phase B: stage 3.
-	if err := runPhase(func(s int) []stagegraph.Stage {
-		_, back := p.socketStages(s, dst, src, sign)
-		return back
-	}); err != nil {
+	if err := runPhase(p.backs, p.schedBack); err != nil {
 		return err
 	}
 	lb, cb := p.sys.LocalBytes(), p.sys.CrossBytes()

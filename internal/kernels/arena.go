@@ -1,0 +1,102 @@
+package kernels
+
+// Arena is a bump-pointer scratch allocator for the steady-state compute
+// path. Every executor compute worker owns one, so batched kernels and the
+// fft1d drivers draw their ping-pong buffers from preallocated slabs
+// instead of make/sync.Pool round trips: after the first transform warms
+// the slabs, a reused plan's Transform performs zero heap allocations.
+//
+// Growth discipline: when a request does not fit, the arena allocates a
+// fresh, larger slab and abandons the old one. Slices handed out earlier
+// keep referencing the old slab (the callers' references keep it alive), so
+// outstanding scratch stays valid across growth. Growth therefore only
+// happens while a plan warms up; the steady state never allocates.
+//
+// An Arena is not safe for concurrent use; ownership is per worker.
+type Arena struct {
+	c    []complex128
+	f    []float64
+	cOff int
+	fOff int
+}
+
+// NewArena returns an arena pre-sized to the given slab lengths (either may
+// be zero; slabs grow on demand).
+func NewArena(complexElems, floatElems int) *Arena {
+	a := &Arena{}
+	if complexElems > 0 {
+		a.c = make([]complex128, complexElems)
+	}
+	if floatElems > 0 {
+		a.f = make([]float64, floatElems)
+	}
+	return a
+}
+
+// Mark captures the current bump positions; Rewind returns to them so loops
+// can reuse the same scratch region per iteration.
+type Mark struct{ c, f int }
+
+// Mark returns the current allocation positions.
+func (a *Arena) Mark() Mark { return Mark{a.cOff, a.fOff} }
+
+// Rewind releases everything allocated since m. After a growth event the
+// region below the mark in the new slab is simply left unused — outstanding
+// pre-mark slices live in the abandoned slab, so this is always safe.
+func (a *Arena) Rewind(m Mark) { a.cOff, a.fOff = m.c, m.f }
+
+// Reset releases the whole arena for reuse. Called by the executor before
+// each compute op; slabs are retained.
+func (a *Arena) Reset() { a.cOff, a.fOff = 0, 0 }
+
+// Complex returns an n-element complex scratch slice. Contents are
+// unspecified; callers must fully overwrite what they read.
+func (a *Arena) Complex(n int) []complex128 {
+	if a.cOff+n > len(a.c) {
+		a.growComplex(n)
+	}
+	s := a.c[a.cOff : a.cOff+n]
+	a.cOff += n
+	return s
+}
+
+// Float returns an n-element float64 scratch slice (split-format halves).
+func (a *Arena) Float(n int) []float64 {
+	if a.fOff+n > len(a.f) {
+		a.growFloat(n)
+	}
+	s := a.f[a.fOff : a.fOff+n]
+	a.fOff += n
+	return s
+}
+
+func (a *Arena) growComplex(n int) {
+	size := 2 * len(a.c)
+	if size < n {
+		size = n
+	}
+	if size < 64 {
+		size = 64
+	}
+	a.c = make([]complex128, size)
+	a.cOff = 0
+}
+
+func (a *Arena) growFloat(n int) {
+	size := 2 * len(a.f)
+	if size < n {
+		size = n
+	}
+	if size < 128 {
+		size = 128
+	}
+	a.f = make([]float64, size)
+	a.fOff = 0
+}
+
+// ComplexCap and FloatCap report the slab sizes (for tests and sizing
+// diagnostics).
+func (a *Arena) ComplexCap() int { return len(a.c) }
+
+// FloatCap reports the float slab size.
+func (a *Arena) FloatCap() int { return len(a.f) }

@@ -1,0 +1,49 @@
+package kernels
+
+// Batched Stockham sweeps. A buffer half holds many contiguous pencils of
+// the same size; the per-pencil drivers used to run every butterfly stage
+// of pencil 0, then every stage of pencil 1, and so on, which re-streams
+// each stage's twiddle table through the cache once per pencil. These
+// kernels invert the loop nest: one butterfly stage is applied across all
+// pencils in the half before the next stage begins, so each stage's twiddle
+// table is loaded once per sweep and stays cache-hot while it is reused
+// pencils-many times. The fft1d batch entry points switch to these sweeps
+// whenever a buffer holds ≥ 2 pencils.
+//
+// Each pencil occupies `stride` consecutive elements (stride = n·s for a
+// DFT_n ⊗ I_s lane group); pencil c of dst/src starts at offset c·stride.
+
+// BatchRadix2Step applies one Stockham radix-2 stage to `pencils`
+// independent pencils. m and s are per-pencil stage parameters as in
+// Radix2Step; stride is the per-pencil element count (2·m·s).
+func BatchRadix2Step(dst, src []complex128, pencils, stride, m, s int, tw StageTwiddles) {
+	for c := 0; c < pencils; c++ {
+		o := c * stride
+		Radix2Step(dst[o:o+stride], src[o:o+stride], m, s, tw)
+	}
+}
+
+// BatchRadix4Step applies one Stockham radix-4 stage to `pencils`
+// independent pencils of stride elements each (stride = 4·m·s).
+func BatchRadix4Step(dst, src []complex128, pencils, stride, m, s, sign int, tw StageTwiddles) {
+	for c := 0; c < pencils; c++ {
+		o := c * stride
+		Radix4Step(dst[o:o+stride], src[o:o+stride], m, s, sign, tw)
+	}
+}
+
+// BatchSplitRadix2Step is the split-format batched radix-2 sweep.
+func BatchSplitRadix2Step(dstRe, dstIm, srcRe, srcIm []float64, pencils, stride, m, s int, tw SplitTwiddles) {
+	for c := 0; c < pencils; c++ {
+		o := c * stride
+		SplitRadix2Step(dstRe[o:o+stride], dstIm[o:o+stride], srcRe[o:o+stride], srcIm[o:o+stride], m, s, tw)
+	}
+}
+
+// BatchSplitRadix4Step is the split-format batched radix-4 sweep.
+func BatchSplitRadix4Step(dstRe, dstIm, srcRe, srcIm []float64, pencils, stride, m, s, sign int, tw SplitTwiddles) {
+	for c := 0; c < pencils; c++ {
+		o := c * stride
+		SplitRadix4Step(dstRe[o:o+stride], dstIm[o:o+stride], srcRe[o:o+stride], srcIm[o:o+stride], m, s, sign, tw)
+	}
+}

@@ -2,9 +2,11 @@ package stagegraph
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/affinity"
+	"repro/internal/kernels"
 	"repro/internal/pipeline"
 	"repro/internal/trace"
 )
@@ -17,13 +19,22 @@ type Config struct {
 	ComputeWorkers int
 	// Fused flows the steady state through stage boundaries; unfused
 	// reproduces the drain-then-refill behaviour of one pipeline run per
-	// stage (the A/B baseline for WithStageFusion).
+	// stage (the A/B baseline for WithStageFusion). Consumed by the
+	// package-level Run convenience; Executor.Run takes a compiled
+	// *Schedule instead.
 	Fused bool
 	// Tracer records every task with its stage index and global step.
 	Tracer *trace.Recorder
 	// YieldInData and LockThreads as in pipeline.Config.
 	YieldInData bool
 	LockThreads bool
+	// ScratchComplex and ScratchFloat pre-size every compute worker's
+	// scratch arena (in complex128 / float64 elements). Zero leaves the
+	// arenas empty; they grow on first use and are retained, so the steady
+	// state is allocation-free either way. Plans pass their block footprint
+	// here so the slabs are sized at plan time.
+	ScratchComplex int
+	ScratchFloat   int
 }
 
 // Stats summarizes one graph execution — the whole transform, not one
@@ -45,6 +56,49 @@ type Stats struct {
 // its load step assigned it.
 type slotRef struct {
 	stage, iter, half int
+}
+
+// Schedule is a compiled stage-graph schedule: the per-step op tables of
+// BuildSchedule plus the step count. It depends only on the stage iteration
+// counts and the fusion flag — not on the arrays a particular Transform
+// binds — so plans compile it once at plan time and replay it on every
+// call; it is only rebuilt when the options that shaped it change (which,
+// for the immutable plans in this repository, means building a new plan).
+type Schedule struct {
+	loadAt, computeAt, storeAt []slotRef
+	steps                      int
+	fused                      bool
+	iters                      []int // per-stage Iters the schedule was compiled for
+}
+
+// Steps returns the schedule's total step count.
+func (s *Schedule) Steps() int { return s.steps }
+
+// Fused reports whether the schedule fuses stage boundaries.
+func (s *Schedule) Fused() bool { return s.fused }
+
+// Compile builds the reusable schedule for a stage graph.
+func Compile(stages []Stage, fused bool) *Schedule {
+	loadAt, computeAt, storeAt, steps := BuildSchedule(stages, fused)
+	sched := &Schedule{loadAt: loadAt, computeAt: computeAt, storeAt: storeAt,
+		steps: steps, fused: fused, iters: make([]int, len(stages))}
+	for i := range stages {
+		sched.iters[i] = stages[i].Iters
+	}
+	return sched
+}
+
+func (s *Schedule) matches(stages []Stage) error {
+	if len(s.iters) != len(stages) {
+		return fmt.Errorf("stagegraph: schedule compiled for %d stages, got %d", len(s.iters), len(stages))
+	}
+	for i := range stages {
+		if stages[i].Iters != s.iters[i] {
+			return fmt.Errorf("stagegraph: schedule stage %d compiled for %d iters, got %d",
+				i, s.iters[i], stages[i].Iters)
+		}
+	}
+	return nil
 }
 
 // BuildSchedule compiles a stage graph into per-step op tables: loadAt[t],
@@ -104,149 +158,285 @@ func Steps(stages []Stage, fused bool) int {
 	return total + 2*len(stages)
 }
 
-// Run executes the compiled stage graph end to end through the double
-// buffer and returns whole-transform stats. It blocks until the final
-// store lands.
-func Run(cfg Config, b *Buffers, stages []Stage) (Stats, error) {
+// Executor is a persistent stage-graph execution engine: p_d data workers
+// and p_c compute workers are spawned exactly once, park on a barrier
+// between runs, and are woken per Run — the goroutine analogue of the
+// paper's long-lived pinned pthread team. Plans hold one Executor for their
+// whole lifetime, so a reused plan's steady-state Transform spawns no
+// goroutines and allocates nothing: the compiled Schedule is replayed, the
+// per-step timing tables are reused, and every compute worker draws scratch
+// from its own retained kernels.Arena.
+//
+// Run executes one graph at a time; callers (the plans) serialize on their
+// own lock. Close releases the workers; a plan finalizer backstops callers
+// that drop an executor without closing it. A worker panic surfaces as the
+// Run error and permanently breaks the executor (its step barriers are
+// poisoned); subsequent Runs fail fast.
+type Executor struct {
+	dataWorkers    int
+	computeWorkers int
+	yieldInData    bool
+	lockThreads    bool
+
+	startBar  *pipeline.Barrier // workers + caller: publishes the run
+	finishBar *pipeline.Barrier // workers + caller: completes the run
+	dataBar   *pipeline.Barrier // data workers: store-before-load within a step
+	stepBar   *pipeline.Barrier // all workers: step boundary
+
+	arenas []*kernels.Arena // one per compute worker
+
+	// Per-run state, published before the start barrier and read by the
+	// workers after it.
+	runBufs   *Buffers
+	runStages []Stage
+	runSched  *Schedule
+	runTracer *trace.Recorder
+
+	dataDur []time.Duration // worker-0 per-step timings, reused across runs
+	compDur []time.Duration
+
+	panicMu  sync.Mutex
+	panicErr error
+	broken   bool
+
+	closeOnce sync.Once
+	closed    bool
+}
+
+// NewExecutor spawns the worker team. The workers park immediately and stay
+// parked until the first Run.
+func NewExecutor(cfg Config) (*Executor, error) {
+	if cfg.DataWorkers < 1 || cfg.ComputeWorkers < 1 {
+		return nil, fmt.Errorf("stagegraph: need ≥1 data and compute workers, got %d/%d",
+			cfg.DataWorkers, cfg.ComputeWorkers)
+	}
+	total := cfg.DataWorkers + cfg.ComputeWorkers
+	e := &Executor{
+		dataWorkers:    cfg.DataWorkers,
+		computeWorkers: cfg.ComputeWorkers,
+		yieldInData:    cfg.YieldInData,
+		lockThreads:    cfg.LockThreads,
+		startBar:       pipeline.NewBarrier(total + 1),
+		finishBar:      pipeline.NewBarrier(total + 1),
+		dataBar:        pipeline.NewBarrier(cfg.DataWorkers),
+		stepBar:        pipeline.NewBarrier(total),
+		arenas:         make([]*kernels.Arena, cfg.ComputeWorkers),
+	}
+	for i := range e.arenas {
+		e.arenas[i] = kernels.NewArena(cfg.ScratchComplex, cfg.ScratchFloat)
+	}
+	for w := 0; w < cfg.DataWorkers; w++ {
+		go e.worker(affinity.DataRole, w, cfg.DataWorkers)
+	}
+	for w := 0; w < cfg.ComputeWorkers; w++ {
+		go e.worker(affinity.ComputeRole, w, cfg.ComputeWorkers)
+	}
+	return e, nil
+}
+
+// Close releases the worker goroutines. Idempotent; must not be called
+// concurrently with Run.
+func (e *Executor) Close() {
+	e.closeOnce.Do(func() {
+		e.closed = true
+		e.startBar.Abort()
+		e.finishBar.Abort()
+	})
+}
+
+// Workers returns (dataWorkers, computeWorkers).
+func (e *Executor) Workers() (int, int) { return e.dataWorkers, e.computeWorkers }
+
+// worker is the persistent body of one pinned worker: park on the start
+// barrier, play the published schedule, meet at the finish barrier, repeat.
+func (e *Executor) worker(role affinity.Role, slot, workers int) {
+	body := func() {
+		for {
+			if !e.startBar.Wait() {
+				return
+			}
+			e.runSteps(role, slot, workers)
+			if !e.finishBar.Wait() {
+				return
+			}
+		}
+	}
+	if e.lockThreads {
+		affinity.Pin(body)
+	} else {
+		body()
+	}
+}
+
+// runSteps plays every step of the current schedule for one worker. On
+// panic it records the error and poisons the step barriers so the rest of
+// the team unblocks and falls through to the finish barrier.
+func (e *Executor) runSteps(role affinity.Role, slot, workers int) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicMu.Lock()
+			if e.panicErr == nil {
+				e.panicErr = fmt.Errorf("stagegraph: %s worker %d panicked: %v", role, slot, r)
+			}
+			e.broken = true
+			e.panicMu.Unlock()
+			e.dataBar.Abort()
+			e.stepBar.Abort()
+		}
+	}()
+	b, stages, sched, tracer := e.runBufs, e.runStages, e.runSched, e.runTracer
+	for s := 0; s < sched.steps; s++ {
+		t0 := time.Now()
+		if role == affinity.DataRole {
+			if ref := sched.storeAt[s]; ref.stage >= 0 {
+				st := &stages[ref.stage]
+				t := time.Now()
+				st.store(b, ref.half, ref.iter, slot, workers)
+				tracer.Emit(trace.Event{
+					Op: trace.Store, Step: s, Stage: ref.stage, Iter: ref.iter,
+					Buf: ref.half, Worker: slot, Role: "data", Start: t, End: time.Now(),
+				})
+			}
+			if !e.dataBar.Wait() {
+				return
+			}
+			if ref := sched.loadAt[s]; ref.stage >= 0 {
+				st := &stages[ref.stage]
+				t := time.Now()
+				st.load(b, ref.half, ref.iter, slot, workers)
+				tracer.Emit(trace.Event{
+					Op: trace.Load, Step: s, Stage: ref.stage, Iter: ref.iter,
+					Buf: ref.half, Worker: slot, Role: "data", Start: t, End: time.Now(),
+				})
+			}
+			if e.yieldInData {
+				affinity.Yield()
+			}
+			if slot == 0 {
+				e.dataDur[s] = time.Since(t0)
+			}
+		} else {
+			if ref := sched.computeAt[s]; ref.stage >= 0 {
+				st := &stages[ref.stage]
+				lo, hi := partition(st.Units, slot, workers)
+				ar := e.arenas[slot]
+				ar.Reset()
+				t := time.Now()
+				st.Compute(b, ar, ref.half, ref.iter, lo, hi)
+				tracer.Emit(trace.Event{
+					Op: trace.Compute, Step: s, Stage: ref.stage, Iter: ref.iter,
+					Buf: ref.half, Worker: slot, Role: "compute", Start: t, End: time.Now(),
+				})
+			}
+			if slot == 0 {
+				e.compDur[s] = time.Since(t0)
+			}
+		}
+		if !e.stepBar.Wait() {
+			return
+		}
+	}
+}
+
+// Run executes the compiled schedule over the stage graph through the
+// double buffer and returns whole-transform stats. It blocks until the
+// final store lands. Steady-state Runs (same schedule, warmed arenas)
+// perform zero heap allocations and spawn zero goroutines.
+func (e *Executor) Run(b *Buffers, stages []Stage, sched *Schedule, tracer *trace.Recorder) (Stats, error) {
 	if len(stages) == 0 {
 		return Stats{}, fmt.Errorf("stagegraph: empty graph")
 	}
-	if cfg.DataWorkers < 1 || cfg.ComputeWorkers < 1 {
-		return Stats{}, fmt.Errorf("stagegraph: need ≥1 data and compute workers, got %d/%d",
-			cfg.DataWorkers, cfg.ComputeWorkers)
-	}
 	if b == nil {
 		return Stats{}, fmt.Errorf("stagegraph: nil buffers")
+	}
+	if sched == nil {
+		return Stats{}, fmt.Errorf("stagegraph: nil schedule")
+	}
+	if err := sched.matches(stages); err != nil {
+		return Stats{}, err
 	}
 	for i := range stages {
 		if err := stages[i].validate(i, b); err != nil {
 			return Stats{}, err
 		}
 	}
+	e.panicMu.Lock()
+	broken, closed := e.broken, e.closed
+	e.panicMu.Unlock()
+	if closed {
+		return Stats{}, fmt.Errorf("stagegraph: executor closed")
+	}
+	if broken {
+		return Stats{}, fmt.Errorf("stagegraph: executor broken by earlier panic: %v", e.panicErr)
+	}
 
-	loadAt, computeAt, storeAt, steps := BuildSchedule(stages, cfg.Fused)
-	total := cfg.DataWorkers + cfg.ComputeWorkers
-	// Data workers order store-before-load among themselves; at fused
-	// boundaries this same barrier also orders the last store of stage k
-	// before the first load of stage k+1 within their shared step.
-	dataBar := pipeline.NewBarrier(cfg.DataWorkers)
-	stepBar := pipeline.NewBarrier(total)
+	steps := sched.steps
+	if cap(e.dataDur) < steps {
+		e.dataDur = make([]time.Duration, steps)
+		e.compDur = make([]time.Duration, steps)
+	}
+	e.dataDur = e.dataDur[:steps]
+	e.compDur = e.compDur[:steps]
+	for i := 0; i < steps; i++ {
+		e.dataDur[i], e.compDur[i] = 0, 0
+	}
 
-	dataDur := make([]time.Duration, steps)
-	compDur := make([]time.Duration, steps)
-
+	e.runBufs, e.runStages, e.runSched, e.runTracer = b, stages, sched, tracer
 	start := time.Now()
-	done := make(chan struct{}, total)
+	if !e.startBar.Wait() {
+		return Stats{}, fmt.Errorf("stagegraph: executor closed")
+	}
+	if !e.finishBar.Wait() {
+		return Stats{}, fmt.Errorf("stagegraph: executor closed")
+	}
+	// Drop the graph reference so a parked executor does not pin the
+	// caller's arrays (or, via the compute closures, the plan itself —
+	// which would defeat the plan finalizer that closes us).
+	e.runBufs, e.runStages, e.runSched, e.runTracer = nil, nil, nil, nil
 
-	var panicErr error
-	panicked := make(chan error, total)
-
-	runWorker := func(role affinity.Role, slot, workers int) {
-		body := func() {
-			defer func() {
-				if r := recover(); r != nil {
-					select {
-					case panicked <- fmt.Errorf("stagegraph: %s worker %d panicked: %v", role, slot, r):
-					default:
-					}
-					dataBar.Abort()
-					stepBar.Abort()
-				}
-				done <- struct{}{}
-			}()
-			for s := 0; s < steps; s++ {
-				t0 := time.Now()
-				if role == affinity.DataRole {
-					if ref := storeAt[s]; ref.stage >= 0 {
-						st := &stages[ref.stage]
-						t := time.Now()
-						st.store(b, ref.half, ref.iter, slot, workers)
-						cfg.Tracer.Emit(trace.Event{
-							Op: trace.Store, Step: s, Stage: ref.stage, Iter: ref.iter,
-							Buf: ref.half, Worker: slot, Role: "data", Start: t, End: time.Now(),
-						})
-					}
-					if !dataBar.Wait() {
-						return
-					}
-					if ref := loadAt[s]; ref.stage >= 0 {
-						st := &stages[ref.stage]
-						t := time.Now()
-						st.load(b, ref.half, ref.iter, slot, workers)
-						cfg.Tracer.Emit(trace.Event{
-							Op: trace.Load, Step: s, Stage: ref.stage, Iter: ref.iter,
-							Buf: ref.half, Worker: slot, Role: "data", Start: t, End: time.Now(),
-						})
-					}
-					if cfg.YieldInData {
-						affinity.Yield()
-					}
-					if slot == 0 {
-						dataDur[s] = time.Since(t0)
-					}
-				} else {
-					if ref := computeAt[s]; ref.stage >= 0 {
-						st := &stages[ref.stage]
-						lo, hi := partition(st.Units, slot, workers)
-						t := time.Now()
-						st.Compute(b, ref.half, ref.iter, lo, hi)
-						cfg.Tracer.Emit(trace.Event{
-							Op: trace.Compute, Step: s, Stage: ref.stage, Iter: ref.iter,
-							Buf: ref.half, Worker: slot, Role: "compute", Start: t, End: time.Now(),
-						})
-					}
-					if slot == 0 {
-						compDur[s] = time.Since(t0)
-					}
-				}
-				if !stepBar.Wait() {
-					return
-				}
-			}
-		}
-		if cfg.LockThreads {
-			affinity.Pin(body)
-		} else {
-			body()
-		}
-	}
-
-	for w := 0; w < cfg.DataWorkers; w++ {
-		go runWorker(affinity.DataRole, w, cfg.DataWorkers)
-	}
-	for w := 0; w < cfg.ComputeWorkers; w++ {
-		go runWorker(affinity.ComputeRole, w, cfg.ComputeWorkers)
-	}
-	for i := 0; i < total; i++ {
-		<-done
-	}
-	select {
-	case panicErr = <-panicked:
-		return Stats{}, panicErr
-	default:
+	e.panicMu.Lock()
+	perr := e.panicErr
+	e.panicMu.Unlock()
+	if perr != nil {
+		return Stats{}, perr
 	}
 
 	st := Stats{
 		Steps:          steps,
 		Stages:         len(stages),
 		WallTime:       time.Since(start),
-		DataWorkers:    cfg.DataWorkers,
-		ComputeWorkers: cfg.ComputeWorkers,
+		DataWorkers:    e.dataWorkers,
+		ComputeWorkers: e.computeWorkers,
 	}
 	var hidden time.Duration
 	for s := 0; s < steps; s++ {
-		st.DataTime += dataDur[s]
-		st.ComputeTime += compDur[s]
-		if dataDur[s] < compDur[s] {
-			hidden += dataDur[s]
+		st.DataTime += e.dataDur[s]
+		st.ComputeTime += e.compDur[s]
+		if e.dataDur[s] < e.compDur[s] {
+			hidden += e.dataDur[s]
 		} else {
-			hidden += compDur[s]
+			hidden += e.compDur[s]
 		}
 	}
 	if st.DataTime > 0 {
 		st.Overlap = float64(hidden) / float64(st.DataTime)
 	}
 	return st, nil
+}
+
+// Run is the one-shot convenience used by tests and ad-hoc callers: it
+// spawns a throwaway executor, compiles the schedule, runs the graph once
+// and releases the workers. Plans hold a persistent Executor instead.
+func Run(cfg Config, b *Buffers, stages []Stage) (Stats, error) {
+	e, err := NewExecutor(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer e.Close()
+	if len(stages) == 0 {
+		return Stats{}, fmt.Errorf("stagegraph: empty graph")
+	}
+	return e.Run(b, stages, Compile(stages, cfg.Fused), cfg.Tracer)
 }
 
 func partition(total, worker, workers int) (int, int) {

@@ -1,0 +1,139 @@
+package stagegraph
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// scaleStage builds a one-stage graph multiplying src by scale into dst.
+func scaleStage(dst, src []complex128, iters, units, unitLen int, scale complex128) []Stage {
+	ul := unitLen
+	return []Stage{{
+		Name: "scale", Iters: iters, Units: units, UnitLen: unitLen,
+		Src: Endpoint{C: src}, Dst: Endpoint{C: dst},
+		Compute: func(b *Buffers, _ *kernels.Arena, half, iter, lo, hi int) {
+			h := b.C[half]
+			for j := lo * ul; j < hi*ul; j++ {
+				h[j] *= scale
+			}
+		},
+		Rot: Rotation{Blocks: 1, BlockLen: unitLen, Map: func(g, _ int) int { return g * ul }},
+	}}
+}
+
+func TestExecutorReuseAcrossRuns(t *testing.T) {
+	const iters, units, unitLen = 3, 2, 8
+	n := iters * units * unitLen
+	e, err := NewExecutor(Config{DataWorkers: 2, ComputeWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	src := make([]complex128, n)
+	dst := make([]complex128, n)
+	for i := range src {
+		src[i] = complex(float64(i+1), float64(i%3))
+	}
+	b := NewBuffers(units*unitLen, false, false)
+	stages := scaleStage(dst, src, iters, units, unitLen, 2)
+	sched := Compile(stages, true)
+
+	for run := 0; run < 5; run++ {
+		for i := range dst {
+			dst[i] = 0
+		}
+		st, err := e.Run(b, stages, sched, nil)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if st.Steps != sched.Steps() {
+			t.Fatalf("run %d: steps %d, want %d", run, st.Steps, sched.Steps())
+		}
+		for i := range dst {
+			if dst[i] != 2*src[i] {
+				t.Fatalf("run %d elem %d: got %v want %v", run, i, dst[i], 2*src[i])
+			}
+		}
+	}
+}
+
+// One compiled schedule must be replayable against different graphs of the
+// same shape — and rejected for graphs of a different shape.
+func TestScheduleShapeChecked(t *testing.T) {
+	const units, unitLen = 2, 8
+	e, err := NewExecutor(Config{DataWorkers: 1, ComputeWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	b := NewBuffers(units*unitLen, false, false)
+
+	mk := func(iters int) []Stage {
+		n := iters * units * unitLen
+		return scaleStage(make([]complex128, n), make([]complex128, n), iters, units, unitLen, 2)
+	}
+	sched := Compile(mk(3), true)
+	if _, err := e.Run(b, mk(3), sched, nil); err != nil {
+		t.Fatalf("same-shape graph rejected: %v", err)
+	}
+	if _, err := e.Run(b, mk(4), sched, nil); err == nil {
+		t.Fatal("schedule compiled for 3 iters accepted a 4-iter graph")
+	}
+	if _, err := e.Run(b, mk(3), nil, nil); err == nil {
+		t.Fatal("nil schedule accepted")
+	}
+}
+
+func TestExecutorBrokenAfterPanic(t *testing.T) {
+	const iters, units, unitLen = 2, 1, 8
+	n := iters * units * unitLen
+	e, err := NewExecutor(Config{DataWorkers: 2, ComputeWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	b := NewBuffers(units*unitLen, false, false)
+	stages := scaleStage(make([]complex128, n), make([]complex128, n), iters, units, unitLen, 2)
+	stages[0].Compute = func(*Buffers, *kernels.Arena, int, int, int, int) { panic("kernel exploded") }
+	sched := Compile(stages, true)
+
+	if _, err := e.Run(b, stages, sched, nil); err == nil {
+		t.Fatal("panic in compute not surfaced")
+	}
+	// The team's step barriers are poisoned: subsequent runs must fail
+	// fast instead of deadlocking.
+	if _, err := e.Run(b, stages, sched, nil); err == nil {
+		t.Fatal("broken executor accepted another run")
+	}
+}
+
+func TestExecutorCloseIdempotentAndRejectsRuns(t *testing.T) {
+	const iters, units, unitLen = 2, 1, 8
+	n := iters * units * unitLen
+	e, err := NewExecutor(Config{DataWorkers: 1, ComputeWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuffers(units*unitLen, false, false)
+	stages := scaleStage(make([]complex128, n), make([]complex128, n), iters, units, unitLen, 2)
+	sched := Compile(stages, true)
+	if _, err := e.Run(b, stages, sched, nil); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close() // idempotent
+	if _, err := e.Run(b, stages, sched, nil); err == nil {
+		t.Fatal("closed executor accepted a run")
+	}
+}
+
+func TestNewExecutorRejectsBadWorkerCounts(t *testing.T) {
+	if _, err := NewExecutor(Config{DataWorkers: 0, ComputeWorkers: 1}); err == nil {
+		t.Fatal("zero data workers accepted")
+	}
+	if _, err := NewExecutor(Config{DataWorkers: 1, ComputeWorkers: 0}); err == nil {
+		t.Fatal("zero compute workers accepted")
+	}
+}

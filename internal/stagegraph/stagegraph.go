@@ -16,7 +16,11 @@
 // argument).
 package stagegraph
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+)
 
 // Endpoint is one side of a stage's data movement: a complex-interleaved
 // array, a split (block-interleaved) pair, or an opaque block writer (used
@@ -52,8 +56,10 @@ type Rotation struct {
 }
 
 // ComputeFn runs the batched pencil kernel of one stage over the unit
-// range [lo, hi) of buffer half `half` holding iteration `iter`.
-type ComputeFn func(b *Buffers, half, iter, lo, hi int)
+// range [lo, hi) of buffer half `half` holding iteration `iter`. The arena
+// is the calling compute worker's private scratch, Reset before every op;
+// kernels bump-allocate ping-pong buffers from it instead of the heap.
+type ComputeFn func(b *Buffers, a *kernels.Arena, half, iter, lo, hi int)
 
 // Stage is one declarative load/compute/store stage of a transform.
 type Stage struct {

@@ -1,0 +1,8 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports whether the race detector is active. Allocation
+// counts are not meaningful under -race: its instrumentation allocates,
+// and sync.Pool deliberately drops items at random in race mode.
+const raceEnabled = true
