@@ -8,9 +8,9 @@ GO ?= go
 RACE_PKGS = . ./internal/pipeline ./internal/stagegraph ./internal/fft2d \
             ./internal/fft3d ./internal/fft1dlarge
 
-.PHONY: ci vet build test race bench benchsmoke fmt
+.PHONY: ci vet build test race bench benchsmoke benchjson fmt
 
-ci: vet build test race benchsmoke
+ci: vet build test race benchsmoke benchjson
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +31,12 @@ bench:
 # no longer compile or crash without paying for a timed run.
 benchsmoke:
 	$(GO) test -run=NONE -bench='Fig|Table|PublicAPI|StageFusion' -benchtime=1x -benchmem .
+
+# Machine-readable benchmark snapshot (ns/op, B/op, GB/s, fraction of this
+# host's STREAM copy peak) for tracking the performance trajectory across
+# commits. Emits BENCH_<timestamp>.json in the repo root.
+benchjson:
+	$(GO) run ./cmd/fftbench -benchjson BENCH_$$(date +%Y%m%d-%H%M%S).json
 
 fmt:
 	gofmt -l .

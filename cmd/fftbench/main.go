@@ -11,6 +11,8 @@
 //	fftbench -fig 1            # one figure: 1, 9, 10, 11a, 11b, 11c, 11d
 //	fftbench -measured         # run the real implementations on this host
 //	fftbench -measured -dims 2 # the 2D sweep instead of 3D
+//	fftbench -benchjson out.json  # machine-readable kernel/transform bench
+//	                              # ("-" writes to stdout)
 //
 // Profiling a measured sweep (inspect with `go tool pprof`):
 //
@@ -36,6 +38,7 @@ func main() {
 	pd := flag.Int("pd", 1, "data workers for measured runs")
 	pc := flag.Int("pc", 1, "compute workers for measured runs")
 	acc := flag.Bool("accuracy", false, "print the numerical-accuracy report instead of performance")
+	benchJSON := flag.String("benchjson", "", "write machine-readable benchmark JSON to this file (\"-\" = stdout)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -70,6 +73,24 @@ func main() {
 
 	if *acc {
 		accuracy.Report(os.Stdout, []int{64, 256, 1024, 4096, 96, 1000, 127, 1021})
+		return
+	}
+
+	if *benchJSON != "" {
+		out := os.Stdout
+		if *benchJSON != "-" {
+			f, err := os.Create(*benchJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fftbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := bench.WriteJSON(out, bench.JSONConfig{}); err != nil {
+			fmt.Fprintln(os.Stderr, "fftbench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -82,6 +82,22 @@ func WithCacheline(mu int) Option {
 	}
 }
 
+// WithRadix caps the Stockham stage radix of the power-of-two 1D sub-plans:
+// 8 (the default) makes ⌈log₄(n)⌉ passes over the cache-resident buffer per
+// pencil (a radix-8 first stage absorbs odd log₂(n) without a radix-2
+// pass), 4 and 2 make more passes and exist for tuning and ablation.
+// 0 selects the default.
+func WithRadix(r int) Option {
+	return func(c *core.Config) error {
+		switch r {
+		case 0, 2, 4, 8:
+			c.Radix = r
+			return nil
+		}
+		return fmt.Errorf("repro: radix must be 0, 2, 4 or 8, got %d", r)
+	}
+}
+
 // WithSplitFormat enables or disables the block-interleaved compute format
 // (§IV-A; enabled by default).
 func WithSplitFormat(on bool) Option {

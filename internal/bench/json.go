@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/fft1d"
+	"repro/internal/fft2d"
+	"repro/internal/fft3d"
+	"repro/internal/kernels"
+	"repro/internal/layout"
+	"repro/internal/stream"
+)
+
+// JSONEntry is one benchmark's machine-readable result. GBPerS counts the
+// bytes the kernel actually streams (read + write), so FracStreamPeak is
+// directly the fraction of this host's STREAM copy bandwidth the kernel
+// sustains — the paper's bandwidth-efficiency lens.
+type JSONEntry struct {
+	Name           string  `json:"name"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	BPerOp         float64 `json:"b_per_op"`
+	GBPerS         float64 `json:"gb_per_s"`
+	FracStreamPeak float64 `json:"frac_stream_peak"`
+}
+
+// JSONReport is the full emission of WriteJSON: host identification, the
+// STREAM copy bandwidth every entry is normalized against, and the entries.
+// Reports are written as BENCH_<stamp>.json files and diffed across commits
+// to track the performance trajectory.
+type JSONReport struct {
+	GOOS          string      `json:"goos"`
+	GOARCH        string      `json:"goarch"`
+	NumCPU        int         `json:"num_cpu"`
+	StreamCopyGBs float64     `json:"stream_copy_gb_per_s"`
+	Entries       []JSONEntry `json:"entries"`
+}
+
+// JSONConfig sizes a WriteJSON run.
+type JSONConfig struct {
+	// Reps per case (default 5; the best rep is reported, as in STREAM).
+	Reps int
+	// MinIters per rep (default 1; raised automatically for fast cases so a
+	// rep lasts at least ~10 ms).
+	MinIters int
+	// StreamElems sizes the STREAM normalization run (default 1<<22).
+	StreamElems int
+}
+
+func (c JSONConfig) withDefaults() JSONConfig {
+	if c.Reps == 0 {
+		c.Reps = 5
+	}
+	if c.MinIters == 0 {
+		c.MinIters = 1
+	}
+	if c.StreamElems == 0 {
+		c.StreamElems = 1 << 22
+	}
+	return c
+}
+
+// jsonCase is one benchmark: fn runs a single op moving bytesPerOp bytes.
+type jsonCase struct {
+	name       string
+	bytesPerOp int64
+	fn         func() error
+}
+
+// runCase times a case the way testing.B would, without the testing package:
+// calibrate an iteration count so one rep lasts ≳10 ms, keep the best ns/op
+// across reps, and report allocations per op from the runtime's cumulative
+// TotalAlloc counter.
+func runCase(c jsonCase, cfg JSONConfig) (JSONEntry, error) {
+	if err := c.fn(); err != nil { // warm-up and error check
+		return JSONEntry{}, fmt.Errorf("bench %s: %w", c.name, err)
+	}
+	iters := cfg.MinIters
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := c.fn(); err != nil {
+				return JSONEntry{}, fmt.Errorf("bench %s: %w", c.name, err)
+			}
+		}
+		if time.Since(start) >= 10*time.Millisecond || iters >= 1<<20 {
+			break
+		}
+		iters *= 2
+	}
+	var best float64
+	var totalAlloc uint64
+	var totalOps int
+	var ms runtime.MemStats
+	for r := 0; r < cfg.Reps; r++ {
+		runtime.ReadMemStats(&ms)
+		alloc0 := ms.TotalAlloc
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := c.fn(); err != nil {
+				return JSONEntry{}, fmt.Errorf("bench %s: %w", c.name, err)
+			}
+		}
+		el := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		totalAlloc += ms.TotalAlloc - alloc0
+		totalOps += iters
+		nsOp := float64(el.Nanoseconds()) / float64(iters)
+		if r == 0 || nsOp < best {
+			best = nsOp
+		}
+	}
+	e := JSONEntry{
+		Name:    c.name,
+		NsPerOp: best,
+		BPerOp:  float64(totalAlloc) / float64(totalOps),
+	}
+	if best > 0 {
+		e.GBPerS = float64(c.bytesPerOp) / best // B/ns == GB/s
+	}
+	return e, nil
+}
+
+// WriteJSON measures the hot-path kernels and whole transforms and writes a
+// JSONReport: the copy/rotation micro-kernels at both cachelines, the
+// batched radix-8 sweep, and the double-buffered 2D/3D transforms, each
+// normalized against this host's STREAM copy bandwidth.
+func WriteJSON(w io.Writer, cfg JSONConfig) error {
+	cfg = cfg.withDefaults()
+	rep := JSONReport{
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		StreamCopyGBs: stream.BestCopyGBs(stream.Config{Elems: cfg.StreamElems, Trials: 3}),
+	}
+
+	cases, err := jsonCases()
+	if err != nil {
+		return err
+	}
+	for _, c := range cases {
+		e, err := runCase(c, cfg)
+		if err != nil {
+			return err
+		}
+		if rep.StreamCopyGBs > 0 {
+			e.FracStreamPeak = e.GBPerS / rep.StreamCopyGBs
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func jsonCases() ([]jsonCase, error) {
+	var cases []jsonCase
+
+	// Copy/rotation micro-kernels: 32 B of traffic per complex element.
+	for _, mu := range []int{4, 8} {
+		mu := mu
+		const rows, cols = 256, 256
+		total := rows * cols * mu
+		src := make([]complex128, total)
+		for i := range src {
+			src[i] = complex(float64(i%23)-11, float64(i%19)-9)
+		}
+		dst := make([]complex128, total)
+		cases = append(cases, jsonCase{
+			name:       fmt.Sprintf("layout/TransposeBlocked/mu=%d", mu),
+			bytesPerOp: int64(total) * 32,
+			fn: func() error {
+				layout.TransposeBlocked(dst, src, rows, cols, mu)
+				return nil
+			},
+		})
+	}
+	for _, mu := range []int{4, 8} {
+		mu := mu
+		const k, n, mb = 32, 32, 64
+		total := k * n * mb * mu
+		src := make([]complex128, total)
+		for i := range src {
+			src[i] = complex(float64(i%23)-11, float64(i%19)-9)
+		}
+		dst := make([]complex128, total)
+		cases = append(cases, jsonCase{
+			name:       fmt.Sprintf("layout/Rotate3DBlocked/mu=%d", mu),
+			bytesPerOp: int64(total) * 32,
+			fn: func() error {
+				layout.Rotate3DBlocked(dst, src, k, n, mb, mu)
+				return nil
+			},
+		})
+	}
+
+	// One batched radix-8 sweep: reads and writes every element once.
+	{
+		const n, pencils = 4096, 16
+		src := make([]complex128, pencils*n)
+		for i := range src {
+			src[i] = complex(float64(i%23)-11, float64(i%19)-9)
+		}
+		dst := make([]complex128, len(src))
+		tw := kernels.NewStageTwiddles(n, 8, kernels.Forward)
+		cases = append(cases, jsonCase{
+			name:       "kernels/BatchRadix8Step",
+			bytesPerOp: int64(len(src)) * 32,
+			fn: func() error {
+				kernels.BatchRadix8Step(dst, src, pencils, n, n/8, 1, kernels.Forward, tw)
+				return nil
+			},
+		})
+	}
+
+	// Whole double-buffered transforms. Traffic model: each of the D stages
+	// reads and writes the full array once, 32·elems·D bytes — the paper's
+	// minimal-traffic accounting (§III), so FracStreamPeak is comparable to
+	// the figures' percent-of-peak axis.
+	{
+		const n, m = 256, 256
+		elems := n * m
+		p, err := fft2d.NewPlan(n, m, fft2d.Options{
+			Strategy: fft2d.DoubleBuf, DataWorkers: 1, ComputeWorkers: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		src := make([]complex128, elems)
+		for i := range src {
+			src[i] = complex(float64(i%23)-11, float64(i%19)-9)
+		}
+		dst := make([]complex128, elems)
+		cases = append(cases, jsonCase{
+			name:       "fft2d/DoubleBuf/256x256",
+			bytesPerOp: int64(elems) * 32 * 2,
+			fn:         func() error { return p.Transform(dst, src, fft1d.Forward) },
+		})
+	}
+	{
+		const k, n, m = 64, 64, 64
+		elems := k * n * m
+		p, err := fft3d.NewPlan(k, n, m, fft3d.Options{
+			Strategy: fft3d.DoubleBuf, DataWorkers: 1, ComputeWorkers: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		src := make([]complex128, elems)
+		for i := range src {
+			src[i] = complex(float64(i%23)-11, float64(i%19)-9)
+		}
+		dst := make([]complex128, elems)
+		cases = append(cases, jsonCase{
+			name:       "fft3d/DoubleBuf/64x64x64",
+			bytesPerOp: int64(elems) * 32 * 3,
+			fn:         func() error { return p.Transform(dst, src, fft1d.Forward) },
+		})
+	}
+	return cases, nil
+}

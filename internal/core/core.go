@@ -37,6 +37,9 @@ type Config struct {
 	ComputeWorkers int
 	Workers        int
 	SplitFormat    bool
+	// Radix caps the Stockham stage radix of power-of-two 1D sub-plans
+	// (0 = default 8; 2/4 select the higher-pass-count mixes).
+	Radix int
 	// StageFusion runs every transform as one fused stage graph (steady
 	// state flows through stage boundaries; one pipeline drain per
 	// transform). Default() and ForMachine() enable it; disable for the
@@ -93,7 +96,7 @@ func (c Config) fft3dOptions() (fft3d.Options, error) {
 	return fft3d.Options{
 		Strategy: s, Mu: c.Mu, BufferElems: c.BufferElems,
 		DataWorkers: c.DataWorkers, ComputeWorkers: c.ComputeWorkers,
-		Workers: c.Workers, SplitFormat: c.SplitFormat,
+		Workers: c.Workers, SplitFormat: c.SplitFormat, Radix: c.Radix,
 		Unfused: !c.StageFusion, Tracer: c.Tracer,
 	}, nil
 }
@@ -106,7 +109,7 @@ func (c Config) fft2dOptions() (fft2d.Options, error) {
 	return fft2d.Options{
 		Strategy: s, Mu: c.Mu, BufferElems: c.BufferElems,
 		DataWorkers: c.DataWorkers, ComputeWorkers: c.ComputeWorkers,
-		Workers: c.Workers, SplitFormat: c.SplitFormat,
+		Workers: c.Workers, SplitFormat: c.SplitFormat, Radix: c.Radix,
 		Unfused: !c.StageFusion, Tracer: c.Tracer,
 	}, nil
 }

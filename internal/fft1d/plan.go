@@ -3,8 +3,10 @@
 //
 // The planner covers:
 //
-//   - power-of-two sizes via an iterative Stockham autosort radix-4/radix-2
-//     decomposition (no bit-reversal pass, contiguous writes);
+//   - power-of-two sizes via an iterative Stockham autosort decomposition
+//     (no bit-reversal pass, contiguous writes) in ⌈log₄(n)⌉ passes: radix-4
+//     stages plus one leading radix-8 stage when log₂(n) is odd, with pure
+//     radix-4/2 mixes selectable via NewPlanRadix for tuning and ablation;
 //   - arbitrary composite sizes via a recursive mixed-radix Cooley–Tukey
 //     factorization, DFT_mn = (DFT_m ⊗ I_n) D_n^{mn} (I_m ⊗ DFT_n) L_m^{mn},
 //     with hand-unrolled base codelets for 2,3,4,5,7,8;
@@ -53,6 +55,9 @@ const (
 type Plan struct {
 	n    int
 	kind planKind
+	// maxRadix is the largest Stockham stage radix a pow2 plan may use
+	// (2, 4 or 8); 0 for non-pow2 plans, where it is meaningless.
+	maxRadix int
 
 	// kindSmall
 	small func(dst, src []complex128, sign int)
@@ -77,18 +82,43 @@ type Plan struct {
 	blue *bluesteinPlan
 }
 
-var planCache sync.Map // int -> *Plan
+// planKey caches plans by size and radix preference. Sizes where the radix
+// is meaningless (non-pow2, codelet) normalize radix to 0 so all callers
+// share one entry.
+type planKey struct{ n, radix int }
 
-// NewPlan returns a (possibly cached) plan for size n ≥ 1.
-func NewPlan(n int) *Plan {
+var planCache sync.Map // planKey -> *Plan
+
+// NewPlan returns a (possibly cached) plan for size n ≥ 1 using the default
+// radix mix (radix-8 sweeps for power-of-two sizes).
+func NewPlan(n int) *Plan { return NewPlanRadix(n, 0) }
+
+// NewPlanRadix returns a (possibly cached) plan for size n ≥ 1 whose
+// power-of-two path uses Stockham stages of radix at most maxRadix ∈
+// {2, 4, 8}; 0 selects the default (8: ⌈log₄(n)⌉ passes, see pow2Radices).
+// Lower radices make more passes over the buffer and exist for tuning and
+// ablation. maxRadix only affects power-of-two sizes > 8; other sizes share
+// one plan.
+func NewPlanRadix(n, maxRadix int) *Plan {
 	if n < 1 {
-		panic(fmt.Sprintf("fft1d: NewPlan(%d): size must be ≥ 1", n))
+		panic(fmt.Sprintf("fft1d: NewPlanRadix(%d): size must be ≥ 1", n))
 	}
-	if p, ok := planCache.Load(n); ok {
+	switch maxRadix {
+	case 0:
+		maxRadix = 8
+	case 2, 4, 8:
+	default:
+		panic(fmt.Sprintf("fft1d: NewPlanRadix(%d, %d): radix must be 0, 2, 4 or 8", n, maxRadix))
+	}
+	key := planKey{n: n, radix: maxRadix}
+	if n <= 8 || n&(n-1) != 0 {
+		key.radix = 0 // radix is irrelevant; share the plan
+	}
+	if p, ok := planCache.Load(key); ok {
 		return p.(*Plan)
 	}
-	p := buildPlan(n)
-	actual, _ := planCache.LoadOrStore(n, p)
+	p := buildPlan(n, maxRadix)
+	actual, _ := planCache.LoadOrStore(key, p)
 	return actual.(*Plan)
 }
 
@@ -110,7 +140,7 @@ func (p *Plan) Kind() string {
 	return "unknown"
 }
 
-func buildPlan(n int) *Plan {
+func buildPlan(n, maxRadix int) *Plan {
 	p := &Plan{n: n}
 	switch {
 	case n <= 8:
@@ -118,7 +148,8 @@ func buildPlan(n int) *Plan {
 		p.small = kernels.Small(n)
 	case n&(n-1) == 0:
 		p.kind = kindPow2
-		p.radices = pow2Radices(n)
+		p.maxRadix = maxRadix
+		p.radices = pow2Radices(n, maxRadix)
 	default:
 		f := smallestCodeletFactor(n)
 		if f == 0 {
@@ -137,17 +168,40 @@ func buildPlan(n int) *Plan {
 	return p
 }
 
-// pow2Radices returns the Stockham stage radices for n = 2^k: radix-4
-// stages with a single leading radix-2 stage when k is odd.
-func pow2Radices(n int) []int {
+// pow2Radices returns the Stockham stage radices for n = 2^k under a radix
+// cap. maxRadix 8 (the default) uses one leading radix-8 stage when k is
+// odd and radix-4 stages for everything else: measured on amd64, the 8-wide
+// butterfly's 16 live complex values spill past the vector register file,
+// so chains of radix-8 stages lose to radix-4 per element — but a single
+// radix-8 stage replaces the radix-2 stage an odd k otherwise needs,
+// saving a whole pass over the buffer (the first stage, where its reads
+// are unit-stride, is the cheapest place for it). maxRadix 4 is the
+// pre-radix-8 plan (one leading radix-2 when k is odd); maxRadix 2 is the
+// k-pass ablation baseline.
+func pow2Radices(n, maxRadix int) []int {
 	k := bits.TrailingZeros(uint(n))
 	var r []int
-	if k%2 == 1 {
-		r = append(r, 2)
-		k--
-	}
-	for ; k > 0; k -= 2 {
-		r = append(r, 4)
+	switch maxRadix {
+	case 2:
+		for ; k > 0; k-- {
+			r = append(r, 2)
+		}
+	case 4:
+		if k%2 == 1 {
+			r = append(r, 2)
+			k--
+		}
+		for ; k > 0; k -= 2 {
+			r = append(r, 4)
+		}
+	default: // 8
+		if k%2 == 1 {
+			r = append(r, 8)
+			k -= 3
+		}
+		for ; k > 0; k -= 2 {
+			r = append(r, 4)
+		}
 	}
 	return r
 }

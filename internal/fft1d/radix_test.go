@@ -1,0 +1,108 @@
+package fft1d
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cvec"
+)
+
+// Radix-capped plans must agree with each other (and the default plan) to
+// rounding on every power-of-two size, in every entry point the pipelines
+// use: plain Transform, batched pencils, and the split lane kernel.
+func TestRadixPlansAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{16, 64, 128, 1024, 4096} {
+		x := cvec.Random(rng, n)
+		for _, sign := range []int{Forward, Inverse} {
+			want := make([]complex128, n)
+			NewPlanRadix(n, 2).Transform(want, x, sign)
+			for _, radix := range []int{4, 8} {
+				got := make([]complex128, n)
+				NewPlanRadix(n, radix).Transform(got, x, sign)
+				if d := cvec.MaxDiff(cvec.Vec(got), cvec.Vec(want)); d > tol*float64(n) {
+					t.Errorf("n=%d sign=%d radix=%d vs radix=2: max diff %g", n, sign, radix, d)
+				}
+			}
+		}
+	}
+}
+
+func TestRadixPlansAgreeBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	const n, count = 256, 6
+	x := cvec.Random(rng, n*count)
+	want := append([]complex128(nil), x...)
+	NewPlanRadix(n, 4).Batch(want, count, Forward)
+	got := append([]complex128(nil), x...)
+	NewPlanRadix(n, 8).Batch(got, count, Forward)
+	if d := cvec.MaxDiff(cvec.Vec(got), cvec.Vec(want)); d > tol*float64(n) {
+		t.Fatalf("batched radix-8 vs radix-4: max diff %g", d)
+	}
+}
+
+func TestRadixPlansAgreeLanesSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	const n, mu = 512, 4
+	x := cvec.Random(rng, n*mu)
+	s := cvec.FromVec(cvec.Vec(x))
+	wantRe := make([]float64, n*mu)
+	wantIm := make([]float64, n*mu)
+	NewPlanRadix(n, 4).LanesSplit(wantRe, wantIm, s.Re, s.Im, mu, Forward)
+	gotRe := make([]float64, n*mu)
+	gotIm := make([]float64, n*mu)
+	NewPlanRadix(n, 8).LanesSplit(gotRe, gotIm, s.Re, s.Im, mu, Forward)
+	a := cvec.Split{Re: gotRe, Im: gotIm}.ToVec()
+	b := cvec.Split{Re: wantRe, Im: wantIm}.ToVec()
+	if d := cvec.MaxDiff(cvec.Vec(a), cvec.Vec(b)); d > tol*float64(n) {
+		t.Fatalf("split-lane radix-8 vs radix-4: max diff %g", d)
+	}
+}
+
+// The plan cache must key on radix for pow2 sizes and collapse it otherwise.
+func TestPlanCacheRadixKeying(t *testing.T) {
+	if NewPlanRadix(1024, 8) == NewPlanRadix(1024, 4) {
+		t.Error("pow2 plans with different radix caps share a cache entry")
+	}
+	if NewPlanRadix(1024, 8) != NewPlan(1024) {
+		t.Error("NewPlan(1024) should be the cached radix-8 plan")
+	}
+	if NewPlanRadix(120, 2) != NewPlanRadix(120, 8) {
+		t.Error("non-pow2 plans should share one entry regardless of radix")
+	}
+}
+
+// pow2Radices is the planner's pass schedule: one leading radix-8 stage
+// when log₂(n) is odd (replacing the radix-2 pass radix-4 alone would
+// need), radix-4 for the rest.
+func TestPow2RadicesSchedule(t *testing.T) {
+	cases := []struct {
+		n, maxRadix int
+		want        []int
+	}{
+		{512, 8, []int{8, 4, 4, 4}},
+		{1024, 8, []int{4, 4, 4, 4, 4}},
+		{2048, 8, []int{8, 4, 4, 4, 4}},
+		{64, 4, []int{4, 4, 4}},
+		{32, 4, []int{2, 4, 4}},
+		{16, 2, []int{2, 2, 2, 2}},
+	}
+	for _, c := range cases {
+		got := pow2Radices(c.n, c.maxRadix)
+		if len(got) != len(c.want) {
+			t.Errorf("pow2Radices(%d, %d) = %v, want %v", c.n, c.maxRadix, got, c.want)
+			continue
+		}
+		prod := 1
+		for i := range got {
+			prod *= got[i]
+			if got[i] != c.want[i] {
+				t.Errorf("pow2Radices(%d, %d) = %v, want %v", c.n, c.maxRadix, got, c.want)
+				break
+			}
+		}
+		if prod != c.n {
+			t.Errorf("pow2Radices(%d, %d) radices multiply to %d", c.n, c.maxRadix, prod)
+		}
+	}
+}

@@ -62,15 +62,17 @@ func (p *Plan) pow2LanesSplit(dstRe, dstIm, srcRe, srcIm []float64, mu, sign int
 		if (t-1-i)%2 != 0 {
 			outRe, outIm = scratchRe, scratchIm
 		}
-		r := p.radices[i]
-		if r == 4 {
+		switch r := p.radices[i]; r {
+		case 8:
+			kernels.SplitRadix8Step(outRe, outIm, curRe, curIm, n1/8, s, sign, tw)
+		case 4:
 			kernels.SplitRadix4Step(outRe, outIm, curRe, curIm, n1/4, s, sign, tw)
-		} else {
+		default:
 			kernels.SplitRadix2Step(outRe, outIm, curRe, curIm, n1/2, s, tw)
 		}
 		curRe, curIm = outRe, outIm
-		n1 /= r
-		s *= r
+		n1 /= p.radices[i]
+		s *= p.radices[i]
 	}
 	ar.Rewind(mk)
 }
@@ -99,15 +101,17 @@ func (p *Plan) batchPow2Split(re, im []float64, pencils, mu, sign int, ar *kerne
 		if (t-1-i)%2 != 0 {
 			outRe, outIm = scratchRe, scratchIm
 		}
-		r := p.radices[i]
-		if r == 4 {
+		switch r := p.radices[i]; r {
+		case 8:
+			kernels.BatchSplitRadix8Step(outRe, outIm, curRe, curIm, pencils, stride, n1/8, s, sign, tw)
+		case 4:
 			kernels.BatchSplitRadix4Step(outRe, outIm, curRe, curIm, pencils, stride, n1/4, s, sign, tw)
-		} else {
+		default:
 			kernels.BatchSplitRadix2Step(outRe, outIm, curRe, curIm, pencils, stride, n1/2, s, tw)
 		}
 		curRe, curIm = outRe, outIm
-		n1 /= r
-		s *= r
+		n1 /= p.radices[i]
+		s *= p.radices[i]
 	}
 	ar.Rewind(mk)
 }

@@ -77,15 +77,17 @@ func (p *Plan) pow2Lanes(dst, src []complex128, mu, sign int, ar *kernels.Arena)
 		if (t-1-i)%2 != 0 {
 			out = scratch
 		}
-		r := p.radices[i]
-		if r == 4 {
+		switch r := p.radices[i]; r {
+		case 8:
+			kernels.Radix8Step(out, cur, n1/8, s, sign, tw)
+		case 4:
 			kernels.Radix4Step(out, cur, n1/4, s, sign, tw)
-		} else {
+		default:
 			kernels.Radix2Step(out, cur, n1/2, s, tw)
 		}
 		cur = out
-		n1 /= r
-		s *= r
+		n1 /= p.radices[i]
+		s *= p.radices[i]
 	}
 	ar.Rewind(m)
 }
@@ -116,15 +118,17 @@ func (p *Plan) batchPow2(x []complex128, pencils, mu, sign int, ar *kernels.Aren
 		if (t-1-i)%2 != 0 {
 			out = scratch
 		}
-		r := p.radices[i]
-		if r == 4 {
+		switch r := p.radices[i]; r {
+		case 8:
+			kernels.BatchRadix8Step(out, cur, pencils, stride, n1/8, s, sign, tw)
+		case 4:
 			kernels.BatchRadix4Step(out, cur, pencils, stride, n1/4, s, sign, tw)
-		} else {
+		default:
 			kernels.BatchRadix2Step(out, cur, pencils, stride, n1/2, s, tw)
 		}
 		cur = out
-		n1 /= r
-		s *= r
+		n1 /= p.radices[i]
+		s *= p.radices[i]
 	}
 	ar.Rewind(m)
 }

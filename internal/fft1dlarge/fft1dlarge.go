@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/fft1d"
 	"repro/internal/kernels"
+	"repro/internal/layout"
 	"repro/internal/stagegraph"
 	"repro/internal/trace"
 	"repro/internal/twiddle"
@@ -42,6 +43,9 @@ type Options struct {
 	// in-cache 1D FFT (default 1<<12 — smaller transforms fit in cache
 	// and gain nothing from streaming).
 	MinN int
+	// Radix caps the Stockham stage radix of the power-of-two row sub-plans
+	// (0 = default 8; 2 and 4 for tuning/ablation).
+	Radix int
 	// Unfused disables cross-stage pipeline fusion (each permutation
 	// drains the pipeline before the next begins); fusion is the default.
 	Unfused bool
@@ -94,15 +98,20 @@ func NewPlan(n int, opts Options) (*Plan, error) {
 		return nil, fmt.Errorf("fft1dlarge: invalid size %d", n)
 	}
 	opts = opts.withDefaults()
+	switch opts.Radix {
+	case 0, 2, 4, 8:
+	default:
+		return nil, fmt.Errorf("fft1dlarge: radix must be 0, 2, 4 or 8, got %d", opts.Radix)
+	}
 	p := &Plan{n: n, opts: opts}
 	n1, n2 := split(n)
 	if n < opts.MinN || n2 == 1 {
-		p.direct = fft1d.NewPlan(n)
+		p.direct = fft1d.NewPlanRadix(n, opts.Radix)
 		return p, nil
 	}
 	p.n1, p.n2 = n1, n2
-	p.p1 = fft1d.NewPlan(n1)
-	p.p2 = fft1d.NewPlan(n2)
+	p.p1 = fft1d.NewPlanRadix(n1, opts.Radix)
+	p.p2 = fft1d.NewPlanRadix(n2, opts.Radix)
 	p.w1 = make([]complex128, n)
 	p.w2 = make([]complex128, n)
 	// Each half must hold at least one row of the wider stage.
@@ -248,16 +257,14 @@ func (p *Plan) transposeStage(name string, dst, src []complex128, rows, cols int
 				// contiguous row range, then the per-row twiddle pass.
 				rowPlan.BatchArena(rowsHalf[lo*cols:hi*cols], hi-lo, sign, a)
 			}
-			for r := lo; r < hi; r++ {
-				row := rowsHalf[r*cols : (r+1)*cols]
-				if rowPlan != nil && twiddles {
-					twiddleRow(row, iter*rPer+r, p.n, sign)
-				}
-				// Transpose this row into the column-major staging half.
-				for c := 0; c < cols; c++ {
-					thalf[c*rPer+r] = row[c]
+			if rowPlan != nil && twiddles {
+				for r := lo; r < hi; r++ {
+					twiddleRow(rowsHalf[r*cols:(r+1)*cols], iter*rPer+r, p.n, sign)
 				}
 			}
+			// Transpose the worker's row range into the column-major
+			// staging half through the register-tiled kernel.
+			layout.TransposeRows(thalf, rowsHalf, rPer, cols, lo, hi)
 		},
 		// Store column c of iteration it as one contiguous rPer-element
 		// block at dst[c·rows + it·rPer], read from the staging half.

@@ -73,6 +73,10 @@ type Options struct {
 	// (split) format with fused format changes in the first load and last
 	// store, as in §IV-A.
 	SplitFormat bool
+	// Radix caps the Stockham stage radix of the power-of-two 1D sub-plans
+	// (0 = default 8; 2 and 4 select the higher-pass-count mixes for
+	// tuning/ablation).
+	Radix int
 	// Unfused disables cross-stage pipeline fusion: each stage drains the
 	// pipeline before the next begins, as if run by a separate engine
 	// invocation (the A/B baseline; fusion is on by default).
@@ -136,10 +140,18 @@ func NewPlan(n, m int, opts Options) (*Plan, error) {
 		return nil, fmt.Errorf("fft2d: invalid size %dx%d", n, m)
 	}
 	opts = opts.withDefaults()
+	switch opts.Radix {
+	case 0, 2, 4, 8:
+	default:
+		return nil, fmt.Errorf("fft2d: radix must be 0, 2, 4 or 8, got %d", opts.Radix)
+	}
 	p := &Plan{n: n, m: m, opts: opts,
-		rowPlan: fft1d.NewPlan(m), colPlan: fft1d.NewPlan(n)}
+		rowPlan: fft1d.NewPlanRadix(m, opts.Radix), colPlan: fft1d.NewPlanRadix(n, opts.Radix)}
 	if opts.Strategy == DoubleBuf {
 		mu := opts.Mu
+		if mu < 1 {
+			return nil, fmt.Errorf("fft2d: μ=%d, need ≥ 1", mu)
+		}
 		if m%mu != 0 {
 			return nil, fmt.Errorf("fft2d: μ=%d does not divide m=%d", mu, m)
 		}

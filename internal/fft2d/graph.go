@@ -30,7 +30,7 @@ func (p *Plan) buildStages(dst, src []complex128) []stagegraph.Stage {
 		Src: stagegraph.Endpoint{C: src},
 		// Blocked transpose: buffer row r (global row g), block xb →
 		// work[(xb·n + g)·μ …].
-		Rot: stagegraph.Rotation{Blocks: mb, BlockLen: mu,
+		Rot: stagegraph.Rotation{Blocks: mb, BlockLen: mu, JStride: n * mu,
 			Map: func(g, xb int) int { return (xb*n + g) * mu }},
 	}
 	// ---- Stage 2: (L_n^{mn/μ} ⊗ I_μ) (I_{m/μ} ⊗ DFT_n ⊗ I_μ) ----
@@ -39,7 +39,7 @@ func (p *Plan) buildStages(dst, src []complex128) []stagegraph.Stage {
 		Dst: stagegraph.Endpoint{C: dst},
 		// Transpose back: buffer xb-row (global block-column g), row r →
 		// dst[(r·mb + g)·μ …] = original row-major layout.
-		Rot: stagegraph.Rotation{Blocks: n, BlockLen: mu,
+		Rot: stagegraph.Rotation{Blocks: n, BlockLen: mu, JStride: mb * mu,
 			Map: func(g, r int) int { return (r*mb + g) * mu }},
 	}
 

@@ -74,6 +74,10 @@ type Options struct {
 	// SplitFormat runs the DoubleBuf compute stages in block-interleaved
 	// format with fused conversions at the boundary stages (§IV-A).
 	SplitFormat bool
+	// Radix caps the Stockham stage radix of the power-of-two 1D sub-plans
+	// (0 = default 8; 2 and 4 select the higher-pass-count mixes for
+	// tuning/ablation).
+	Radix int
 	// Unfused disables cross-stage pipeline fusion: each stage drains the
 	// pipeline before the next begins, as if run by a separate engine
 	// invocation (the A/B baseline; fusion is on by default).
@@ -142,10 +146,20 @@ func NewPlan(k, n, m int, opts Options) (*Plan, error) {
 		return nil, fmt.Errorf("fft3d: invalid size %dx%dx%d", k, n, m)
 	}
 	opts = opts.withDefaults()
+	switch opts.Radix {
+	case 0, 2, 4, 8:
+	default:
+		return nil, fmt.Errorf("fft3d: radix must be 0, 2, 4 or 8, got %d", opts.Radix)
+	}
 	p := &Plan{k: k, n: n, m: m, opts: opts,
-		planM: fft1d.NewPlan(m), planN: fft1d.NewPlan(n), planK: fft1d.NewPlan(k)}
+		planM: fft1d.NewPlanRadix(m, opts.Radix),
+		planN: fft1d.NewPlanRadix(n, opts.Radix),
+		planK: fft1d.NewPlanRadix(k, opts.Radix)}
 	if opts.Strategy == DoubleBuf {
 		mu := opts.Mu
+		if mu < 1 {
+			return nil, fmt.Errorf("fft3d: μ=%d, need ≥ 1", mu)
+		}
 		if m%mu != 0 {
 			return nil, fmt.Errorf("fft3d: μ=%d does not divide m=%d", mu, m)
 		}

@@ -37,7 +37,7 @@ func (p *Plan) buildStages(dst, src []complex128) []stagegraph.Stage {
 	s1 := stagegraph.Stage{
 		Name: "x-pencils", Iters: k * n / rows, Units: rows, UnitLen: m,
 		// Pencil g = z·n + y goes to blocks (xb, z, y).
-		Rot: stagegraph.Rotation{Blocks: mb, BlockLen: mu,
+		Rot: stagegraph.Rotation{Blocks: mb, BlockLen: mu, JStride: k * n * mu,
 			Map: func(g, xb int) int {
 				z, y := g/n, g%n
 				return ((xb*k+z)*n + y) * mu
@@ -47,7 +47,7 @@ func (p *Plan) buildStages(dst, src []complex128) []stagegraph.Stage {
 	s2 := stagegraph.Stage{
 		Name: "y-pencils", Iters: mb * k / units2, Units: units2, UnitLen: n * mu,
 		// Unit h = xb·k + z goes to blocks (y, xb, z).
-		Rot: stagegraph.Rotation{Blocks: n, BlockLen: mu,
+		Rot: stagegraph.Rotation{Blocks: n, BlockLen: mu, JStride: mb * k * mu,
 			Map: func(g, y int) int {
 				xb, z := g/k, g%k
 				return ((y*mb+xb)*k + z) * mu
@@ -58,7 +58,7 @@ func (p *Plan) buildStages(dst, src []complex128) []stagegraph.Stage {
 		Name: "z-pencils", Iters: n * mb / units3, Units: units3, UnitLen: k * mu,
 		// Unit q = y·mb + xb goes to blocks (z, y, xb): the original
 		// row-major layout.
-		Rot: stagegraph.Rotation{Blocks: k, BlockLen: mu,
+		Rot: stagegraph.Rotation{Blocks: k, BlockLen: mu, JStride: n * mb * mu,
 			Map: func(g, z int) int {
 				y, xb := g/mb, g%mb
 				return ((z*n+y)*mb + xb) * mu

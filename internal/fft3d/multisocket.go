@@ -86,6 +86,14 @@ func NewDistPlan(k, n, m, sockets int, opts Options) (*DistPlan, error) {
 		return nil, fmt.Errorf("fft3d: invalid socket count %d", sockets)
 	}
 	opts = opts.withDefaults()
+	switch opts.Radix {
+	case 0, 2, 4, 8:
+	default:
+		return nil, fmt.Errorf("fft3d: radix must be 0, 2, 4 or 8, got %d", opts.Radix)
+	}
+	if opts.Mu < 1 {
+		return nil, fmt.Errorf("fft3d: μ=%d, need ≥ 1", opts.Mu)
+	}
 	if m%opts.Mu != 0 {
 		return nil, fmt.Errorf("fft3d: μ=%d does not divide m=%d", opts.Mu, m)
 	}
@@ -102,8 +110,10 @@ func NewDistPlan(k, n, m, sockets int, opts Options) (*DistPlan, error) {
 	}
 	p := &DistPlan{
 		k: k, n: n, m: m, sk: sockets, opts: opts, mb: mb, ksl: k / sockets,
-		planM: fft1d.NewPlan(m), planN: fft1d.NewPlan(n), planK: fft1d.NewPlan(k),
-		sys: sys,
+		planM: fft1d.NewPlanRadix(m, opts.Radix),
+		planN: fft1d.NewPlanRadix(n, opts.Radix),
+		planK: fft1d.NewPlanRadix(k, opts.Radix),
+		sys:   sys,
 	}
 	total := k * n * m
 	if p.bIm, err = sys.Alloc(total); err != nil {
@@ -188,7 +198,7 @@ func (p *DistPlan) socketStages(s int) (front, back []stagegraph.Stage) {
 			}
 		},
 		// Local pencil g = zl·n + y goes to local blocks (xb, zl, y).
-		Rot: stagegraph.Rotation{Blocks: mb, BlockLen: mu,
+		Rot: stagegraph.Rotation{Blocks: mb, BlockLen: mu, JStride: ksl * n * mu,
 			Map: func(g, xb int) int {
 				zl, y := g/n, g%n
 				return partBase + ((xb*ksl+zl)*n+y)*mu
@@ -203,7 +213,7 @@ func (p *DistPlan) socketStages(s int) (front, back []stagegraph.Stage) {
 			p.cIm.WriteBlock(s, off, blk)
 		}},
 		Compute: p.distLanes(p.planN, n*mu, mu),
-		Rot: stagegraph.Rotation{Blocks: n, BlockLen: mu,
+		Rot: stagegraph.Rotation{Blocks: n, BlockLen: mu, JStride: mb * k * mu,
 			Map: func(g, y int) int {
 				xb, zl := g/ksl, g%ksl
 				z := s*ksl + zl
@@ -218,7 +228,7 @@ func (p *DistPlan) socketStages(s int) (front, back []stagegraph.Stage) {
 			p.curDst.WriteBlock(s, off, blk)
 		}},
 		Compute: p.distLanes(p.planK, k*mu, mu),
-		Rot: stagegraph.Rotation{Blocks: k, BlockLen: mu,
+		Rot: stagegraph.Rotation{Blocks: k, BlockLen: mu, JStride: n * mb * mu,
 			Map: func(g, z int) int {
 				q := qBase + g // global unit: y·mb + xb
 				y, xb := q/mb, q%mb

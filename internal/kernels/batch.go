@@ -47,3 +47,20 @@ func BatchSplitRadix4Step(dstRe, dstIm, srcRe, srcIm []float64, pencils, stride,
 		SplitRadix4Step(dstRe[o:o+stride], dstIm[o:o+stride], srcRe[o:o+stride], srcIm[o:o+stride], m, s, sign, tw)
 	}
 }
+
+// BatchRadix8Step applies one Stockham radix-8 stage to `pencils`
+// independent pencils of stride elements each (stride = 8·m·s).
+func BatchRadix8Step(dst, src []complex128, pencils, stride, m, s, sign int, tw StageTwiddles) {
+	for c := 0; c < pencils; c++ {
+		o := c * stride
+		Radix8Step(dst[o:o+stride], src[o:o+stride], m, s, sign, tw)
+	}
+}
+
+// BatchSplitRadix8Step is the split-format batched radix-8 sweep.
+func BatchSplitRadix8Step(dstRe, dstIm, srcRe, srcIm []float64, pencils, stride, m, s, sign int, tw SplitTwiddles) {
+	for c := 0; c < pencils; c++ {
+		o := c * stride
+		SplitRadix8Step(dstRe[o:o+stride], dstIm[o:o+stride], srcRe[o:o+stride], srcIm[o:o+stride], m, s, sign, tw)
+	}
+}

@@ -25,6 +25,7 @@ package kernels
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/twiddle"
 )
@@ -58,20 +59,24 @@ func NaiveDFT(x []complex128, sign int) []complex128 {
 }
 
 // StageTwiddles holds the per-butterfly twiddle factors for one Stockham
-// stage, precomputed at plan time. For a radix-4 stage over sub-size n1=4m,
-// W1[p] = ω_{n1}^p, W2[p] = ω_{n1}^{2p}, W3[p] = ω_{n1}^{3p} for p < m.
-// Radix-2 stages use only W1 with W1[p] = ω_{2m}^p.
+// stage, precomputed at plan time. For a radix-r stage over sub-size n1=r·m,
+// Wj[p] = ω_{n1}^{j·p} for p < m and 1 ≤ j < r. Radix-2 stages use only W1,
+// radix-4 stages W1–W3, radix-8 stages W1–W7.
 type StageTwiddles struct {
 	Radix int
 	W1    []complex128
 	W2    []complex128
 	W3    []complex128
+	W4    []complex128
+	W5    []complex128
+	W6    []complex128
+	W7    []complex128
 }
 
 // NewStageTwiddles precomputes the twiddles for one stage of sub-size n1
-// with the given radix (2 or 4) and direction sign.
+// with the given radix (2, 4 or 8) and direction sign.
 func NewStageTwiddles(n1, radix, sign int) StageTwiddles {
-	if radix != 2 && radix != 4 {
+	if radix != 2 && radix != 4 && radix != 8 {
 		panic(fmt.Sprintf("kernels: unsupported radix %d", radix))
 	}
 	if n1%radix != 0 {
@@ -93,11 +98,29 @@ func NewStageTwiddles(n1, radix, sign int) StageTwiddles {
 	}
 	st.W2 = make([]complex128, m)
 	st.W3 = make([]complex128, m)
+	if radix == 4 {
+		for p := 0; p < m; p++ {
+			w1 := conjIf(twiddle.Omega(n1, p))
+			st.W1[p] = w1
+			st.W2[p] = w1 * w1
+			st.W3[p] = w1 * w1 * w1
+		}
+		return st
+	}
+	st.W4 = make([]complex128, m)
+	st.W5 = make([]complex128, m)
+	st.W6 = make([]complex128, m)
+	st.W7 = make([]complex128, m)
+	// Powers via Omega's mod-n reduction rather than repeated
+	// multiplication: keeps the quarter-point twiddles exact for every j.
 	for p := 0; p < m; p++ {
-		w1 := conjIf(twiddle.Omega(n1, p))
-		st.W1[p] = w1
-		st.W2[p] = w1 * w1
-		st.W3[p] = w1 * w1 * w1
+		st.W1[p] = conjIf(twiddle.Omega(n1, p))
+		st.W2[p] = conjIf(twiddle.Omega(n1, 2*p))
+		st.W3[p] = conjIf(twiddle.Omega(n1, 3*p))
+		st.W4[p] = conjIf(twiddle.Omega(n1, 4*p))
+		st.W5[p] = conjIf(twiddle.Omega(n1, 5*p))
+		st.W6[p] = conjIf(twiddle.Omega(n1, 6*p))
+		st.W7[p] = conjIf(twiddle.Omega(n1, 7*p))
 	}
 	return st
 }
@@ -153,6 +176,78 @@ func Radix4Step(dst, src []complex128, m, s, sign int, tw StageTwiddles) {
 			y1[q] = (amc + jbmd) * w1
 			y2[q] = (apc - bpd) * w2
 			y3[q] = (amc - jbmd) * w3
+		}
+	}
+}
+
+// sqrt1_2 is √2/2, the real/imaginary magnitude of ω_8.
+const sqrt1_2 = math.Sqrt2 / 2
+
+// Radix8Step performs one Stockham decimation-in-frequency radix-8 stage.
+// src holds 8*m groups of s lanes; tw must come from
+// NewStageTwiddles(8*m, 8, sign), and sign must match the direction used to
+// build tw. One radix-8 stage replaces three radix-2 stages (one pass over
+// the buffer instead of three), which is the pass-count reduction §III of
+// the paper attributes to higher-radix kernels.
+//
+// The butterfly is split even/odd: e_a = x_a + x_{a+4} feeds a DFT₄ for the
+// even outputs, o_a = (x_a − x_{a+4})·ω₈^a feeds a DFT₄ for the odd
+// outputs. jim is −1 forward / +1 inverse, so ω₈ = (h, jim·h) with h = √2/2,
+// ω₈² = jim·i and ω₈³ = (−h, jim·h); the rotations are expanded into real
+// arithmetic so no complex multiply by a constant survives in the loop.
+func Radix8Step(dst, src []complex128, m, s, sign int, tw StageTwiddles) {
+	jim := 1.0
+	if sign == Forward {
+		jim = -1.0
+	}
+	h := sqrt1_2
+	for p := 0; p < m; p++ {
+		w1, w2, w3 := tw.W1[p], tw.W2[p], tw.W3[p]
+		w4, w5, w6, w7 := tw.W4[p], tw.W5[p], tw.W6[p], tw.W7[p]
+		x0 := src[s*p : s*p+s]
+		x1 := src[s*(p+m) : s*(p+m)+s]
+		x2 := src[s*(p+2*m) : s*(p+2*m)+s]
+		x3 := src[s*(p+3*m) : s*(p+3*m)+s]
+		x4 := src[s*(p+4*m) : s*(p+4*m)+s]
+		x5 := src[s*(p+5*m) : s*(p+5*m)+s]
+		x6 := src[s*(p+6*m) : s*(p+6*m)+s]
+		x7 := src[s*(p+7*m) : s*(p+7*m)+s]
+		y0 := dst[s*8*p : s*8*p+s]
+		y1 := dst[s*(8*p+1) : s*(8*p+1)+s]
+		y2 := dst[s*(8*p+2) : s*(8*p+2)+s]
+		y3 := dst[s*(8*p+3) : s*(8*p+3)+s]
+		y4 := dst[s*(8*p+4) : s*(8*p+4)+s]
+		y5 := dst[s*(8*p+5) : s*(8*p+5)+s]
+		y6 := dst[s*(8*p+6) : s*(8*p+6)+s]
+		y7 := dst[s*(8*p+7) : s*(8*p+7)+s]
+		for q := 0; q < s; q++ {
+			a0, a1, a2, a3 := x0[q], x1[q], x2[q], x3[q]
+			a4, a5, a6, a7 := x4[q], x5[q], x6[q], x7[q]
+			e0, e1, e2, e3 := a0+a4, a1+a5, a2+a6, a3+a7
+			o0 := a0 - a4
+			t1 := a1 - a5
+			t2 := a2 - a6
+			t3 := a3 - a7
+			// o1 = t1·ω₈, o2 = t2·ω₈², o3 = t3·ω₈³, expanded.
+			o1 := complex(h*(real(t1)-jim*imag(t1)), h*(imag(t1)+jim*real(t1)))
+			o2 := complex(-jim*imag(t2), jim*real(t2))
+			o3 := complex(-h*(real(t3)+jim*imag(t3)), h*(jim*real(t3)-imag(t3)))
+			// Even outputs: DFT₄ of e.
+			epc, emc := e0+e2, e0-e2
+			fpd, fmd := e1+e3, e1-e3
+			jf := complex(-jim*imag(fmd), jim*real(fmd))
+			// Odd outputs: DFT₄ of o.
+			opc, omc := o0+o2, o0-o2
+			qpd, qmd := o1+o3, o1-o3
+			jq := complex(-jim*imag(qmd), jim*real(qmd))
+			y0[q] = epc + fpd
+			y1[q] = (opc + qpd) * w1
+			y2[q] = (emc + jf) * w2
+			y3[q] = (omc + jq) * w3
+			y4[q] = (epc - fpd) * w4
+			y5[q] = (opc - qpd) * w5
+			y6[q] = (emc - jf) * w6
+			y7[q] = (omc - jq) * w7
 		}
 	}
 }

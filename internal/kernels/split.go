@@ -12,6 +12,10 @@ type SplitTwiddles struct {
 	W1Re, W1Im []float64
 	W2Re, W2Im []float64
 	W3Re, W3Im []float64
+	W4Re, W4Im []float64
+	W5Re, W5Im []float64
+	W6Re, W6Im []float64
+	W7Re, W7Im []float64
 }
 
 // NewSplitTwiddles converts interleaved stage twiddles to split format.
@@ -26,9 +30,15 @@ func NewSplitTwiddles(tw StageTwiddles) SplitTwiddles {
 	}
 	st := SplitTwiddles{Radix: tw.Radix}
 	st.W1Re, st.W1Im = split(tw.W1)
-	if tw.Radix == 4 {
+	if tw.Radix >= 4 {
 		st.W2Re, st.W2Im = split(tw.W2)
 		st.W3Re, st.W3Im = split(tw.W3)
+	}
+	if tw.Radix == 8 {
+		st.W4Re, st.W4Im = split(tw.W4)
+		st.W5Re, st.W5Im = split(tw.W5)
+		st.W6Re, st.W6Im = split(tw.W6)
+		st.W7Re, st.W7Im = split(tw.W7)
 	}
 	return st
 }
@@ -107,6 +117,112 @@ func SplitRadix4Step(dstRe, dstIm, srcRe, srcIm []float64, m, s, sign int, tw Sp
 			t3R, t3I := amcR-jbR, amcI-jbI
 			y3Re[q] = t3R*w3r - t3I*w3i
 			y3Im[q] = t3R*w3i + t3I*w3r
+		}
+	}
+}
+
+// SplitRadix8Step performs one Stockham radix-8 stage in split format.
+// sign must match the direction used to build tw. Same butterfly as
+// Radix8Step (even/odd split into two DFT₄s) over separate re/im planes.
+func SplitRadix8Step(dstRe, dstIm, srcRe, srcIm []float64, m, s, sign int, tw SplitTwiddles) {
+	jim := 1.0
+	if sign == Forward {
+		jim = -1.0
+	}
+	h := sqrt1_2
+	for p := 0; p < m; p++ {
+		w1r, w1i := tw.W1Re[p], tw.W1Im[p]
+		w2r, w2i := tw.W2Re[p], tw.W2Im[p]
+		w3r, w3i := tw.W3Re[p], tw.W3Im[p]
+		w4r, w4i := tw.W4Re[p], tw.W4Im[p]
+		w5r, w5i := tw.W5Re[p], tw.W5Im[p]
+		w6r, w6i := tw.W6Re[p], tw.W6Im[p]
+		w7r, w7i := tw.W7Re[p], tw.W7Im[p]
+		x0Re := srcRe[s*p : s*p+s]
+		x0Im := srcIm[s*p : s*p+s]
+		x1Re := srcRe[s*(p+m) : s*(p+m)+s]
+		x1Im := srcIm[s*(p+m) : s*(p+m)+s]
+		x2Re := srcRe[s*(p+2*m) : s*(p+2*m)+s]
+		x2Im := srcIm[s*(p+2*m) : s*(p+2*m)+s]
+		x3Re := srcRe[s*(p+3*m) : s*(p+3*m)+s]
+		x3Im := srcIm[s*(p+3*m) : s*(p+3*m)+s]
+		x4Re := srcRe[s*(p+4*m) : s*(p+4*m)+s]
+		x4Im := srcIm[s*(p+4*m) : s*(p+4*m)+s]
+		x5Re := srcRe[s*(p+5*m) : s*(p+5*m)+s]
+		x5Im := srcIm[s*(p+5*m) : s*(p+5*m)+s]
+		x6Re := srcRe[s*(p+6*m) : s*(p+6*m)+s]
+		x6Im := srcIm[s*(p+6*m) : s*(p+6*m)+s]
+		x7Re := srcRe[s*(p+7*m) : s*(p+7*m)+s]
+		x7Im := srcIm[s*(p+7*m) : s*(p+7*m)+s]
+		y0Re := dstRe[s*8*p : s*8*p+s]
+		y0Im := dstIm[s*8*p : s*8*p+s]
+		y1Re := dstRe[s*(8*p+1) : s*(8*p+1)+s]
+		y1Im := dstIm[s*(8*p+1) : s*(8*p+1)+s]
+		y2Re := dstRe[s*(8*p+2) : s*(8*p+2)+s]
+		y2Im := dstIm[s*(8*p+2) : s*(8*p+2)+s]
+		y3Re := dstRe[s*(8*p+3) : s*(8*p+3)+s]
+		y3Im := dstIm[s*(8*p+3) : s*(8*p+3)+s]
+		y4Re := dstRe[s*(8*p+4) : s*(8*p+4)+s]
+		y4Im := dstIm[s*(8*p+4) : s*(8*p+4)+s]
+		y5Re := dstRe[s*(8*p+5) : s*(8*p+5)+s]
+		y5Im := dstIm[s*(8*p+5) : s*(8*p+5)+s]
+		y6Re := dstRe[s*(8*p+6) : s*(8*p+6)+s]
+		y6Im := dstIm[s*(8*p+6) : s*(8*p+6)+s]
+		y7Re := dstRe[s*(8*p+7) : s*(8*p+7)+s]
+		y7Im := dstIm[s*(8*p+7) : s*(8*p+7)+s]
+		for q := 0; q < s; q++ {
+			a0r, a0i := x0Re[q], x0Im[q]
+			a1r, a1i := x1Re[q], x1Im[q]
+			a2r, a2i := x2Re[q], x2Im[q]
+			a3r, a3i := x3Re[q], x3Im[q]
+			a4r, a4i := x4Re[q], x4Im[q]
+			a5r, a5i := x5Re[q], x5Im[q]
+			a6r, a6i := x6Re[q], x6Im[q]
+			a7r, a7i := x7Re[q], x7Im[q]
+			e0r, e0i := a0r+a4r, a0i+a4i
+			e1r, e1i := a1r+a5r, a1i+a5i
+			e2r, e2i := a2r+a6r, a2i+a6i
+			e3r, e3i := a3r+a7r, a3i+a7i
+			o0r, o0i := a0r-a4r, a0i-a4i
+			t1r, t1i := a1r-a5r, a1i-a5i
+			t2r, t2i := a2r-a6r, a2i-a6i
+			t3r, t3i := a3r-a7r, a3i-a7i
+			o1r, o1i := h*(t1r-jim*t1i), h*(t1i+jim*t1r)
+			o2r, o2i := -jim*t2i, jim*t2r
+			o3r, o3i := -h*(t3r+jim*t3i), h*(jim*t3r-t3i)
+			epcR, epcI := e0r+e2r, e0i+e2i
+			emcR, emcI := e0r-e2r, e0i-e2i
+			fpdR, fpdI := e1r+e3r, e1i+e3i
+			fmdR, fmdI := e1r-e3r, e1i-e3i
+			jfR, jfI := -jim*fmdI, jim*fmdR
+			opcR, opcI := o0r+o2r, o0i+o2i
+			omcR, omcI := o0r-o2r, o0i-o2i
+			qpdR, qpdI := o1r+o3r, o1i+o3i
+			qmdR, qmdI := o1r-o3r, o1i-o3i
+			jqR, jqI := -jim*qmdI, jim*qmdR
+			y0Re[q] = epcR + fpdR
+			y0Im[q] = epcI + fpdI
+			t1R, t1I := opcR+qpdR, opcI+qpdI
+			y1Re[q] = t1R*w1r - t1I*w1i
+			y1Im[q] = t1R*w1i + t1I*w1r
+			t2R, t2I := emcR+jfR, emcI+jfI
+			y2Re[q] = t2R*w2r - t2I*w2i
+			y2Im[q] = t2R*w2i + t2I*w2r
+			t3R, t3I := omcR+jqR, omcI+jqI
+			y3Re[q] = t3R*w3r - t3I*w3i
+			y3Im[q] = t3R*w3i + t3I*w3r
+			t4R, t4I := epcR-fpdR, epcI-fpdI
+			y4Re[q] = t4R*w4r - t4I*w4i
+			y4Im[q] = t4R*w4i + t4I*w4r
+			t5R, t5I := opcR-qpdR, opcI-qpdI
+			y5Re[q] = t5R*w5r - t5I*w5i
+			y5Im[q] = t5R*w5i + t5I*w5r
+			t6R, t6I := emcR-jfR, emcI-jfI
+			y6Re[q] = t6R*w6r - t6I*w6i
+			y6Im[q] = t6R*w6i + t6I*w6r
+			t7R, t7I := omcR-jqR, omcI-jqI
+			y7Re[q] = t7R*w7r - t7I*w7i
+			y7Im[q] = t7R*w7i + t7I*w7r
 		}
 	}
 }

@@ -5,34 +5,209 @@
 //
 // The blocked variants move whole μ-element cachelines, which is what lets
 // the paper's store matrices W_{b,i} write at cacheline granularity with
-// non-temporal stores instead of scattering single elements. The elementwise
-// variants exist as ablation baselines.
+// non-temporal stores instead of scattering single elements.
+//
+// Two implementation tiers exist for every blocked primitive:
+//
+//   - register-blocked micro-kernels for the cacheline sizes the paper
+//     evaluates (μ = 4, one 64 B line of complex128, and μ = 8): the block
+//     copy is fully unrolled, row strides are hoisted out of the inner loop,
+//     and every inner slice is re-sliced to a compile-time length so the
+//     compiler eliminates all interior bounds checks;
+//   - *Generic fallbacks (TransposeBlockedGeneric, …) handling any μ with
+//     plain copy loops. These are also the correctness references the
+//     property tests pit the specialized kernels against.
+//
+// ScatterBlocks is the shared store micro-kernel underneath all blocked
+// rotations: it writes `blocks` cacheline blocks taken contiguously from src
+// at a fixed destination stride — the inner loop of every W write matrix.
+// The stagegraph store path calls it directly when a Rotation declares its
+// affine stride, so the whole hot store path runs through the unrolled
+// kernels below.
 //
 // All functions are plain sequential loops; parallelization happens a level
-// up, in internal/pipeline, which carves the index space across data-threads.
+// up (internal/pipeline and internal/stagegraph carve the index space across
+// data workers).
 package layout
 
 import "fmt"
 
+// ScatterBlocks writes `blocks` consecutive blockLen-element blocks of src
+// to dst at a fixed stride: block j (src[j·blockLen : (j+1)·blockLen]) lands
+// at dst[dstOff + j·dstStride]. This is the store inner loop of every
+// blocked rotation (the paper's W write matrices at cacheline granularity);
+// blockLen 4 and 8 take fully unrolled register paths.
+func ScatterBlocks(dst, src []complex128, blocks, blockLen, dstOff, dstStride int) {
+	switch blockLen {
+	case 4:
+		d := dstOff
+		for j := 0; j < blocks; j++ {
+			s := src[j*4 : j*4+4 : j*4+4]
+			t := dst[d : d+4 : d+4]
+			t[0], t[1], t[2], t[3] = s[0], s[1], s[2], s[3]
+			d += dstStride
+		}
+	case 8:
+		d := dstOff
+		for j := 0; j < blocks; j++ {
+			s := src[j*8 : j*8+8 : j*8+8]
+			t := dst[d : d+8 : d+8]
+			t[0], t[1], t[2], t[3] = s[0], s[1], s[2], s[3]
+			t[4], t[5], t[6], t[7] = s[4], s[5], s[6], s[7]
+			d += dstStride
+		}
+	default:
+		d := dstOff
+		for j := 0; j < blocks; j++ {
+			copy(dst[d:d+blockLen], src[j*blockLen:(j+1)*blockLen])
+			d += dstStride
+		}
+	}
+}
+
+// ScatterBlocksSplit is ScatterBlocks over split-format data: the same
+// strided block store applied to the real and imaginary planes.
+func ScatterBlocksSplit(dstRe, dstIm, srcRe, srcIm []float64, blocks, blockLen, dstOff, dstStride int) {
+	switch blockLen {
+	case 4:
+		d := dstOff
+		for j := 0; j < blocks; j++ {
+			sr := srcRe[j*4 : j*4+4 : j*4+4]
+			si := srcIm[j*4 : j*4+4 : j*4+4]
+			tr := dstRe[d : d+4 : d+4]
+			ti := dstIm[d : d+4 : d+4]
+			tr[0], tr[1], tr[2], tr[3] = sr[0], sr[1], sr[2], sr[3]
+			ti[0], ti[1], ti[2], ti[3] = si[0], si[1], si[2], si[3]
+			d += dstStride
+		}
+	case 8:
+		d := dstOff
+		for j := 0; j < blocks; j++ {
+			sr := srcRe[j*8 : j*8+8 : j*8+8]
+			si := srcIm[j*8 : j*8+8 : j*8+8]
+			tr := dstRe[d : d+8 : d+8]
+			ti := dstIm[d : d+8 : d+8]
+			tr[0], tr[1], tr[2], tr[3] = sr[0], sr[1], sr[2], sr[3]
+			tr[4], tr[5], tr[6], tr[7] = sr[4], sr[5], sr[6], sr[7]
+			ti[0], ti[1], ti[2], ti[3] = si[0], si[1], si[2], si[3]
+			ti[4], ti[5], ti[6], ti[7] = si[4], si[5], si[6], si[7]
+			d += dstStride
+		}
+	default:
+		d := dstOff
+		for j := 0; j < blocks; j++ {
+			copy(dstRe[d:d+blockLen], srcRe[j*blockLen:(j+1)*blockLen])
+			copy(dstIm[d:d+blockLen], srcIm[j*blockLen:(j+1)*blockLen])
+			d += dstStride
+		}
+	}
+}
+
+// ScatterBlocksInterleave is ScatterBlocks with a fused split→interleaved
+// format change: split-format source blocks are written as complex128
+// blocks (the final store of a split-format pipeline, §IV-A).
+func ScatterBlocksInterleave(dst []complex128, srcRe, srcIm []float64, blocks, blockLen, dstOff, dstStride int) {
+	switch blockLen {
+	case 4:
+		d := dstOff
+		for j := 0; j < blocks; j++ {
+			sr := srcRe[j*4 : j*4+4 : j*4+4]
+			si := srcIm[j*4 : j*4+4 : j*4+4]
+			t := dst[d : d+4 : d+4]
+			t[0] = complex(sr[0], si[0])
+			t[1] = complex(sr[1], si[1])
+			t[2] = complex(sr[2], si[2])
+			t[3] = complex(sr[3], si[3])
+			d += dstStride
+		}
+	case 8:
+		d := dstOff
+		for j := 0; j < blocks; j++ {
+			sr := srcRe[j*8 : j*8+8 : j*8+8]
+			si := srcIm[j*8 : j*8+8 : j*8+8]
+			t := dst[d : d+8 : d+8]
+			t[0] = complex(sr[0], si[0])
+			t[1] = complex(sr[1], si[1])
+			t[2] = complex(sr[2], si[2])
+			t[3] = complex(sr[3], si[3])
+			t[4] = complex(sr[4], si[4])
+			t[5] = complex(sr[5], si[5])
+			t[6] = complex(sr[6], si[6])
+			t[7] = complex(sr[7], si[7])
+			d += dstStride
+		}
+	default:
+		d := dstOff
+		for j := 0; j < blocks; j++ {
+			sr := srcRe[j*blockLen : (j+1)*blockLen]
+			si := srcIm[j*blockLen : (j+1)*blockLen]
+			t := dst[d : d+blockLen]
+			for v := range t {
+				t[v] = complex(sr[v], si[v])
+			}
+			d += dstStride
+		}
+	}
+}
+
 // Transpose writes the transpose of the rows×cols row-major matrix src into
 // dst: dst[j·rows + i] = src[i·cols + j]. This is the elementwise stride
 // permutation L^{rows·cols} (an L matrix in the paper's notation). dst and
-// src must not alias. The loop is tiled to keep both access streams within
-// cache lines.
+// src must not alias. The interior runs as 4×4 in-register tile transposes
+// (16 loads, 16 stores, no per-element index arithmetic); edges fall back to
+// elementwise moves.
 func Transpose(dst, src []complex128, rows, cols int) {
 	if len(dst) != rows*cols || len(src) != rows*cols {
 		panic(fmt.Sprintf("layout: Transpose %dx%d on dst=%d src=%d",
 			rows, cols, len(dst), len(src)))
 	}
-	const tile = 32
-	for ii := 0; ii < rows; ii += tile {
-		iMax := min(ii+tile, rows)
-		for jj := 0; jj < cols; jj += tile {
-			jMax := min(jj+tile, cols)
-			for i := ii; i < iMax; i++ {
-				for j := jj; j < jMax; j++ {
-					dst[j*rows+i] = src[i*cols+j]
-				}
+	TransposeRows(dst, src, rows, cols, 0, rows)
+}
+
+// TransposeRows transposes the row range [lo, hi) of the rows×cols
+// row-major matrix src into the cols×rows matrix dst:
+// dst[c·rows + r] = src[r·cols + c] for lo ≤ r < hi. Rows outside the range
+// are untouched, so concurrent workers can transpose disjoint row ranges of
+// the same matrix (the stagegraph in-cache transpose path). The interior
+// runs as 4×4 register tiles; columns are tiled so the destination stream
+// stays cache resident.
+func TransposeRows(dst, src []complex128, rows, cols, lo, hi int) {
+	const ctile = 32
+	for cc := 0; cc < cols; cc += ctile {
+		cMax := cc + ctile
+		if cMax > cols {
+			cMax = cols
+		}
+		r := lo
+		for ; r+4 <= hi; r += 4 {
+			s0 := src[r*cols : r*cols+cols : r*cols+cols]
+			s1 := src[(r+1)*cols : (r+1)*cols+cols : (r+1)*cols+cols]
+			s2 := src[(r+2)*cols : (r+2)*cols+cols : (r+2)*cols+cols]
+			s3 := src[(r+3)*cols : (r+3)*cols+cols : (r+3)*cols+cols]
+			c := cc
+			for ; c+4 <= cMax; c += 4 {
+				a00, a01, a02, a03 := s0[c], s0[c+1], s0[c+2], s0[c+3]
+				a10, a11, a12, a13 := s1[c], s1[c+1], s1[c+2], s1[c+3]
+				a20, a21, a22, a23 := s2[c], s2[c+1], s2[c+2], s2[c+3]
+				a30, a31, a32, a33 := s3[c], s3[c+1], s3[c+2], s3[c+3]
+				d0 := dst[c*rows+r : c*rows+r+4 : c*rows+r+4]
+				d1 := dst[(c+1)*rows+r : (c+1)*rows+r+4 : (c+1)*rows+r+4]
+				d2 := dst[(c+2)*rows+r : (c+2)*rows+r+4 : (c+2)*rows+r+4]
+				d3 := dst[(c+3)*rows+r : (c+3)*rows+r+4 : (c+3)*rows+r+4]
+				d0[0], d0[1], d0[2], d0[3] = a00, a10, a20, a30
+				d1[0], d1[1], d1[2], d1[3] = a01, a11, a21, a31
+				d2[0], d2[1], d2[2], d2[3] = a02, a12, a22, a32
+				d3[0], d3[1], d3[2], d3[3] = a03, a13, a23, a33
+			}
+			for ; c < cMax; c++ {
+				d := dst[c*rows+r : c*rows+r+4 : c*rows+r+4]
+				d[0], d[1], d[2], d[3] = s0[c], s1[c], s2[c], s3[c]
+			}
+		}
+		for ; r < hi; r++ {
+			row := src[r*cols : r*cols+cols]
+			for c := cc; c < cMax; c++ {
+				dst[c*rows+r] = row[c]
 			}
 		}
 	}
@@ -40,10 +215,29 @@ func Transpose(dst, src []complex128, rows, cols int) {
 
 // TransposeBlocked transposes a rows×cols matrix of μ-element blocks:
 // dst block (j, i) = src block (i, j). In SPL this is L^{rows·cols} ⊗ I_μ,
-// the blocked transposition the paper uses after each 2D FFT stage.
+// the blocked transposition the paper uses after each 2D FFT stage. Each
+// source row scatters whole cacheline blocks at a fixed destination stride
+// through ScatterBlocks, so μ = 4 and μ = 8 run the unrolled register
+// kernels.
 func TransposeBlocked(dst, src []complex128, rows, cols, mu int) {
 	if len(dst) != rows*cols*mu || len(src) != rows*cols*mu {
 		panic(fmt.Sprintf("layout: TransposeBlocked %dx%dx%d on dst=%d src=%d",
+			rows, cols, mu, len(dst), len(src)))
+	}
+	rowStride := rows * mu
+	rowLen := cols * mu
+	for i := 0; i < rows; i++ {
+		ScatterBlocks(dst, src[i*rowLen:(i+1)*rowLen], cols, mu, i*mu, rowStride)
+	}
+}
+
+// TransposeBlockedGeneric is the tiled reference implementation of
+// TransposeBlocked: per-block copy calls with recomputed index arithmetic.
+// It is kept as the property-test oracle and ablation baseline for the
+// register-blocked path.
+func TransposeBlockedGeneric(dst, src []complex128, rows, cols, mu int) {
+	if len(dst) != rows*cols*mu || len(src) != rows*cols*mu {
+		panic(fmt.Sprintf("layout: TransposeBlockedGeneric %dx%dx%d on dst=%d src=%d",
 			rows, cols, mu, len(dst), len(src)))
 	}
 	const tile = 16
@@ -63,7 +257,8 @@ func TransposeBlocked(dst, src []complex128, rows, cols, mu int) {
 
 // Rotate3D applies the paper's cube rotation K_m^{k,n} elementwise: the
 // k×n×m input cube (z, y, x) becomes the m×k×n output cube with
-// out[x][z][y] = in[z][y][x] (Fig. 5).
+// out[x][z][y] = in[z][y][x] (Fig. 5). Elementwise rotations exist as
+// ablation baselines; the pipelines move data through the blocked variants.
 func Rotate3D(dst, src []complex128, k, n, m int) {
 	if len(dst) != k*n*m || len(src) != k*n*m {
 		panic(fmt.Sprintf("layout: Rotate3D %dx%dx%d on dst=%d src=%d",
@@ -91,9 +286,29 @@ func Rotate3D(dst, src []complex128, k, n, m int) {
 // cacheline granularity. src is a k×n×mb cube of μ-blocks (mb = m/μ); dst
 // receives the mb×k×n cube of blocks:
 // dst block (xb, z, y) = src block (z, y, xb).
+// Every source pencil scatters its blocks at the fixed stride k·n·μ through
+// ScatterBlocks, so μ = 4 and μ = 8 run the unrolled register kernels.
 func Rotate3DBlocked(dst, src []complex128, k, n, mb, mu int) {
 	if len(dst) != k*n*mb*mu || len(src) != k*n*mb*mu {
 		panic(fmt.Sprintf("layout: Rotate3DBlocked %dx%dx%dx%d on dst=%d src=%d",
+			k, n, mb, mu, len(dst), len(src)))
+	}
+	xStride := k * n * mu
+	rowLen := mb * mu
+	for z := 0; z < k; z++ {
+		for y := 0; y < n; y++ {
+			g := z*n + y
+			ScatterBlocks(dst, src[g*rowLen:(g+1)*rowLen], mb, mu, g*mu, xStride)
+		}
+	}
+}
+
+// Rotate3DBlockedGeneric is the reference implementation of Rotate3DBlocked
+// (per-block copy calls), kept as the property-test oracle and ablation
+// baseline.
+func Rotate3DBlockedGeneric(dst, src []complex128, k, n, mb, mu int) {
+	if len(dst) != k*n*mb*mu || len(src) != k*n*mb*mu {
+		panic(fmt.Sprintf("layout: Rotate3DBlockedGeneric %dx%dx%dx%d on dst=%d src=%d",
 			k, n, mb, mu, len(dst), len(src)))
 	}
 	for z := 0; z < k; z++ {
@@ -114,6 +329,26 @@ func Rotate3DBlockedSplit(dstRe, dstIm, srcRe, srcIm []float64, k, n, mb, mu int
 		panic(fmt.Sprintf("layout: Rotate3DBlockedSplit %dx%dx%dx%d invalid lengths",
 			k, n, mb, mu))
 	}
+	xStride := k * n * mu
+	rowLen := mb * mu
+	for z := 0; z < k; z++ {
+		for y := 0; y < n; y++ {
+			g := z*n + y
+			ScatterBlocksSplit(dstRe, dstIm,
+				srcRe[g*rowLen:(g+1)*rowLen], srcIm[g*rowLen:(g+1)*rowLen],
+				mb, mu, g*mu, xStride)
+		}
+	}
+}
+
+// Rotate3DBlockedSplitGeneric is the reference implementation of
+// Rotate3DBlockedSplit, kept as the property-test oracle.
+func Rotate3DBlockedSplitGeneric(dstRe, dstIm, srcRe, srcIm []float64, k, n, mb, mu int) {
+	if len(dstRe) != k*n*mb*mu || len(srcRe) != k*n*mb*mu ||
+		len(dstIm) != k*n*mb*mu || len(srcIm) != k*n*mb*mu {
+		panic(fmt.Sprintf("layout: Rotate3DBlockedSplitGeneric %dx%dx%dx%d invalid lengths",
+			k, n, mb, mu))
+	}
 	for z := 0; z < k; z++ {
 		for y := 0; y < n; y++ {
 			srcRow := (z*n + y) * mb * mu
@@ -132,6 +367,23 @@ func TransposeBlockedSplit(dstRe, dstIm, srcRe, srcIm []float64, rows, cols, mu 
 	if len(dstRe) != rows*cols*mu || len(srcRe) != rows*cols*mu ||
 		len(dstIm) != rows*cols*mu || len(srcIm) != rows*cols*mu {
 		panic(fmt.Sprintf("layout: TransposeBlockedSplit %dx%dx%d invalid lengths",
+			rows, cols, mu))
+	}
+	rowStride := rows * mu
+	rowLen := cols * mu
+	for i := 0; i < rows; i++ {
+		ScatterBlocksSplit(dstRe, dstIm,
+			srcRe[i*rowLen:(i+1)*rowLen], srcIm[i*rowLen:(i+1)*rowLen],
+			cols, mu, i*mu, rowStride)
+	}
+}
+
+// TransposeBlockedSplitGeneric is the reference implementation of
+// TransposeBlockedSplit, kept as the property-test oracle.
+func TransposeBlockedSplitGeneric(dstRe, dstIm, srcRe, srcIm []float64, rows, cols, mu int) {
+	if len(dstRe) != rows*cols*mu || len(srcRe) != rows*cols*mu ||
+		len(dstIm) != rows*cols*mu || len(srcIm) != rows*cols*mu {
+		panic(fmt.Sprintf("layout: TransposeBlockedSplitGeneric %dx%dx%d invalid lengths",
 			rows, cols, mu))
 	}
 	for i := 0; i < rows; i++ {

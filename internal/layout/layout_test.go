@@ -179,42 +179,5 @@ func TestValidationPanics(t *testing.T) {
 	}
 }
 
-func BenchmarkRotateElementwise(b *testing.B) {
-	const k, n, m = 64, 64, 64
-	x := randVec(1, k*n*m)
-	y := make([]complex128, len(x))
-	b.SetBytes(int64(len(x) * 16))
-	for i := 0; i < b.N; i++ {
-		Rotate3D(y, x, k, n, m)
-	}
-}
-
-func BenchmarkRotateBlocked(b *testing.B) {
-	const k, n, mb, mu = 64, 64, 16, 4
-	x := randVec(1, k*n*mb*mu)
-	y := make([]complex128, len(x))
-	b.SetBytes(int64(len(x) * 16))
-	for i := 0; i < b.N; i++ {
-		Rotate3DBlocked(y, x, k, n, mb, mu)
-	}
-}
-
-func BenchmarkTransposeElementwise(b *testing.B) {
-	const rows, cols = 512, 512
-	x := randVec(1, rows*cols)
-	y := make([]complex128, len(x))
-	b.SetBytes(int64(len(x) * 16))
-	for i := 0; i < b.N; i++ {
-		Transpose(y, x, rows, cols)
-	}
-}
-
-func BenchmarkTransposeBlocked(b *testing.B) {
-	const rows, cols, mu = 512, 128, 4
-	x := randVec(1, rows*cols*mu)
-	y := make([]complex128, len(x))
-	b.SetBytes(int64(len(x) * 16))
-	for i := 0; i < b.N; i++ {
-		TransposeBlocked(y, x, rows, cols, mu)
-	}
-}
+// Benchmarks live in bench_test.go (32 B/element traffic accounting,
+// kernel-vs-generic comparison, μ = 4 and μ = 8 sweeps).

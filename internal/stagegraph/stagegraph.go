@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/kernels"
+	"repro/internal/layout"
 )
 
 // Endpoint is one side of a stage's data movement: a complex-interleaved
@@ -49,10 +50,20 @@ func (e Endpoint) valid(dst bool) bool {
 // every store unit g is cut into Blocks cacheline blocks of BlockLen
 // elements, and block j of unit g lands at destination offset Map(g, j).
 // Map must be safe for concurrent use.
+//
+// JStride, when non-zero, declares the map affine in j:
+// Map(g, j) = Map(g, 0) + j·JStride for every g. All of the repo's
+// rotations are affine (a blocked transpose scatters a unit's blocks at a
+// fixed stride), and declaring the stride lets the store run whole units
+// through the register-blocked layout.ScatterBlocks kernels — one Map call
+// and hoisted stride arithmetic per run instead of a Map call and a bounds-
+// checked copy per block. Leave JStride zero for irregular maps; the store
+// then falls back to calling Map per block.
 type Rotation struct {
 	Blocks   int
 	BlockLen int
 	Map      func(g, j int) int
+	JStride  int
 }
 
 // ComputeFn runs the batched pencil kernel of one stage over the unit
@@ -123,6 +134,12 @@ func (st *Stage) validate(i int, b *Buffers) error {
 		return fmt.Errorf("stagegraph: stage %d (%s): rotation %d×%d ≠ store unit %d",
 			i, st.Name, st.Rot.Blocks, st.Rot.BlockLen, slen)
 	}
+	if st.Rot.JStride != 0 && st.Rot.Blocks > 1 {
+		if got, want := st.Rot.Map(0, 1), st.Rot.Map(0, 0)+st.Rot.JStride; got != want {
+			return fmt.Errorf("stagegraph: stage %d (%s): JStride=%d inconsistent with Map: Map(0,1)=%d, want %d",
+				i, st.Name, st.Rot.JStride, got, want)
+		}
+	}
 	if !st.Src.valid(false) {
 		return fmt.Errorf("stagegraph: stage %d (%s): invalid Src endpoint", i, st.Name)
 	}
@@ -190,9 +207,18 @@ func NewBuffers(elems int, split, staging bool) *Buffers {
 
 // load streams this worker's share of block `iter` from Src into buffer
 // half `half`, contiguously, fusing the interleaved→split conversion when
-// the buffers are split but the source is not (§IV-A).
+// the buffers are split but the source is not (§IV-A). The block is carved
+// across all data workers at cacheline (Rot.BlockLen) granularity rather
+// than unit granularity: a load is a contiguous stream with no unit
+// structure, and coarse unit splits leave workers idle whenever a stage has
+// fewer units than data threads.
 func (st *Stage) load(b *Buffers, half, iter, worker, workers int) {
-	lo, hi := partitionBlocks(st.Units, st.UnitLen, worker, workers)
+	elems := st.BlockElems()
+	gran := st.Rot.BlockLen
+	if gran < 1 || elems%gran != 0 {
+		gran = 1
+	}
+	lo, hi := partitionBlocks(elems/gran, gran, worker, workers)
 	if lo == hi {
 		return
 	}
@@ -218,15 +244,72 @@ func (st *Stage) load(b *Buffers, half, iter, worker, workers int) {
 // store writes this worker's share of block `iter` from buffer half `half`
 // to Dst through the blocked rotation, fusing the split→interleaved
 // conversion when the buffers are split but the destination is not.
+//
+// The partition is over units·Blocks individual cacheline blocks, not whole
+// units, so every data worker shares the store of every pipeline block even
+// when a stage has fewer store units than data threads. Each worker's range
+// is walked as maximal within-unit runs; affine rotations (JStride ≠ 0) send
+// each run through one register-blocked layout scatter kernel, irregular
+// ones fall back to a Map call per block.
 func (st *Stage) store(b *Buffers, half, iter, worker, workers int) {
 	units, unitLen := st.storeGeometry()
-	lo, hi := partition(units, worker, workers)
-	bl := st.Rot.BlockLen
-	for u := lo; u < hi; u++ {
-		g := iter*units + u
-		for j := 0; j < st.Rot.Blocks; j++ {
-			st.writeBlock(b, half, st.Rot.Map(g, j), u*unitLen+j*bl, bl)
+	blocks, bl := st.Rot.Blocks, st.Rot.BlockLen
+	lo, hi := partition(units*blocks, worker, workers)
+	stride := st.Rot.JStride
+	for t := lo; t < hi; {
+		u := t / blocks
+		j0 := t - u*blocks
+		j1 := blocks
+		if rest := hi - u*blocks; rest < blocks {
+			j1 = rest
 		}
+		run := j1 - j0
+		g := iter*units + u
+		s := u*unitLen + j0*bl
+		if run == 1 || stride != 0 {
+			st.storeRun(b, half, st.Rot.Map(g, j0), stride, s, run)
+		} else {
+			for j := j0; j < j1; j++ {
+				st.writeBlock(b, half, st.Rot.Map(g, j), s+(j-j0)*bl, bl)
+			}
+		}
+		t += run
+	}
+}
+
+// storeRun stores `run` consecutive blocks of one store unit, starting at
+// buffer offset s, to destination offsets d0, d0+stride, …, through the
+// register-blocked layout kernels (or the WriteC hook).
+func (st *Stage) storeRun(b *Buffers, half, d0, stride, s, run int) {
+	bl := st.Rot.BlockLen
+	n := run * bl
+	switch {
+	case st.StoreFromStaging:
+		src := b.T[half][s : s+n]
+		if st.Dst.WriteC != nil {
+			d := d0
+			for j := 0; j < run; j++ {
+				st.Dst.WriteC(d, src[j*bl:(j+1)*bl])
+				d += stride
+			}
+			return
+		}
+		layout.ScatterBlocks(st.Dst.C, src, run, bl, d0, stride)
+	case b.Split && st.Dst.Re != nil:
+		layout.ScatterBlocksSplit(st.Dst.Re, st.Dst.Im,
+			b.Re[half][s:s+n], b.Im[half][s:s+n], run, bl, d0, stride)
+	case b.Split:
+		layout.ScatterBlocksInterleave(st.Dst.C,
+			b.Re[half][s:s+n], b.Im[half][s:s+n], run, bl, d0, stride)
+	case st.Dst.WriteC != nil:
+		src := b.C[half][s : s+n]
+		d := d0
+		for j := 0; j < run; j++ {
+			st.Dst.WriteC(d, src[j*bl:(j+1)*bl])
+			d += stride
+		}
+	default:
+		layout.ScatterBlocks(st.Dst.C, b.C[half][s:s+n], run, bl, d0, stride)
 	}
 }
 

@@ -22,12 +22,21 @@ type Candidate struct {
 	ComputeWorkers int  `json:"compute_workers"`
 	Mu             int  `json:"mu"`
 	SplitFormat    bool `json:"split_format"`
+	// Radix caps the Stockham stage radix of the pow2 sub-plans (0 = the
+	// default 8; omitted from old wisdom files, which decode as 0).
+	Radix int `json:"radix,omitempty"`
 }
 
 func (c Candidate) String() string {
-	return fmt.Sprintf("b=%d p_d=%d p_c=%d μ=%d split=%v",
-		c.BufferElems, c.DataWorkers, c.ComputeWorkers, c.Mu, c.SplitFormat)
+	return fmt.Sprintf("b=%d p_d=%d p_c=%d μ=%d split=%v radix=%d",
+		c.BufferElems, c.DataWorkers, c.ComputeWorkers, c.Mu, c.SplitFormat, c.Radix)
 }
+
+// feasible reports whether the candidate can execute a transform whose
+// fastest axis is m: the cacheline granularity μ must tile the rows it
+// blocks. This is the single shared filter both tuners apply before
+// building a plan, so an infeasible point is skipped instead of erroring.
+func (c Candidate) feasible(m int) bool { return c.Mu >= 1 && m%c.Mu == 0 }
 
 // Result is a measured candidate.
 type Result struct {
@@ -41,11 +50,15 @@ type Space struct {
 	WorkerSplits [][2]int // {p_d, p_c}
 	Mus          []int
 	SplitFormats []bool
+	// Radixes lists the pow2 radix caps to try (nil/empty = {0}, the
+	// default radix-8 mix only).
+	Radixes []int
 }
 
 // DefaultSpace returns a modest space appropriate for `threads` hardware
 // threads: buffer sizes bracketing typical LLC halves, balanced and skewed
-// worker splits, and both compute formats.
+// worker splits, both cacheline granularities (μ = 4, one 64 B line, and
+// μ = 8), both compute formats, and the radix-8 vs radix-4 sweep mixes.
 func DefaultSpace(threads int) Space {
 	if threads < 2 {
 		threads = 2
@@ -58,22 +71,29 @@ func DefaultSpace(threads int) Space {
 	return Space{
 		Buffers:      []int{1 << 12, 1 << 14, 1 << 16},
 		WorkerSplits: splits,
-		Mus:          []int{4},
+		Mus:          []int{4, 8},
 		SplitFormats: []bool{false, true},
+		Radixes:      []int{8, 4},
 	}
 }
 
 // candidates expands the space.
 func (s Space) candidates() []Candidate {
+	radixes := s.Radixes
+	if len(radixes) == 0 {
+		radixes = []int{0}
+	}
 	var out []Candidate
 	for _, b := range s.Buffers {
 		for _, ws := range s.WorkerSplits {
 			for _, mu := range s.Mus {
 				for _, sf := range s.SplitFormats {
-					out = append(out, Candidate{
-						BufferElems: b, DataWorkers: ws[0], ComputeWorkers: ws[1],
-						Mu: mu, SplitFormat: sf,
-					})
+					for _, r := range radixes {
+						out = append(out, Candidate{
+							BufferElems: b, DataWorkers: ws[0], ComputeWorkers: ws[1],
+							Mu: mu, SplitFormat: sf, Radix: r,
+						})
+					}
 				}
 			}
 		}
@@ -97,13 +117,13 @@ func Tune3D(k, n, m int, space Space, reps int) (Result, []Result, error) {
 	var all []Result
 	best := Result{Seconds: -1}
 	for _, c := range space.candidates() {
-		if m%c.Mu != 0 {
+		if !c.feasible(m) {
 			continue
 		}
 		p, err := fft3d.NewPlan(k, n, m, fft3d.Options{
 			Strategy: fft3d.DoubleBuf, Mu: c.Mu, BufferElems: c.BufferElems,
 			DataWorkers: c.DataWorkers, ComputeWorkers: c.ComputeWorkers,
-			SplitFormat: c.SplitFormat,
+			SplitFormat: c.SplitFormat, Radix: c.Radix,
 		})
 		if err != nil {
 			return Result{}, nil, err
@@ -138,13 +158,13 @@ func Tune2D(n, m int, space Space, reps int) (Result, []Result, error) {
 	var all []Result
 	best := Result{Seconds: -1}
 	for _, c := range space.candidates() {
-		if m%c.Mu != 0 {
+		if !c.feasible(m) {
 			continue
 		}
 		p, err := fft2d.NewPlan(n, m, fft2d.Options{
 			Strategy: fft2d.DoubleBuf, Mu: c.Mu, BufferElems: c.BufferElems,
 			DataWorkers: c.DataWorkers, ComputeWorkers: c.ComputeWorkers,
-			SplitFormat: c.SplitFormat,
+			SplitFormat: c.SplitFormat, Radix: c.Radix,
 		})
 		if err != nil {
 			return Result{}, nil, err

@@ -64,6 +64,11 @@ func LoadWisdom(in io.Reader) (*Wisdom, error) {
 		if c.BufferElems < 1 || c.DataWorkers < 1 || c.ComputeWorkers < 1 || c.Mu < 1 {
 			return nil, fmt.Errorf("tune: wisdom entry %q invalid: %+v", k, c)
 		}
+		switch c.Radix {
+		case 0, 2, 4, 8:
+		default:
+			return nil, fmt.Errorf("tune: wisdom entry %q has invalid radix %d", k, c.Radix)
+		}
 	}
 	return &w, nil
 }
