@@ -6,11 +6,12 @@ GO ?= go
 # Packages whose tests exercise real concurrency (worker pools, barriers,
 # shared plans); they get a dedicated -race pass in ci.
 RACE_PKGS = . ./internal/pipeline ./internal/stagegraph ./internal/fft2d \
-            ./internal/fft3d ./internal/fft1dlarge
+            ./internal/fft3d ./internal/fft1dlarge ./internal/fft1d \
+            ./internal/lru ./internal/serve
 
-.PHONY: ci vet build test race bench benchsmoke benchjson fmt
+.PHONY: ci vet build test race bench benchsmoke benchjson servesmoke fmt
 
-ci: vet build test race benchsmoke benchjson
+ci: vet build test race benchsmoke servesmoke benchjson
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +32,12 @@ bench:
 # no longer compile or crash without paying for a timed run.
 benchsmoke:
 	$(GO) test -run=NONE -bench='Fig|Table|PublicAPI|StageFusion' -benchtime=1x -benchmem .
+
+# End-to-end smoke of the serving daemon: start fftserved on a loopback
+# port, fire concurrent mixed-shape requests over HTTP, verify round trips
+# and the /healthz and /metrics endpoints, then drain.
+servesmoke:
+	$(GO) run ./cmd/fftserved -selftest 64
 
 # Machine-readable benchmark snapshot (ns/op, B/op, GB/s, fraction of this
 # host's STREAM copy peak) for tracking the performance trajectory across

@@ -1,0 +1,352 @@
+// Command fftserved serves FFT transforms over HTTP on top of the batched,
+// backpressured serving layer (internal/serve): requests of any rank share
+// a bounded plan cache, same-shape 1D requests coalesce into single batched
+// pencil executions, and shutdown drains in-flight work before exiting.
+//
+// Endpoints:
+//
+//	POST /transform  {"rank":1,"dims":[4096],"inverse":false,"data":[re,im,...]}
+//	                 → {"data":[re,im,...]}
+//	GET  /metrics    server counters, latency quantiles and cache stats (JSON)
+//	GET  /healthz    200 while serving, 503 once draining
+//
+// Complex data crosses the wire as interleaved re,im float64 pairs, so a
+// rank-r request carries 2·∏dims numbers.
+//
+// The -selftest N mode starts the server on a loopback port, fires N
+// concurrent mixed-shape requests at it, verifies round trips and the
+// /healthz and /metrics endpoints, then drains and exits — the `make
+// servesmoke` target.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8123", "HTTP listen address")
+		queue     = flag.Int("queue", 256, "submit queue depth")
+		maxBatch  = flag.Int("maxbatch", 16, "max same-shape 1D requests coalesced per execution (1 disables)")
+		window    = flag.Duration("window", 200*time.Microsecond, "batching window: how long to linger for a deeper batch")
+		executors = flag.Int("executors", 2, "concurrent batch executors")
+		cacheCap  = flag.Int("cachecap", 32, "plan cache capacity")
+		policy    = flag.String("policy", "block", "full-queue policy: block or reject")
+		selftest  = flag.Int("selftest", 0, "fire N concurrent smoke requests at a loopback instance and exit")
+	)
+	flag.Parse()
+
+	var pol serve.Policy
+	switch *policy {
+	case "block":
+		pol = serve.Block
+	case "reject":
+		pol = serve.Reject
+	default:
+		log.Fatalf("fftserved: -policy must be block or reject, got %q", *policy)
+	}
+
+	s := serve.New(serve.Options{
+		QueueDepth:    *queue,
+		MaxBatch:      *maxBatch,
+		BatchWindow:   *window,
+		Executors:     *executors,
+		CacheCapacity: *cacheCap,
+		Policy:        pol,
+	})
+	h := &handler{s: s}
+
+	if *selftest > 0 {
+		if err := runSelftest(h, *selftest); err != nil {
+			log.Fatalf("fftserved: selftest failed: %v", err)
+		}
+		fmt.Println("fftserved: selftest ok")
+		return
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: h.mux()}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("fftserved: draining")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		// Stop accepting HTTP first, then drain the transform pipeline.
+		_ = httpSrv.Shutdown(ctx)
+		if err := s.Shutdown(ctx); err != nil {
+			log.Printf("fftserved: drain: %v", err)
+		}
+	}()
+	log.Printf("fftserved: listening on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("fftserved: %v", err)
+	}
+}
+
+type handler struct {
+	s *serve.Server
+}
+
+func (h *handler) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/transform", h.transform)
+	mux.HandleFunc("/metrics", h.metrics)
+	mux.HandleFunc("/healthz", h.healthz)
+	return mux
+}
+
+// transformRequest is the wire format of one transform; Data holds
+// interleaved re,im pairs.
+type transformRequest struct {
+	Rank    int       `json:"rank"`
+	Dims    []int     `json:"dims"`
+	Inverse bool      `json:"inverse"`
+	Data    []float64 `json:"data"`
+}
+
+type transformResponse struct {
+	Data []float64 `json:"data"`
+}
+
+func (h *handler) transform(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var treq transformRequest
+	if err := json.NewDecoder(r.Body).Decode(&treq); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if treq.Rank < 1 || treq.Rank > 3 || len(treq.Dims) != treq.Rank {
+		http.Error(w, fmt.Sprintf("rank %d needs exactly %d dims, got %d",
+			treq.Rank, treq.Rank, len(treq.Dims)), http.StatusBadRequest)
+		return
+	}
+	n := 1
+	var dims [3]int
+	for i, d := range treq.Dims {
+		if d < 1 {
+			http.Error(w, fmt.Sprintf("dims must be ≥ 1, got %v", treq.Dims), http.StatusBadRequest)
+			return
+		}
+		dims[i] = d
+		n *= d
+	}
+	if len(treq.Data) != 2*n {
+		http.Error(w, fmt.Sprintf("want %d interleaved re,im values for %v, got %d",
+			2*n, treq.Dims, len(treq.Data)), http.StatusBadRequest)
+		return
+	}
+	src := make([]complex128, n)
+	for i := range src {
+		src[i] = complex(treq.Data[2*i], treq.Data[2*i+1])
+	}
+	dst := make([]complex128, n)
+
+	err := h.s.Do(r.Context(), serve.Request{
+		Rank: treq.Rank, Dims: dims, Inverse: treq.Inverse, Dst: dst, Src: src,
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusRequestTimeout)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	out := make([]float64, 2*n)
+	for i, c := range dst {
+		out[2*i] = real(c)
+		out[2*i+1] = imag(c)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(transformResponse{Data: out})
+}
+
+func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(h.s.Stats())
+}
+
+func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
+	if !h.s.Healthy() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// runSelftest exercises the full HTTP surface against a loopback instance:
+// total concurrent round trips across mixed shapes, endpoint checks, and a
+// drain that must account for every request.
+func runSelftest(h *handler, total int) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: h.mux()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	if err := checkHealthz(base, http.StatusOK); err != nil {
+		return err
+	}
+
+	shapes := []struct {
+		rank int
+		dims []int
+	}{
+		{1, []int{256}},
+		{1, []int{1024}},
+		{2, []int{32, 32}},
+		{3, []int{8, 8, 8}},
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, total)
+	for g := 0; g < total; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sh := shapes[g%len(shapes)]
+			if err := roundTrip(base, sh.rank, sh.dims, g); err != nil {
+				errCh <- fmt.Errorf("request %d (%v): %w", g, sh.dims, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+
+	var snap serve.Snapshot
+	if err := getJSON(base+"/metrics", &snap); err != nil {
+		return err
+	}
+	// Every smoke request is a forward+inverse pair.
+	if want := uint64(2 * total); snap.Completed < want {
+		return fmt.Errorf("/metrics: completed %d < %d submitted", snap.Completed, want)
+	}
+	if !snap.Healthy || snap.Failed != 0 {
+		return fmt.Errorf("/metrics: unexpected state %+v", snap)
+	}
+	fmt.Printf("fftserved: %d requests, avg batch %.1f, p99 %s, cache %d/%d (%d hits)\n",
+		snap.Completed, snap.AvgBatch, time.Duration(snap.P99LatencyNs),
+		snap.Cache.Len, snap.Cache.Capacity, snap.Cache.Hits)
+
+	// Drain: transform pipeline first so /healthz flips while HTTP still
+	// answers, then the HTTP server.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := h.s.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := checkHealthz(base, http.StatusServiceUnavailable); err != nil {
+		return err
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// roundTrip sends a forward transform of a seeded vector followed by an
+// inverse of the result and checks the pair composes to the identity.
+func roundTrip(base string, rank int, dims []int, seed int) error {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	data := make([]float64, 2*n)
+	for i := range data {
+		// Deterministic, seed-dependent, O(1)-range values.
+		data[i] = math.Sin(float64(seed+1) * float64(i+1) * 0.7)
+	}
+	spec, err := postTransform(base, transformRequest{Rank: rank, Dims: dims, Data: data})
+	if err != nil {
+		return fmt.Errorf("forward: %w", err)
+	}
+	back, err := postTransform(base, transformRequest{Rank: rank, Dims: dims, Inverse: true, Data: spec})
+	if err != nil {
+		return fmt.Errorf("inverse: %w", err)
+	}
+	for i := range data {
+		if math.Abs(back[i]-data[i]) > 1e-9*float64(n) {
+			return fmt.Errorf("round trip diverged at %d: %g vs %g", i, back[i], data[i])
+		}
+	}
+	return nil
+}
+
+func postTransform(base string, treq transformRequest) ([]float64, error) {
+	body, err := json.Marshal(treq)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/transform", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var tresp transformResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tresp); err != nil {
+		return nil, err
+	}
+	return tresp.Data, nil
+}
+
+func getJSON(url string, into any) (err error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+func checkHealthz(base string, want int) error {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("/healthz: status %d, want %d", resp.StatusCode, want)
+	}
+	return nil
+}

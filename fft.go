@@ -22,6 +22,7 @@ package repro
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/machine"
@@ -146,7 +147,14 @@ func resolve(opts []Option) (core.Config, error) {
 }
 
 // FFT3D is a reusable plan for k×n×m cubes (row-major, x fastest).
-type FFT3D struct{ p *core.Plan3D }
+type FFT3D struct {
+	p *core.Plan3D
+	// Handles from a SharedPlans pool release their cache pin on Close
+	// instead of tearing the plan down; closeOnce keeps either path safe
+	// under repeated and concurrent Close.
+	release   func()
+	closeOnce sync.Once
+}
 
 // NewFFT3D builds a 3D plan.
 func NewFFT3D(k, n, m int, opts ...Option) (*FFT3D, error) {
@@ -158,7 +166,7 @@ func NewFFT3D(k, n, m int, opts ...Option) (*FFT3D, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FFT3D{p}, nil
+	return &FFT3D{p: p}, nil
 }
 
 // Forward computes the unnormalized forward DFT out of place; dst and src
@@ -182,8 +190,18 @@ func (f *FFT3D) ForwardMany(dst, src []complex128, count int) error {
 // Close releases the plan's persistent pipeline workers (parked goroutines
 // reused across transforms). Optional — plans dropped without Close are
 // reclaimed by a finalizer — and idempotent; the plan must not be used
-// after Close.
-func (f *FFT3D) Close() { f.p.Close() }
+// after Close. For handles from a SharedPlans pool, Close releases the
+// cache pin instead; the shared plan itself closes when it is evicted and
+// its last user has released it.
+func (f *FFT3D) Close() {
+	f.closeOnce.Do(func() {
+		if f.release != nil {
+			f.release()
+			return
+		}
+		f.p.Close()
+	})
+}
 
 // Len returns the total element count k·n·m.
 func (f *FFT3D) Len() int { return f.p.Len() }
@@ -202,7 +220,11 @@ func (f *FFT3D) Stats() Stats { return f.p.Stats() }
 func (f *FFT3D) DescribeGraph() string { return f.p.DescribeGraph() }
 
 // FFT2D is a reusable plan for n×m matrices (row-major).
-type FFT2D struct{ p *core.Plan2D }
+type FFT2D struct {
+	p         *core.Plan2D
+	release   func()
+	closeOnce sync.Once
+}
 
 // NewFFT2D builds a 2D plan.
 func NewFFT2D(n, m int, opts ...Option) (*FFT2D, error) {
@@ -214,7 +236,7 @@ func NewFFT2D(n, m int, opts ...Option) (*FFT2D, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FFT2D{p}, nil
+	return &FFT2D{p: p}, nil
 }
 
 // Forward computes the unnormalized forward DFT out of place.
@@ -228,7 +250,15 @@ func (f *FFT2D) InPlace(x []complex128) error { return f.p.InPlace(x) }
 
 // Close releases the plan's persistent pipeline workers; optional and
 // idempotent (see FFT3D.Close).
-func (f *FFT2D) Close() { f.p.Close() }
+func (f *FFT2D) Close() {
+	f.closeOnce.Do(func() {
+		if f.release != nil {
+			f.release()
+			return
+		}
+		f.p.Close()
+	})
+}
 
 // Len returns n·m.
 func (f *FFT2D) Len() int { return f.p.Len() }

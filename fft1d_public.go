@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/fft1d"
 	"repro/internal/fft1dlarge"
@@ -14,7 +15,9 @@ import (
 // the double buffer); smaller sizes use the in-cache mixed-radix planner
 // directly.
 type FFT1D struct {
-	p *fft1dlarge.Plan
+	p         *fft1dlarge.Plan
+	release   func()
+	closeOnce sync.Once
 }
 
 // NewFFT1D builds a 1D plan for size n.
@@ -31,7 +34,7 @@ func NewFFT1D(n int, opts ...Option) (*FFT1D, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FFT1D{p}, nil
+	return &FFT1D{p: p}, nil
 }
 
 // Forward computes the unnormalized forward DFT out of place.
@@ -50,7 +53,15 @@ func (f *FFT1D) Inverse(dst, src []complex128) error {
 
 // Close releases the plan's persistent pipeline workers; optional and
 // idempotent (see FFT3D.Close).
-func (f *FFT1D) Close() { f.p.Close() }
+func (f *FFT1D) Close() {
+	f.closeOnce.Do(func() {
+		if f.release != nil {
+			f.release()
+			return
+		}
+		f.p.Close()
+	})
+}
 
 // Len returns the transform size.
 func (f *FFT1D) Len() int { return f.p.N() }

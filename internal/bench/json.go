@@ -1,30 +1,38 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/fft1d"
 	"repro/internal/fft2d"
 	"repro/internal/fft3d"
 	"repro/internal/kernels"
 	"repro/internal/layout"
+	"repro/internal/serve"
 	"repro/internal/stream"
 )
 
 // JSONEntry is one benchmark's machine-readable result. GBPerS counts the
 // bytes the kernel actually streams (read + write), so FracStreamPeak is
 // directly the fraction of this host's STREAM copy bandwidth the kernel
-// sustains — the paper's bandwidth-efficiency lens.
+// sustains — the paper's bandwidth-efficiency lens. Serving-layer entries
+// additionally report request throughput (ReqPerS) and mean batch
+// occupancy (AvgBatch), the coalescing acceptance metrics.
 type JSONEntry struct {
 	Name           string  `json:"name"`
 	NsPerOp        float64 `json:"ns_per_op"`
 	BPerOp         float64 `json:"b_per_op"`
 	GBPerS         float64 `json:"gb_per_s"`
 	FracStreamPeak float64 `json:"frac_stream_peak"`
+	ReqPerS        float64 `json:"req_per_s,omitempty"`
+	AvgBatch       float64 `json:"avg_batch,omitempty"`
 }
 
 // JSONReport is the full emission of WriteJSON: host identification, the
@@ -152,9 +160,107 @@ func WriteJSON(w io.Writer, cfg JSONConfig) error {
 		rep.Entries = append(rep.Entries, e)
 	}
 
+	serves, err := serveEntries()
+	if err != nil {
+		return err
+	}
+	rep.Entries = append(rep.Entries, serves...)
+
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// serveEntries measures the serving layer's request throughput under the
+// BenchmarkServeBatched workload: a stream of same-shape 1D requests from
+// many concurrent submitters, once with coalescing (MaxBatch 32) and once
+// executing one request at a time (MaxBatch 1). The coalesced entry's
+// ReqPerS vs the unbatched one is the serving acceptance ratio (≥1.5× at
+// batch occupancy ≥8). Both configs take the best of three interleaved
+// trials so transient host load cannot skew the ratio.
+func serveEntries() ([]JSONEntry, error) {
+	const n, submitters, perSubmitter = 32, 64, 300
+	cfg := core.Default()
+	cfg.DataWorkers, cfg.ComputeWorkers, cfg.Workers = 1, 1, 2
+	cfg.BufferElems = 1 << 10
+
+	run := func(maxBatch int) (reqPerSec, avgBatch float64, err error) {
+		s := serve.New(serve.Options{Config: cfg, MaxBatch: maxBatch,
+			Executors: 2, QueueDepth: 1024, BatchWindow: 100 * time.Microsecond})
+		var wg sync.WaitGroup
+		errCh := make(chan error, submitters)
+		start := time.Now()
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				src := make([]complex128, n)
+				for i := range src {
+					src[i] = complex(float64((i+g)%23)-11, float64(i%19)-9)
+				}
+				dst := make([]complex128, n)
+				for i := 0; i < perSubmitter; i++ {
+					if err := s.Do(context.Background(), serve.Request{
+						Rank: 1, Dims: [3]int{n}, Src: src, Dst: dst}); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		snap := s.Stats()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			return 0, 0, err
+		}
+		select {
+		case err := <-errCh:
+			return 0, 0, err
+		default:
+		}
+		return float64(submitters*perSubmitter) / elapsed.Seconds(), snap.AvgBatch, nil
+	}
+
+	// Warm both configurations (plan and twiddle construction), then
+	// measure interleaved.
+	if _, _, err := run(32); err != nil {
+		return nil, fmt.Errorf("bench serve: %w", err)
+	}
+	if _, _, err := run(1); err != nil {
+		return nil, fmt.Errorf("bench serve: %w", err)
+	}
+	var coalesced, unbatched, avgBatch float64
+	for trial := 0; trial < 3; trial++ {
+		c, ab, err := run(32)
+		if err != nil {
+			return nil, fmt.Errorf("bench serve: %w", err)
+		}
+		u, _, err := run(1)
+		if err != nil {
+			return nil, fmt.Errorf("bench serve: %w", err)
+		}
+		if c > coalesced {
+			coalesced, avgBatch = c, ab
+		}
+		if u > unbatched {
+			unbatched = u
+		}
+	}
+	entry := func(name string, reqPerSec, avgBatch float64) JSONEntry {
+		return JSONEntry{
+			Name:     "serve/BenchmarkServeBatched/" + name,
+			NsPerOp:  1e9 / reqPerSec,
+			ReqPerS:  reqPerSec,
+			AvgBatch: avgBatch,
+		}
+	}
+	return []JSONEntry{
+		entry(fmt.Sprintf("coalesced/n=%d", n), coalesced, avgBatch),
+		entry(fmt.Sprintf("unbatched/n=%d", n), unbatched, 1),
+	}, nil
 }
 
 func jsonCases() ([]jsonCase, error) {

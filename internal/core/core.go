@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"repro/internal/fft1d"
 	"repro/internal/fft2d"
@@ -147,6 +148,7 @@ func strategy2D(name string) (fft2d.Strategy, error) {
 type Plan3D struct {
 	plan *fft3d.Plan
 	cfg  Config
+	refs atomic.Int32
 }
 
 // NewPlan3D builds a 3D plan for a k×n×m cube under cfg.
@@ -159,7 +161,9 @@ func NewPlan3D(k, n, m int, cfg Config) (*Plan3D, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan3D{plan: p, cfg: cfg}, nil
+	p3 := &Plan3D{plan: p, cfg: cfg}
+	p3.refs.Store(1)
+	return p3, nil
 }
 
 // Forward computes the unnormalized forward transform out of place.
@@ -187,10 +191,23 @@ func (p *Plan3D) ForwardMany(dst, src []complex128, count int) error {
 	return p.plan.TransformMany(dst, src, count, fft1d.Forward)
 }
 
-// Close releases the plan's persistent executor workers (a no-op for
-// strategies without one). Idempotent; the plan must not be used after
-// Close. Plans dropped without Close are reclaimed by a finalizer.
-func (p *Plan3D) Close() { p.plan.Close() }
+// Retain adds a reference to the plan for shared-cache use: each reference
+// (including the one a new plan starts with) must be dropped by exactly one
+// Close, and the executor's worker team is torn down only when the last
+// reference drains. Plain single-owner callers never call Retain.
+func (p *Plan3D) Retain() { p.refs.Add(1) }
+
+// Close drops one plan reference; the last drop releases the persistent
+// executor workers (a no-op for strategies without one). Releasing is
+// idempotent and concurrency-safe — a Close racing a Transform waits for
+// it, and excess Closes are absorbed by the underlying plan. Plans dropped
+// without Close are reclaimed by a finalizer.
+func (p *Plan3D) Close() {
+	if p.refs.Add(-1) > 0 {
+		return
+	}
+	p.plan.Close()
+}
 
 // Len returns k·n·m.
 func (p *Plan3D) Len() int { return p.plan.Len() }
@@ -202,6 +219,7 @@ func (p *Plan3D) Dims() (int, int, int) { return p.plan.Dims() }
 type Plan2D struct {
 	plan *fft2d.Plan
 	n, m int
+	refs atomic.Int32
 }
 
 // NewPlan2D builds a 2D plan for an n×m matrix under cfg.
@@ -214,7 +232,9 @@ func NewPlan2D(n, m int, cfg Config) (*Plan2D, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan2D{plan: p, n: n, m: m}, nil
+	p2 := &Plan2D{plan: p, n: n, m: m}
+	p2.refs.Store(1)
+	return p2, nil
 }
 
 // Forward computes the unnormalized forward transform out of place.
@@ -236,10 +256,18 @@ func (p *Plan2D) InPlace(x []complex128) error {
 	return p.plan.InPlace(x, fft1d.Forward)
 }
 
-// Close releases the plan's persistent executor workers (a no-op for
-// strategies without one). Idempotent; the plan must not be used after
-// Close. Plans dropped without Close are reclaimed by a finalizer.
-func (p *Plan2D) Close() { p.plan.Close() }
+// Retain adds a reference to the plan for shared-cache use; see
+// Plan3D.Retain.
+func (p *Plan2D) Retain() { p.refs.Add(1) }
+
+// Close drops one plan reference; the last drop releases the persistent
+// executor workers. See Plan3D.Close.
+func (p *Plan2D) Close() {
+	if p.refs.Add(-1) > 0 {
+		return
+	}
+	p.plan.Close()
+}
 
 // Len returns n·m.
 func (p *Plan2D) Len() int { return p.n * p.m }

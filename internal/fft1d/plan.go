@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"repro/internal/kernels"
+	"repro/internal/lru"
 	"repro/internal/twiddle"
 )
 
@@ -87,7 +88,15 @@ type Plan struct {
 // share one entry.
 type planKey struct{ n, radix int }
 
-var planCache sync.Map // planKey -> *Plan
+// planCacheCapacity bounds the process-wide plan cache. Long-running servers
+// sweep many sizes (every mixed-radix factorization plants sub-plans here
+// too), and an unbounded map retains every twiddle table ever built; 128
+// entries cover any realistic working set while letting cold sizes fall to
+// the GC. Plans are immutable data with nothing to tear down, so eviction
+// needs no onClose and callers never hold cache references.
+const planCacheCapacity = 128
+
+var planCache = lru.New[planKey, *Plan](planCacheCapacity, nil)
 
 // NewPlan returns a (possibly cached) plan for size n ≥ 1 using the default
 // radix mix (radix-8 sweeps for power-of-two sizes).
@@ -114,13 +123,18 @@ func NewPlanRadix(n, maxRadix int) *Plan {
 	if n <= 8 || n&(n-1) != 0 {
 		key.radix = 0 // radix is irrelevant; share the plan
 	}
-	if p, ok := planCache.Load(key); ok {
-		return p.(*Plan)
-	}
-	p := buildPlan(n, maxRadix)
-	actual, _ := planCache.LoadOrStore(key, p)
-	return actual.(*Plan)
+	p, release, _ := planCache.GetOrCreate(key, func() (*Plan, error) {
+		return buildPlan(n, maxRadix), nil
+	})
+	// Released immediately: an evicted plan stays valid for everyone still
+	// pointing at it (it is just dropped to the GC), so holding a cache
+	// reference for the plan's lifetime would buy nothing.
+	release()
+	return p
 }
+
+// PlanCacheStats reports the plan cache's effectiveness counters.
+func PlanCacheStats() lru.Stats { return planCache.Stats() }
 
 // N returns the transform size.
 func (p *Plan) N() int { return p.n }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fft1d"
 	"repro/internal/kernels"
@@ -89,6 +90,8 @@ type Plan struct {
 	curSign int
 
 	lock      sync.Mutex // w1/w2/bufs are shared scratch
+	closed    bool
+	refs      atomic.Int32
 	lastStats stagegraph.Stats
 }
 
@@ -104,6 +107,7 @@ func NewPlan(n int, opts Options) (*Plan, error) {
 		return nil, fmt.Errorf("fft1dlarge: radix must be 0, 2, 4 or 8, got %d", opts.Radix)
 	}
 	p := &Plan{n: n, opts: opts}
+	p.refs.Store(1)
 	n1, n2 := split(n)
 	if n < opts.MinN || n2 == 1 {
 		p.direct = fft1d.NewPlanRadix(n, opts.Radix)
@@ -136,15 +140,37 @@ func NewPlan(n int, opts Options) (*Plan, error) {
 	p.exec = exec
 	// Backstop for callers that drop the plan without Close: once the plan
 	// is unreachable no Run can be in flight, so the finalizer may release
-	// the parked workers.
-	runtime.SetFinalizer(p, (*Plan).Close)
+	// the parked workers regardless of the reference count.
+	runtime.SetFinalizer(p, (*Plan).closeNow)
 	return p, nil
 }
 
-// Close releases the plan's persistent executor workers. Idempotent; the
-// plan must not be used after Close. Plans dropped without Close are
-// cleaned up by a finalizer.
+// Retain adds a reference to the plan for shared-cache use: each reference
+// (including the one a new plan starts with) must be dropped by exactly
+// one Close; the worker team is released when the last reference drains.
+func (p *Plan) Retain() { p.refs.Add(1) }
+
+// Close drops one plan reference; the last drop releases the persistent
+// executor workers. Releasing is idempotent and safe to call concurrently
+// — with other Close calls and with a Transform in flight (it waits for
+// the transform to finish; later Transforms return an error). Plans
+// dropped without Close are cleaned up by a finalizer.
 func (p *Plan) Close() {
+	if p.refs.Add(-1) > 0 {
+		return
+	}
+	p.closeNow()
+}
+
+// closeNow unconditionally releases the workers; it is the finalizer
+// target, so it must not depend on the reference count.
+func (p *Plan) closeNow() {
+	p.lock.Lock()
+	defer p.lock.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
 	if p.exec != nil {
 		p.exec.Close()
 		runtime.SetFinalizer(p, nil)
@@ -189,6 +215,9 @@ func (p *Plan) Transform(dst, src []complex128, sign int) error {
 	}
 	p.lock.Lock()
 	defer p.lock.Unlock()
+	if p.closed {
+		return fmt.Errorf("fft1dlarge: plan closed")
+	}
 	p.curSign = sign
 	p.stages[0].Src.C = src
 	p.stages[2].Dst.C = dst

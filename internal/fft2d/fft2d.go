@@ -131,6 +131,7 @@ type Plan struct {
 	curSign int
 
 	lock      sync.Mutex
+	closed    bool
 	lastStats stagegraph.Stats
 }
 
@@ -193,14 +194,29 @@ func NewPlan(n, m int, opts Options) (*Plan, error) {
 	return p, nil
 }
 
-// Close releases the plan's persistent executor workers. Idempotent; the
-// plan must not be used after Close. Plans dropped without Close are
-// cleaned up by a finalizer.
+// Close releases the plan's persistent executor workers. Idempotent and
+// safe to call concurrently — with other Close calls and with a Transform
+// in flight (Close waits for the transform to finish; later Transforms
+// return an error). Plans dropped without Close are cleaned up by a
+// finalizer.
 func (p *Plan) Close() {
+	p.lock.Lock()
+	defer p.lock.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
 	if p.exec != nil {
 		p.exec.Close()
 		runtime.SetFinalizer(p, nil)
 	}
+}
+
+// isClosed reports whether Close has begun.
+func (p *Plan) isClosed() bool {
+	p.lock.Lock()
+	defer p.lock.Unlock()
+	return p.closed
 }
 
 // N and M return the plan's dimensions (n rows × m columns).
@@ -225,6 +241,9 @@ func (p *Plan) Transform(dst, src []complex128, sign int) error {
 	if len(dst) != p.n*p.m || len(src) != p.n*p.m {
 		return fmt.Errorf("fft2d: Transform lengths dst=%d src=%d, want %d",
 			len(dst), len(src), p.n*p.m)
+	}
+	if p.isClosed() {
+		return fmt.Errorf("fft2d: plan closed")
 	}
 	switch p.opts.Strategy {
 	case Reference:

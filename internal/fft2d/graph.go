@@ -1,6 +1,8 @@
 package fft2d
 
 import (
+	"fmt"
+
 	"repro/internal/kernels"
 	"repro/internal/stagegraph"
 )
@@ -81,6 +83,9 @@ func (p *Plan) buildStages(dst, src []complex128) []stagegraph.Stage {
 func (p *Plan) doubleBuf(dst, src []complex128, sign int) error {
 	p.lock.Lock()
 	defer p.lock.Unlock()
+	if p.closed {
+		return fmt.Errorf("fft2d: plan closed")
+	}
 	p.curSign = sign
 	p.stages[0].Src.C = src
 	p.stages[1].Dst.C = dst

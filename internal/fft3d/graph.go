@@ -1,6 +1,8 @@
 package fft3d
 
 import (
+	"fmt"
+
 	"repro/internal/fft1d"
 	"repro/internal/kernels"
 	"repro/internal/stagegraph"
@@ -124,6 +126,9 @@ func (p *Plan) lanesSplit(plan *fft1d.Plan, unitLen, mu int) stagegraph.ComputeF
 func (p *Plan) doubleBuf(dst, src []complex128, sign int) error {
 	p.lock.Lock()
 	defer p.lock.Unlock()
+	if p.closed {
+		return fmt.Errorf("fft3d: plan closed")
+	}
 	p.curSign = sign
 	if p.opts.SplitFormat {
 		p.stages[0].Src.C = src

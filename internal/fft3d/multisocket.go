@@ -63,7 +63,8 @@ type DistPlan struct {
 	curSign    int
 	curDst     *numa.Distributed
 
-	lock sync.Mutex // serializes Transform: bufs/bIm/cIm are shared scratch
+	lock   sync.Mutex // serializes Transform: bufs/bIm/cIm are shared scratch
+	closed bool
 
 	// StageTraffic records, for the most recent Transform, the local and
 	// cross-interconnect bytes written by each stage.
@@ -153,9 +154,17 @@ func NewDistPlan(k, n, m, sockets int, opts Options) (*DistPlan, error) {
 	return p, nil
 }
 
-// Close releases every socket's persistent executor workers. Idempotent;
-// the plan must not be used after Close.
+// Close releases every socket's persistent executor workers. Idempotent
+// and safe to call concurrently — with other Close calls and with a
+// Transform in flight (Close waits for it; later Transforms return an
+// error).
 func (p *DistPlan) Close() {
+	p.lock.Lock()
+	defer p.lock.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
 	for _, e := range p.execs {
 		if e != nil {
 			e.Close()
@@ -256,6 +265,9 @@ func (p *DistPlan) Transform(dst, src *numa.Distributed, sign int) error {
 	}
 	p.lock.Lock()
 	defer p.lock.Unlock()
+	if p.closed {
+		return fmt.Errorf("fft3d: plan closed")
+	}
 	p.sys.ResetTraffic()
 
 	p.curSign = sign

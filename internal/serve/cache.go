@@ -1,0 +1,213 @@
+// Package serve is a batched, backpressured FFT serving layer: callers
+// submit transform requests of any rank, a dispatcher coalesces same-shape
+// 1D requests into single batched pencil executions, and every plan comes
+// from a bounded ref-counted LRU cache so worker teams are reused across
+// requests instead of rebuilt per request — the paper's zero-steady-state-
+// allocation executors, amortized across a request stream.
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fft1d"
+	"repro/internal/fft1dlarge"
+	"repro/internal/lru"
+)
+
+// PlanKey identifies one cached plan. Cfg carries the execution shape —
+// strategy, worker split, buffer size, split format, radix, all the
+// machine-derived parameters — so plans built for different machines or
+// ablation settings never collide. The Tracer field must be nil in a key
+// (normalizeKey enforces this): tracing is a per-server concern, not part
+// of plan identity.
+type PlanKey struct {
+	Rank       int
+	D0, D1, D2 int // dims, slowest first; unused trailing dims are 0
+	Cfg        core.Config
+}
+
+func normalizeKey(k PlanKey) PlanKey {
+	k.Cfg.Tracer = nil
+	return k
+}
+
+// Validate checks that the key describes a buildable transform.
+func (k PlanKey) Validate() error {
+	switch k.Rank {
+	case 1:
+		if k.D0 < 1 || k.D1 != 0 || k.D2 != 0 {
+			return fmt.Errorf("serve: rank-1 key needs D0 ≥ 1 and D1 = D2 = 0, got %d×%d×%d", k.D0, k.D1, k.D2)
+		}
+	case 2:
+		if k.D0 < 1 || k.D1 < 1 || k.D2 != 0 {
+			return fmt.Errorf("serve: rank-2 key needs D0,D1 ≥ 1 and D2 = 0, got %d×%d×%d", k.D0, k.D1, k.D2)
+		}
+	case 3:
+		if k.D0 < 1 || k.D1 < 1 || k.D2 < 1 {
+			return fmt.Errorf("serve: rank-3 key needs all dims ≥ 1, got %d×%d×%d", k.D0, k.D1, k.D2)
+		}
+	default:
+		return fmt.Errorf("serve: rank must be 1, 2 or 3, got %d", k.Rank)
+	}
+	return nil
+}
+
+// Len returns the element count of one transform under this key.
+func (k PlanKey) Len() int {
+	n := k.D0
+	if k.Rank >= 2 {
+		n *= k.D1
+	}
+	if k.Rank >= 3 {
+		n *= k.D2
+	}
+	return n
+}
+
+// Plan is one cached executor. Rank-1 plans hold both the streaming
+// six-step plan (single large requests, and the shared-handle facade) and
+// the in-cache batch planner (coalesced pencil sweeps); rank-2/3 plans
+// wrap the core double-buffer executors with their persistent worker
+// teams.
+type Plan struct {
+	key PlanKey
+	p1  *fft1dlarge.Plan
+	p1b *fft1d.Plan
+	p2  *core.Plan2D
+	p3  *core.Plan3D
+}
+
+func buildPlan(key PlanKey) (*Plan, error) {
+	cfg := key.Cfg
+	p := &Plan{key: key}
+	switch key.Rank {
+	case 1:
+		pl, err := fft1dlarge.NewPlan(key.D0, fft1dlarge.Options{
+			DataWorkers:    cfg.DataWorkers,
+			ComputeWorkers: cfg.ComputeWorkers,
+			BufferElems:    cfg.BufferElems,
+			Radix:          cfg.Radix,
+			Unfused:        !cfg.StageFusion,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.p1 = pl
+		p.p1b = fft1d.NewPlanRadix(key.D0, cfg.Radix)
+	case 2:
+		pl, err := core.NewPlan2D(key.D0, key.D1, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.p2 = pl
+	case 3:
+		pl, err := core.NewPlan3D(key.D0, key.D1, key.D2, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.p3 = pl
+	}
+	return p, nil
+}
+
+// Key returns the plan's identity.
+func (p *Plan) Key() PlanKey { return p.key }
+
+// Len returns the element count of one transform.
+func (p *Plan) Len() int { return p.key.Len() }
+
+// P1 returns the underlying streaming 1D plan (nil unless rank 1).
+func (p *Plan) P1() *fft1dlarge.Plan { return p.p1 }
+
+// P2 returns the underlying 2D plan (nil unless rank 2).
+func (p *Plan) P2() *core.Plan2D { return p.p2 }
+
+// P3 returns the underlying 3D plan (nil unless rank 3).
+func (p *Plan) P3() *core.Plan3D { return p.p3 }
+
+// Execute runs one out-of-place transform; inverse transforms are
+// normalized so Execute(inverse) ∘ Execute(forward) is the identity.
+func (p *Plan) Execute(dst, src []complex128, inverse bool) error {
+	switch p.key.Rank {
+	case 1:
+		if !inverse {
+			return p.p1.Transform(dst, src, fft1d.Forward)
+		}
+		if err := p.p1.Transform(dst, src, fft1d.Inverse); err != nil {
+			return err
+		}
+		fft1d.Scale(dst, 1/float64(p.key.D0))
+		return nil
+	case 2:
+		if inverse {
+			return p.p2.Inverse(dst, src)
+		}
+		return p.p2.Forward(dst, src)
+	default:
+		if inverse {
+			return p.p3.Inverse(dst, src)
+		}
+		return p.p3.Forward(dst, src)
+	}
+}
+
+// ExecuteBatch transforms count contiguous rank-1 pencils in place with a
+// single batched Stockham sweep — the coalesced fast path the dispatcher
+// uses for same-shape 1D requests. Panics if the plan is not rank 1.
+func (p *Plan) ExecuteBatch(buf []complex128, count int, inverse bool) error {
+	if p.p1b == nil {
+		return fmt.Errorf("serve: batched execution needs a rank-1 plan, have rank %d", p.key.Rank)
+	}
+	sign := fft1d.Forward
+	if inverse {
+		sign = fft1d.Inverse
+	}
+	p.p1b.Batch(buf, count, sign)
+	if inverse {
+		fft1d.Scale(buf, 1/float64(p.key.D0))
+	}
+	return nil
+}
+
+func (p *Plan) close() {
+	switch {
+	case p.p1 != nil:
+		p.p1.Close()
+	case p.p2 != nil:
+		p.p2.Close()
+	case p.p3 != nil:
+		p.p3.Close()
+	}
+}
+
+// PlanCache is a bounded ref-counted LRU of executors keyed by PlanKey.
+// Get pins the plan for the duration of a request; eviction tears a plan's
+// worker team down only once the last in-flight user releases it.
+type PlanCache struct {
+	c *lru.Cache[PlanKey, *Plan]
+}
+
+// NewPlanCache builds a cache holding at most capacity plans.
+func NewPlanCache(capacity int) *PlanCache {
+	return &PlanCache{c: lru.New[PlanKey, *Plan](capacity, func(_ PlanKey, p *Plan) {
+		p.close()
+	})}
+}
+
+// Get returns the plan for key, building it on a miss, plus a release
+// function the caller must invoke exactly once when done with the plan.
+func (pc *PlanCache) Get(key PlanKey) (*Plan, func(), error) {
+	key = normalizeKey(key)
+	if err := key.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return pc.c.GetOrCreate(key, func() (*Plan, error) { return buildPlan(key) })
+}
+
+// Purge evicts every plan; unpinned plans close immediately, pinned ones
+// when their last user releases.
+func (pc *PlanCache) Purge() { pc.c.Purge() }
+
+// Stats returns hit/miss/eviction counters and occupancy.
+func (pc *PlanCache) Stats() lru.Stats { return pc.c.Stats() }

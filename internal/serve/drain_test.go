@@ -1,0 +1,150 @@
+package serve
+
+// Graceful-drain guarantees: Shutdown stops admission, but every request
+// accepted before it completes — none are dropped — and once the drain
+// finishes the process goroutine count is back to its pre-server baseline
+// (dispatcher, executors and every cached plan's worker team are gone).
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestShutdownDrainsInFlight floods the server from many submitters,
+// shuts down mid-stream, and verifies every single accepted request
+// completed: accepted = completed, and nothing vanished.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	s := New(Options{Config: smallCfg(), QueueDepth: 64, MaxBatch: 8, Executors: 2})
+
+	const submitters = 16
+	var accepted, completed, closed atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 32 + 16*(g%3) // mixed shapes
+			src := testVec(n, g)
+			dst := make([]complex128, n)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := s.Do(context.Background(), Request{
+					Rank: 1, Dims: [3]int{n}, Src: src, Dst: dst})
+				switch {
+				case err == nil:
+					accepted.Add(1)
+					completed.Add(1)
+				case errors.Is(err, ErrClosed):
+					closed.Add(1)
+					return
+				default:
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(30 * time.Millisecond) // let traffic build
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if accepted.Load() == 0 {
+		t.Fatal("no requests were accepted before shutdown")
+	}
+	if accepted.Load() != completed.Load() {
+		t.Errorf("dropped in-flight requests: accepted %d, completed %d",
+			accepted.Load(), completed.Load())
+	}
+	snap := s.Stats()
+	if snap.Completed != completed.Load() {
+		t.Errorf("server counted %d completions, callers saw %d",
+			snap.Completed, completed.Load())
+	}
+	if snap.Healthy {
+		t.Error("server still healthy after Shutdown")
+	}
+
+	if got := numGoroutineStable(t, baseline); got > baseline {
+		t.Errorf("goroutines leaked: %d running, baseline %d", got, baseline)
+	}
+}
+
+// TestShutdownIdempotent calls Shutdown repeatedly and concurrently; all
+// calls must return nil once the drain completes.
+func TestShutdownIdempotent(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	s := New(Options{Config: smallCfg()})
+	n := 32
+	if err := s.Do(context.Background(), Request{Rank: 1, Dims: [3]int{n},
+		Src: testVec(n, 0), Dst: make([]complex128, n)}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := s.Shutdown(ctx); err != nil {
+				t.Errorf("concurrent Shutdown: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := numGoroutineStable(t, baseline); got > baseline {
+		t.Errorf("goroutines leaked: %d running, baseline %d", got, baseline)
+	}
+}
+
+// TestShutdownContextExpiry arranges a drain slower than the caller's
+// context: Shutdown must return the context error while the drain keeps
+// going in the background and eventually completes.
+func TestShutdownContextExpiry(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	gate := make(chan struct{})
+	s := New(Options{Config: smallCfg(), MaxBatch: 1, Executors: 1})
+	s.execGate = gate
+
+	n := 32
+	reqDone := make(chan error, 1)
+	go func() {
+		reqDone <- s.Do(context.Background(), Request{Rank: 1, Dims: [3]int{n},
+			Src: testVec(n, 0), Dst: make([]complex128, n)})
+	}()
+	time.Sleep(10 * time.Millisecond) // request reaches the gated executor
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown with gated executor returned %v, want DeadlineExceeded", err)
+	}
+	close(gate) // unblock; background drain finishes
+	if err := <-reqDone; err != nil {
+		t.Fatalf("in-flight request dropped during slow drain: %v", err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if err := s.Shutdown(ctx2); err != nil {
+		t.Fatalf("second Shutdown after drain: %v", err)
+	}
+	if got := numGoroutineStable(t, baseline); got > baseline {
+		t.Errorf("goroutines leaked: %d running, baseline %d", got, baseline)
+	}
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the server's hot-path instrumentation: plain atomics so the
+// executors never take a lock, plus a log₂-bucketed latency histogram from
+// which the snapshot derives quantiles. 64 buckets at nanosecond base
+// cover every observable duration.
+type metrics struct {
+	submitted    atomic.Uint64
+	completed    atomic.Uint64
+	failed       atomic.Uint64
+	rejected     atomic.Uint64
+	cancelled    atomic.Uint64
+	batches      atomic.Uint64
+	batchedItems atomic.Uint64
+	bytesMoved   atomic.Uint64
+
+	latency [64]atomic.Uint64 // bucket i counts latencies in [2^i, 2^(i+1)) ns
+}
+
+func (m *metrics) init() {}
+
+func (m *metrics) observeLatency(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if ns == 0 {
+		ns = 1
+	}
+	m.latency[bits.Len64(ns)-1].Add(1)
+}
+
+// quantile returns the upper bound of the histogram bucket holding the
+// q-th fraction of observations (0 when nothing was observed). Bucketed
+// quantiles are coarse — within 2× — which is plenty to tell a queueing
+// collapse from a healthy pipeline.
+func quantile(counts *[64]uint64, q float64) time.Duration {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum > rank {
+			if i >= 62 {
+				return time.Duration(1) << 62
+			}
+			return time.Duration(1) << uint(i+1)
+		}
+	}
+	return time.Duration(1) << 62
+}
+
+// CacheSnapshot mirrors lru.Stats for the wire format.
+type CacheSnapshot struct {
+	Len       int    `json:"len"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Snapshot is a point-in-time view of the server's counters, shaped for
+// JSON (the /metrics endpoint serves it verbatim).
+type Snapshot struct {
+	Healthy       bool `json:"healthy"`
+	QueueDepth    int  `json:"queue_depth"`
+	QueueCapacity int  `json:"queue_capacity"`
+
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Rejected  uint64 `json:"rejected"`
+	Cancelled uint64 `json:"cancelled"`
+
+	Batches      uint64  `json:"batches"`
+	BatchedItems uint64  `json:"batched_items"`
+	AvgBatch     float64 `json:"avg_batch"` // mean batch occupancy
+
+	BytesMoved uint64 `json:"bytes_moved"`
+
+	P50LatencyNs int64 `json:"p50_latency_ns"`
+	P99LatencyNs int64 `json:"p99_latency_ns"`
+
+	Cache CacheSnapshot `json:"cache"`
+}
+
+func (m *metrics) snapshot() Snapshot {
+	var counts [64]uint64
+	for i := range counts {
+		counts[i] = m.latency[i].Load()
+	}
+	s := Snapshot{
+		Submitted:    m.submitted.Load(),
+		Completed:    m.completed.Load(),
+		Failed:       m.failed.Load(),
+		Rejected:     m.rejected.Load(),
+		Cancelled:    m.cancelled.Load(),
+		Batches:      m.batches.Load(),
+		BatchedItems: m.batchedItems.Load(),
+		BytesMoved:   m.bytesMoved.Load(),
+		P50LatencyNs: int64(quantile(&counts, 0.50)),
+		P99LatencyNs: int64(quantile(&counts, 0.99)),
+	}
+	if s.Batches > 0 {
+		s.AvgBatch = float64(s.BatchedItems) / float64(s.Batches)
+	}
+	return s
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is active. Throughput
+// comparisons are not meaningful under -race: instrumentation dilates the
+// compute so the batching advantage disappears into overhead.
+const raceEnabled = true

@@ -1,0 +1,571 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// ErrOverloaded is returned by Do under the Reject policy when the submit
+// queue is full: explicit backpressure the caller can act on (shed load,
+// retry with jitter) instead of silently queueing without bound.
+var ErrOverloaded = errors.New("serve: queue full")
+
+// ErrClosed is returned by Do once Shutdown has begun.
+var ErrClosed = errors.New("serve: server closed")
+
+// Policy selects what Do does when the submit queue is full.
+type Policy int
+
+const (
+	// Block waits for queue space (or the request context's cancellation).
+	Block Policy = iota
+	// Reject fails fast with ErrOverloaded.
+	Reject
+)
+
+// Options configure a Server. The zero value is usable: every field has a
+// sensible default.
+type Options struct {
+	// QueueDepth bounds the submit queue (default 256). The queue is the
+	// only buffering between callers and executors; its depth is the knob
+	// that trades admission latency against burst absorption.
+	QueueDepth int
+	// MaxBatch caps how many same-shape 1D requests coalesce into one
+	// batched pencil execution (default 16; 1 disables coalescing).
+	MaxBatch int
+	// BatchWindow is how long the dispatcher lingers for more same-shape
+	// requests after the first of a batch arrives (default 200µs). Zero
+	// uses the default; negative disables lingering (batch whatever is
+	// already queued).
+	BatchWindow time.Duration
+	// Executors is the number of goroutines executing batches (default 2).
+	// Each executor drives a plan's own worker team, so this is the number
+	// of concurrently running transforms, not the compute width.
+	Executors int
+	// CacheCapacity bounds the plan cache (default 32 plans).
+	CacheCapacity int
+	// Policy selects Block (default) or Reject behaviour on a full queue.
+	Policy Policy
+	// Config is the execution configuration for plans built by this
+	// server; the zero value means core.Default().
+	Config core.Config
+	// Tracer, when set, receives per-request "queue" and "exec" spans.
+	Tracer *trace.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 256
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 16
+	}
+	if o.BatchWindow == 0 {
+		o.BatchWindow = 200 * time.Microsecond
+	}
+	if o.Executors == 0 {
+		o.Executors = 2
+	}
+	if o.CacheCapacity == 0 {
+		o.CacheCapacity = 32
+	}
+	if (o.Config == core.Config{}) {
+		o.Config = core.Default()
+	}
+	o.Config.Tracer = nil // plan-level tracing is not part of serving
+	return o
+}
+
+// Request is one transform to execute: Rank and Dims select the plan,
+// Src/Dst the caller-owned buffers (len = product of dims; Dst is written
+// only on success). Inverse requests are normalized.
+type Request struct {
+	Rank    int
+	Dims    [3]int
+	Inverse bool
+	Dst     []complex128
+	Src     []complex128
+}
+
+func (r Request) key(cfg core.Config) PlanKey {
+	return PlanKey{Rank: r.Rank, D0: r.Dims[0], D1: r.Dims[1], D2: r.Dims[2], Cfg: cfg}
+}
+
+// item states: a pending item may be claimed by an executor or cancelled
+// by its submitter, whichever CASes first. A cancelled item's buffers are
+// never touched; a claimed item always gets exactly one done send.
+const (
+	statePending int32 = iota
+	stateClaimed
+	stateCancelled
+)
+
+type item struct {
+	req      Request
+	ctx      context.Context
+	state    atomic.Int32
+	done     chan error // buffered(1); executor sends exactly once if claimed
+	id       uint64
+	enqueued time.Time
+}
+
+// itemPool recycles items (and their done channels) across requests. An
+// item may be pooled only when nothing else can still reference it: a
+// never-enqueued item, or a claimed-and-settled one whose result has been
+// received — and only with tracing off, since span emission touches the
+// item after settlement. Withdrawn (cancelled) items are left to the GC:
+// the dispatcher may still hold them.
+var itemPool = sync.Pool{New: func() any {
+	return &item{done: make(chan error, 1)}
+}}
+
+func (s *Server) getItem(ctx context.Context, req *Request) *item {
+	it := itemPool.Get().(*item)
+	it.req = *req
+	it.ctx = ctx
+	it.state.Store(statePending)
+	it.id = atomic.AddUint64(&s.nextID, 1)
+	// Reading the clock costs as much as the rest of admission combined,
+	// so the latency histogram samples one request in eight; span tagging
+	// needs exact per-request stamps, so a tracer forces them.
+	if s.opts.Tracer != nil || it.id&7 == 0 {
+		it.enqueued = time.Now()
+	} else {
+		it.enqueued = time.Time{}
+	}
+	return it
+}
+
+func (s *Server) putItem(it *item) {
+	if s.opts.Tracer != nil {
+		return
+	}
+	it.req = Request{}
+	it.ctx = nil
+	itemPool.Put(it)
+}
+
+// batch is a group of same-plan same-direction requests the dispatcher
+// hands to an executor; rank-2/3 batches always have one item.
+type batch struct {
+	items []*item
+}
+
+// Server admits, batches and executes FFT requests against a bounded plan
+// cache. Create with New, submit with Do, stop with Shutdown.
+type Server struct {
+	opts  Options
+	cache *PlanCache
+
+	queue   chan *item
+	batchCh chan *batch
+
+	draining atomic.Bool
+	submitWG sync.WaitGroup // in-flight Do admissions
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+
+	workersWG sync.WaitGroup
+
+	// outstanding counts admitted requests not yet settled or withdrawn;
+	// the dispatcher lingers for stragglers only while this exceeds the
+	// batch being formed — it never waits for work that does not exist.
+	outstanding atomic.Int64
+
+	nextID uint64 // atomic
+
+	m metrics
+
+	// execGate, when set by tests, is received from before each batch
+	// executes — it makes queue-full states deterministic.
+	execGate chan struct{}
+}
+
+// New starts a server: one dispatcher goroutine plus opts.Executors
+// executor goroutines, all idle until requests arrive.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		cache:   NewPlanCache(opts.CacheCapacity),
+		queue:   make(chan *item, opts.QueueDepth),
+		batchCh: make(chan *batch),
+		stopped: make(chan struct{}),
+	}
+	s.m.init()
+	s.workersWG.Add(1 + opts.Executors)
+	go s.dispatch()
+	for i := 0; i < opts.Executors; i++ {
+		go s.execute()
+	}
+	return s
+}
+
+// Cache exposes the server's plan cache (shared-handle constructors in the
+// public facade pin plans through it).
+func (s *Server) Cache() *PlanCache { return s.cache }
+
+// Healthy reports whether the server is accepting requests.
+func (s *Server) Healthy() bool { return !s.draining.Load() }
+
+func validate(req *Request) error {
+	d := req.Dims
+	n := d[0]
+	switch req.Rank {
+	case 1:
+		if d[0] < 1 || d[1] != 0 || d[2] != 0 {
+			return fmt.Errorf("serve: rank-1 request needs Dims[0] ≥ 1 and Dims[1] = Dims[2] = 0, got %v", d)
+		}
+	case 2:
+		if d[0] < 1 || d[1] < 1 || d[2] != 0 {
+			return fmt.Errorf("serve: rank-2 request needs Dims[0],Dims[1] ≥ 1 and Dims[2] = 0, got %v", d)
+		}
+		n *= d[1]
+	case 3:
+		if d[0] < 1 || d[1] < 1 || d[2] < 1 {
+			return fmt.Errorf("serve: rank-3 request needs all dims ≥ 1, got %v", d)
+		}
+		n *= d[1] * d[2]
+	default:
+		return fmt.Errorf("serve: rank must be 1, 2 or 3, got %d", req.Rank)
+	}
+	if len(req.Src) != n || len(req.Dst) != n {
+		return fmt.Errorf("serve: request needs %d-element src and dst, got %d and %d",
+			n, len(req.Src), len(req.Dst))
+	}
+	return nil
+}
+
+// Do submits one request and blocks until it executes, fails, or ctx is
+// done. Admission honours the server's backpressure policy; after
+// admission a cancelled context abandons the request at the next stage
+// boundary (a request already claimed by an executor runs to completion).
+// Do never drops work silently: every accepted request either executes or
+// returns the caller's context error.
+func (s *Server) Do(ctx context.Context, req Request) error {
+	if err := validate(&req); err != nil {
+		return err
+	}
+	// Admission: register with submitWG before reading the draining flag.
+	// Shutdown stores the flag before waiting on the WG, so a Do that
+	// reads draining=false is covered by the wait and may enqueue safely
+	// before the queue closes; one that reads true backs out.
+	s.submitWG.Add(1)
+	if s.draining.Load() {
+		s.submitWG.Done()
+		return ErrClosed
+	}
+
+	it := s.getItem(ctx, &req)
+	s.m.submitted.Add(1)
+
+	s.outstanding.Add(1)
+	enqueued := false
+	if s.opts.Policy == Reject {
+		select {
+		case s.queue <- it:
+			enqueued = true
+		default:
+		}
+		if !enqueued {
+			s.outstanding.Add(-1)
+			s.submitWG.Done()
+			s.m.rejected.Add(1)
+			s.putItem(it)
+			return ErrOverloaded
+		}
+	} else {
+		select {
+		case s.queue <- it:
+			enqueued = true
+		case <-ctx.Done():
+		}
+		if !enqueued {
+			s.outstanding.Add(-1)
+			s.submitWG.Done()
+			s.m.cancelled.Add(1)
+			s.putItem(it)
+			return ctx.Err()
+		}
+	}
+	s.submitWG.Done()
+
+	if ctx.Done() == nil {
+		// Uncancellable context: skip the two-way select on the hot path.
+		err := <-it.done
+		s.putItem(it)
+		return err
+	}
+	select {
+	case err := <-it.done:
+		s.putItem(it)
+		return err
+	case <-ctx.Done():
+		// Try to withdraw the request before an executor claims it; if
+		// the executor wins the race the transform is already running
+		// into our buffers, so wait it out. A withdrawn item stays out
+		// of the pool: the dispatcher may still reference it.
+		if it.state.CompareAndSwap(statePending, stateCancelled) {
+			s.outstanding.Add(-1)
+			s.m.cancelled.Add(1)
+			s.spanQueue(it, time.Now())
+			return ctx.Err()
+		}
+		err := <-it.done
+		s.putItem(it)
+		return err
+	}
+}
+
+// dispatch pulls admitted requests off the queue and forms batches:
+// same-shape same-direction 1D requests coalesce up to MaxBatch,
+// everything else passes through as singleton batches. Lingering is
+// adaptive: once a batch has started the dispatcher waits up to
+// BatchWindow for stragglers, but only while admitted-yet-unsettled
+// requests beyond the batch exist — a lone request flushes immediately
+// (zero added latency at light load) while a loaded stream fills batches.
+// Exits when the queue closes, flushing whatever is buffered.
+func (s *Server) dispatch() {
+	defer s.workersWG.Done()
+	defer close(s.batchCh)
+	var pending *item
+	var timer *time.Timer
+	for {
+		first := pending
+		pending = nil
+		if first == nil {
+			var ok bool
+			if first, ok = <-s.queue; !ok {
+				return
+			}
+		}
+		b := &batch{items: []*item{first}}
+		if first.req.Rank == 1 && s.opts.MaxBatch > 1 {
+			var linger <-chan time.Time
+			armed := false
+			yielded := false
+		collect:
+			for len(b.items) < s.opts.MaxBatch {
+				select {
+				case it, ok := <-s.queue:
+					if !ok {
+						break collect
+					}
+					if sameBatch(it, first) {
+						b.items = append(b.items, it)
+					} else {
+						pending = it
+						break collect
+					}
+				default:
+					// Queue momentarily empty. First step aside once:
+					// demand often sits in runnable-but-unscheduled
+					// submitters (acute on small GOMAXPROCS), and a
+					// single yield lets them enqueue; an idle machine
+					// returns from the yield immediately.
+					if !yielded {
+						yielded = true
+						runtime.Gosched()
+						continue
+					}
+					if s.outstanding.Load() <= int64(len(b.items)) || s.opts.BatchWindow <= 0 {
+						break collect // nobody else is coming; don't wait
+					}
+					if !armed {
+						armed = true
+						if timer == nil {
+							timer = time.NewTimer(s.opts.BatchWindow)
+						} else {
+							timer.Reset(s.opts.BatchWindow)
+						}
+						linger = timer.C
+					}
+					if linger == nil {
+						break collect // window already elapsed
+					}
+					select {
+					case it, ok := <-s.queue:
+						if !ok {
+							break collect
+						}
+						if sameBatch(it, first) {
+							b.items = append(b.items, it)
+						} else {
+							pending = it
+							break collect
+						}
+					case <-linger:
+						linger = nil
+					}
+				}
+			}
+			if armed && linger != nil && !timer.Stop() {
+				<-timer.C
+			}
+		}
+		s.batchCh <- b
+	}
+}
+
+// sameBatch reports whether two requests can share one batched execution:
+// identical shape and direction (all requests already share the server's
+// Config).
+func sameBatch(a, b *item) bool {
+	return a.req.Rank == b.req.Rank && a.req.Dims == b.req.Dims && a.req.Inverse == b.req.Inverse
+}
+
+// execute is one executor goroutine: it claims each batch's live items,
+// pins the plan, runs the transform (coalesced for multi-item batches) and
+// settles every claimed item exactly once.
+func (s *Server) execute() {
+	defer s.workersWG.Done()
+	var coalesce []complex128 // per-executor scratch for batched pencils
+	for b := range s.batchCh {
+		if s.execGate != nil {
+			<-s.execGate
+		}
+		// Stage boundary: claim items whose submitters haven't cancelled.
+		live := b.items[:0]
+		var now time.Time
+		if s.opts.Tracer != nil {
+			now = time.Now()
+		}
+		for _, it := range b.items {
+			if it.state.CompareAndSwap(statePending, stateClaimed) {
+				live = append(live, it)
+				s.spanQueue(it, now)
+			}
+		}
+		if len(live) == 0 {
+			continue
+		}
+		s.m.batches.Add(1)
+		s.m.batchedItems.Add(uint64(len(live)))
+
+		key := live[0].req.key(s.opts.Config)
+		plan, release, err := s.cache.Get(key)
+		if err != nil {
+			s.settle(live, err)
+			continue
+		}
+		var start time.Time
+		if s.opts.Tracer != nil {
+			start = time.Now()
+		}
+		if len(live) > 1 {
+			n := key.Len()
+			if cap(coalesce) < n*len(live) {
+				coalesce = make([]complex128, n*len(live))
+			}
+			buf := coalesce[:n*len(live)]
+			for i, it := range live {
+				copy(buf[i*n:(i+1)*n], it.req.Src)
+			}
+			err = plan.ExecuteBatch(buf, len(live), live[0].req.Inverse)
+			if err == nil {
+				for i, it := range live {
+					copy(it.req.Dst, buf[i*n:(i+1)*n])
+				}
+			}
+			s.settle(live, err)
+		} else {
+			it := live[0]
+			err = plan.Execute(it.req.Dst, it.req.Src, it.req.Inverse)
+			s.settle(live, err)
+		}
+		release()
+		if s.opts.Tracer != nil {
+			end := time.Now()
+			for _, it := range live {
+				s.spanExec(it, start, end)
+			}
+		}
+	}
+}
+
+// settle completes every claimed item in the slice with err, recording
+// latency and traffic metrics.
+func (s *Server) settle(items []*item, err error) {
+	now := time.Now()
+	s.outstanding.Add(-int64(len(items)))
+	if err != nil {
+		s.m.failed.Add(uint64(len(items)))
+	} else {
+		s.m.completed.Add(uint64(len(items)))
+		var bytes uint64
+		for _, it := range items {
+			// One request reads Src and writes Dst once: 32 bytes moved
+			// per complex element end to end.
+			bytes += uint64(32 * len(it.req.Src))
+		}
+		s.m.bytesMoved.Add(bytes)
+	}
+	for _, it := range items {
+		if !it.enqueued.IsZero() {
+			s.m.observeLatency(now.Sub(it.enqueued))
+		}
+		it.done <- err
+	}
+}
+
+func (s *Server) spanQueue(it *item, end time.Time) {
+	if s.opts.Tracer == nil {
+		return
+	}
+	s.opts.Tracer.EmitSpan(trace.Span{Req: it.id, Name: "queue", Start: it.enqueued, End: end})
+}
+
+func (s *Server) spanExec(it *item, start, end time.Time) {
+	if s.opts.Tracer == nil {
+		return
+	}
+	s.opts.Tracer.EmitSpan(trace.Span{Req: it.id, Name: "exec", Start: start, End: end})
+}
+
+// Shutdown gracefully drains the server: admission stops immediately
+// (subsequent Do calls return ErrClosed), every already-accepted request
+// runs to completion, executors exit, and the plan cache closes every
+// worker team. Returns nil once fully drained, or ctx.Err() if ctx ends
+// first (the drain continues in the background). Safe to call repeatedly
+// and concurrently.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.stopOnce.Do(func() {
+		go func() {
+			s.submitWG.Wait() // every admitted Do has finished enqueueing
+			close(s.queue)    // dispatcher flushes, then closes batchCh
+			s.workersWG.Wait()
+			s.cache.Purge() // tear down idle worker teams
+			close(s.stopped)
+		}()
+	})
+	select {
+	case <-s.stopped:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats returns a point-in-time snapshot of the server's counters.
+func (s *Server) Stats() Snapshot {
+	snap := s.m.snapshot()
+	snap.QueueDepth = len(s.queue)
+	snap.QueueCapacity = cap(s.queue)
+	snap.Healthy = s.Healthy()
+	cs := s.cache.Stats()
+	snap.Cache = CacheSnapshot{
+		Len: cs.Len, Capacity: cs.Capacity,
+		Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
+	}
+	return snap
+}

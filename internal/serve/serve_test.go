@@ -1,0 +1,425 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/cmplx"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// smallCfg keeps worker teams tiny so tests spin up quickly.
+func smallCfg() core.Config {
+	cfg := core.Default()
+	cfg.DataWorkers, cfg.ComputeWorkers, cfg.Workers = 1, 1, 2
+	cfg.BufferElems = 1 << 10
+	return cfg
+}
+
+func naiveDFT(src []complex128) []complex128 {
+	n := len(src)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k*j) / float64(n)
+			sum += src[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func testVec(n int, seed int) []complex128 {
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(float64((i*7+seed)%13)-6, float64((i*3+seed)%11)-5)
+	}
+	return v
+}
+
+func approxEqual(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func shutdownOrFail(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestDoCorrectness checks that served transforms of every rank match the
+// reference DFT and that inverse round-trips restore the input.
+func TestDoCorrectness(t *testing.T) {
+	s := New(Options{Config: smallCfg(), MaxBatch: 4, Executors: 2})
+	defer shutdownOrFail(t, s)
+	ctx := context.Background()
+
+	t.Run("rank1", func(t *testing.T) {
+		src := testVec(64, 1)
+		dst := make([]complex128, 64)
+		if err := s.Do(ctx, Request{Rank: 1, Dims: [3]int{64}, Src: src, Dst: dst}); err != nil {
+			t.Fatal(err)
+		}
+		if want := naiveDFT(src); !approxEqual(dst, want, 1e-9) {
+			t.Error("rank-1 served transform disagrees with reference DFT")
+		}
+	})
+	t.Run("roundtrip2d", func(t *testing.T) {
+		src := testVec(32*16, 2)
+		mid := make([]complex128, len(src))
+		back := make([]complex128, len(src))
+		req := Request{Rank: 2, Dims: [3]int{32, 16}, Src: src, Dst: mid}
+		if err := s.Do(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+		req = Request{Rank: 2, Dims: [3]int{32, 16}, Inverse: true, Src: mid, Dst: back}
+		if err := s.Do(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+		if !approxEqual(back, src, 1e-9) {
+			t.Error("rank-2 inverse∘forward is not the identity")
+		}
+	})
+	t.Run("roundtrip3d", func(t *testing.T) {
+		src := testVec(8*8*16, 3)
+		mid := make([]complex128, len(src))
+		back := make([]complex128, len(src))
+		if err := s.Do(ctx, Request{Rank: 3, Dims: [3]int{8, 8, 16}, Src: src, Dst: mid}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Do(ctx, Request{Rank: 3, Dims: [3]int{8, 8, 16}, Inverse: true, Src: mid, Dst: back}); err != nil {
+			t.Fatal(err)
+		}
+		if !approxEqual(back, src, 1e-9) {
+			t.Error("rank-3 inverse∘forward is not the identity")
+		}
+	})
+}
+
+// TestCoalescedBatchCorrectness floods the server with same-shape 1D
+// requests so the dispatcher actually coalesces, and checks every caller
+// still gets its own correct answer (the batch path copies in and out of a
+// shared pencil buffer).
+func TestCoalescedBatchCorrectness(t *testing.T) {
+	const n, reqs = 64, 100
+	s := New(Options{Config: smallCfg(), MaxBatch: 8, Executors: 1,
+		BatchWindow: 2 * time.Millisecond})
+	defer shutdownOrFail(t, s)
+
+	srcs := make([][]complex128, reqs)
+	dsts := make([][]complex128, reqs)
+	want := naiveDFT(testVec(n, 0))
+	var wg sync.WaitGroup
+	errs := make([]error, reqs)
+	for i := 0; i < reqs; i++ {
+		srcs[i] = testVec(n, 0)
+		dsts[i] = make([]complex128, n)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.Do(context.Background(), Request{
+				Rank: 1, Dims: [3]int{n}, Src: srcs[i], Dst: dsts[i]})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < reqs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if !approxEqual(dsts[i], want, 1e-9) {
+			t.Fatalf("request %d: coalesced result disagrees with reference", i)
+		}
+	}
+	snap := s.Stats()
+	if snap.Batches == 0 {
+		t.Fatal("no batches recorded")
+	}
+	if snap.AvgBatch <= 1.0 {
+		t.Errorf("no coalescing happened: avg batch %.2f over %d batches",
+			snap.AvgBatch, snap.Batches)
+	}
+	t.Logf("coalesced %d requests into %d batches (avg %.1f)",
+		snap.BatchedItems, snap.Batches, snap.AvgBatch)
+}
+
+// TestRejectBackpressure fills the queue with the executor gated shut and
+// checks overflow submissions fail fast with ErrOverloaded.
+func TestRejectBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	s := New(Options{Config: smallCfg(), QueueDepth: 2, MaxBatch: 1,
+		Executors: 1, Policy: Reject})
+	s.execGate = gate
+
+	n := 16
+	submit := func() error {
+		return s.Do(context.Background(), Request{
+			Rank: 1, Dims: [3]int{n},
+			Src: testVec(n, 0), Dst: make([]complex128, n)})
+	}
+	// With the gate shut the pipeline absorbs at most 4 requests (2 in
+	// the queue, 1 held by the dispatcher, 1 parked at the gate), so at
+	// least 4 of 8 submissions must be rejected — and a rejection is the
+	// only way a Do can return while the gate is shut, so the first four
+	// errCh reads cannot block and must all be ErrOverloaded.
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); errCh <- submit() }()
+	}
+	rejected := 0
+	for i := 0; i < 4; i++ {
+		if err := <-errCh; errors.Is(err, ErrOverloaded) {
+			rejected++
+		} else {
+			t.Fatalf("got %v while the executor was gated, want ErrOverloaded", err)
+		}
+	}
+	gateOpen := make(chan struct{})
+	go func() {
+		defer close(gateOpen)
+		for {
+			select {
+			case gate <- struct{}{}:
+			case <-s.stopped:
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if errors.Is(err, ErrOverloaded) {
+			rejected++
+		} else if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if s.Stats().Rejected != uint64(rejected) {
+		t.Errorf("rejected counter %d, want %d", s.Stats().Rejected, rejected)
+	}
+	shutdownOrFail(t, s)
+	<-gateOpen
+}
+
+// TestContextCancellation checks both admission-time and queued-request
+// cancellation: a cancelled context must abandon the request without the
+// executor ever touching the caller's buffers.
+func TestContextCancellation(t *testing.T) {
+	gate := make(chan struct{})
+	s := New(Options{Config: smallCfg(), QueueDepth: 4, MaxBatch: 1, Executors: 1})
+	s.execGate = gate
+	defer func() { shutdownOrFail(t, s) }()
+
+	n := 16
+	// Park one request at the gate, then queue another and cancel it.
+	first := make(chan error, 1)
+	go func() {
+		first <- s.Do(context.Background(), Request{Rank: 1, Dims: [3]int{n},
+			Src: testVec(n, 0), Dst: make([]complex128, n)})
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	dst := make([]complex128, n)
+	queued := make(chan error, 1)
+	go func() {
+		queued <- s.Do(ctx, Request{Rank: 1, Dims: [3]int{n},
+			Src: testVec(n, 1), Dst: dst})
+	}()
+	time.Sleep(10 * time.Millisecond) // let both requests enqueue
+	cancel()
+	select {
+	case err := <-queued:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled queued request returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled request did not return")
+	}
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("executor wrote into cancelled request's dst[%d] = %v", i, v)
+		}
+	}
+	// Release the gate; the first request (and the cancelled one's
+	// claim-skip) must complete. The gate feeds every batch, including the
+	// tombstone of the cancelled item.
+	go func() {
+		for {
+			select {
+			case gate <- struct{}{}:
+			case <-s.stopped:
+				return
+			}
+		}
+	}()
+	if err := <-first; err != nil {
+		t.Fatalf("gated request failed: %v", err)
+	}
+	if c := s.Stats().Cancelled; c == 0 {
+		t.Error("cancellation not counted")
+	}
+}
+
+// TestDeadlineAtAdmission checks the Block policy respects the caller's
+// context while waiting for queue space.
+func TestDeadlineAtAdmission(t *testing.T) {
+	gate := make(chan struct{})
+	s := New(Options{Config: smallCfg(), QueueDepth: 1, MaxBatch: 1, Executors: 1})
+	s.execGate = gate
+	defer func() { close(gate); shutdownOrFail(t, s) }()
+
+	n := 16
+	submit := func(ctx context.Context) error {
+		return s.Do(ctx, Request{Rank: 1, Dims: [3]int{n},
+			Src: testVec(n, 0), Dst: make([]complex128, n)})
+	}
+	// Fill: one parked at the gate eventually, one in the queue.
+	done1 := make(chan error, 1)
+	done2 := make(chan error, 1)
+	go func() { done1 <- submit(context.Background()) }()
+	go func() { done2 <- submit(context.Background()) }()
+	time.Sleep(20 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := submit(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked admission returned %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestCacheReuseAndEviction checks that repeated shapes hit the cache,
+// overflowing shapes evict, and an evicted plan pinned by an in-flight
+// request is closed only after release (the request still succeeds).
+func TestCacheReuseAndEviction(t *testing.T) {
+	s := New(Options{Config: smallCfg(), CacheCapacity: 2, MaxBatch: 1, Executors: 1})
+	defer shutdownOrFail(t, s)
+	ctx := context.Background()
+
+	do := func(n int) error {
+		return s.Do(ctx, Request{Rank: 1, Dims: [3]int{n},
+			Src: testVec(n, 0), Dst: make([]complex128, n)})
+	}
+	for i := 0; i < 3; i++ {
+		if err := do(32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := s.Stats().Cache
+	if cs.Misses != 1 || cs.Hits < 2 {
+		t.Errorf("same-shape requests: hits=%d misses=%d, want ≥2 hits / 1 miss", cs.Hits, cs.Misses)
+	}
+	// Walk more shapes than the capacity: evictions must happen and every
+	// request must still succeed.
+	for _, n := range []int{16, 48, 80, 96} {
+		if err := do(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs = s.Stats().Cache
+	if cs.Evictions == 0 {
+		t.Error("walking 5 shapes through a 2-plan cache evicted nothing")
+	}
+	if cs.Len > 2 {
+		t.Errorf("cache len %d exceeds capacity 2", cs.Len)
+	}
+}
+
+// TestSpans checks per-request queue/exec span tagging.
+func TestSpans(t *testing.T) {
+	rec := trace.New()
+	s := New(Options{Config: smallCfg(), MaxBatch: 1, Executors: 1, Tracer: rec})
+	defer shutdownOrFail(t, s)
+	n := 32
+	if err := s.Do(context.Background(), Request{Rank: 1, Dims: [3]int{n},
+		Src: testVec(n, 0), Dst: make([]complex128, n)}); err != nil {
+		t.Fatal(err)
+	}
+	spans := rec.Spans()
+	if len(spans) < 2 {
+		t.Fatalf("got %d spans, want at least queue+exec", len(spans))
+	}
+	var haveQueue, haveExec bool
+	req := spans[0].Req
+	for _, sp := range rec.SpansFor(req) {
+		switch sp.Name {
+		case "queue":
+			haveQueue = true
+		case "exec":
+			haveExec = true
+		}
+		if sp.End.Before(sp.Start) {
+			t.Errorf("span %q ends before it starts", sp.Name)
+		}
+	}
+	if !haveQueue || !haveExec {
+		t.Errorf("request %d missing spans: queue=%v exec=%v", req, haveQueue, haveExec)
+	}
+}
+
+// TestDoValidation checks malformed requests fail synchronously.
+func TestDoValidation(t *testing.T) {
+	s := New(Options{Config: smallCfg()})
+	defer shutdownOrFail(t, s)
+	ctx := context.Background()
+	cases := []Request{
+		{Rank: 0, Dims: [3]int{4}},
+		{Rank: 4, Dims: [3]int{4, 4, 4}},
+		{Rank: 1, Dims: [3]int{4, 4}},
+		{Rank: 1, Dims: [3]int{8}, Src: make([]complex128, 4), Dst: make([]complex128, 8)},
+		{Rank: 2, Dims: [3]int{4, 4}, Src: make([]complex128, 16), Dst: make([]complex128, 15)},
+	}
+	for i, req := range cases {
+		if err := s.Do(ctx, req); err == nil {
+			t.Errorf("case %d: malformed request accepted", i)
+		}
+	}
+	if got := s.Stats().Completed; got != 0 {
+		t.Errorf("malformed requests completed: %d", got)
+	}
+}
+
+// TestDoAfterShutdown checks post-shutdown submissions fail with ErrClosed.
+func TestDoAfterShutdown(t *testing.T) {
+	s := New(Options{Config: smallCfg()})
+	shutdownOrFail(t, s)
+	n := 16
+	err := s.Do(context.Background(), Request{Rank: 1, Dims: [3]int{n},
+		Src: testVec(n, 0), Dst: make([]complex128, n)})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("Do after Shutdown returned %v, want ErrClosed", err)
+	}
+}
+
+// numGoroutineStable polls NumGoroutine until it stops above the target or
+// times out, absorbing asynchronous worker teardown.
+func numGoroutineStable(t *testing.T, want int) int {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= want || time.Now().After(deadline) {
+			return n
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -50,11 +50,23 @@ type Event struct {
 	End    time.Time
 }
 
+// Span is one tagged interval in the life of a serving request: Req is the
+// request id assigned at admission, Name the phase ("queue" while waiting
+// for a batch slot, "exec" while the transform runs). Spans let tests and
+// operators attribute end-to-end latency to queueing versus execution.
+type Span struct {
+	Req   uint64
+	Name  string
+	Start time.Time
+	End   time.Time
+}
+
 // Recorder accumulates events. A nil *Recorder is valid and records nothing,
 // so production paths can pass nil with zero overhead beyond a nil check.
 type Recorder struct {
 	mu     sync.Mutex
 	events []Event
+	spans  []Span
 }
 
 // New returns an empty recorder.
@@ -68,6 +80,39 @@ func (r *Recorder) Emit(e Event) {
 	r.mu.Lock()
 	r.events = append(r.events, e)
 	r.mu.Unlock()
+}
+
+// EmitSpan records one request span. Safe for concurrent use; no-op on nil.
+func (r *Recorder) EmitSpan(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of all recorded spans sorted by start time.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]Span(nil), r.spans...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// SpansFor returns the spans tagged with one request id, sorted by start.
+func (r *Recorder) SpansFor(req uint64) []Span {
+	var out []Span
+	for _, s := range r.Spans() {
+		if s.Req == req {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // Events returns a copy of all recorded events sorted by start time.

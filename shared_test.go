@@ -1,0 +1,58 @@
+package repro
+
+import (
+	"testing"
+)
+
+// TestSharedPlans covers the shared-pool facade: handle deduplication,
+// eviction with deferred teardown, and idempotent handle Close.
+func TestSharedPlans(t *testing.T) {
+	pool := NewSharedPlans(2)
+	defer pool.Close()
+
+	opts := []Option{WithWorkers(1, 1), WithBufferElems(1 << 10)}
+
+	a, err := pool.FFT2D(32, 32, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pool.FFT2D(32, 32, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.p != b.p {
+		t.Fatal("same-shape shared handles got distinct plans")
+	}
+	if s := pool.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("expected 1 hit / 1 miss, got %+v", s)
+	}
+
+	// Overflow the pool while `a` and `b` still pin the 32×32 plan: the
+	// eviction must defer teardown, so the handles keep working.
+	if _, err := pool.FFT1D(4096, opts...); err != nil {
+		t.Fatal(err)
+	}
+	c, err := pool.FFT3D(8, 8, 8, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := pool.Stats(); s.Evictions == 0 {
+		t.Fatalf("expected an eviction at capacity 2, got %+v", s)
+	}
+	src := make([]complex128, a.Len())
+	dst := make([]complex128, a.Len())
+	src[1] = 1
+	if err := a.Forward(dst, src); err != nil {
+		t.Fatalf("evicted-but-pinned shared plan failed: %v", err)
+	}
+
+	// Close is idempotent on shared handles; the second Close must not
+	// double-release the cache pin (which would tear the plan down under b).
+	a.Close()
+	a.Close()
+	if err := b.Forward(dst, src); err != nil {
+		t.Fatalf("plan torn down while still pinned by another handle: %v", err)
+	}
+	b.Close()
+	c.Close()
+}
