@@ -9,12 +9,28 @@ RACE_PKGS = . ./internal/pipeline ./internal/stagegraph ./internal/fft2d \
             ./internal/fft3d ./internal/fft1dlarge ./internal/fft1d \
             ./internal/lru ./internal/serve
 
-.PHONY: ci vet build test race bench benchsmoke benchjson servesmoke fmt
+.PHONY: ci vet lint build test race bench benchsmoke benchjson benchcmp \
+        servesmoke obssmoke fmt
 
-ci: vet build test race benchsmoke servesmoke benchjson
+ci: vet lint build test race benchsmoke servesmoke obssmoke benchjson benchcmp
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet when the tools are installed (staticcheck,
+# govulncheck); silently reduces to vet-only on machines without them so
+# ci never depends on anything outside the stdlib toolchain.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo staticcheck ./...; staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo govulncheck ./...; govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -35,15 +51,29 @@ benchsmoke:
 
 # End-to-end smoke of the serving daemon: start fftserved on a loopback
 # port, fire concurrent mixed-shape requests over HTTP, verify round trips
-# and the /healthz and /metrics endpoints, then drain.
+# and the /healthz and metrics endpoints, then drain.
 servesmoke:
 	$(GO) run ./cmd/fftserved -selftest 64
 
+# Observability smoke: the selftest scrapes its own /metrics and fails
+# unless the Prometheus text exposition parses cleanly, carries the
+# request counters and latency histogram, and reports finite per-stage
+# bandwidth gauges for the plans the smoke requests built.
+obssmoke:
+	$(GO) run ./cmd/fftserved -selftest 16 -roofline 10
+
 # Machine-readable benchmark snapshot (ns/op, B/op, GB/s, fraction of this
-# host's STREAM copy peak) for tracking the performance trajectory across
-# commits. Emits BENCH_<timestamp>.json in the repo root.
+# host's STREAM copy peak, per-stage roofline breakdown) for tracking the
+# performance trajectory across commits. Emits BENCH_<timestamp>.json in
+# the repo root.
 benchjson:
 	$(GO) run ./cmd/fftbench -benchjson BENCH_$$(date +%Y%m%d-%H%M%S).json
+
+# Regression gate: diff the newest two BENCH_*.json snapshots and fail on
+# any benchmark more than 10% worse. In ci this runs right after benchjson,
+# so the fresh snapshot is compared against the previous one.
+benchcmp:
+	$(GO) run ./cmd/benchcmp
 
 fmt:
 	gofmt -l .

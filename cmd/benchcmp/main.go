@@ -1,0 +1,56 @@
+// Command benchcmp diffs two fftbench -benchjson reports and exits
+// non-zero when any benchmark regressed beyond the threshold — the CI
+// gate that keeps the performance trajectory monotone.
+//
+// Usage:
+//
+//	benchcmp                          # newest two BENCH_*.json in .
+//	benchcmp -dir results             # newest two in another directory
+//	benchcmp old.json new.json        # explicit pair
+//	benchcmp -threshold 0.05 ...      # tighten the gate to 5%
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "fractional slowdown that fails the gate (0.10 = 10%)")
+	dir := flag.String("dir", ".", "directory scanned for BENCH_*.json when no files are given")
+	flag.Parse()
+
+	var oldPath, newPath string
+	switch flag.NArg() {
+	case 0:
+		var err error
+		oldPath, newPath, err = bench.NewestTwo(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(2)
+		}
+	case 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	default:
+		fmt.Fprintln(os.Stderr, "benchcmp: give zero or exactly two report files")
+		os.Exit(2)
+	}
+
+	regs, err := bench.CompareFiles(oldPath, newPath, *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("benchcmp: %s → %s (threshold %.0f%%)\n", oldPath, newPath, 100**threshold)
+	if len(regs) == 0 {
+		fmt.Println("benchcmp: no regressions")
+		return
+	}
+	for _, r := range regs {
+		fmt.Println("benchcmp: REGRESSION", r)
+	}
+	os.Exit(1)
+}

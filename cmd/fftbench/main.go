@@ -39,6 +39,7 @@ func main() {
 	pc := flag.Int("pc", 1, "compute workers for measured runs")
 	acc := flag.Bool("accuracy", false, "print the numerical-accuracy report instead of performance")
 	benchJSON := flag.String("benchjson", "", "write machine-readable benchmark JSON to this file (\"-\" = stdout)")
+	traceJSON := flag.String("tracejson", "", "run a traced pipeline demo and write Chrome trace_event JSON to this file (load in Perfetto)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -73,6 +74,22 @@ func main() {
 
 	if *acc {
 		accuracy.Report(os.Stdout, []int{64, 256, 1024, 4096, 96, 1000, 127, 1021})
+		return
+	}
+
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fftbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		fmt.Println("Recorded pipeline timeline (8×8×16 demo; S=store L=load C=compute):")
+		if err := bench.WriteTraceJSON(f, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "fftbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nChrome trace written to %s — open at ui.perfetto.dev\n", *traceJSON)
 		return
 	}
 

@@ -5,18 +5,28 @@
 //
 // Endpoints:
 //
-//	POST /transform  {"rank":1,"dims":[4096],"inverse":false,"data":[re,im,...]}
-//	                 → {"data":[re,im,...]}
-//	GET  /metrics    server counters, latency quantiles and cache stats (JSON)
-//	GET  /healthz    200 while serving, 503 once draining
+//	POST /transform     {"rank":1,"dims":[4096],"inverse":false,"data":[re,im,...]}
+//	                    → {"data":[re,im,...]}
+//	GET  /metrics       Prometheus text exposition: request counters, latency
+//	                    histogram, queue/cache gauges, and per-plan per-stage
+//	                    bandwidth vs. the roofline
+//	GET  /metrics.json  the same counters as a JSON snapshot
+//	GET  /healthz       200 while serving, 503 once draining
+//	GET  /debug/pprof/  Go profiling endpoints (only with -pprof)
 //
 // Complex data crosses the wire as interleaved re,im float64 pairs, so a
 // rank-r request carries 2·∏dims numbers.
 //
+// The roofline the per-stage bandwidth gauges are normalized against comes
+// from -roofline (GB/s), or from -machine (a paper machine's published
+// STREAM figure), or — when neither is given — from a quick STREAM copy
+// measurement at startup.
+//
 // The -selftest N mode starts the server on a loopback port, fires N
-// concurrent mixed-shape requests at it, verifies round trips and the
-// /healthz and /metrics endpoints, then drains and exits — the `make
-// servesmoke` target.
+// concurrent mixed-shape requests at it, verifies round trips, the
+// /healthz endpoint and both metric surfaces (the Prometheus text must
+// parse cleanly and carry finite per-stage bandwidth gauges), then drains
+// and exits — the `make servesmoke` and `make obssmoke` targets.
 package main
 
 import (
@@ -31,25 +41,34 @@ import (
 	"math"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/stream"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8123", "HTTP listen address")
-		queue     = flag.Int("queue", 256, "submit queue depth")
-		maxBatch  = flag.Int("maxbatch", 16, "max same-shape 1D requests coalesced per execution (1 disables)")
-		window    = flag.Duration("window", 200*time.Microsecond, "batching window: how long to linger for a deeper batch")
-		executors = flag.Int("executors", 2, "concurrent batch executors")
-		cacheCap  = flag.Int("cachecap", 32, "plan cache capacity")
-		policy    = flag.String("policy", "block", "full-queue policy: block or reject")
-		selftest  = flag.Int("selftest", 0, "fire N concurrent smoke requests at a loopback instance and exit")
+		addr        = flag.String("addr", ":8123", "HTTP listen address")
+		queue       = flag.Int("queue", 256, "submit queue depth")
+		maxBatch    = flag.Int("maxbatch", 16, "max same-shape 1D requests coalesced per execution (1 disables)")
+		window      = flag.Duration("window", 200*time.Microsecond, "batching window: how long to linger for a deeper batch")
+		executors   = flag.Int("executors", 2, "concurrent batch executors")
+		cacheCap    = flag.Int("cachecap", 32, "plan cache capacity")
+		policy      = flag.String("policy", "block", "full-queue policy: block or reject")
+		machineName = flag.String("machine", "", "paper machine whose STREAM peak normalizes the bandwidth gauges (substring match, e.g. \"7700k\")")
+		roofline    = flag.Float64("roofline", 0, "STREAM peak in GB/s for the bandwidth gauges (0 = measure at startup, or take it from -machine)")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		selftest    = flag.Int("selftest", 0, "fire N concurrent smoke requests at a loopback instance and exit")
 	)
 	flag.Parse()
 
@@ -63,7 +82,27 @@ func main() {
 		log.Fatalf("fftserved: -policy must be block or reject, got %q", *policy)
 	}
 
+	cfg := core.Default()
+	if *machineName != "" {
+		m, err := machine.Lookup(*machineName)
+		if err != nil {
+			log.Fatalf("fftserved: %v", err)
+		}
+		cfg.MachineName = m.Name
+		cfg.RooflineGBs = m.StreamGBs
+	}
+	if *roofline > 0 {
+		cfg.RooflineGBs = *roofline
+	}
+	if cfg.RooflineGBs == 0 {
+		// One quick STREAM copy pass so FracPeak gauges are meaningful out
+		// of the box; -roofline skips this for reproducible normalization.
+		cfg.RooflineGBs = stream.BestCopyGBs(stream.Config{Elems: 1 << 20, Trials: 1})
+		log.Printf("fftserved: measured STREAM copy roofline %.1f GB/s", cfg.RooflineGBs)
+	}
+
 	s := serve.New(serve.Options{
+		Config:        cfg,
 		QueueDepth:    *queue,
 		MaxBatch:      *maxBatch,
 		BatchWindow:   *window,
@@ -71,7 +110,7 @@ func main() {
 		CacheCapacity: *cacheCap,
 		Policy:        pol,
 	})
-	h := &handler{s: s}
+	h := &handler{s: s, pprof: *pprofOn}
 
 	if *selftest > 0 {
 		if err := runSelftest(h, *selftest); err != nil {
@@ -102,14 +141,23 @@ func main() {
 }
 
 type handler struct {
-	s *serve.Server
+	s     *serve.Server
+	pprof bool
 }
 
 func (h *handler) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/transform", h.transform)
 	mux.HandleFunc("/metrics", h.metrics)
+	mux.HandleFunc("/metrics.json", h.metricsJSON)
 	mux.HandleFunc("/healthz", h.healthz)
+	if h.pprof {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 	return mux
 }
 
@@ -187,7 +235,26 @@ func (h *handler) transform(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(transformResponse{Data: out})
 }
 
+// metrics serves the Prometheus text exposition: the serving layer's
+// counters and latency histogram followed by the per-plan per-stage
+// bandwidth gauges of every live collector in the process-wide registry.
+// The two writers emit disjoint metric families, so concatenation is a
+// valid exposition.
 func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
+	var buf bytes.Buffer
+	if err := h.s.WritePrometheus(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if err := obs.Default.WritePrometheus(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (h *handler) metricsJSON(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(h.s.Stats())
 }
@@ -245,15 +312,18 @@ func runSelftest(h *handler, total int) error {
 	}
 
 	var snap serve.Snapshot
-	if err := getJSON(base+"/metrics", &snap); err != nil {
+	if err := getJSON(base+"/metrics.json", &snap); err != nil {
 		return err
 	}
 	// Every smoke request is a forward+inverse pair.
 	if want := uint64(2 * total); snap.Completed < want {
-		return fmt.Errorf("/metrics: completed %d < %d submitted", snap.Completed, want)
+		return fmt.Errorf("/metrics.json: completed %d < %d submitted", snap.Completed, want)
 	}
 	if !snap.Healthy || snap.Failed != 0 {
-		return fmt.Errorf("/metrics: unexpected state %+v", snap)
+		return fmt.Errorf("/metrics.json: unexpected state %+v", snap)
+	}
+	if err := checkPrometheus(base, snap.Completed); err != nil {
+		return err
 	}
 	fmt.Printf("fftserved: %d requests, avg batch %.1f, p99 %s, cache %d/%d (%d hits)\n",
 		snap.Completed, snap.AvgBatch, time.Duration(snap.P99LatencyNs),
@@ -325,6 +395,63 @@ func postTransform(base string, treq transformRequest) ([]float64, error) {
 		return nil, err
 	}
 	return tresp.Data, nil
+}
+
+// checkPrometheus scrapes /metrics and validates the exposition the way a
+// Prometheus server would: it must parse, declare no duplicate series,
+// carry the request counters and latency histogram consistent with the
+// JSON snapshot, include at least one per-stage bandwidth gauge from the
+// plans the smoke requests built, and contain no NaN or infinite value.
+func checkPrometheus(base string, completed uint64) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return fmt.Errorf("/metrics: content type %q, want text/plain exposition", ct)
+	}
+	samples, err := obs.ValidateExposition(resp.Body)
+	if err != nil {
+		return fmt.Errorf("/metrics: invalid exposition: %w", err)
+	}
+
+	var sawCompleted, sawHistogram, sawStageGBs bool
+	for _, s := range samples {
+		if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+			return fmt.Errorf("/metrics: %s is %v", s.Series(), s.Value)
+		}
+		switch s.Name {
+		case "fft_requests_total":
+			if s.Labels["result"] == "completed" {
+				if uint64(s.Value) != completed {
+					return fmt.Errorf("/metrics: completed counter %v, want %d", s.Value, completed)
+				}
+				sawCompleted = true
+			}
+		case "fft_request_duration_seconds_count":
+			if s.Value <= 0 {
+				return fmt.Errorf("/metrics: latency histogram empty after %d requests", completed)
+			}
+			sawHistogram = true
+		case "fft_stage_bandwidth_gbps":
+			if s.Value > 0 {
+				sawStageGBs = true
+			}
+		}
+	}
+	switch {
+	case !sawCompleted:
+		return errors.New("/metrics: missing fft_requests_total{result=\"completed\"}")
+	case !sawHistogram:
+		return errors.New("/metrics: missing fft_request_duration_seconds_count")
+	case !sawStageGBs:
+		return errors.New("/metrics: no positive fft_stage_bandwidth_gbps gauge from the smoke plans")
+	}
+	return nil
 }
 
 func getJSON(url string, into any) (err error) {

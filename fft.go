@@ -136,6 +136,21 @@ func WithMachineDefaults(name string) Option {
 	}
 }
 
+// WithRoofline sets the STREAM-peak bandwidth (GB/s) the plan's telemetry
+// normalizes per-stage bandwidth against, so Observability reports
+// FracPeak on this host rather than a paper machine. Pass a measured
+// figure (e.g. from internal/stream's copy benchmark); 0 leaves FracPeak
+// unreported.
+func WithRoofline(gbs float64) Option {
+	return func(c *core.Config) error {
+		if gbs < 0 {
+			return fmt.Errorf("repro: roofline must be ≥ 0 GB/s, got %g", gbs)
+		}
+		c.RooflineGBs = gbs
+		return nil
+	}
+}
+
 func resolve(opts []Option) (core.Config, error) {
 	cfg := core.Default()
 	for _, o := range opts {
@@ -219,6 +234,15 @@ func (f *FFT3D) Stats() Stats { return f.p.Stats() }
 // geometry and the fused schedule); empty for non-doublebuf strategies.
 func (f *FFT3D) DescribeGraph() string { return f.p.DescribeGraph() }
 
+// Observability returns the plan's cumulative bandwidth-accounting
+// snapshot: per-stage bytes loaded/stored, effective GB/s and fraction of
+// the roofline, steady-state overlap occupancy, barrier wait, and (when a
+// machine is configured) the perfmodel divergence. Unlike Stats, which
+// covers only the most recent transform, the snapshot accumulates over
+// every transform the plan has run. Zero value for non-doublebuf
+// strategies.
+func (f *FFT3D) Observability() Observability { return f.p.Observability() }
+
 // FFT2D is a reusable plan for n×m matrices (row-major).
 type FFT2D struct {
 	p         *core.Plan2D
@@ -273,6 +297,17 @@ func (f *FFT2D) Stats() Stats { return f.p.Stats() }
 // DescribeGraph renders the compiled stage graph the plan executes; empty
 // for non-doublebuf strategies.
 func (f *FFT2D) DescribeGraph() string { return f.p.DescribeGraph() }
+
+// Observability returns the plan's cumulative bandwidth-accounting
+// snapshot; see FFT3D.Observability.
+func (f *FFT2D) Observability() Observability { return f.p.Observability() }
+
+// Observability is a cumulative telemetry snapshot: per-stage bytes and
+// effective bandwidth against the configured roofline, overlap occupancy,
+// barrier-wait time, and measured-vs-predicted divergence. Obtain one from
+// a plan's Observability method; serialize it with encoding/json for
+// dashboards.
+type Observability = core.Observability
 
 // Stats reports whole-transform execution statistics from the stage-graph
 // executor: Steps is the total pipeline step count (a fused S-stage graph

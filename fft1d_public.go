@@ -34,6 +34,7 @@ func NewFFT1D(n int, opts ...Option) (*FFT1D, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.Obs().SetRoofline(cfg.Roofline())
 	return &FFT1D{p: p}, nil
 }
 
@@ -69,6 +70,11 @@ func (f *FFT1D) Len() int { return f.p.N() }
 // Split returns the six-step factorization (n1, n2), or (n, 1) when the
 // plan runs in cache directly.
 func (f *FFT1D) Split() (int, int) { return f.p.Split() }
+
+// Observability returns the plan's cumulative bandwidth-accounting
+// snapshot; see FFT3D.Observability. Zero value when the plan runs in
+// cache directly (no pipeline to observe).
+func (f *FFT1D) Observability() Observability { return f.p.Observability() }
 
 // RealFFT3D transforms real k×n×m grids to their Hermitian half spectra
 // (k×n×(m/2+1) complex values) and back — the format spectral PDE solvers

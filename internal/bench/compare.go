@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Regression is one benchmark entry that got more than the threshold
+// worse between two reports. Delta is the fractional degradation in the
+// metric's bad direction (0.25 = 25% worse), so callers can print and
+// gate on it uniformly whether the metric is a bandwidth or a latency.
+type Regression struct {
+	Name   string
+	Metric string // "gb_per_s", "req_per_s" or "ns_per_op"
+	Old    float64
+	New    float64
+	Delta  float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.4g → %.4g (%.1f%% worse)",
+		r.Name, r.Metric, r.Old, r.New, 100*r.Delta)
+}
+
+// CompareReports diffs two benchmark reports entry by entry (matched by
+// name; entries present in only one report are ignored) and returns every
+// regression beyond threshold (0.10 = 10%). Each entry is judged by its
+// primary throughput metric — GB/s for kernels and transforms, requests/s
+// for serving entries — falling back to ns/op when neither is recorded.
+func CompareReports(old, new JSONReport, threshold float64) []Regression {
+	byName := make(map[string]JSONEntry, len(old.Entries))
+	for _, e := range old.Entries {
+		byName[e.Name] = e
+	}
+	var regs []Regression
+	for _, ne := range new.Entries {
+		oe, ok := byName[ne.Name]
+		if !ok {
+			continue
+		}
+		switch {
+		case oe.GBPerS > 0 && ne.GBPerS > 0:
+			if delta := 1 - ne.GBPerS/oe.GBPerS; delta > threshold {
+				regs = append(regs, Regression{ne.Name, "gb_per_s", oe.GBPerS, ne.GBPerS, delta})
+			}
+		case oe.ReqPerS > 0 && ne.ReqPerS > 0:
+			if delta := 1 - ne.ReqPerS/oe.ReqPerS; delta > threshold {
+				regs = append(regs, Regression{ne.Name, "req_per_s", oe.ReqPerS, ne.ReqPerS, delta})
+			}
+		case oe.NsPerOp > 0 && ne.NsPerOp > 0:
+			if delta := ne.NsPerOp/oe.NsPerOp - 1; delta > threshold {
+				regs = append(regs, Regression{ne.Name, "ns_per_op", oe.NsPerOp, ne.NsPerOp, delta})
+			}
+		}
+	}
+	return regs
+}
+
+// ReadReport loads one WriteJSON emission.
+func ReadReport(path string) (JSONReport, error) {
+	var rep JSONReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// CompareFiles diffs two report files; see CompareReports.
+func CompareFiles(oldPath, newPath string, threshold float64) ([]Regression, error) {
+	old, err := ReadReport(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	new, err := ReadReport(newPath)
+	if err != nil {
+		return nil, err
+	}
+	return CompareReports(old, new, threshold), nil
+}
+
+// NewestTwo finds the two most recent BENCH_*.json reports in dir. The
+// files are stamped BENCH_YYYYMMDD-HHMMSS.json, so lexical order is
+// chronological order; the returned pair is (older, newer).
+func NewestTwo(dir string) (older, newer string, err error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", "", err
+	}
+	if len(matches) < 2 {
+		return "", "", fmt.Errorf("need at least two BENCH_*.json files in %s, found %d", dir, len(matches))
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-2], matches[len(matches)-1], nil
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/fft3d"
 	"repro/internal/kernels"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/stream"
 )
@@ -33,6 +34,23 @@ type JSONEntry struct {
 	FracStreamPeak float64 `json:"frac_stream_peak"`
 	ReqPerS        float64 `json:"req_per_s,omitempty"`
 	AvgBatch       float64 `json:"avg_batch,omitempty"`
+
+	// Double-buffered transform entries additionally carry the telemetry
+	// layer's per-stage roofline view of the benchmarked runs: how much of
+	// the step budget overlapped data movement with compute, and what each
+	// stage sustained against this host's STREAM peak.
+	OverlapOccupancy float64     `json:"overlap_occupancy,omitempty"`
+	Stages           []StageJSON `json:"stages,omitempty"`
+}
+
+// StageJSON is one pipeline stage's bandwidth as the telemetry measured it
+// during the benchmark: separate load and store streams (each normalized
+// per data worker) and the combined fraction of STREAM peak.
+type StageJSON struct {
+	Name           string  `json:"name"`
+	LoadGBPerS     float64 `json:"load_gb_per_s"`
+	StoreGBPerS    float64 `json:"store_gb_per_s"`
+	FracStreamPeak float64 `json:"frac_stream_peak"`
 }
 
 // JSONReport is the full emission of WriteJSON: host identification, the
@@ -72,10 +90,13 @@ func (c JSONConfig) withDefaults() JSONConfig {
 }
 
 // jsonCase is one benchmark: fn runs a single op moving bytesPerOp bytes.
+// snap, when set, reads the plan's cumulative telemetry after the timed
+// runs to fill the entry's per-stage roofline fields.
 type jsonCase struct {
 	name       string
 	bytesPerOp int64
 	fn         func() error
+	snap       func() obs.Snapshot
 }
 
 // runCase times a case the way testing.B would, without the testing package:
@@ -145,7 +166,7 @@ func WriteJSON(w io.Writer, cfg JSONConfig) error {
 		StreamCopyGBs: stream.BestCopyGBs(stream.Config{Elems: cfg.StreamElems, Trials: 3}),
 	}
 
-	cases, err := jsonCases()
+	cases, err := jsonCases(rep.StreamCopyGBs)
 	if err != nil {
 		return err
 	}
@@ -156,6 +177,18 @@ func WriteJSON(w io.Writer, cfg JSONConfig) error {
 		}
 		if rep.StreamCopyGBs > 0 {
 			e.FracStreamPeak = e.GBPerS / rep.StreamCopyGBs
+		}
+		if c.snap != nil {
+			s := c.snap()
+			e.OverlapOccupancy = s.OverlapOccupancy
+			for _, st := range s.Stages {
+				e.Stages = append(e.Stages, StageJSON{
+					Name:           st.Name,
+					LoadGBPerS:     st.Load.GBs,
+					StoreGBPerS:    st.Store.GBs,
+					FracStreamPeak: st.FracPeak,
+				})
+			}
 		}
 		rep.Entries = append(rep.Entries, e)
 	}
@@ -263,7 +296,7 @@ func serveEntries() ([]JSONEntry, error) {
 	}, nil
 }
 
-func jsonCases() ([]jsonCase, error) {
+func jsonCases(streamGBs float64) ([]jsonCase, error) {
 	var cases []jsonCase
 
 	// Copy/rotation micro-kernels: 32 B of traffic per complex element.
@@ -336,6 +369,7 @@ func jsonCases() ([]jsonCase, error) {
 		if err != nil {
 			return nil, err
 		}
+		p.Obs().SetRoofline(streamGBs)
 		src := make([]complex128, elems)
 		for i := range src {
 			src[i] = complex(float64(i%23)-11, float64(i%19)-9)
@@ -345,6 +379,7 @@ func jsonCases() ([]jsonCase, error) {
 			name:       "fft2d/DoubleBuf/256x256",
 			bytesPerOp: int64(elems) * 32 * 2,
 			fn:         func() error { return p.Transform(dst, src, fft1d.Forward) },
+			snap:       p.Observability,
 		})
 	}
 	{
@@ -356,6 +391,7 @@ func jsonCases() ([]jsonCase, error) {
 		if err != nil {
 			return nil, err
 		}
+		p.Obs().SetRoofline(streamGBs)
 		src := make([]complex128, elems)
 		for i := range src {
 			src[i] = complex(float64(i%23)-11, float64(i%19)-9)
@@ -365,6 +401,7 @@ func jsonCases() ([]jsonCase, error) {
 			name:       "fft3d/DoubleBuf/64x64x64",
 			bytesPerOp: int64(elems) * 32 * 3,
 			fn:         func() error { return p.Transform(dst, src, fft1d.Forward) },
+			snap:       p.Observability,
 		})
 	}
 	return cases, nil

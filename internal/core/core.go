@@ -17,6 +17,8 @@ import (
 	"repro/internal/fft2d"
 	"repro/internal/fft3d"
 	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/perfmodel"
 	"repro/internal/stagegraph"
 	"repro/internal/trace"
 )
@@ -46,6 +48,14 @@ type Config struct {
 	// transform). Default() and ForMachine() enable it; disable for the
 	// stage-at-a-time A/B baseline.
 	StageFusion bool
+	// MachineName, when set to a name internal/machine resolves, attaches
+	// that machine's perfmodel prediction to every plan's telemetry so
+	// snapshots report measured/predicted divergence. ForMachine sets it.
+	MachineName string
+	// RooflineGBs is the STREAM peak the telemetry normalizes per-stage
+	// bandwidth against. Zero falls back to MachineName's STREAM figure;
+	// both zero leaves FracPeak unreported.
+	RooflineGBs float64
 	Tracer      *trace.Recorder
 }
 
@@ -86,7 +96,38 @@ func ForMachine(m machine.Machine) Config {
 		Workers:        m.Threads(),
 		SplitFormat:    true,
 		StageFusion:    true,
+		MachineName:    m.Name,
+		RooflineGBs:    m.StreamGBs,
 	}
+}
+
+// Roofline resolves the STREAM peak the telemetry should normalize
+// against: the explicit figure if set, else the named machine's.
+func (c Config) Roofline() float64 {
+	if c.RooflineGBs > 0 {
+		return c.RooflineGBs
+	}
+	if c.MachineName != "" {
+		if m, err := machine.Lookup(c.MachineName); err == nil {
+			return m.StreamGBs
+		}
+	}
+	return 0
+}
+
+// model returns the perfmodel for the configured machine, or nil when no
+// machine is named (predictions are then simply not attached).
+func (c Config) model() *perfmodel.Model {
+	if c.MachineName == "" {
+		return nil
+	}
+	m, err := machine.Lookup(c.MachineName)
+	if err != nil {
+		return nil
+	}
+	mo := perfmodel.New(m)
+	mo.Fused = c.StageFusion
+	return mo
 }
 
 func (c Config) fft3dOptions() (fft3d.Options, error) {
@@ -161,6 +202,12 @@ func NewPlan3D(k, n, m int, cfg Config) (*Plan3D, error) {
 	if err != nil {
 		return nil, err
 	}
+	if col := p.Obs(); col != nil {
+		col.SetRoofline(cfg.Roofline())
+		if mo := cfg.model(); mo != nil {
+			col.SetPredicted(mo.DoubleBuf3D(k, n, m, 1).StagePredictions())
+		}
+	}
 	p3 := &Plan3D{plan: p, cfg: cfg}
 	p3.refs.Store(1)
 	return p3, nil
@@ -232,6 +279,12 @@ func NewPlan2D(n, m int, cfg Config) (*Plan2D, error) {
 	if err != nil {
 		return nil, err
 	}
+	if col := p.Obs(); col != nil {
+		col.SetRoofline(cfg.Roofline())
+		if mo := cfg.model(); mo != nil {
+			col.SetPredicted(mo.DoubleBuf2D(n, m).StagePredictions())
+		}
+	}
 	p2 := &Plan2D{plan: p, n: n, m: m}
 	p2.refs.Store(1)
 	return p2, nil
@@ -279,6 +332,19 @@ func (p *Plan2D) Dims() (int, int) { return p.n, p.m }
 // total pipeline steps, aggregate data-mover and compute time, and the
 // fraction of data time hidden behind compute.
 type Stats = stagegraph.Stats
+
+// Observability is the cumulative bandwidth-accounting snapshot of a plan:
+// per-stage bytes, effective GB/s, fraction of the roofline, overlap
+// occupancy, barrier wait, and perfmodel divergence.
+type Observability = obs.Snapshot
+
+// Observability returns the plan's cumulative telemetry snapshot (zero
+// value for strategies without a stage-graph executor).
+func (p *Plan3D) Observability() Observability { return p.plan.Observability() }
+
+// Observability returns the plan's cumulative telemetry snapshot (zero
+// value for strategies without a stage-graph executor).
+func (p *Plan2D) Observability() Observability { return p.plan.Observability() }
 
 // Stats returns the executor statistics of the most recent DoubleBuf
 // transform (zero value before the first, or for other strategies).

@@ -28,6 +28,7 @@ import (
 	"repro/internal/fft1d"
 	"repro/internal/kernels"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/stagegraph"
 	"repro/internal/trace"
 	"repro/internal/twiddle"
@@ -89,6 +90,9 @@ type Plan struct {
 	exec    *stagegraph.Executor
 	curSign int
 
+	obs      *obs.Collector
+	obsUnreg func()
+
 	lock      sync.Mutex // w1/w2/bufs are shared scratch
 	closed    bool
 	refs      atomic.Int32
@@ -129,10 +133,17 @@ func NewPlan(n int, opts Options) (*Plan, error) {
 	p.bufs = stagegraph.NewBuffers(b, false, true)
 	p.stages = p.buildStages(nil, nil)
 	p.sched = stagegraph.Compile(p.stages, !opts.Unfused)
+	names := make([]string, len(p.stages))
+	for i := range p.stages {
+		names[i] = p.stages[i].Name
+	}
+	p.obs = obs.NewCollector(opts.DataWorkers, opts.ComputeWorkers, names)
+	_, p.obsUnreg = obs.Default.Register(fmt.Sprintf("fft1dlarge/%d", n), p.obs)
 	exec, err := stagegraph.NewExecutor(stagegraph.Config{
 		DataWorkers:    opts.DataWorkers,
 		ComputeWorkers: opts.ComputeWorkers,
 		ScratchComplex: b,
+		Obs:            p.obs,
 	})
 	if err != nil {
 		return nil, err
@@ -174,6 +185,10 @@ func (p *Plan) closeNow() {
 	if p.exec != nil {
 		p.exec.Close()
 		runtime.SetFinalizer(p, nil)
+	}
+	if p.obsUnreg != nil {
+		p.obsUnreg()
+		p.obsUnreg = nil
 	}
 }
 
@@ -238,6 +253,15 @@ func (p *Plan) Stats() stagegraph.Stats {
 	defer p.lock.Unlock()
 	return p.lastStats
 }
+
+// Obs returns the plan's telemetry collector (nil for the direct fallback).
+// The collector is live: snapshots taken from it reflect every transform
+// the plan has run.
+func (p *Plan) Obs() *obs.Collector { return p.obs }
+
+// Observability returns the merged bandwidth-accounting snapshot of every
+// transform this plan has executed (zero value for the direct fallback).
+func (p *Plan) Observability() obs.Snapshot { return p.obs.Snapshot() }
 
 // DescribeGraph renders the compiled stage graph the plan would execute;
 // empty for the direct fallback.

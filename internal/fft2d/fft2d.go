@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"repro/internal/fft1d"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/stagegraph"
 	"repro/internal/trace"
@@ -130,6 +131,9 @@ type Plan struct {
 	exec    *stagegraph.Executor
 	curSign int
 
+	obs      *obs.Collector
+	obsUnreg func()
+
 	lock      sync.Mutex
 	closed    bool
 	lastStats stagegraph.Stats
@@ -172,6 +176,12 @@ func NewPlan(n, m int, opts Options) (*Plan, error) {
 		p.bufs = stagegraph.NewBuffers(b, opts.SplitFormat, false)
 		p.stages = p.buildStages(nil, nil)
 		p.sched = stagegraph.Compile(p.stages, !opts.Unfused)
+		names := make([]string, len(p.stages))
+		for i := range p.stages {
+			names[i] = p.stages[i].Name
+		}
+		p.obs = obs.NewCollector(opts.DataWorkers, opts.ComputeWorkers, names)
+		_, p.obsUnreg = obs.Default.Register(fmt.Sprintf("fft2d/%dx%d", n, m), p.obs)
 		scratchC, scratchF := b, 0
 		if opts.SplitFormat {
 			scratchC, scratchF = 0, 2*b
@@ -181,6 +191,7 @@ func NewPlan(n, m int, opts Options) (*Plan, error) {
 			ComputeWorkers: opts.ComputeWorkers,
 			ScratchComplex: scratchC,
 			ScratchFloat:   scratchF,
+			Obs:            p.obs,
 		})
 		if err != nil {
 			return nil, err
@@ -209,6 +220,10 @@ func (p *Plan) Close() {
 	if p.exec != nil {
 		p.exec.Close()
 		runtime.SetFinalizer(p, nil)
+	}
+	if p.obsUnreg != nil {
+		p.obsUnreg()
+		p.obsUnreg = nil
 	}
 }
 
@@ -264,6 +279,15 @@ func (p *Plan) Stats() stagegraph.Stats {
 	defer p.lock.Unlock()
 	return p.lastStats
 }
+
+// Obs returns the plan's telemetry collector (nil for non-DoubleBuf
+// strategies). The collector is live: snapshots taken from it reflect every
+// transform the plan has run.
+func (p *Plan) Obs() *obs.Collector { return p.obs }
+
+// Observability returns the merged bandwidth-accounting snapshot of every
+// transform this plan has executed.
+func (p *Plan) Observability() obs.Snapshot { return p.obs.Snapshot() }
 
 // DescribeGraph renders the compiled stage graph the plan would execute;
 // empty for non-DoubleBuf strategies.

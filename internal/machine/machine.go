@@ -8,6 +8,7 @@ package machine
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/affinity"
 )
@@ -168,4 +169,33 @@ func ByName(name string) (Machine, error) {
 		}
 	}
 	return Machine{}, fmt.Errorf("machine: unknown machine %q", name)
+}
+
+// Lookup resolves a machine from a user-supplied spelling: an exact name
+// first, then a unique case-insensitive substring ("7700k", "fx-8350",
+// "interlagos"). Ambiguous or unknown spellings return an error listing the
+// candidates.
+func Lookup(name string) (Machine, error) {
+	if m, err := ByName(name); err == nil {
+		return m, nil
+	}
+	want := strings.ToLower(name)
+	var hits []Machine
+	for _, m := range All {
+		if strings.Contains(strings.ToLower(m.Name), want) {
+			hits = append(hits, m)
+		}
+	}
+	switch len(hits) {
+	case 1:
+		return hits[0], nil
+	case 0:
+		return Machine{}, fmt.Errorf("machine: unknown machine %q", name)
+	default:
+		names := make([]string, len(hits))
+		for i, m := range hits {
+			names[i] = m.Name
+		}
+		return Machine{}, fmt.Errorf("machine: %q is ambiguous: %s", name, strings.Join(names, ", "))
+	}
 }

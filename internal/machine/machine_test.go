@@ -102,3 +102,31 @@ func TestByName(t *testing.T) {
 		t.Fatalf("All has %d machines, want 5", len(All))
 	}
 }
+
+func TestLookup(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want string
+	}{
+		{"Intel Kaby Lake 7700K", "Intel Kaby Lake 7700K"},
+		{"7700k", "Intel Kaby Lake 7700K"},
+		{"FX-8350", "AMD FX-8350"},
+		{"interlagos", "AMD Opteron 6276 Interlagos (2S)"},
+		{"2667", "Intel Haswell 2667v3 (2S)"},
+	} {
+		m, err := Lookup(tc.in)
+		if err != nil {
+			t.Errorf("Lookup(%q): %v", tc.in, err)
+			continue
+		}
+		if m.Name != tc.want {
+			t.Errorf("Lookup(%q) = %q, want %q", tc.in, m.Name, tc.want)
+		}
+	}
+	if _, err := Lookup("haswell"); err == nil {
+		t.Error("ambiguous Lookup(\"haswell\") succeeded")
+	}
+	if _, err := Lookup("sparc"); err == nil {
+		t.Error("unknown Lookup(\"sparc\") succeeded")
+	}
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCollectorSnapshotMergesShards(t *testing.T) {
+	c := NewCollector(2, 2, []string{"rows", "cols"})
+
+	// Two data workers each load 1 KiB into stage 0 taking 1 µs, and one
+	// stores 2 KiB in 2 µs. One compute worker spends 4 µs in stage 1.
+	c.DataShard(0).Add(0, Load, 1024, time.Microsecond)
+	c.DataShard(1).Add(0, Load, 1024, time.Microsecond)
+	c.DataShard(0).Add(0, Store, 2048, 2*time.Microsecond)
+	c.ComputeShard(1).Add(1, Compute, 0, 4*time.Microsecond)
+	c.DataShard(0).AddBarrier(3 * time.Microsecond)
+	c.RunDone(10, 8, 50*time.Microsecond)
+
+	s := c.Snapshot()
+	if s.Runs != 1 || s.Steps != 10 || s.BothBusySteps != 8 {
+		t.Fatalf("run counters = %+v", s)
+	}
+	if got := s.OverlapOccupancy; got != 0.8 {
+		t.Fatalf("occupancy = %v, want 0.8", got)
+	}
+	if got := s.LastRunOccupancy; got != 0.8 {
+		t.Fatalf("last-run occupancy = %v, want 0.8", got)
+	}
+	if s.BarrierWaitNs != 3000 {
+		t.Fatalf("barrier ns = %d, want 3000", s.BarrierWaitNs)
+	}
+	st := s.Stages[0]
+	if st.Load.Bytes != 2048 || st.Load.Ops != 2 || st.Load.Ns != 2000 {
+		t.Fatalf("stage0 load = %+v", st.Load)
+	}
+	// 2048 B over mean busy 1000 ns across 2 workers → 2048*2/2000 B/ns.
+	if want := 2048.0 * 2 / 2000; math.Abs(st.Load.GBs-want) > 1e-12 {
+		t.Fatalf("load GB/s = %v, want %v", st.Load.GBs, want)
+	}
+	if st.Store.Bytes != 2048 || st.Store.Ops != 1 {
+		t.Fatalf("stage0 store = %+v", st.Store)
+	}
+	// Combined: 4096 B over (2000+2000)/2 workers ns.
+	if want := 4096.0 * 2 / 4000; math.Abs(st.GBs-want) > 1e-12 {
+		t.Fatalf("stage GB/s = %v, want %v", st.GBs, want)
+	}
+	if s.Stages[1].ComputeNs != 4000 || s.Stages[1].ComputeOps != 1 {
+		t.Fatalf("stage1 compute = %+v", s.Stages[1])
+	}
+	if got, want := s.TotalBytes(), uint64(4096); got != want {
+		t.Fatalf("TotalBytes = %d, want %d", got, want)
+	}
+}
+
+func TestCollectorRooflineAndPrediction(t *testing.T) {
+	c := NewCollector(1, 1, []string{"s1"})
+	c.SetRoofline(16) // GB/s
+	c.SetPredicted([]StagePrediction{{DataSec: 1e-3, ComputeSec: 2e-3, Sec: 2.5e-3}})
+	// 8 GB/s measured: 8000 B in 1000 ns, one worker.
+	c.DataShard(0).Add(0, Load, 8000, time.Microsecond)
+	c.RunDone(5, 4, 10*time.Microsecond)
+
+	s := c.Snapshot()
+	st := s.Stages[0]
+	if math.Abs(st.GBs-8) > 1e-9 {
+		t.Fatalf("GB/s = %v, want 8", st.GBs)
+	}
+	if math.Abs(st.FracPeak-0.5) > 1e-9 {
+		t.Fatalf("FracPeak = %v, want 0.5", st.FracPeak)
+	}
+	if st.PredictedDataSec != 1e-3 || st.PredictedSec != 2.5e-3 {
+		t.Fatalf("prediction not carried: %+v", st)
+	}
+	// Measured data sec = 1000 ns / 1 worker / 1 run = 1e-6 s → divergence 1e-3.
+	if want := 1e-6 / 1e-3; math.Abs(st.DataDivergence-want) > 1e-12 {
+		t.Fatalf("divergence = %v, want %v", st.DataDivergence, want)
+	}
+}
+
+func TestCollectorNilSafety(t *testing.T) {
+	var c *Collector
+	c.DataShard(0).Add(0, Load, 1, time.Second) // nil shard from nil collector
+	c.ComputeShard(0).AddBarrier(time.Second)
+	c.RunDone(1, 1, time.Second)
+	c.SetRoofline(1)
+	c.SetPredicted(nil)
+	if c.Roofline() != 0 || c.Stages() != 0 {
+		t.Fatal("nil collector must read as zero")
+	}
+	if s := c.Snapshot(); s.Runs != 0 || len(s.Stages) != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+	// Out-of-range shard indices are nil, and nil shards swallow writes.
+	real := NewCollector(1, 1, []string{"a"})
+	if real.DataShard(5) != nil || real.ComputeShard(-1) != nil {
+		t.Fatal("out-of-range shard must be nil")
+	}
+}
+
+func TestCollectorConcurrentRecording(t *testing.T) {
+	const workers, perWorker = 4, 1000
+	c := NewCollector(workers, workers, []string{"s"})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			sh := c.DataShard(w)
+			for i := 0; i < perWorker; i++ {
+				sh.Add(0, Load, 16, time.Nanosecond)
+			}
+		}(w)
+		go func(w int) {
+			defer wg.Done()
+			sh := c.ComputeShard(w)
+			for i := 0; i < perWorker; i++ {
+				sh.Add(0, Compute, 0, time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if got, want := s.Stages[0].Load.Ops, uint64(workers*perWorker); got != want {
+		t.Fatalf("load ops = %d, want %d", got, want)
+	}
+	if got, want := s.Stages[0].Load.Bytes, uint64(16*workers*perWorker); got != want {
+		t.Fatalf("load bytes = %d, want %d", got, want)
+	}
+	if got, want := s.Stages[0].ComputeOps, uint64(workers*perWorker); got != want {
+		t.Fatalf("compute ops = %d, want %d", got, want)
+	}
+}
+
+func TestRegistryCollisionSuffixes(t *testing.T) {
+	r := &Registry{}
+	c1 := NewCollector(1, 1, []string{"a"})
+	c2 := NewCollector(1, 1, []string{"a"})
+	c3 := NewCollector(1, 1, []string{"a"})
+	l1, u1 := r.Register("fft2d/8x8", c1)
+	l2, u2 := r.Register("fft2d/8x8", c2)
+	l3, u3 := r.Register("fft2d/8x8", c3)
+	if l1 != "fft2d/8x8" || l2 != "fft2d/8x8#2" || l3 != "fft2d/8x8#3" {
+		t.Fatalf("labels = %q %q %q", l1, l2, l3)
+	}
+	if got := r.Labels(); len(got) != 3 {
+		t.Fatalf("Labels = %v", got)
+	}
+	u2()
+	// The freed "#2" slot is reusable.
+	l4, u4 := r.Register("fft2d/8x8", NewCollector(1, 1, []string{"a"}))
+	if l4 != "fft2d/8x8#2" {
+		t.Fatalf("reused label = %q", l4)
+	}
+	u1()
+	u3()
+	u4()
+	if got := r.Labels(); len(got) != 0 {
+		t.Fatalf("Labels after unregister = %v", got)
+	}
+	// Nil collectors register as a no-op.
+	l5, u5 := r.Register("x", nil)
+	if l5 != "x" {
+		t.Fatalf("nil register label = %q", l5)
+	}
+	u5()
+}
+
+func TestRegistryWritePrometheusValidates(t *testing.T) {
+	r := &Registry{}
+	c := NewCollector(2, 2, []string{"rows", "cols"})
+	c.SetRoofline(20)
+	c.SetPredicted([]StagePrediction{{DataSec: 1e-3}, {DataSec: 2e-3}})
+	c.DataShard(0).Add(0, Load, 4096, time.Microsecond)
+	c.DataShard(1).Add(1, Store, 4096, time.Microsecond)
+	c.ComputeShard(0).Add(0, Compute, 0, time.Microsecond)
+	c.RunDone(12, 10, 100*time.Microsecond)
+	// An awkward label that needs escaping, plus an empty collector that
+	// must emit zeros rather than NaN.
+	_, u1 := r.Register(`plan"with\escapes`, c)
+	defer u1()
+	_, u2 := r.Register("empty", NewCollector(1, 1, []string{"only"}))
+	defer u2()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	samples, err := ValidateExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("exporter output rejected: %v\n%s", err, out)
+	}
+	byName := map[string]int{}
+	var sawEscaped, sawOccup bool
+	for _, s := range samples {
+		byName[s.Name]++
+		if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+			t.Fatalf("non-finite sample %s = %v", s.Series(), s.Value)
+		}
+		if s.Labels["plan"] == `plan"with\escapes` {
+			sawEscaped = true
+			if s.Name == "fft_plan_overlap_occupancy" {
+				sawOccup = true
+				if want := 10.0 / 12; math.Abs(s.Value-want) > 1e-9 {
+					t.Fatalf("occupancy gauge = %v, want %v", s.Value, want)
+				}
+			}
+		}
+	}
+	if !sawEscaped || !sawOccup {
+		t.Fatalf("escaped plan label not round-tripped (escaped=%v occup=%v)", sawEscaped, sawOccup)
+	}
+	for _, fam := range []string{
+		"fft_plan_runs_total", "fft_plan_overlap_occupancy",
+		"fft_plan_barrier_wait_seconds_total", "fft_plan_roofline_gbps",
+		"fft_stage_bytes_total", "fft_stage_seconds_total",
+		"fft_stage_bandwidth_gbps", "fft_stage_frac_peak",
+		"fft_stage_model_divergence",
+	} {
+		if byName[fam] == 0 {
+			t.Fatalf("family %s missing from exposition:\n%s", fam, out)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// PromWriter emits Prometheus text exposition format (version 0.0.4)
+// without a client library: the caller declares each family once with
+// Family, then appends samples. Values that are NaN or infinite are
+// clamped to 0 — an exporter bug must not poison downstream rate() math or
+// trip the NaN gate in fftserved's selftest.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error.
+func (p *PromWriter) Err() error { return p.err }
+
+// Family writes the # HELP and # TYPE header of one metric family.
+func (p *PromWriter) Family(name, help, typ string) {
+	p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample writes one sample line. labels alternate key, value; an odd tail
+// is ignored.
+func (p *PromWriter) Sample(name string, value float64, labels ...string) {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		value = 0
+	}
+	p.printf("%s%s %v\n", name, formatLabels(labels), value)
+}
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func formatLabels(labels []string) string {
+	if len(labels) < 2 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], escapeLabel(labels[i+1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel prepares a label value for %q quoting: %q already escapes
+// backslash, quote and newline the way the exposition format requires.
+func escapeLabel(v string) string { return v }
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// WritePrometheus emits per-plan gauges and counters for every registered
+// collector: cumulative stage bytes and op seconds, effective per-stage
+// bandwidth with its fraction of the roofline, overlap occupancy, barrier
+// wait, and perfmodel divergence where a prediction is attached.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snaps := r.Snapshots()
+	p := NewPromWriter(w)
+
+	p.Family("fft_plan_runs_total", "Transform executions per registered plan.", "counter")
+	for _, s := range snaps {
+		p.Sample("fft_plan_runs_total", float64(s.Runs), "plan", s.Label)
+	}
+	p.Family("fft_plan_overlap_occupancy", "Fraction of schedule steps with data and compute both busy.", "gauge")
+	for _, s := range snaps {
+		p.Sample("fft_plan_overlap_occupancy", s.OverlapOccupancy, "plan", s.Label)
+	}
+	p.Family("fft_plan_barrier_wait_seconds_total", "Cumulative worker time parked at step barriers.", "counter")
+	for _, s := range snaps {
+		p.Sample("fft_plan_barrier_wait_seconds_total", float64(s.BarrierWaitNs)/1e9, "plan", s.Label)
+	}
+	p.Family("fft_plan_roofline_gbps", "STREAM peak the plan's bandwidth is normalized against (0 = unknown).", "gauge")
+	for _, s := range snaps {
+		p.Sample("fft_plan_roofline_gbps", s.RooflineGBs, "plan", s.Label)
+	}
+	p.Family("fft_stage_bytes_total", "Bytes moved per stage and direction.", "counter")
+	for _, s := range snaps {
+		for _, st := range s.Stages {
+			p.Sample("fft_stage_bytes_total", float64(st.Load.Bytes), "plan", s.Label, "stage", st.Name, "op", "load")
+			p.Sample("fft_stage_bytes_total", float64(st.Store.Bytes), "plan", s.Label, "stage", st.Name, "op", "store")
+		}
+	}
+	p.Family("fft_stage_seconds_total", "Worker-summed op time per stage and op.", "counter")
+	for _, s := range snaps {
+		for _, st := range s.Stages {
+			p.Sample("fft_stage_seconds_total", float64(st.Load.Ns)/1e9, "plan", s.Label, "stage", st.Name, "op", "load")
+			p.Sample("fft_stage_seconds_total", float64(st.Store.Ns)/1e9, "plan", s.Label, "stage", st.Name, "op", "store")
+			p.Sample("fft_stage_seconds_total", float64(st.ComputeNs)/1e9, "plan", s.Label, "stage", st.Name, "op", "compute")
+		}
+	}
+	p.Family("fft_stage_bandwidth_gbps", "Effective stage bandwidth: bytes over mean data-worker busy time.", "gauge")
+	for _, s := range snaps {
+		for _, st := range s.Stages {
+			p.Sample("fft_stage_bandwidth_gbps", st.Load.GBs, "plan", s.Label, "stage", st.Name, "op", "load")
+			p.Sample("fft_stage_bandwidth_gbps", st.Store.GBs, "plan", s.Label, "stage", st.Name, "op", "store")
+		}
+	}
+	p.Family("fft_stage_frac_peak", "Stage bandwidth as a fraction of the roofline.", "gauge")
+	for _, s := range snaps {
+		for _, st := range s.Stages {
+			p.Sample("fft_stage_frac_peak", st.FracPeak, "plan", s.Label, "stage", st.Name)
+		}
+	}
+	p.Family("fft_stage_model_divergence", "Measured over perfmodel-predicted data seconds (0 = no prediction).", "gauge")
+	for _, s := range snaps {
+		for _, st := range s.Stages {
+			p.Sample("fft_stage_model_divergence", st.DataDivergence, "plan", s.Label, "stage", st.Name)
+		}
+	}
+	return p.Err()
+}

@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements a strict reader for the Prometheus text exposition
+// format (version 0.0.4). It exists so the repo can *validate* its own
+// hand-written exporters — the obssmoke make target and `fftserved
+// -selftest` scrape /metrics and fail the build if the output would not be
+// accepted by a real Prometheus scraper (bad names, unescaped labels,
+// duplicate series, NaN gauges).
+
+// Sample is one parsed sample line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Series returns the canonical identity of the sample: name plus labels in
+// sorted order. Two samples with equal Series strings are duplicates.
+func (s Sample) Series() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, s.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var validMetricTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// Parse reads an exposition and returns every sample, enforcing the
+// format's grammar: metric and label names must match
+// [a-zA-Z_:][a-zA-Z0-9_:]*  (labels without the colon), label values must
+// use \\, \", \n escapes only, values must parse as Go floats (NaN/±Inf
+// spellings included), and # TYPE lines must name a known type.
+func Parse(r io.Reader) ([]Sample, error) {
+	var samples []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "#") {
+			if err := checkComment(trimmed); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(trimmed)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// ValidateExposition parses the exposition and additionally rejects
+// duplicate series — the condition a Prometheus server turns into a failed
+// scrape. It returns the samples on success.
+func ValidateExposition(r io.Reader) ([]Sample, error) {
+	samples, err := Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(samples))
+	for _, s := range samples {
+		key := s.Series()
+		if seen[key] {
+			return nil, fmt.Errorf("duplicate series %s", key)
+		}
+		seen[key] = true
+	}
+	return samples, nil
+}
+
+func checkComment(line string) error {
+	// "# HELP name text" and "# TYPE name type" are structured; any other
+	// comment is free-form and ignored.
+	rest := strings.TrimPrefix(line, "#")
+	rest = strings.TrimLeft(rest, " \t")
+	switch {
+	case strings.HasPrefix(rest, "HELP "):
+		fields := strings.SplitN(rest[len("HELP "):], " ", 2)
+		if fields[0] == "" || !validMetricName(fields[0]) {
+			return fmt.Errorf("HELP with invalid metric name %q", fields[0])
+		}
+	case strings.HasPrefix(rest, "TYPE "):
+		fields := strings.Fields(rest[len("TYPE "):])
+		if len(fields) != 2 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		if !validMetricName(fields[0]) {
+			return fmt.Errorf("TYPE with invalid metric name %q", fields[0])
+		}
+		if !validMetricTypes[fields[1]] {
+			return fmt.Errorf("unknown metric type %q", fields[1])
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0, true) {
+		i++
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	fields := strings.Fields(rest)
+	// "value" or "value timestamp".
+	if len(fields) != 1 && len(fields) != 2 {
+		return s, fmt.Errorf("expected value after metric %q", s.Name)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("metric %q: %w", s.Name, err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("metric %q: bad timestamp %q", s.Name, fields[1])
+		}
+	}
+	return s, nil
+}
+
+func parseLabels(rest string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	i := 1 // past '{'
+	for {
+		for i < len(rest) && (rest[i] == ' ' || rest[i] == ',') {
+			i++
+		}
+		if i < len(rest) && rest[i] == '}' {
+			return labels, rest[i+1:], nil
+		}
+		start := i
+		for i < len(rest) && isNameChar(rest[i], i == start, false) {
+			i++
+		}
+		name := rest[start:i]
+		if name == "" || !validLabelName(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		if i >= len(rest) || rest[i] != '=' {
+			return nil, "", fmt.Errorf("label %q: expected '='", name)
+		}
+		i++
+		if i >= len(rest) || rest[i] != '"' {
+			return nil, "", fmt.Errorf("label %q: value must be quoted", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(rest) {
+				return nil, "", fmt.Errorf("label %q: unterminated value", name)
+			}
+			c := rest[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				i++
+				if i >= len(rest) {
+					return nil, "", fmt.Errorf("label %q: dangling escape", name)
+				}
+				switch rest[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %q: bad escape \\%c", name, rest[i])
+				}
+				i++
+				continue
+			}
+			if c == '\n' {
+				return nil, "", fmt.Errorf("label %q: raw newline in value", name)
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = val.String()
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	// strconv accepts the exposition's NaN/+Inf/-Inf spellings already.
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+func isNameChar(c byte, first, allowColon bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case c == ':':
+		return allowColon
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func validMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0, true) {
+			return false
+		}
+	}
+	return s != ""
+}
+
+func validLabelName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0, false) {
+			return false
+		}
+	}
+	return s != ""
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseBasicExposition(t *testing.T) {
+	in := `# HELP fft_requests_total Requests by result.
+# TYPE fft_requests_total counter
+fft_requests_total{result="completed"} 42
+fft_requests_total{result="failed"} 0
+# free-form comment, ignored
+fft_queue_depth 3
+fft_ratio{a="x",b="y"} 0.25
+fft_with_ts 7 1700000000000
+`
+	samples, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 5 {
+		t.Fatalf("got %d samples: %+v", len(samples), samples)
+	}
+	if samples[0].Name != "fft_requests_total" || samples[0].Labels["result"] != "completed" || samples[0].Value != 42 {
+		t.Fatalf("sample 0 = %+v", samples[0])
+	}
+	if samples[2].Name != "fft_queue_depth" || samples[2].Labels != nil || samples[2].Value != 3 {
+		t.Fatalf("sample 2 = %+v", samples[2])
+	}
+	if len(samples[3].Labels) != 2 {
+		t.Fatalf("sample 3 labels = %+v", samples[3].Labels)
+	}
+	if samples[4].Value != 7 {
+		t.Fatalf("timestamped sample = %+v", samples[4])
+	}
+}
+
+func TestParseEscapedLabelValues(t *testing.T) {
+	in := `m{plan="a\"b\\c\nd"} 1` + "\n"
+	samples, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := samples[0].Labels["plan"], "a\"b\\c\nd"; got != want {
+		t.Fatalf("unescaped value = %q, want %q", got, want)
+	}
+}
+
+func TestParseSpecialFloatValues(t *testing.T) {
+	in := "a NaN\nb +Inf\nc -Inf\nd 1.5e-3\n"
+	samples, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(samples[0].Value) || !math.IsInf(samples[1].Value, 1) || !math.IsInf(samples[2].Value, -1) {
+		t.Fatalf("special floats = %+v", samples)
+	}
+	if samples[3].Value != 1.5e-3 {
+		t.Fatalf("scientific = %v", samples[3].Value)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad metric name":    "9metric 1\n",
+		"bad label name":     `m{9l="x"} 1` + "\n",
+		"colon label":        `m{a:b="x"} 1` + "\n",
+		"unquoted value":     `m{l=x} 1` + "\n",
+		"unterminated value": `m{l="x} 1` + "\n",
+		"bad escape":         `m{l="\q"} 1` + "\n",
+		"duplicate label":    `m{l="a",l="b"} 1` + "\n",
+		"missing value":      "m\n",
+		"bad value":          "m pizza\n",
+		"bad timestamp":      "m 1 soon\n",
+		"unknown TYPE":       "# TYPE m flute\nm 1\n",
+		"malformed TYPE":     "# TYPE m\nm 1\n",
+		"bad HELP name":      "# HELP 9m text\n",
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parsed without error: %q", name, in)
+		}
+	}
+}
+
+func TestValidateExpositionRejectsDuplicateSeries(t *testing.T) {
+	in := `m{a="1",b="2"} 1
+m{b="2",a="1"} 2
+`
+	if _, err := ValidateExposition(strings.NewReader(in)); err == nil {
+		t.Fatal("duplicate series (label order permuted) accepted")
+	}
+	ok := `m{a="1"} 1
+m{a="2"} 2
+m 3
+`
+	if _, err := ValidateExposition(strings.NewReader(ok)); err != nil {
+		t.Fatalf("distinct series rejected: %v", err)
+	}
+}
+
+func TestSampleSeriesCanonical(t *testing.T) {
+	a := Sample{Name: "m", Labels: map[string]string{"x": "1", "y": "2"}}
+	b := Sample{Name: "m", Labels: map[string]string{"y": "2", "x": "1"}}
+	if a.Series() != b.Series() {
+		t.Fatalf("series not canonical: %q vs %q", a.Series(), b.Series())
+	}
+	if got := (Sample{Name: "m"}).Series(); got != "m" {
+		t.Fatalf("unlabeled series = %q", got)
+	}
+}

@@ -1,0 +1,18 @@
+package perfmodel
+
+import "repro/internal/obs"
+
+// StagePredictions converts the estimate's per-stage cost breakdown into
+// the telemetry layer's prediction records, so a plan's collector can
+// report measured/predicted divergence per stage.
+func (e Estimate) StagePredictions() []obs.StagePrediction {
+	out := make([]obs.StagePrediction, len(e.Stages))
+	for i, s := range e.Stages {
+		out[i] = obs.StagePrediction{
+			DataSec:    s.DataSec,
+			ComputeSec: s.ComputeSec,
+			Sec:        s.Sec,
+		}
+	}
+	return out
+}

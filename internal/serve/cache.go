@@ -93,6 +93,7 @@ func buildPlan(key PlanKey) (*Plan, error) {
 		if err != nil {
 			return nil, err
 		}
+		pl.Obs().SetRoofline(cfg.Roofline())
 		p.p1 = pl
 		p.p1b = fft1d.NewPlanRadix(key.D0, cfg.Radix)
 	case 2:

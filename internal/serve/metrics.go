@@ -20,7 +20,9 @@ type metrics struct {
 	batchedItems atomic.Uint64
 	bytesMoved   atomic.Uint64
 
-	latency [64]atomic.Uint64 // bucket i counts latencies in [2^i, 2^(i+1)) ns
+	latency        [64]atomic.Uint64 // bucket i counts latencies in [2^i, 2^(i+1)) ns
+	latencySamples atomic.Uint64     // raw observations feeding the histogram
+	latencySumNs   atomic.Uint64     // sum of those observations
 }
 
 func (m *metrics) init() {}
@@ -31,6 +33,8 @@ func (m *metrics) observeLatency(d time.Duration) {
 		ns = 1
 	}
 	m.latency[bits.Len64(ns)-1].Add(1)
+	m.latencySamples.Add(1)
+	m.latencySumNs.Add(ns)
 }
 
 // quantile returns the upper bound of the histogram bucket holding the
@@ -93,6 +97,16 @@ type Snapshot struct {
 	P50LatencyNs int64 `json:"p50_latency_ns"`
 	P99LatencyNs int64 `json:"p99_latency_ns"`
 
+	// The histogram samples roughly one settled request in eight (see
+	// getItem), so its raw totals undercount. LatencySamples is the raw
+	// observation count; LatencyCount is the settled-request population the
+	// samples stand for — the scale the Prometheus exposition reports —
+	// and AvgLatencyNs the sample mean. Quantiles are unaffected by the
+	// uniform sampling and come from the raw buckets.
+	LatencySamples uint64 `json:"latency_samples"`
+	LatencyCount   uint64 `json:"latency_count"`
+	AvgLatencyNs   int64  `json:"avg_latency_ns"`
+
 	Cache CacheSnapshot `json:"cache"`
 }
 
@@ -116,5 +130,31 @@ func (m *metrics) snapshot() Snapshot {
 	if s.Batches > 0 {
 		s.AvgBatch = float64(s.BatchedItems) / float64(s.Batches)
 	}
+	s.LatencySamples = m.latencySamples.Load()
+	if s.LatencySamples > 0 {
+		s.LatencyCount = s.Completed + s.Failed
+		s.AvgLatencyNs = int64(m.latencySumNs.Load() / s.LatencySamples)
+	}
 	return s
+}
+
+// latencyScaled returns the histogram with each bucket scaled from the
+// sampled population back up to every settled (completed or failed)
+// request, plus the matching scaled sum in seconds and total count — the
+// shape a Prometheus histogram expects, where _count must agree with the
+// request counters rather than the sampling rate. With a tracer attached
+// every request is stamped, so the scale factor degenerates to 1.
+func (m *metrics) latencyScaled() (buckets [64]float64, sumSeconds, count float64) {
+	samples := m.latencySamples.Load()
+	if samples == 0 {
+		return
+	}
+	settled := m.completed.Load() + m.failed.Load()
+	scale := float64(settled) / float64(samples)
+	for i := range buckets {
+		buckets[i] = float64(m.latency[i].Load()) * scale
+	}
+	sumSeconds = float64(m.latencySumNs.Load()) * scale / 1e9
+	count = float64(settled)
+	return
 }

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"io"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// WritePrometheus renders the server's counters, queue gauges, plan-cache
+// statistics and the request-latency histogram in Prometheus text
+// exposition format (version 0.0.4). The histogram's buckets are the
+// log₂-nanosecond buckets from metrics, expressed in seconds and scaled
+// from the 1-in-8 latency sample back up to the settled-request
+// population, so fft_request_duration_seconds_count tracks
+// fft_requests_total{result="completed"|"failed"}.
+func (s *Server) WritePrometheus(w io.Writer) error {
+	snap := s.Stats()
+	p := obs.NewPromWriter(w)
+
+	p.Family("fft_requests_total", "Requests by final disposition.", "counter")
+	p.Sample("fft_requests_total", float64(snap.Completed), "result", "completed")
+	p.Sample("fft_requests_total", float64(snap.Failed), "result", "failed")
+	p.Sample("fft_requests_total", float64(snap.Rejected), "result", "rejected")
+	p.Sample("fft_requests_total", float64(snap.Cancelled), "result", "cancelled")
+
+	p.Family("fft_requests_submitted_total", "Requests admitted past validation.", "counter")
+	p.Sample("fft_requests_submitted_total", float64(snap.Submitted))
+
+	p.Family("fft_batches_total", "Batched pencil executions dispatched.", "counter")
+	p.Sample("fft_batches_total", float64(snap.Batches))
+
+	p.Family("fft_batched_items_total", "Requests coalesced into batches.", "counter")
+	p.Sample("fft_batched_items_total", float64(snap.BatchedItems))
+
+	p.Family("fft_bytes_moved_total", "Estimated DRAM traffic for completed transforms.", "counter")
+	p.Sample("fft_bytes_moved_total", float64(snap.BytesMoved))
+
+	p.Family("fft_queue_depth", "Requests waiting in the admission queue.", "gauge")
+	p.Sample("fft_queue_depth", float64(snap.QueueDepth))
+
+	p.Family("fft_queue_capacity", "Admission queue capacity.", "gauge")
+	p.Sample("fft_queue_capacity", float64(snap.QueueCapacity))
+
+	p.Family("fft_healthy", "1 while the server accepts requests, 0 once draining.", "gauge")
+	healthy := 0.0
+	if snap.Healthy {
+		healthy = 1
+	}
+	p.Sample("fft_healthy", healthy)
+
+	p.Family("fft_plan_cache_entries", "Plans resident in the LRU cache.", "gauge")
+	p.Sample("fft_plan_cache_entries", float64(snap.Cache.Len))
+
+	p.Family("fft_plan_cache_capacity", "Plan cache capacity.", "gauge")
+	p.Sample("fft_plan_cache_capacity", float64(snap.Cache.Capacity))
+
+	p.Family("fft_plan_cache_hits_total", "Plan cache hits.", "counter")
+	p.Sample("fft_plan_cache_hits_total", float64(snap.Cache.Hits))
+
+	p.Family("fft_plan_cache_misses_total", "Plan cache misses.", "counter")
+	p.Sample("fft_plan_cache_misses_total", float64(snap.Cache.Misses))
+
+	p.Family("fft_plan_cache_evictions_total", "Plans evicted from the cache.", "counter")
+	p.Sample("fft_plan_cache_evictions_total", float64(snap.Cache.Evictions))
+
+	buckets, sumSeconds, count := s.m.latencyScaled()
+	p.Family("fft_request_duration_seconds",
+		"Queue-to-settlement latency, sampled 1-in-8 and scaled to all settled requests.",
+		"histogram")
+	// Trailing empty buckets add nothing beyond the +Inf line; stop at the
+	// highest occupied one.
+	last := -1
+	for i, b := range buckets {
+		if b > 0 {
+			last = i
+		}
+	}
+	var cum float64
+	for i := 0; i <= last; i++ {
+		cum += buckets[i]
+		// Bucket i spans [2^i, 2^(i+1)) ns.
+		ub := float64(uint64(1)<<uint(i+1)) / 1e9
+		p.Sample("fft_request_duration_seconds_bucket", cum,
+			"le", strconv.FormatFloat(ub, 'g', -1, 64))
+	}
+	p.Sample("fft_request_duration_seconds_bucket", count, "le", "+Inf")
+	p.Sample("fft_request_duration_seconds_sum", sumSeconds)
+	p.Sample("fft_request_duration_seconds_count", count)
+
+	return p.Err()
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/affinity"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/trace"
 )
@@ -25,6 +26,11 @@ type Config struct {
 	Fused bool
 	// Tracer records every task with its stage index and global step.
 	Tracer *trace.Recorder
+	// Obs receives the always-on bandwidth accounting: per-(stage, op)
+	// bytes/time into per-worker shards, barrier-wait time, and per-run
+	// occupancy. Nil disables recording (the workers still take their step
+	// timestamps; shard writes are nil-safe no-ops).
+	Obs *obs.Collector
 	// YieldInData and LockThreads as in pipeline.Config.
 	YieldInData bool
 	LockThreads bool
@@ -50,6 +56,11 @@ type Stats struct {
 	// Overlap is the fraction of data-phase time hidden under compute:
 	// per step min(data, compute) summed, over total data time.
 	Overlap float64
+	// OverlapOccupancy is the schedule-derived steady-state occupancy: the
+	// fraction of steps in which a data op (load or store) and a compute op
+	// were both scheduled. A fused S-stage graph with I total iterations
+	// approaches I/(I+S+1); draining at every boundary lowers it.
+	OverlapOccupancy float64
 }
 
 // slotRef names one (stage, iteration) pipeline slot and the buffer half
@@ -69,6 +80,7 @@ type Schedule struct {
 	steps                      int
 	fused                      bool
 	iters                      []int // per-stage Iters the schedule was compiled for
+	busyBoth                   int   // steps with a data op and a compute op
 }
 
 // Steps returns the schedule's total step count.
@@ -77,6 +89,11 @@ func (s *Schedule) Steps() int { return s.steps }
 // Fused reports whether the schedule fuses stage boundaries.
 func (s *Schedule) Fused() bool { return s.fused }
 
+// BusyBothSteps returns the number of steps in which the schedule has both
+// a data op (load or store) and a compute op — the numerator of the
+// steady-state overlap occupancy.
+func (s *Schedule) BusyBothSteps() int { return s.busyBoth }
+
 // Compile builds the reusable schedule for a stage graph.
 func Compile(stages []Stage, fused bool) *Schedule {
 	loadAt, computeAt, storeAt, steps := BuildSchedule(stages, fused)
@@ -84,6 +101,11 @@ func Compile(stages []Stage, fused bool) *Schedule {
 		steps: steps, fused: fused, iters: make([]int, len(stages))}
 	for i := range stages {
 		sched.iters[i] = stages[i].Iters
+	}
+	for t := 0; t < steps; t++ {
+		if (loadAt[t].stage >= 0 || storeAt[t].stage >= 0) && computeAt[t].stage >= 0 {
+			sched.busyBoth++
+		}
 	}
 	return sched
 }
@@ -184,6 +206,7 @@ type Executor struct {
 	stepBar   *pipeline.Barrier // all workers: step boundary
 
 	arenas []*kernels.Arena // one per compute worker
+	obs    *obs.Collector   // nil-safe telemetry sink shared with the plan
 
 	// Per-run state, published before the start barrier and read by the
 	// workers after it.
@@ -221,6 +244,7 @@ func NewExecutor(cfg Config) (*Executor, error) {
 		dataBar:        pipeline.NewBarrier(cfg.DataWorkers),
 		stepBar:        pipeline.NewBarrier(total),
 		arenas:         make([]*kernels.Arena, cfg.ComputeWorkers),
+		obs:            cfg.Obs,
 	}
 	for i := range e.arenas {
 		e.arenas[i] = kernels.NewArena(cfg.ScratchComplex, cfg.ScratchFloat)
@@ -285,55 +309,89 @@ func (e *Executor) runSteps(role affinity.Role, slot, workers int) {
 		}
 	}()
 	b, stages, sched, tracer := e.runBufs, e.runStages, e.runSched, e.runTracer
-	for s := 0; s < sched.steps; s++ {
-		t0 := time.Now()
+	var sh *obs.Shard
+	if e.obs != nil {
 		if role == affinity.DataRole {
-			if ref := sched.storeAt[s]; ref.stage >= 0 {
-				st := &stages[ref.stage]
-				t := time.Now()
-				st.store(b, ref.half, ref.iter, slot, workers)
+			sh = e.obs.DataShard(slot)
+		} else {
+			sh = e.obs.ComputeShard(slot)
+		}
+	}
+	// Four timestamps per step bound the telemetry cost: the previous
+	// step's barrier exit doubles as this step's op start, so op durations,
+	// barrier waits and the worker-0 phase timings all come from the same
+	// clock reads the old per-op tracer stamps already paid for.
+	stepStart := time.Now()
+	for s := 0; s < sched.steps; s++ {
+		a := stepStart
+		if role == affinity.DataRole {
+			storeRef := sched.storeAt[s]
+			nStore := 0
+			if storeRef.stage >= 0 {
+				nStore = stages[storeRef.stage].store(b, storeRef.half, storeRef.iter, slot, workers)
+			}
+			t1 := time.Now()
+			if storeRef.stage >= 0 {
+				sh.Add(storeRef.stage, obs.Store, nStore, t1.Sub(a))
 				tracer.Emit(trace.Event{
-					Op: trace.Store, Step: s, Stage: ref.stage, Iter: ref.iter,
-					Buf: ref.half, Worker: slot, Role: "data", Start: t, End: time.Now(),
+					Op: trace.Store, Step: s, Stage: storeRef.stage, Iter: storeRef.iter,
+					Buf: storeRef.half, Worker: slot, Role: "data", Start: a, End: t1,
 				})
 			}
 			if !e.dataBar.Wait() {
 				return
 			}
-			if ref := sched.loadAt[s]; ref.stage >= 0 {
-				st := &stages[ref.stage]
-				t := time.Now()
-				st.load(b, ref.half, ref.iter, slot, workers)
+			t2 := time.Now()
+			sh.AddBarrier(t2.Sub(t1))
+			loadRef := sched.loadAt[s]
+			nLoad := 0
+			if loadRef.stage >= 0 {
+				nLoad = stages[loadRef.stage].load(b, loadRef.half, loadRef.iter, slot, workers)
+			}
+			t3 := time.Now()
+			if loadRef.stage >= 0 {
+				sh.Add(loadRef.stage, obs.Load, nLoad, t3.Sub(t2))
 				tracer.Emit(trace.Event{
-					Op: trace.Load, Step: s, Stage: ref.stage, Iter: ref.iter,
-					Buf: ref.half, Worker: slot, Role: "data", Start: t, End: time.Now(),
+					Op: trace.Load, Step: s, Stage: loadRef.stage, Iter: loadRef.iter,
+					Buf: loadRef.half, Worker: slot, Role: "data", Start: t2, End: t3,
 				})
 			}
 			if e.yieldInData {
 				affinity.Yield()
 			}
 			if slot == 0 {
-				e.dataDur[s] = time.Since(t0)
+				e.dataDur[s] = t3.Sub(a)
 			}
+			if !e.stepBar.Wait() {
+				return
+			}
+			stepStart = time.Now()
+			sh.AddBarrier(stepStart.Sub(t3))
 		} else {
-			if ref := sched.computeAt[s]; ref.stage >= 0 {
+			ref := sched.computeAt[s]
+			if ref.stage >= 0 {
 				st := &stages[ref.stage]
 				lo, hi := partition(st.Units, slot, workers)
 				ar := e.arenas[slot]
 				ar.Reset()
-				t := time.Now()
 				st.Compute(b, ar, ref.half, ref.iter, lo, hi)
+			}
+			t1 := time.Now()
+			if ref.stage >= 0 {
+				sh.Add(ref.stage, obs.Compute, 0, t1.Sub(a))
 				tracer.Emit(trace.Event{
 					Op: trace.Compute, Step: s, Stage: ref.stage, Iter: ref.iter,
-					Buf: ref.half, Worker: slot, Role: "compute", Start: t, End: time.Now(),
+					Buf: ref.half, Worker: slot, Role: "compute", Start: a, End: t1,
 				})
 			}
 			if slot == 0 {
-				e.compDur[s] = time.Since(t0)
+				e.compDur[s] = t1.Sub(a)
 			}
-		}
-		if !e.stepBar.Wait() {
-			return
+			if !e.stepBar.Wait() {
+				return
+			}
+			stepStart = time.Now()
+			sh.AddBarrier(stepStart.Sub(t1))
 		}
 	}
 }
@@ -421,6 +479,10 @@ func (e *Executor) Run(b *Buffers, stages []Stage, sched *Schedule, tracer *trac
 	if st.DataTime > 0 {
 		st.Overlap = float64(hidden) / float64(st.DataTime)
 	}
+	if steps > 0 {
+		st.OverlapOccupancy = float64(sched.busyBoth) / float64(steps)
+	}
+	e.obs.RunDone(steps, sched.busyBoth, st.WallTime)
 	return st, nil
 }
 

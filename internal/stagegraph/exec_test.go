@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/kernels"
+	"repro/internal/obs"
 )
 
 // scaleStage builds a one-stage graph multiplying src by scale into dst.
@@ -135,5 +136,83 @@ func TestNewExecutorRejectsBadWorkerCounts(t *testing.T) {
 	}
 	if _, err := NewExecutor(Config{DataWorkers: 1, ComputeWorkers: 0}); err == nil {
 		t.Fatal("zero compute workers accepted")
+	}
+}
+
+func TestExecutorObservability(t *testing.T) {
+	const iters, units, unitLen = 4, 2, 8
+	n := iters * units * unitLen
+	col := obs.NewCollector(2, 2, []string{"scale"})
+	e, err := NewExecutor(Config{DataWorkers: 2, ComputeWorkers: 2, Obs: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	src := make([]complex128, n)
+	dst := make([]complex128, n)
+	for i := range src {
+		src[i] = complex(float64(i+1), 0)
+	}
+	b := NewBuffers(units*unitLen, false, false)
+	stages := scaleStage(dst, src, iters, units, unitLen, 2)
+	sched := Compile(stages, true)
+
+	const runs = 3
+	for run := 0; run < runs; run++ {
+		st, err := e.Run(b, stages, sched, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := float64(sched.BusyBothSteps()) / float64(sched.Steps()); st.OverlapOccupancy != want {
+			t.Fatalf("stats occupancy = %v, want %v", st.OverlapOccupancy, want)
+		}
+	}
+
+	s := col.Snapshot()
+	if s.Runs != runs {
+		t.Fatalf("runs = %d, want %d", s.Runs, runs)
+	}
+	if s.Steps != uint64(runs*sched.Steps()) || s.BothBusySteps != uint64(runs*sched.BusyBothSteps()) {
+		t.Fatalf("steps/bothBusy = %d/%d, want %d/%d",
+			s.Steps, s.BothBusySteps, runs*sched.Steps(), runs*sched.BusyBothSteps())
+	}
+	st := s.Stages[0]
+	// Every element is loaded once and stored once per run: n complex
+	// elements × 16 B each way.
+	wantBytes := uint64(runs * n * 16)
+	if st.Load.Bytes != wantBytes || st.Store.Bytes != wantBytes {
+		t.Fatalf("load/store bytes = %d/%d, want %d", st.Load.Bytes, st.Store.Bytes, wantBytes)
+	}
+	if st.Load.GBs <= 0 || st.Store.GBs <= 0 || st.GBs <= 0 {
+		t.Fatalf("bandwidth not measured: %+v", st)
+	}
+	if st.ComputeOps != uint64(runs*iters*2) { // 2 compute workers share each iter
+		t.Fatalf("compute ops = %d, want %d", st.ComputeOps, runs*iters*2)
+	}
+	if s.WallNs == 0 {
+		t.Fatal("wall time not recorded")
+	}
+	if s.LastRunOccupancy != float64(sched.BusyBothSteps())/float64(sched.Steps()) {
+		t.Fatalf("last-run occupancy = %v", s.LastRunOccupancy)
+	}
+}
+
+// The fused schedule must report strictly higher overlap occupancy than the
+// drain-at-every-boundary unfused schedule of the same graph.
+func TestScheduleOccupancyFusedVsUnfused(t *testing.T) {
+	mk := func() []Stage {
+		st := scaleStage(make([]complex128, 64), make([]complex128, 64), 4, 1, 16, 2)[0]
+		return []Stage{st, st, st}
+	}
+	fused := Compile(mk(), true)
+	unfused := Compile(mk(), false)
+	fo := float64(fused.BusyBothSteps()) / float64(fused.Steps())
+	uo := float64(unfused.BusyBothSteps()) / float64(unfused.Steps())
+	if fused.Steps() >= unfused.Steps() {
+		t.Fatalf("fused steps %d not fewer than unfused %d", fused.Steps(), unfused.Steps())
+	}
+	if fo <= uo {
+		t.Fatalf("fused occupancy %v not above unfused %v", fo, uo)
 	}
 }

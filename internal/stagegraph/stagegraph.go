@@ -205,14 +205,20 @@ func NewBuffers(elems int, split, staging bool) *Buffers {
 	return b
 }
 
+// complexBytes is the DRAM traffic of moving one complex element in either
+// buffer format (two float64s), the unit the telemetry layer accounts in.
+// It matches benchjson's 32·elems·stages model at 16 B per direction per
+// element, and is the quantity STREAM copy bandwidth is comparable against.
+const complexBytes = 16
+
 // load streams this worker's share of block `iter` from Src into buffer
 // half `half`, contiguously, fusing the interleaved→split conversion when
 // the buffers are split but the source is not (§IV-A). The block is carved
 // across all data workers at cacheline (Rot.BlockLen) granularity rather
 // than unit granularity: a load is a contiguous stream with no unit
 // structure, and coarse unit splits leave workers idle whenever a stage has
-// fewer units than data threads.
-func (st *Stage) load(b *Buffers, half, iter, worker, workers int) {
+// fewer units than data threads. It returns the bytes this worker moved.
+func (st *Stage) load(b *Buffers, half, iter, worker, workers int) int {
 	elems := st.BlockElems()
 	gran := st.Rot.BlockLen
 	if gran < 1 || elems%gran != 0 {
@@ -220,7 +226,7 @@ func (st *Stage) load(b *Buffers, half, iter, worker, workers int) {
 	}
 	lo, hi := partitionBlocks(elems/gran, gran, worker, workers)
 	if lo == hi {
-		return
+		return 0
 	}
 	base := iter * st.BlockElems()
 	if b.Split {
@@ -228,7 +234,7 @@ func (st *Stage) load(b *Buffers, half, iter, worker, workers int) {
 		if st.Src.Re != nil {
 			copy(re[lo:hi], st.Src.Re[base+lo:base+hi])
 			copy(im[lo:hi], st.Src.Im[base+lo:base+hi])
-			return
+			return (hi - lo) * complexBytes
 		}
 		src := st.Src.C
 		for j := lo; j < hi; j++ {
@@ -236,9 +242,10 @@ func (st *Stage) load(b *Buffers, half, iter, worker, workers int) {
 			re[j] = real(c)
 			im[j] = imag(c)
 		}
-		return
+		return (hi - lo) * complexBytes
 	}
 	copy(b.C[half][lo:hi], st.Src.C[base+lo:base+hi])
+	return (hi - lo) * complexBytes
 }
 
 // store writes this worker's share of block `iter` from buffer half `half`
@@ -250,8 +257,9 @@ func (st *Stage) load(b *Buffers, half, iter, worker, workers int) {
 // when a stage has fewer store units than data threads. Each worker's range
 // is walked as maximal within-unit runs; affine rotations (JStride ≠ 0) send
 // each run through one register-blocked layout scatter kernel, irregular
-// ones fall back to a Map call per block.
-func (st *Stage) store(b *Buffers, half, iter, worker, workers int) {
+// ones fall back to a Map call per block. It returns the bytes this worker
+// moved.
+func (st *Stage) store(b *Buffers, half, iter, worker, workers int) int {
 	units, unitLen := st.storeGeometry()
 	blocks, bl := st.Rot.Blocks, st.Rot.BlockLen
 	lo, hi := partition(units*blocks, worker, workers)
@@ -275,6 +283,7 @@ func (st *Stage) store(b *Buffers, half, iter, worker, workers int) {
 		}
 		t += run
 	}
+	return (hi - lo) * bl * complexBytes
 }
 
 // storeRun stores `run` consecutive blocks of one store unit, starting at

@@ -63,14 +63,41 @@ type Span struct {
 
 // Recorder accumulates events. A nil *Recorder is valid and records nothing,
 // so production paths can pass nil with zero overhead beyond a nil check.
+// Recorders from New grow without bound — fine for tests that trace one
+// transform; long-lived services should bound storage with NewRing.
 type Recorder struct {
 	mu     sync.Mutex
 	events []Event
 	spans  []Span
+
+	// cap bounds events and spans independently when > 0: once full, the
+	// slices become rings and the oldest entry is overwritten. The
+	// accessors re-sort by start time, so ring rotation never shows.
+	cap       int
+	eventHead int
+	spanHead  int
 }
 
-// New returns an empty recorder.
+// New returns an empty unbounded recorder.
 func New() *Recorder { return &Recorder{} }
+
+// NewRing returns a recorder that retains at most capacity events and
+// capacity spans, discarding the oldest once full — bounded memory for
+// always-on tracing in a long-lived process. capacity ≤ 0 is unbounded.
+func NewRing(capacity int) *Recorder {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Recorder{cap: capacity}
+}
+
+// Cap returns the retention bound (0 = unbounded).
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return r.cap
+}
 
 // Emit records one event. Safe for concurrent use; no-op on nil.
 func (r *Recorder) Emit(e Event) {
@@ -78,7 +105,12 @@ func (r *Recorder) Emit(e Event) {
 		return
 	}
 	r.mu.Lock()
-	r.events = append(r.events, e)
+	if r.cap > 0 && len(r.events) == r.cap {
+		r.events[r.eventHead] = e
+		r.eventHead = (r.eventHead + 1) % r.cap
+	} else {
+		r.events = append(r.events, e)
+	}
 	r.mu.Unlock()
 }
 
@@ -88,7 +120,12 @@ func (r *Recorder) EmitSpan(s Span) {
 		return
 	}
 	r.mu.Lock()
-	r.spans = append(r.spans, s)
+	if r.cap > 0 && len(r.spans) == r.cap {
+		r.spans[r.spanHead] = s
+		r.spanHead = (r.spanHead + 1) % r.cap
+	} else {
+		r.spans = append(r.spans, s)
+	}
 	r.mu.Unlock()
 }
 
