@@ -7,7 +7,7 @@ GO ?= go
 # shared plans); they get a dedicated -race pass in ci.
 RACE_PKGS = . ./internal/pipeline ./internal/stagegraph ./internal/fft2d \
             ./internal/fft3d ./internal/fft1dlarge ./internal/fft1d \
-            ./internal/lru ./internal/serve
+            ./internal/lru ./internal/serve ./internal/rfft
 
 .PHONY: ci vet lint build test race bench benchsmoke benchjson benchcmp \
         servesmoke obssmoke fmt

@@ -95,6 +95,79 @@ func TestSteadyStateZeroAllocs2D(t *testing.T) {
 	}
 }
 
+func TestSteadyStateZeroAllocsReal1D(t *testing.T) {
+	const n, count = 512, 4
+	p, err := NewRealFFT1D(n, WithWorkers(2, 2), WithBufferElems(1<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	src := make([]float64, count*n)
+	for i := range src {
+		src[i] = float64(i%19) - 9
+	}
+	spec := make([]complex128, count*p.SpectrumLen())
+	assertZeroAllocs(t, "RealFFT1D.ForwardBatch", func() {
+		if err := p.ForwardBatch(spec, src, count); err != nil {
+			t.Fatal(err)
+		}
+	})
+	back := make([]float64, count*n)
+	assertZeroAllocs(t, "RealFFT1D.InverseBatch", func() {
+		if err := p.InverseBatch(back, spec, count); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestSteadyStateZeroAllocsReal2D(t *testing.T) {
+	p, err := NewRealFFT2D(64, 64, WithWorkers(2, 2), WithBufferElems(1<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	src := make([]float64, p.RealLen())
+	for i := range src {
+		src[i] = float64(i%31) - 15
+	}
+	spec := make([]complex128, p.SpectrumLen())
+	assertZeroAllocs(t, "RealFFT2D.Forward", func() {
+		if err := p.Forward(spec, src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	back := make([]float64, p.RealLen())
+	assertZeroAllocs(t, "RealFFT2D.Inverse", func() {
+		if err := p.Inverse(back, spec); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestSteadyStateZeroAllocsReal3D(t *testing.T) {
+	p, err := NewRealFFT3D(16, 16, 32, WithWorkers(2, 2), WithBufferElems(1<<9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	src := make([]float64, p.RealLen())
+	for i := range src {
+		src[i] = float64(i%29) - 14
+	}
+	spec := make([]complex128, p.SpectrumLen())
+	assertZeroAllocs(t, "RealFFT3D.Forward", func() {
+		if err := p.Forward(spec, src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	back := make([]float64, p.RealLen())
+	assertZeroAllocs(t, "RealFFT3D.Inverse", func() {
+		if err := p.Inverse(back, spec); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 func TestSteadyStateZeroAllocs3D(t *testing.T) {
 	for _, split := range []bool{false, true} {
 		name := map[bool]string{false: "interleaved", true: "split"}[split]

@@ -15,7 +15,11 @@
 //	GET  /debug/pprof/  Go profiling endpoints (only with -pprof)
 //
 // Complex data crosses the wire as interleaved re,im float64 pairs, so a
-// rank-r request carries 2·∏dims numbers.
+// rank-r request carries 2·∏dims numbers. Setting "real":true selects the
+// real-input (r2c/c2r) pipeline: dims describe the real grid (last dim
+// even), a forward request carries ∏dims plain reals and returns the
+// Hermitian half spectrum (last dim n/2+1) as interleaved pairs, and an
+// inverse request carries the half spectrum and returns ∏dims reals.
 //
 // The roofline the per-stage bandwidth gauges are normalized against comes
 // from -roofline (GB/s), or from -machine (a paper machine's published
@@ -161,12 +165,14 @@ func (h *handler) mux() *http.ServeMux {
 	return mux
 }
 
-// transformRequest is the wire format of one transform; Data holds
-// interleaved re,im pairs.
+// transformRequest is the wire format of one transform. Data holds
+// interleaved re,im pairs on every complex side, and plain reals on the
+// real side of a real-input transform (forward input, inverse output).
 type transformRequest struct {
 	Rank    int       `json:"rank"`
 	Dims    []int     `json:"dims"`
 	Inverse bool      `json:"inverse"`
+	Real    bool      `json:"real,omitempty"`
 	Data    []float64 `json:"data"`
 }
 
@@ -199,20 +205,41 @@ func (h *handler) transform(w http.ResponseWriter, r *http.Request) {
 		dims[i] = d
 		n *= d
 	}
-	if len(treq.Data) != 2*n {
-		http.Error(w, fmt.Sprintf("want %d interleaved re,im values for %v, got %d",
-			2*n, treq.Dims, len(treq.Data)), http.StatusBadRequest)
-		return
+	req := serve.Request{Rank: treq.Rank, Dims: dims, Inverse: treq.Inverse, Real: treq.Real}
+	var encode func() []float64
+	switch {
+	case treq.Real && !treq.Inverse:
+		if len(treq.Data) != n {
+			http.Error(w, fmt.Sprintf("want %d real values for %v, got %d",
+				n, treq.Dims, len(treq.Data)), http.StatusBadRequest)
+			return
+		}
+		spec := specLen(dims, treq.Rank, n)
+		req.RealSrc = treq.Data
+		req.Dst = make([]complex128, spec)
+		encode = func() []float64 { return interleave(req.Dst) }
+	case treq.Real:
+		spec := specLen(dims, treq.Rank, n)
+		if len(treq.Data) != 2*spec {
+			http.Error(w, fmt.Sprintf("want %d interleaved re,im half-spectrum values for %v, got %d",
+				2*spec, treq.Dims, len(treq.Data)), http.StatusBadRequest)
+			return
+		}
+		req.Src = deinterleave(treq.Data)
+		req.RealDst = make([]float64, n)
+		encode = func() []float64 { return req.RealDst }
+	default:
+		if len(treq.Data) != 2*n {
+			http.Error(w, fmt.Sprintf("want %d interleaved re,im values for %v, got %d",
+				2*n, treq.Dims, len(treq.Data)), http.StatusBadRequest)
+			return
+		}
+		req.Src = deinterleave(treq.Data)
+		req.Dst = make([]complex128, n)
+		encode = func() []float64 { return interleave(req.Dst) }
 	}
-	src := make([]complex128, n)
-	for i := range src {
-		src[i] = complex(treq.Data[2*i], treq.Data[2*i+1])
-	}
-	dst := make([]complex128, n)
 
-	err := h.s.Do(r.Context(), serve.Request{
-		Rank: treq.Rank, Dims: dims, Inverse: treq.Inverse, Dst: dst, Src: src,
-	})
+	err := h.s.Do(r.Context(), req)
 	switch {
 	case err == nil:
 	case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrClosed):
@@ -226,13 +253,32 @@ func (h *handler) transform(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	out := make([]float64, 2*n)
-	for i, c := range dst {
-		out[2*i] = real(c)
-		out[2*i+1] = imag(c)
-	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(transformResponse{Data: out})
+	_ = json.NewEncoder(w).Encode(transformResponse{Data: encode()})
+}
+
+// specLen returns the Hermitian half-spectrum element count for a real
+// grid of n elements whose last (contiguous) dim is dims[rank-1].
+func specLen(dims [3]int, rank, n int) int {
+	last := dims[rank-1]
+	return n / last * (last/2 + 1)
+}
+
+func interleave(c []complex128) []float64 {
+	out := make([]float64, 2*len(c))
+	for i, v := range c {
+		out[2*i] = real(v)
+		out[2*i+1] = imag(v)
+	}
+	return out
+}
+
+func deinterleave(data []float64) []complex128 {
+	c := make([]complex128, len(data)/2)
+	for i := range c {
+		c[i] = complex(data[2*i], data[2*i+1])
+	}
+	return c
 }
 
 // metrics serves the Prometheus text exposition: the serving layer's
@@ -287,11 +333,15 @@ func runSelftest(h *handler, total int) error {
 	shapes := []struct {
 		rank int
 		dims []int
+		real bool
 	}{
-		{1, []int{256}},
-		{1, []int{1024}},
-		{2, []int{32, 32}},
-		{3, []int{8, 8, 8}},
+		{1, []int{256}, false},
+		{1, []int{1024}, false},
+		{2, []int{32, 32}, false},
+		{3, []int{8, 8, 8}, false},
+		{1, []int{512}, true},
+		{2, []int{16, 32}, true},
+		{3, []int{8, 8, 16}, true},
 	}
 	var wg sync.WaitGroup
 	errCh := make(chan error, total)
@@ -300,8 +350,14 @@ func runSelftest(h *handler, total int) error {
 		go func(g int) {
 			defer wg.Done()
 			sh := shapes[g%len(shapes)]
-			if err := roundTrip(base, sh.rank, sh.dims, g); err != nil {
-				errCh <- fmt.Errorf("request %d (%v): %w", g, sh.dims, err)
+			var err error
+			if sh.real {
+				err = roundTripReal(base, sh.rank, sh.dims, g)
+			} else {
+				err = roundTrip(base, sh.rank, sh.dims, g)
+			}
+			if err != nil {
+				errCh <- fmt.Errorf("request %d (%v real=%v): %w", g, sh.dims, sh.real, err)
 			}
 		}(g)
 	}
@@ -376,6 +432,41 @@ func roundTrip(base string, rank int, dims []int, seed int) error {
 	return nil
 }
 
+// roundTripReal sends a forward real transform (plain reals in, half
+// spectrum out) followed by the inverse and checks the identity — the
+// r2c/c2r wire format end to end.
+func roundTripReal(base string, rank int, dims []int, seed int) error {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Sin(float64(seed+1) * float64(i+1) * 0.7)
+	}
+	spec, err := postTransform(base, transformRequest{Rank: rank, Dims: dims, Real: true, Data: data})
+	if err != nil {
+		return fmt.Errorf("forward: %w", err)
+	}
+	wantSpec := n / dims[rank-1] * (dims[rank-1]/2 + 1)
+	if len(spec) != 2*wantSpec {
+		return fmt.Errorf("half spectrum carries %d values, want %d", len(spec), 2*wantSpec)
+	}
+	back, err := postTransform(base, transformRequest{Rank: rank, Dims: dims, Real: true, Inverse: true, Data: spec})
+	if err != nil {
+		return fmt.Errorf("inverse: %w", err)
+	}
+	if len(back) != n {
+		return fmt.Errorf("real inverse carries %d values, want %d", len(back), n)
+	}
+	for i := range data {
+		if math.Abs(back[i]-data[i]) > 1e-9*float64(n) {
+			return fmt.Errorf("real round trip diverged at %d: %g vs %g", i, back[i], data[i])
+		}
+	}
+	return nil
+}
+
 func postTransform(base string, treq transformRequest) ([]float64, error) {
 	body, err := json.Marshal(treq)
 	if err != nil {
@@ -419,7 +510,7 @@ func checkPrometheus(base string, completed uint64) error {
 		return fmt.Errorf("/metrics: invalid exposition: %w", err)
 	}
 
-	var sawCompleted, sawHistogram, sawStageGBs bool
+	var sawCompleted, sawHistogram, sawStageGBs, sawRealExec, sawComplexExec bool
 	for _, s := range samples {
 		if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
 			return fmt.Errorf("/metrics: %s is %v", s.Series(), s.Value)
@@ -441,6 +532,13 @@ func checkPrometheus(base string, completed uint64) error {
 			if s.Value > 0 {
 				sawStageGBs = true
 			}
+		case "fft_plan_executions_total":
+			switch s.Labels["kind"] {
+			case "real":
+				sawRealExec = s.Value > 0
+			case "complex":
+				sawComplexExec = s.Value > 0
+			}
 		}
 	}
 	switch {
@@ -450,6 +548,9 @@ func checkPrometheus(base string, completed uint64) error {
 		return errors.New("/metrics: missing fft_request_duration_seconds_count")
 	case !sawStageGBs:
 		return errors.New("/metrics: no positive fft_stage_bandwidth_gbps gauge from the smoke plans")
+	case !sawRealExec || !sawComplexExec:
+		return fmt.Errorf("/metrics: fft_plan_executions_total kind split missing (real=%v complex=%v)",
+			sawRealExec, sawComplexExec)
 	}
 	return nil
 }

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/fft1d"
 	"repro/internal/fft1dlarge"
-	"repro/internal/rfft"
 )
 
 // FFT1D is a reusable plan for one-dimensional transforms. Sizes large
@@ -76,21 +76,177 @@ func (f *FFT1D) Split() (int, int) { return f.p.Split() }
 // cache directly (no pipeline to observe).
 func (f *FFT1D) Observability() Observability { return f.p.Observability() }
 
+// RealFFT1D transforms real rows of even length n to their Hermitian half
+// spectra (n/2+1 complex values) and back, running as a pipelined stage
+// graph with the real↔complex packing fused into the streaming loads and
+// stores (8 B of traffic per real element). Batched entry points amortize
+// the pipeline wake-up across many rows — the shape the serving layer's
+// request coalescing feeds.
+type RealFFT1D struct {
+	p         *core.RealPlan1D
+	release   func()
+	closeOnce sync.Once
+}
+
+// NewRealFFT1D builds a real-input 1D plan; n must be even and ≥ 2.
+func NewRealFFT1D(n int, opts ...Option) (*RealFFT1D, error) {
+	cfg, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewRealPlan1D(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RealFFT1D{p: p}, nil
+}
+
+// Forward computes the unnormalized half spectrum X[0…n/2]; dst must have
+// length SpectrumLen(), src length N().
+func (f *RealFFT1D) Forward(dst []complex128, src []float64) error {
+	return f.p.Forward(dst, src)
+}
+
+// ForwardBatch transforms count contiguously packed real rows in one
+// pipeline run.
+func (f *RealFFT1D) ForwardBatch(dst []complex128, src []float64, count int) error {
+	return f.p.ForwardBatch(dst, src, count)
+}
+
+// Inverse computes the normalized real inverse (Inverse ∘ Forward is the
+// identity). The imaginary parts of the self-conjugate bins src[0] and
+// src[n/2] are forced to zero; src is not modified.
+func (f *RealFFT1D) Inverse(dst []float64, src []complex128) error {
+	return f.p.Inverse(dst, src)
+}
+
+// InverseBatch reconstructs count contiguously packed real rows in one
+// pipeline run.
+func (f *RealFFT1D) InverseBatch(dst []float64, src []complex128, count int) error {
+	return f.p.InverseBatch(dst, src, count)
+}
+
+// N returns the real length.
+func (f *RealFFT1D) N() int { return f.p.N() }
+
+// SpectrumLen returns n/2+1.
+func (f *RealFFT1D) SpectrumLen() int { return f.p.SpectrumLen() }
+
+// Close releases the plan's persistent pipeline workers; optional and
+// idempotent (see FFT3D.Close).
+func (f *RealFFT1D) Close() {
+	f.closeOnce.Do(func() {
+		if f.release != nil {
+			f.release()
+			return
+		}
+		f.p.Close()
+	})
+}
+
+// Observability returns the plan's cumulative bandwidth-accounting
+// snapshot, merged over the forward and inverse pipelines; see
+// FFT3D.Observability.
+func (f *RealFFT1D) Observability() Observability { return f.p.Observability() }
+
+// Stats returns executor statistics for the most recent transform.
+func (f *RealFFT1D) Stats() Stats { return f.p.Stats() }
+
+// String provides a compact description for logs.
+func (f *RealFFT1D) String() string { return fmt.Sprintf("RealFFT1D(%d)", f.p.N()) }
+
+// RealFFT2D transforms real n×m grids (m even) to their Hermitian half
+// spectra (n×(m/2+1) complex values) and back — roughly half the memory
+// traffic and twice the element rate of a same-shape complex transform.
+type RealFFT2D struct {
+	p         *core.RealPlan2D
+	release   func()
+	closeOnce sync.Once
+}
+
+// NewRealFFT2D builds a real-input 2D plan; m must be even.
+func NewRealFFT2D(n, m int, opts ...Option) (*RealFFT2D, error) {
+	cfg, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewRealPlan2D(n, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RealFFT2D{p: p}, nil
+}
+
+// Forward computes the unnormalized half spectrum; dst must have length
+// SpectrumLen(), src length RealLen().
+func (f *RealFFT2D) Forward(dst []complex128, src []float64) error {
+	return f.p.Forward(dst, src)
+}
+
+// Inverse computes the normalized real inverse; src is not modified, and
+// the self-conjugate bins have their imaginary parts forced to zero.
+func (f *RealFFT2D) Inverse(dst []float64, src []complex128) error {
+	return f.p.Inverse(dst, src)
+}
+
+// RealLen returns n·m.
+func (f *RealFFT2D) RealLen() int { return f.p.RealLen() }
+
+// SpectrumLen returns n·(m/2+1).
+func (f *RealFFT2D) SpectrumLen() int { return f.p.SpectrumLen() }
+
+// Dims returns (n, m).
+func (f *RealFFT2D) Dims() (int, int) { return f.p.Dims() }
+
+// Close releases the plan's persistent pipeline workers; optional and
+// idempotent (see FFT3D.Close).
+func (f *RealFFT2D) Close() {
+	f.closeOnce.Do(func() {
+		if f.release != nil {
+			f.release()
+			return
+		}
+		f.p.Close()
+	})
+}
+
+// Observability returns the plan's cumulative telemetry snapshot, merged
+// over the forward and inverse pipelines.
+func (f *RealFFT2D) Observability() Observability { return f.p.Observability() }
+
+// Stats returns executor statistics for the most recent transform.
+func (f *RealFFT2D) Stats() Stats { return f.p.Stats() }
+
+// DescribeGraph renders the compiled forward and inverse stage graphs.
+func (f *RealFFT2D) DescribeGraph() string { return f.p.DescribeGraph() }
+
+// String provides a compact description for logs.
+func (f *RealFFT2D) String() string {
+	n, m := f.p.Dims()
+	return fmt.Sprintf("RealFFT2D(%d×%d)", n, m)
+}
+
 // RealFFT3D transforms real k×n×m grids to their Hermitian half spectra
 // (k×n×(m/2+1) complex values) and back — the format spectral PDE solvers
 // and convolutions over real fields consume, at roughly half the memory
 // traffic of a padded complex transform.
 type RealFFT3D struct {
-	p *rfft.Plan3D
+	p         *core.RealPlan3D
+	release   func()
+	closeOnce sync.Once
 }
 
 // NewRealFFT3D builds a real-input 3D plan; m must be even.
-func NewRealFFT3D(k, n, m int) (*RealFFT3D, error) {
-	p, err := rfft.NewPlan3D(k, n, m)
+func NewRealFFT3D(k, n, m int, opts ...Option) (*RealFFT3D, error) {
+	cfg, err := resolve(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &RealFFT3D{p}, nil
+	p, err := core.NewRealPlan3D(k, n, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RealFFT3D{p: p}, nil
 }
 
 // Forward computes the unnormalized half spectrum; dst must have length
@@ -99,7 +255,8 @@ func (f *RealFFT3D) Forward(dst []complex128, src []float64) error {
 	return f.p.Forward(dst, src)
 }
 
-// Inverse computes the normalized real inverse; src is used as scratch.
+// Inverse computes the normalized real inverse; src is not modified, and
+// the self-conjugate bins have their imaginary parts forced to zero.
 func (f *RealFFT3D) Inverse(dst []float64, src []complex128) error {
 	return f.p.Inverse(dst, src)
 }
@@ -112,6 +269,28 @@ func (f *RealFFT3D) SpectrumLen() int { return f.p.SpectrumLen() }
 
 // Dims returns (k, n, m).
 func (f *RealFFT3D) Dims() (int, int, int) { return f.p.Dims() }
+
+// Close releases the plan's persistent pipeline workers; optional and
+// idempotent (see FFT3D.Close).
+func (f *RealFFT3D) Close() {
+	f.closeOnce.Do(func() {
+		if f.release != nil {
+			f.release()
+			return
+		}
+		f.p.Close()
+	})
+}
+
+// Observability returns the plan's cumulative telemetry snapshot, merged
+// over the forward and inverse pipelines.
+func (f *RealFFT3D) Observability() Observability { return f.p.Observability() }
+
+// Stats returns executor statistics for the most recent transform.
+func (f *RealFFT3D) Stats() Stats { return f.p.Stats() }
+
+// DescribeGraph renders the compiled forward and inverse stage graphs.
+func (f *RealFFT3D) DescribeGraph() string { return f.p.DescribeGraph() }
 
 // String provides a compact description for logs.
 func (f *RealFFT3D) String() string {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/layout"
 	"repro/internal/obs"
+	"repro/internal/rfft"
 	"repro/internal/serve"
 	"repro/internal/stream"
 )
@@ -401,6 +402,53 @@ func jsonCases(streamGBs float64) ([]jsonCase, error) {
 			name:       "fft3d/DoubleBuf/64x64x64",
 			bytesPerOp: int64(elems) * 32 * 3,
 			fn:         func() error { return p.Transform(dst, src, fft1d.Forward) },
+			snap:       p.Observability,
+		})
+	}
+
+	// Real-input transforms at the same shapes. The packed-Hermitian
+	// pipeline touches half the complex transform's bytes: per stage it
+	// streams elems/2 packed lanes (16 B each) plus the 8 B/element real
+	// endpoints, totalling 16·elems·D — half the 32·elems·D of the complex
+	// model above. An entry running ≥ 1.5× the same-shape complex
+	// transform's element rate is the two-for-one acceptance gate.
+	{
+		const n, m = 256, 256
+		elems := n * m
+		p, err := rfft.NewPlan2D(n, m, rfft.Options{DataWorkers: 1, ComputeWorkers: 1})
+		if err != nil {
+			return nil, err
+		}
+		p.SetRoofline(streamGBs)
+		src := make([]float64, elems)
+		for i := range src {
+			src[i] = float64(i%23) - 11
+		}
+		dst := make([]complex128, p.SpectrumLen())
+		cases = append(cases, jsonCase{
+			name:       "rfft2d/DoubleBuf/256x256",
+			bytesPerOp: int64(elems) * 16 * 2,
+			fn:         func() error { return p.Forward(dst, src) },
+			snap:       p.Observability,
+		})
+	}
+	{
+		const k, n, m = 64, 64, 64
+		elems := k * n * m
+		p, err := rfft.NewPlan3D(k, n, m, rfft.Options{DataWorkers: 1, ComputeWorkers: 1})
+		if err != nil {
+			return nil, err
+		}
+		p.SetRoofline(streamGBs)
+		src := make([]float64, elems)
+		for i := range src {
+			src[i] = float64(i%23) - 11
+		}
+		dst := make([]complex128, p.SpectrumLen())
+		cases = append(cases, jsonCase{
+			name:       "rfft3d/DoubleBuf/64x64x64",
+			bytesPerOp: int64(elems) * 16 * 3,
+			fn:         func() error { return p.Forward(dst, src) },
 			snap:       p.Observability,
 		})
 	}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
+	"repro/internal/rfft"
 	"repro/internal/stagegraph"
 	"repro/internal/trace"
 )
@@ -327,6 +328,199 @@ func (p *Plan2D) Len() int { return p.n * p.m }
 
 // Dims returns (n, m).
 func (p *Plan2D) Dims() (int, int) { return p.n, p.m }
+
+func (c Config) rfftOptions() rfft.Options {
+	// Real plans always run the stage-graph pipeline; Strategy, Workers and
+	// SplitFormat (pair-packed endpoints are interleaved-only) don't apply.
+	return rfft.Options{
+		Mu: c.Mu, BufferElems: c.BufferElems,
+		DataWorkers: c.DataWorkers, ComputeWorkers: c.ComputeWorkers,
+		Radix: c.Radix, Unfused: !c.StageFusion, Tracer: c.Tracer,
+	}
+}
+
+// RealPlan1D is a sized, batched real-input (r2c/c2r) 1D FFT executor.
+type RealPlan1D struct {
+	plan *rfft.Plan1D
+	refs atomic.Int32
+}
+
+// NewRealPlan1D builds a real-input plan for even length n under cfg.
+func NewRealPlan1D(n int, cfg Config) (*RealPlan1D, error) {
+	p, err := rfft.NewPlan1D(n, cfg.rfftOptions())
+	if err != nil {
+		return nil, err
+	}
+	p.SetRoofline(cfg.Roofline())
+	rp := &RealPlan1D{plan: p}
+	rp.refs.Store(1)
+	return rp, nil
+}
+
+// Forward computes the unnormalized half spectrum X[0…n/2] of a real row.
+func (p *RealPlan1D) Forward(dst []complex128, src []float64) error {
+	return p.plan.Forward(dst, src)
+}
+
+// ForwardBatch transforms count contiguously packed real rows at once.
+func (p *RealPlan1D) ForwardBatch(dst []complex128, src []float64, count int) error {
+	return p.plan.ForwardBatch(dst, src, count)
+}
+
+// Inverse reconstructs the real row (normalized; Inverse ∘ Forward = id).
+// The imaginary parts of the self-conjugate bins src[0] and src[n/2] are
+// forced to zero; src is not modified.
+func (p *RealPlan1D) Inverse(dst []float64, src []complex128) error {
+	return p.plan.Inverse(dst, src)
+}
+
+// InverseBatch reconstructs count contiguously packed real rows at once.
+func (p *RealPlan1D) InverseBatch(dst []float64, src []complex128, count int) error {
+	return p.plan.InverseBatch(dst, src, count)
+}
+
+// N returns the real length; SpectrumLen returns n/2+1.
+func (p *RealPlan1D) N() int { return p.plan.N() }
+
+// SpectrumLen returns n/2+1.
+func (p *RealPlan1D) SpectrumLen() int { return p.plan.SpectrumLen() }
+
+// Retain adds a reference for shared-cache use; see Plan3D.Retain.
+func (p *RealPlan1D) Retain() { p.refs.Add(1) }
+
+// Close drops one plan reference; the last drop releases the persistent
+// executor workers. See Plan3D.Close.
+func (p *RealPlan1D) Close() {
+	if p.refs.Add(-1) > 0 {
+		return
+	}
+	p.plan.Close()
+}
+
+// Observability returns the plan's merged forward+inverse telemetry.
+func (p *RealPlan1D) Observability() Observability { return p.plan.Observability() }
+
+// Stats returns the executor statistics of the most recent transform.
+func (p *RealPlan1D) Stats() Stats { return p.plan.Stats() }
+
+// DescribeGraph renders the compiled forward and inverse stage graphs.
+func (p *RealPlan1D) DescribeGraph() string { return p.plan.DescribeGraph() }
+
+// RealPlan2D is a sized real-input (r2c/c2r) 2D FFT executor.
+type RealPlan2D struct {
+	plan *rfft.Plan2D
+	refs atomic.Int32
+}
+
+// NewRealPlan2D builds a real-input plan for an n×m grid (m even) under cfg.
+func NewRealPlan2D(n, m int, cfg Config) (*RealPlan2D, error) {
+	p, err := rfft.NewPlan2D(n, m, cfg.rfftOptions())
+	if err != nil {
+		return nil, err
+	}
+	p.SetRoofline(cfg.Roofline())
+	rp := &RealPlan2D{plan: p}
+	rp.refs.Store(1)
+	return rp, nil
+}
+
+// Forward computes the unnormalized half spectrum (n×(m/2+1)).
+func (p *RealPlan2D) Forward(dst []complex128, src []float64) error {
+	return p.plan.Forward(dst, src)
+}
+
+// Inverse reconstructs the real grid (normalized); src is not modified.
+func (p *RealPlan2D) Inverse(dst []float64, src []complex128) error {
+	return p.plan.Inverse(dst, src)
+}
+
+// Dims returns (n, m).
+func (p *RealPlan2D) Dims() (int, int) { return p.plan.Dims() }
+
+// SpectrumLen returns n·(m/2+1); RealLen returns n·m.
+func (p *RealPlan2D) SpectrumLen() int { return p.plan.SpectrumLen() }
+
+// RealLen returns n·m.
+func (p *RealPlan2D) RealLen() int { return p.plan.RealLen() }
+
+// Retain adds a reference for shared-cache use; see Plan3D.Retain.
+func (p *RealPlan2D) Retain() { p.refs.Add(1) }
+
+// Close drops one plan reference; the last drop releases the persistent
+// executor workers. See Plan3D.Close.
+func (p *RealPlan2D) Close() {
+	if p.refs.Add(-1) > 0 {
+		return
+	}
+	p.plan.Close()
+}
+
+// Observability returns the plan's merged forward+inverse telemetry.
+func (p *RealPlan2D) Observability() Observability { return p.plan.Observability() }
+
+// Stats returns the executor statistics of the most recent transform.
+func (p *RealPlan2D) Stats() Stats { return p.plan.Stats() }
+
+// DescribeGraph renders the compiled forward and inverse stage graphs.
+func (p *RealPlan2D) DescribeGraph() string { return p.plan.DescribeGraph() }
+
+// RealPlan3D is a sized real-input (r2c/c2r) 3D FFT executor.
+type RealPlan3D struct {
+	plan *rfft.Plan3D
+	refs atomic.Int32
+}
+
+// NewRealPlan3D builds a real-input plan for a k×n×m cube (m even) under cfg.
+func NewRealPlan3D(k, n, m int, cfg Config) (*RealPlan3D, error) {
+	p, err := rfft.NewPlan3D(k, n, m, cfg.rfftOptions())
+	if err != nil {
+		return nil, err
+	}
+	p.SetRoofline(cfg.Roofline())
+	rp := &RealPlan3D{plan: p}
+	rp.refs.Store(1)
+	return rp, nil
+}
+
+// Forward computes the unnormalized half spectrum (k×n×(m/2+1)).
+func (p *RealPlan3D) Forward(dst []complex128, src []float64) error {
+	return p.plan.Forward(dst, src)
+}
+
+// Inverse reconstructs the real cube (normalized); src is not modified.
+func (p *RealPlan3D) Inverse(dst []float64, src []complex128) error {
+	return p.plan.Inverse(dst, src)
+}
+
+// Dims returns (k, n, m).
+func (p *RealPlan3D) Dims() (int, int, int) { return p.plan.Dims() }
+
+// SpectrumLen returns k·n·(m/2+1); RealLen returns k·n·m.
+func (p *RealPlan3D) SpectrumLen() int { return p.plan.SpectrumLen() }
+
+// RealLen returns k·n·m.
+func (p *RealPlan3D) RealLen() int { return p.plan.RealLen() }
+
+// Retain adds a reference for shared-cache use; see Plan3D.Retain.
+func (p *RealPlan3D) Retain() { p.refs.Add(1) }
+
+// Close drops one plan reference; the last drop releases the persistent
+// executor workers. See Plan3D.Close.
+func (p *RealPlan3D) Close() {
+	if p.refs.Add(-1) > 0 {
+		return
+	}
+	p.plan.Close()
+}
+
+// Observability returns the plan's merged forward+inverse telemetry.
+func (p *RealPlan3D) Observability() Observability { return p.plan.Observability() }
+
+// Stats returns the executor statistics of the most recent transform.
+func (p *RealPlan3D) Stats() Stats { return p.plan.Stats() }
+
+// DescribeGraph renders the compiled forward and inverse stage graphs.
+func (p *RealPlan3D) DescribeGraph() string { return p.plan.DescribeGraph() }
 
 // Stats is the whole-transform executor statistics of a DoubleBuf plan:
 // total pipeline steps, aggregate data-mover and compute time, and the

@@ -1,0 +1,161 @@
+package kernels
+
+// Real-input (r2c/c2r) transforms use the two-for-one trick: an m = 2l real
+// row is packed into l complex lanes z[j] = x[2j] + i·x[2j+1], transformed
+// with a half-length complex FFT, and the Hermitian halves are then
+// untangled into the true spectrum:
+//
+//	Ze[k] = (Z[k] + conj(Z[l−k]))/2     (spectrum of the even samples)
+//	Zo[k] = (Z[k] − conj(Z[l−k]))/(2i)  (spectrum of the odd samples)
+//	X[k]  = Ze[k] + ω_m^k · Zo[k]
+//
+// Because X[0] and X[l] of a real row are purely real, the untangled row is
+// re-packed into the same l lanes — lane 0 holds complex(X[0], X[l]) and
+// lanes 1…l−1 hold X[1]…X[l−1] — so rows keep their μ-divisible length
+// through every later stage of a multi-dimensional stage graph, and the
+// missing Nyquist column is reconstructed by a serial O(n) post-pass on the
+// packed lane-0 column (the DFT is linear, so packing commutes with the
+// later column transforms).
+//
+// The kernels below are the batched per-row pack/untangle (r2c) and
+// retangle (c2r) compute tiers. As everywhere in this repository, an
+// optimized scalar-decomposed tier is paired with a *Generic reference kept
+// as the property-test oracle. The twiddle table w must hold
+// w[k] = ω_{2l}^k for 0 ≤ k ≤ l/2 (see twiddle.Omega).
+
+// UntanglePackRows converts `rows` packed half-length spectra, in place,
+// into packed real-input spectra: on entry row r of x (x[r·l : (r+1)·l])
+// holds Z = FFT_l of the pair-packed row; on exit lane 0 holds
+// complex(X[0], X[l]) and lane k holds X[k] for 1 ≤ k < l.
+func UntanglePackRows(x []complex128, rows, l int, w []complex128) {
+	for r := 0; r < rows; r++ {
+		z := x[r*l : (r+1)*l]
+		re0, im0 := real(z[0]), imag(z[0])
+		z[0] = complex(re0+im0, re0-im0)
+		for k := 1; 2*k < l; k++ {
+			ar, ai := real(z[k]), imag(z[k])
+			br, bi := real(z[l-k]), imag(z[l-k])
+			zer, zei := (ar+br)/2, (ai-bi)/2
+			zor, zoi := (ai+bi)/2, (br-ar)/2
+			wr, wi := real(w[k]), imag(w[k])
+			tr, ti := wr*zor-wi*zoi, wr*zoi+wi*zor
+			z[k] = complex(zer+tr, zei+ti)
+			z[l-k] = complex(zer-tr, ti-zei)
+		}
+		if l%2 == 0 && l > 1 {
+			h := l / 2
+			z[h] = complex(real(z[h]), -imag(z[h]))
+		}
+	}
+}
+
+// UntanglePackRowsGeneric is the complex-arithmetic reference
+// implementation of UntanglePackRows, kept as the property-test oracle.
+func UntanglePackRowsGeneric(x []complex128, rows, l int, w []complex128) {
+	for r := 0; r < rows; r++ {
+		z := x[r*l : (r+1)*l]
+		re0, im0 := real(z[0]), imag(z[0])
+		z[0] = complex(re0+im0, re0-im0)
+		for k := 1; 2*k < l; k++ {
+			zk, zc := z[k], conjc(z[l-k])
+			ze := (zk + zc) / 2
+			zo := mulMinusI(zk-zc) / 2
+			t := w[k] * zo
+			z[k] = ze + t
+			z[l-k] = conjc(ze - t)
+		}
+		if l%2 == 0 && l > 1 {
+			z[l/2] = conjc(z[l/2])
+		}
+	}
+}
+
+// RetangleRows inverts UntanglePackRows, in place, and folds in a scale
+// factor: on entry row r holds the packed real-input spectrum (lane 0 =
+// complex(X[0], X[l]), lanes 1…l−1 = X[k]); on exit it holds scale · Z,
+// the packed half-length spectrum whose unnormalized inverse FFT_l yields
+// scale · l · (the pair-packed real row). Drivers pass scale = 1/l so the
+// inverse half-length FFT lands the exactly-normalized real row.
+//
+// The self-conjugate bins X[0] and X[l] are taken from the real and
+// imaginary parts of lane 0, which a forward transform produced from purely
+// real values; feeding a spectrum whose packing violated that simply means
+// those two bins are read as their (forced-real) packed values.
+func RetangleRows(x []complex128, rows, l int, w []complex128, scale float64) {
+	for r := 0; r < rows; r++ {
+		z := x[r*l : (r+1)*l]
+		x0, xl := real(z[0]), imag(z[0])
+		z[0] = complex(scale*(x0+xl)/2, scale*(x0-xl)/2)
+		for k := 1; 2*k < l; k++ {
+			ar, ai := real(z[k]), imag(z[k])
+			br, bi := real(z[l-k]), imag(z[l-k])
+			zer, zei := (ar+br)/2, (ai-bi)/2
+			dr, di := (ar-br)/2, (ai+bi)/2
+			wr, wi := real(w[k]), imag(w[k])
+			// Zo = conj(w[k])·D; then Z[k] = Ze + i·Zo and
+			// Z[l−k] = conj(Ze) + i·conj(Zo).
+			zor, zoi := wr*dr+wi*di, wr*di-wi*dr
+			z[k] = complex(scale*(zer-zoi), scale*(zei+zor))
+			z[l-k] = complex(scale*(zer+zoi), scale*(zor-zei))
+		}
+		if l%2 == 0 && l > 1 {
+			h := l / 2
+			z[h] = complex(scale*real(z[h]), -scale*imag(z[h]))
+		}
+	}
+}
+
+// RetangleRowsGeneric is the complex-arithmetic reference implementation of
+// RetangleRows, kept as the property-test oracle.
+func RetangleRowsGeneric(x []complex128, rows, l int, w []complex128, scale float64) {
+	s := complex(scale, 0)
+	for r := 0; r < rows; r++ {
+		z := x[r*l : (r+1)*l]
+		x0, xl := real(z[0]), imag(z[0])
+		z[0] = s * complex((x0+xl)/2, (x0-xl)/2)
+		for k := 1; 2*k < l; k++ {
+			xk, xc := z[k], conjc(z[l-k])
+			ze := (xk + xc) / 2
+			zo := conjc(w[k]) * (xk - xc) / 2
+			z[k] = s * (ze + mulI(zo))
+			z[l-k] = s * (conjc(ze) + mulI(conjc(zo)))
+		}
+		if l%2 == 0 && l > 1 {
+			z[l/2] = s * conjc(z[l/2])
+		}
+	}
+}
+
+// EntangleRows converts `rows` natural half-spectrum rows of length l+1
+// (src stride l+1) into packed rows of length l (dst stride l): lane 0
+// of a packed row is A = X[0] + i·X[l] — the value the forward column
+// stages would have produced from the packed lane-0 inputs — and lanes
+// 1…l−1 copy through. It is the entry compute of a c2r stage graph,
+// restoring the packed format the retangle/inverse stages consume.
+//
+// selfConj reports whether global row g is a self-conjugate row of the full
+// spectrum (every row in 1D; ky ∈ {0, n/2} in 2D; …). For those rows X[0]
+// and X[l] are real by Hermitian symmetry, and EntangleRows *forces* them
+// real — it reads only the real parts, discarding any dirt in the imaginary
+// parts — so an inverse transform of a slightly-inconsistent spectrum still
+// lands real output. g0 is the global index of row 0 of this batch; a nil
+// selfConj forces no rows.
+func EntangleRows(dst, src []complex128, rows, l, g0 int, selfConj func(g int) bool) {
+	mc := l + 1
+	for r := 0; r < rows; r++ {
+		s := src[r*mc : (r+1)*mc]
+		d := dst[r*l : (r+1)*l]
+		if selfConj != nil && selfConj(g0+r) {
+			d[0] = complex(real(s[0]), real(s[l]))
+		} else {
+			d[0] = s[0] + mulI(s[l])
+		}
+		copy(d[1:l], s[1:l])
+	}
+}
+
+func conjc(z complex128) complex128 { return complex(real(z), -imag(z)) }
+
+// mulI returns i·z; mulMinusI returns −i·z = z/i.
+func mulI(z complex128) complex128      { return complex(-imag(z), real(z)) }
+func mulMinusI(z complex128) complex128 { return complex(imag(z), -real(z)) }

@@ -1,0 +1,149 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/twiddle"
+)
+
+func halfTwiddles(l int) []complex128 {
+	w := make([]complex128, l/2+1)
+	for k := range w {
+		w[k] = twiddle.Omega(2*l, k)
+	}
+	return w
+}
+
+func randReal(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = rng.NormFloat64()
+	}
+	return f
+}
+
+func packRow(x []float64) []complex128 {
+	z := make([]complex128, len(x)/2)
+	for j := range z {
+		z[j] = complex(x[2*j], x[2*j+1])
+	}
+	return z
+}
+
+func maxAbsDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		d := a[i] - b[i]
+		if v := real(d)*real(d) + imag(d)*imag(d); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// TestUntanglePackRowsMatchesNaive checks the whole r2c row pipeline —
+// pair-pack, half-length DFT, untangle-pack — against the dense DFT of the
+// real row, for even and odd half-lengths.
+func TestUntanglePackRowsMatchesNaive(t *testing.T) {
+	for _, l := range []int{1, 2, 3, 4, 5, 8, 12, 25, 64} {
+		m := 2 * l
+		x := randReal(int64(l), m)
+		z := packRow(x)
+		Z := NaiveDFT(z, Forward)
+		got := append([]complex128(nil), Z...)
+		UntanglePackRows(got, 1, l, halfTwiddles(l))
+
+		full := make([]complex128, m)
+		for j, v := range x {
+			full[j] = complex(v, 0)
+		}
+		X := NaiveDFT(full, Forward)
+		want := make([]complex128, l)
+		want[0] = complex(real(X[0]), real(X[l]))
+		copy(want[1:], X[1:l])
+
+		if d := maxAbsDiff(got, want); d > 1e-18*float64(l*l) {
+			t.Errorf("l=%d: untangled row diverges from dense DFT (sq diff %g)", l, d)
+		}
+	}
+}
+
+func TestUntanglePackRowsMatchesGeneric(t *testing.T) {
+	for _, c := range []struct{ rows, l int }{{1, 1}, {3, 2}, {2, 7}, {4, 16}, {5, 9}} {
+		w := halfTwiddles(c.l)
+		x := packRow(randReal(int64(c.rows*c.l), 2*c.rows*c.l))
+		got := append([]complex128(nil), x...)
+		want := append([]complex128(nil), x...)
+		UntanglePackRows(got, c.rows, c.l, w)
+		UntanglePackRowsGeneric(want, c.rows, c.l, w)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("rows=%d l=%d: element %d: %v vs generic %v", c.rows, c.l, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRetangleInvertsUntangle drives random packed spectra through
+// untangle-pack and back with the scale folded in.
+func TestRetangleInvertsUntangle(t *testing.T) {
+	for _, c := range []struct{ rows, l int }{{1, 1}, {2, 2}, {3, 5}, {2, 16}, {1, 27}} {
+		w := halfTwiddles(c.l)
+		orig := packRow(randReal(int64(c.rows*c.l)+3, 2*c.rows*c.l))
+		x := append([]complex128(nil), orig...)
+		UntanglePackRows(x, c.rows, c.l, w)
+		RetangleRows(x, c.rows, c.l, w, 0.5)
+		for i := range x {
+			x[i] *= 2
+		}
+		if d := maxAbsDiff(x, orig); d > 1e-24*float64(c.l*c.l) {
+			t.Errorf("rows=%d l=%d: retangle∘untangle ≠ identity (sq diff %g)", c.rows, c.l, d)
+		}
+	}
+}
+
+func TestRetangleRowsMatchesGeneric(t *testing.T) {
+	for _, c := range []struct{ rows, l int }{{1, 1}, {3, 2}, {2, 7}, {4, 16}, {5, 9}} {
+		w := halfTwiddles(c.l)
+		x := packRow(randReal(int64(c.rows*c.l)+11, 2*c.rows*c.l))
+		got := append([]complex128(nil), x...)
+		want := append([]complex128(nil), x...)
+		RetangleRows(got, c.rows, c.l, w, 1.0/float64(c.l))
+		RetangleRowsGeneric(want, c.rows, c.l, w, 1.0/float64(c.l))
+		if d := maxAbsDiff(got, want); d > 1e-28 {
+			t.Fatalf("rows=%d l=%d: retangle diverges from generic (sq diff %g)", c.rows, c.l, d)
+		}
+	}
+}
+
+// TestEntangleRowsForcesSelfConjugate checks the packing of natural
+// half-spectrum rows, including that self-conjugate rows discard imaginary
+// dirt in X[0] and X[l].
+func TestEntangleRowsForcesSelfConjugate(t *testing.T) {
+	const l, rows = 4, 3
+	mc := l + 1
+	src := packRow(randReal(7, 2*rows*mc))
+	dst := make([]complex128, rows*l)
+	// Rows 0 and 2 are "self-conjugate"; row 1 is not.
+	EntangleRows(dst, src, rows, l, 0, func(g int) bool { return g != 1 })
+	for r := 0; r < rows; r++ {
+		s := src[r*mc:]
+		d := dst[r*l:]
+		var want complex128
+		if r != 1 {
+			want = complex(real(s[0]), real(s[l]))
+		} else {
+			want = s[0] + complex(-imag(s[l]), real(s[l]))
+		}
+		if d[0] != want {
+			t.Errorf("row %d lane 0: got %v want %v", r, d[0], want)
+		}
+		for k := 1; k < l; k++ {
+			if d[k] != s[k] {
+				t.Errorf("row %d lane %d: got %v want %v", r, k, d[k], s[k])
+			}
+		}
+	}
+}

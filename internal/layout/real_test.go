@@ -1,0 +1,70 @@
+package layout
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randFloats(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = rng.NormFloat64()
+	}
+	return f
+}
+
+func TestPackPairsMatchesGeneric(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 16, 33, 100} {
+		src := randFloats(int64(n)+1, 2*n)
+		got := make([]complex128, n)
+		want := make([]complex128, n)
+		PackPairs(got, src, n)
+		PackPairsGeneric(want, src, n)
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("PackPairs n=%d element %d: got %v want %v", n, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestUnpackPairsRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 8, 17, 64} {
+		src := randFloats(int64(n)+7, 2*n)
+		packed := make([]complex128, n)
+		PackPairs(packed, src, n)
+		got := make([]float64, 2*n)
+		UnpackPairs(got, packed, n)
+		want := make([]float64, 2*n)
+		UnpackPairsGeneric(want, packed, n)
+		for i := range got {
+			if got[i] != src[i] || got[i] != want[i] {
+				t.Fatalf("UnpackPairs n=%d float %d: got %v want %v (src %v)", n, i, got[i], want[i], src[i])
+			}
+		}
+	}
+}
+
+func TestScatterBlocksPairsMatchesGeneric(t *testing.T) {
+	for _, c := range []struct{ blocks, blockLen, off, stride int }{
+		{1, 1, 0, 1}, {3, 4, 2, 11}, {5, 8, 0, 9}, {4, 3, 1, 7}, {2, 5, 3, 6},
+	} {
+		src := randVec(int64(c.blocks*c.blockLen), c.blocks*c.blockLen)
+		size := 2 * (c.off + (c.blocks-1)*c.stride + c.blockLen + 4)
+		got := make([]float64, size)
+		want := make([]float64, size)
+		for i := range got {
+			got[i], want[i] = math.NaN(), math.NaN()
+		}
+		ScatterBlocksPairs(got, src, c.blocks, c.blockLen, c.off, c.stride)
+		ScatterBlocksPairsGeneric(want, src, c.blocks, c.blockLen, c.off, c.stride)
+		for i := range got {
+			gNaN, wNaN := math.IsNaN(got[i]), math.IsNaN(want[i])
+			if gNaN != wNaN || (!gNaN && got[i] != want[i]) {
+				t.Fatalf("ScatterBlocksPairs %+v float %d: got %v want %v", c, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -18,12 +18,15 @@ import (
 // PlanKey identifies one cached plan. Cfg carries the execution shape —
 // strategy, worker split, buffer size, split format, radix, all the
 // machine-derived parameters — so plans built for different machines or
-// ablation settings never collide. The Tracer field must be nil in a key
+// ablation settings never collide. Real selects the real-input (r2c/c2r)
+// pipeline over the complex one; the dims then describe the real grid and
+// the last dim must be even. The Tracer field must be nil in a key
 // (normalizeKey enforces this): tracing is a per-server concern, not part
 // of plan identity.
 type PlanKey struct {
 	Rank       int
 	D0, D1, D2 int // dims, slowest first; unused trailing dims are 0
+	Real       bool
 	Cfg        core.Config
 }
 
@@ -50,10 +53,30 @@ func (k PlanKey) Validate() error {
 	default:
 		return fmt.Errorf("serve: rank must be 1, 2 or 3, got %d", k.Rank)
 	}
+	if k.Real {
+		last := k.lastDim()
+		if last < 2 || last%2 != 0 {
+			return fmt.Errorf("serve: real transforms need an even last dim ≥ 2, got %d", last)
+		}
+	}
 	return nil
 }
 
-// Len returns the element count of one transform under this key.
+// lastDim returns the fastest-varying (contiguous) dimension.
+func (k PlanKey) lastDim() int {
+	switch k.Rank {
+	case 2:
+		return k.D1
+	case 3:
+		return k.D2
+	default:
+		return k.D0
+	}
+}
+
+// Len returns the element count of one transform under this key: the
+// complex element count for complex plans, the real element count for real
+// plans (see SpectrumLen for the half-spectrum side).
 func (k PlanKey) Len() int {
 	n := k.D0
 	if k.Rank >= 2 {
@@ -65,22 +88,54 @@ func (k PlanKey) Len() int {
 	return n
 }
 
-// Plan is one cached executor. Rank-1 plans hold both the streaming
-// six-step plan (single large requests, and the shared-handle facade) and
-// the in-cache batch planner (coalesced pencil sweeps); rank-2/3 plans
-// wrap the core double-buffer executors with their persistent worker
-// teams.
+// SpectrumLen returns the Hermitian half-spectrum element count of a real
+// plan: the product of the dims with the last replaced by last/2+1. For
+// complex plans it equals Len.
+func (k PlanKey) SpectrumLen() int {
+	if !k.Real {
+		return k.Len()
+	}
+	last := k.lastDim()
+	return k.Len() / last * (last/2 + 1)
+}
+
+// Plan is one cached executor. Complex rank-1 plans hold both the
+// streaming six-step plan (single large requests, and the shared-handle
+// facade) and the in-cache batch planner (coalesced pencil sweeps);
+// complex rank-2/3 plans wrap the core double-buffer executors with their
+// persistent worker teams. Real plans wrap the core real-input stage-graph
+// executors; the rank-1 real plan batches natively (ForwardBatch /
+// InverseBatch run many packed rows in one pipeline sweep), so it serves
+// both the singleton and the coalesced path.
 type Plan struct {
 	key PlanKey
 	p1  *fft1dlarge.Plan
 	p1b *fft1d.Plan
 	p2  *core.Plan2D
 	p3  *core.Plan3D
+	r1  *core.RealPlan1D
+	r2  *core.RealPlan2D
+	r3  *core.RealPlan3D
 }
 
 func buildPlan(key PlanKey) (*Plan, error) {
 	cfg := key.Cfg
 	p := &Plan{key: key}
+	if key.Real {
+		var err error
+		switch key.Rank {
+		case 1:
+			p.r1, err = core.NewRealPlan1D(key.D0, cfg)
+		case 2:
+			p.r2, err = core.NewRealPlan2D(key.D0, key.D1, cfg)
+		case 3:
+			p.r3, err = core.NewRealPlan3D(key.D0, key.D1, key.D2, cfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
 	switch key.Rank {
 	case 1:
 		pl, err := fft1dlarge.NewPlan(key.D0, fft1dlarge.Options{
@@ -127,6 +182,15 @@ func (p *Plan) P2() *core.Plan2D { return p.p2 }
 // P3 returns the underlying 3D plan (nil unless rank 3).
 func (p *Plan) P3() *core.Plan3D { return p.p3 }
 
+// R1 returns the underlying real 1D plan (nil unless a real rank-1 key).
+func (p *Plan) R1() *core.RealPlan1D { return p.r1 }
+
+// R2 returns the underlying real 2D plan (nil unless a real rank-2 key).
+func (p *Plan) R2() *core.RealPlan2D { return p.r2 }
+
+// R3 returns the underlying real 3D plan (nil unless a real rank-3 key).
+func (p *Plan) R3() *core.RealPlan3D { return p.r3 }
+
 // Execute runs one out-of-place transform; inverse transforms are
 // normalized so Execute(inverse) ∘ Execute(forward) is the identity.
 func (p *Plan) Execute(dst, src []complex128, inverse bool) error {
@@ -171,6 +235,46 @@ func (p *Plan) ExecuteBatch(buf []complex128, count int, inverse bool) error {
 	return nil
 }
 
+// ExecuteReal runs one out-of-place real transform: forward reads the real
+// grid and writes its Hermitian half spectrum, inverse (normalized) reads
+// the half spectrum and writes the real grid. Fails unless the plan was
+// built from a real key.
+func (p *Plan) ExecuteReal(spec []complex128, re []float64, inverse bool) error {
+	switch {
+	case p.r1 != nil:
+		if inverse {
+			return p.r1.Inverse(re, spec)
+		}
+		return p.r1.Forward(spec, re)
+	case p.r2 != nil:
+		if inverse {
+			return p.r2.Inverse(re, spec)
+		}
+		return p.r2.Forward(spec, re)
+	case p.r3 != nil:
+		if inverse {
+			return p.r3.Inverse(re, spec)
+		}
+		return p.r3.Forward(spec, re)
+	default:
+		return fmt.Errorf("serve: real execution needs a real plan, key %+v is complex", p.key.Rank)
+	}
+}
+
+// ExecuteRealBatch transforms count contiguously packed real rank-1 rows
+// (re holds count·n reals, spec count·(n/2+1) half spectra) in one
+// pipeline sweep — the coalesced fast path for same-shape real 1D
+// requests.
+func (p *Plan) ExecuteRealBatch(spec []complex128, re []float64, count int, inverse bool) error {
+	if p.r1 == nil {
+		return fmt.Errorf("serve: batched real execution needs a real rank-1 plan, have rank %d", p.key.Rank)
+	}
+	if inverse {
+		return p.r1.InverseBatch(re, spec, count)
+	}
+	return p.r1.ForwardBatch(spec, re, count)
+}
+
 func (p *Plan) close() {
 	switch {
 	case p.p1 != nil:
@@ -179,6 +283,12 @@ func (p *Plan) close() {
 		p.p2.Close()
 	case p.p3 != nil:
 		p.p3.Close()
+	case p.r1 != nil:
+		p.r1.Close()
+	case p.r2 != nil:
+		p.r2.Close()
+	case p.r3 != nil:
+		p.r3.Close()
 	}
 }
 

@@ -20,6 +20,14 @@ type metrics struct {
 	batchedItems atomic.Uint64
 	bytesMoved   atomic.Uint64
 
+	// Per-kind plan accounting: one execution is one call into a cached
+	// plan (a coalesced batch counts once), split by complex vs real
+	// pipelines, with the matching request-level byte split.
+	execComplex  atomic.Uint64
+	execReal     atomic.Uint64
+	bytesComplex atomic.Uint64
+	bytesReal    atomic.Uint64
+
 	latency        [64]atomic.Uint64 // bucket i counts latencies in [2^i, 2^(i+1)) ns
 	latencySamples atomic.Uint64     // raw observations feeding the histogram
 	latencySumNs   atomic.Uint64     // sum of those observations
@@ -94,6 +102,13 @@ type Snapshot struct {
 
 	BytesMoved uint64 `json:"bytes_moved"`
 
+	// Plan executions and request bytes split by pipeline kind; the bytes
+	// split sums to BytesMoved.
+	ExecutionsComplex uint64 `json:"executions_complex"`
+	ExecutionsReal    uint64 `json:"executions_real"`
+	BytesMovedComplex uint64 `json:"bytes_moved_complex"`
+	BytesMovedReal    uint64 `json:"bytes_moved_real"`
+
 	P50LatencyNs int64 `json:"p50_latency_ns"`
 	P99LatencyNs int64 `json:"p99_latency_ns"`
 
@@ -124,8 +139,13 @@ func (m *metrics) snapshot() Snapshot {
 		Batches:      m.batches.Load(),
 		BatchedItems: m.batchedItems.Load(),
 		BytesMoved:   m.bytesMoved.Load(),
-		P50LatencyNs: int64(quantile(&counts, 0.50)),
-		P99LatencyNs: int64(quantile(&counts, 0.99)),
+
+		ExecutionsComplex: m.execComplex.Load(),
+		ExecutionsReal:    m.execReal.Load(),
+		BytesMovedComplex: m.bytesComplex.Load(),
+		BytesMovedReal:    m.bytesReal.Load(),
+		P50LatencyNs:      int64(quantile(&counts, 0.50)),
+		P99LatencyNs:      int64(quantile(&counts, 0.99)),
 	}
 	if s.Batches > 0 {
 		s.AvgBatch = float64(s.BatchedItems) / float64(s.Batches)

@@ -87,16 +87,26 @@ func (o Options) withDefaults() Options {
 // Request is one transform to execute: Rank and Dims select the plan,
 // Src/Dst the caller-owned buffers (len = product of dims; Dst is written
 // only on success). Inverse requests are normalized.
+//
+// Real selects the real-input (r2c/c2r) pipeline: Dims describe the real
+// grid (last dim even), and the buffers swap by direction — a forward real
+// request reads RealSrc (product of dims reals) and writes Dst (the
+// Hermitian half spectrum, last dim n/2+1); an inverse real request reads
+// Src (the half spectrum) and writes RealDst. The unused pair must be nil
+// or empty.
 type Request struct {
 	Rank    int
 	Dims    [3]int
 	Inverse bool
+	Real    bool
 	Dst     []complex128
 	Src     []complex128
+	RealDst []float64
+	RealSrc []float64
 }
 
 func (r Request) key(cfg core.Config) PlanKey {
-	return PlanKey{Rank: r.Rank, D0: r.Dims[0], D1: r.Dims[1], D2: r.Dims[2], Cfg: cfg}
+	return PlanKey{Rank: r.Rank, D0: r.Dims[0], D1: r.Dims[1], D2: r.Dims[2], Real: r.Real, Cfg: cfg}
 }
 
 // item states: a pending item may be claimed by an executor or cancelled
@@ -237,6 +247,34 @@ func validate(req *Request) error {
 		n *= d[1] * d[2]
 	default:
 		return fmt.Errorf("serve: rank must be 1, 2 or 3, got %d", req.Rank)
+	}
+	if req.Real {
+		last := d[req.Rank-1]
+		if last < 2 || last%2 != 0 {
+			return fmt.Errorf("serve: real request needs an even last dim ≥ 2, got %d", last)
+		}
+		spec := n / last * (last/2 + 1)
+		if req.Inverse {
+			if len(req.Src) != spec || len(req.RealDst) != n {
+				return fmt.Errorf("serve: inverse real request needs %d-element Src and %d-element RealDst, got %d and %d",
+					spec, n, len(req.Src), len(req.RealDst))
+			}
+			if len(req.Dst) != 0 || len(req.RealSrc) != 0 {
+				return fmt.Errorf("serve: inverse real request must leave Dst and RealSrc empty")
+			}
+			return nil
+		}
+		if len(req.RealSrc) != n || len(req.Dst) != spec {
+			return fmt.Errorf("serve: forward real request needs %d-element RealSrc and %d-element Dst, got %d and %d",
+				n, spec, len(req.RealSrc), len(req.Dst))
+		}
+		if len(req.Src) != 0 || len(req.RealDst) != 0 {
+			return fmt.Errorf("serve: forward real request must leave Src and RealDst empty")
+		}
+		return nil
+	}
+	if len(req.RealSrc) != 0 || len(req.RealDst) != 0 {
+		return fmt.Errorf("serve: complex request must leave RealSrc and RealDst empty (set Real for r2c/c2r)")
 	}
 	if len(req.Src) != n || len(req.Dst) != n {
 		return fmt.Errorf("serve: request needs %d-element src and dst, got %d and %d",
@@ -417,10 +455,11 @@ func (s *Server) dispatch() {
 }
 
 // sameBatch reports whether two requests can share one batched execution:
-// identical shape and direction (all requests already share the server's
-// Config).
+// identical shape, kind and direction (all requests already share the
+// server's Config).
 func sameBatch(a, b *item) bool {
-	return a.req.Rank == b.req.Rank && a.req.Dims == b.req.Dims && a.req.Inverse == b.req.Inverse
+	return a.req.Rank == b.req.Rank && a.req.Dims == b.req.Dims &&
+		a.req.Inverse == b.req.Inverse && a.req.Real == b.req.Real
 }
 
 // execute is one executor goroutine: it claims each batch's live items,
@@ -428,7 +467,8 @@ func sameBatch(a, b *item) bool {
 // settles every claimed item exactly once.
 func (s *Server) execute() {
 	defer s.workersWG.Done()
-	var coalesce []complex128 // per-executor scratch for batched pencils
+	var coalesce []complex128  // per-executor scratch for batched pencils
+	var realCoalesce []float64 // real-side scratch for batched real rows
 	for b := range s.batchCh {
 		if s.execGate != nil {
 			<-s.execGate
@@ -461,7 +501,40 @@ func (s *Server) execute() {
 		if s.opts.Tracer != nil {
 			start = time.Now()
 		}
-		if len(live) > 1 {
+		switch {
+		case len(live) > 1 && key.Real:
+			// Coalesced real pencils: pack the per-request real rows and
+			// half spectra into contiguous scratch, run one batched
+			// pipeline sweep, scatter the results back.
+			n, mc := key.Len(), key.SpectrumLen()
+			inverse := live[0].req.Inverse
+			if cap(realCoalesce) < n*len(live) {
+				realCoalesce = make([]float64, n*len(live))
+			}
+			if cap(coalesce) < mc*len(live) {
+				coalesce = make([]complex128, mc*len(live))
+			}
+			re := realCoalesce[:n*len(live)]
+			spec := coalesce[:mc*len(live)]
+			for i, it := range live {
+				if inverse {
+					copy(spec[i*mc:(i+1)*mc], it.req.Src)
+				} else {
+					copy(re[i*n:(i+1)*n], it.req.RealSrc)
+				}
+			}
+			err = plan.ExecuteRealBatch(spec, re, len(live), inverse)
+			if err == nil {
+				for i, it := range live {
+					if inverse {
+						copy(it.req.RealDst, re[i*n:(i+1)*n])
+					} else {
+						copy(it.req.Dst, spec[i*mc:(i+1)*mc])
+					}
+				}
+			}
+			s.settle(live, err)
+		case len(live) > 1:
 			n := key.Len()
 			if cap(coalesce) < n*len(live) {
 				coalesce = make([]complex128, n*len(live))
@@ -477,10 +550,25 @@ func (s *Server) execute() {
 				}
 			}
 			s.settle(live, err)
-		} else {
+		case key.Real:
+			it := live[0]
+			if it.req.Inverse {
+				err = plan.ExecuteReal(it.req.Src, it.req.RealDst, true)
+			} else {
+				err = plan.ExecuteReal(it.req.Dst, it.req.RealSrc, false)
+			}
+			s.settle(live, err)
+		default:
 			it := live[0]
 			err = plan.Execute(it.req.Dst, it.req.Src, it.req.Inverse)
 			s.settle(live, err)
+		}
+		if err == nil {
+			if key.Real {
+				s.m.execReal.Add(1)
+			} else {
+				s.m.execComplex.Add(1)
+			}
 		}
 		release()
 		if s.opts.Tracer != nil {
@@ -501,13 +589,27 @@ func (s *Server) settle(items []*item, err error) {
 		s.m.failed.Add(uint64(len(items)))
 	} else {
 		s.m.completed.Add(uint64(len(items)))
-		var bytes uint64
+		var bytesC, bytesR uint64
 		for _, it := range items {
-			// One request reads Src and writes Dst once: 32 bytes moved
-			// per complex element end to end.
-			bytes += uint64(32 * len(it.req.Src))
+			if it.req.Real {
+				// Real requests move 8 bytes per real element on one side
+				// and 16 per half-spectrum element on the other; exactly one
+				// of each buffer pair is populated per direction.
+				bytesR += uint64(8*(len(it.req.RealSrc)+len(it.req.RealDst)) +
+					16*(len(it.req.Src)+len(it.req.Dst)))
+			} else {
+				// One request reads Src and writes Dst once: 32 bytes moved
+				// per complex element end to end.
+				bytesC += uint64(32 * len(it.req.Src))
+			}
 		}
-		s.m.bytesMoved.Add(bytes)
+		s.m.bytesMoved.Add(bytesC + bytesR)
+		if bytesC > 0 {
+			s.m.bytesComplex.Add(bytesC)
+		}
+		if bytesR > 0 {
+			s.m.bytesReal.Add(bytesR)
+		}
 	}
 	for _, it := range items {
 		if !it.enqueued.IsZero() {

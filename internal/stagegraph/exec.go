@@ -271,6 +271,12 @@ func (e *Executor) Close() {
 // Workers returns (dataWorkers, computeWorkers).
 func (e *Executor) Workers() (int, int) { return e.dataWorkers, e.computeWorkers }
 
+// SetObs swaps the collector the next Run records into. Plans whose forward
+// and inverse graphs account into separate collectors (the real-transform
+// plans) call this under their own lock between runs; it must not be called
+// while a Run is in flight. Nil disables recording.
+func (e *Executor) SetObs(c *obs.Collector) { e.obs = c }
+
 // worker is the persistent body of one pinned worker: park on the start
 // barrier, play the published schedule, meet at the finish barrier, repeat.
 func (e *Executor) worker(role affinity.Role, slot, workers int) {

@@ -24,12 +24,19 @@ import (
 )
 
 // Endpoint is one side of a stage's data movement: a complex-interleaved
-// array, a split (block-interleaved) pair, or an opaque block writer (used
-// by the multi-socket plans to route stores through NUMA traffic
-// accounting). Exactly one representation must be set.
+// array, a split (block-interleaved) pair, a pair-packed real array, or an
+// opaque block writer (used by the multi-socket plans to route stores
+// through NUMA traffic accounting). Exactly one representation must be set.
 type Endpoint struct {
 	C      []complex128
 	Re, Im []float64
+	// R is a pair-packed real array: logical complex element o of the
+	// endpoint is the float pair (R[2o], R[2o+1]). Real-input transforms
+	// bind their []float64 rows here, so the real↔complex format change is
+	// fused into the streaming load/store (8 B of traffic per real element,
+	// 16 B per packed element — identical to the complex accounting unit).
+	// Interleaved buffers only.
+	R []float64
 	// WriteC, when set, receives every stored block instead of a direct
 	// copy into C (destination endpoints only).
 	WriteC func(off int, block []complex128)
@@ -38,9 +45,11 @@ type Endpoint struct {
 func (e Endpoint) valid(dst bool) bool {
 	switch {
 	case e.Re != nil || e.Im != nil:
-		return e.Re != nil && e.Im != nil && e.C == nil && e.WriteC == nil
+		return e.Re != nil && e.Im != nil && e.C == nil && e.WriteC == nil && e.R == nil
 	case e.WriteC != nil:
-		return dst && e.C == nil
+		return dst && e.C == nil && e.R == nil
+	case e.R != nil:
+		return e.C == nil
 	default:
 		return e.C != nil
 	}
@@ -170,6 +179,9 @@ func (st *Stage) validate(i int, b *Buffers) error {
 		if b.Split && st.Dst.WriteC != nil {
 			return fmt.Errorf("stagegraph: stage %d (%s): WriteC Dst with split buffers", i, st.Name)
 		}
+		if b.Split && (st.Src.R != nil || st.Dst.R != nil) {
+			return fmt.Errorf("stagegraph: stage %d (%s): pair-packed real endpoint with split buffers", i, st.Name)
+		}
 	}
 	return nil
 }
@@ -244,6 +256,13 @@ func (st *Stage) load(b *Buffers, half, iter, worker, workers int) int {
 		}
 		return (hi - lo) * complexBytes
 	}
+	if st.Src.R != nil {
+		// Fused pair-pack: 2·(hi−lo) reals stream in as (hi−lo) packed
+		// complex elements — the same complexBytes per buffer element as
+		// every other load, i.e. 8 B per real element.
+		layout.PackPairs(b.C[half][lo:hi], st.Src.R[2*(base+lo):], hi-lo)
+		return (hi - lo) * complexBytes
+	}
 	copy(b.C[half][lo:hi], st.Src.C[base+lo:base+hi])
 	return (hi - lo) * complexBytes
 }
@@ -295,15 +314,18 @@ func (st *Stage) storeRun(b *Buffers, half, d0, stride, s, run int) {
 	switch {
 	case st.StoreFromStaging:
 		src := b.T[half][s : s+n]
-		if st.Dst.WriteC != nil {
+		switch {
+		case st.Dst.WriteC != nil:
 			d := d0
 			for j := 0; j < run; j++ {
 				st.Dst.WriteC(d, src[j*bl:(j+1)*bl])
 				d += stride
 			}
-			return
+		case st.Dst.R != nil:
+			layout.ScatterBlocksPairs(st.Dst.R, src, run, bl, d0, stride)
+		default:
+			layout.ScatterBlocks(st.Dst.C, src, run, bl, d0, stride)
 		}
-		layout.ScatterBlocks(st.Dst.C, src, run, bl, d0, stride)
 	case b.Split && st.Dst.Re != nil:
 		layout.ScatterBlocksSplit(st.Dst.Re, st.Dst.Im,
 			b.Re[half][s:s+n], b.Im[half][s:s+n], run, bl, d0, stride)
@@ -317,6 +339,8 @@ func (st *Stage) storeRun(b *Buffers, half, d0, stride, s, run int) {
 			st.Dst.WriteC(d, src[j*bl:(j+1)*bl])
 			d += stride
 		}
+	case st.Dst.R != nil:
+		layout.ScatterBlocksPairs(st.Dst.R, b.C[half][s:s+n], run, bl, d0, stride)
 	default:
 		layout.ScatterBlocks(st.Dst.C, b.C[half][s:s+n], run, bl, d0, stride)
 	}
@@ -326,9 +350,12 @@ func (st *Stage) writeBlock(b *Buffers, half, d, s, n int) {
 	switch {
 	case st.StoreFromStaging:
 		src := b.T[half][s : s+n]
-		if st.Dst.WriteC != nil {
+		switch {
+		case st.Dst.WriteC != nil:
 			st.Dst.WriteC(d, src)
-		} else {
+		case st.Dst.R != nil:
+			layout.UnpackPairs(st.Dst.R[2*d:], src, n)
+		default:
 			copy(st.Dst.C[d:d+n], src)
 		}
 	case b.Split && st.Dst.Re != nil:
@@ -342,6 +369,8 @@ func (st *Stage) writeBlock(b *Buffers, half, d, s, n int) {
 		}
 	case st.Dst.WriteC != nil:
 		st.Dst.WriteC(d, b.C[half][s:s+n])
+	case st.Dst.R != nil:
+		layout.UnpackPairs(st.Dst.R[2*d:], b.C[half][s:s+n], n)
 	default:
 		copy(st.Dst.C[d:d+n], b.C[half][s:s+n])
 	}

@@ -26,18 +26,18 @@ func NewSharedPlans(capacity int) *SharedPlans {
 	return &SharedPlans{c: serve.NewPlanCache(capacity)}
 }
 
-func (s *SharedPlans) get(rank, d0, d1, d2 int, opts []Option) (*serve.Plan, func(), error) {
+func (s *SharedPlans) get(rank, d0, d1, d2 int, real bool, opts []Option) (*serve.Plan, func(), error) {
 	cfg, err := resolve(opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.c.Get(serve.PlanKey{Rank: rank, D0: d0, D1: d1, D2: d2, Cfg: cfg})
+	return s.c.Get(serve.PlanKey{Rank: rank, D0: d0, D1: d1, D2: d2, Real: real, Cfg: cfg})
 }
 
 // FFT1D returns a shared 1D plan handle for size n. Close the handle to
 // release its pin on the pool; the handle must not be used after Close.
 func (s *SharedPlans) FFT1D(n int, opts ...Option) (*FFT1D, error) {
-	p, release, err := s.get(1, n, 0, 0, opts)
+	p, release, err := s.get(1, n, 0, 0, false, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -46,7 +46,7 @@ func (s *SharedPlans) FFT1D(n int, opts ...Option) (*FFT1D, error) {
 
 // FFT2D returns a shared 2D plan handle for n×m matrices.
 func (s *SharedPlans) FFT2D(n, m int, opts ...Option) (*FFT2D, error) {
-	p, release, err := s.get(2, n, m, 0, opts)
+	p, release, err := s.get(2, n, m, 0, false, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -55,11 +55,40 @@ func (s *SharedPlans) FFT2D(n, m int, opts ...Option) (*FFT2D, error) {
 
 // FFT3D returns a shared 3D plan handle for k×n×m cubes.
 func (s *SharedPlans) FFT3D(k, n, m int, opts ...Option) (*FFT3D, error) {
-	p, release, err := s.get(3, k, n, m, opts)
+	p, release, err := s.get(3, k, n, m, false, opts)
 	if err != nil {
 		return nil, err
 	}
 	return &FFT3D{p: p.P3(), release: release}, nil
+}
+
+// RealFFT1D returns a shared real-input 1D plan handle for even size n.
+func (s *SharedPlans) RealFFT1D(n int, opts ...Option) (*RealFFT1D, error) {
+	p, release, err := s.get(1, n, 0, 0, true, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &RealFFT1D{p: p.R1(), release: release}, nil
+}
+
+// RealFFT2D returns a shared real-input 2D plan handle for n×m grids
+// (m even).
+func (s *SharedPlans) RealFFT2D(n, m int, opts ...Option) (*RealFFT2D, error) {
+	p, release, err := s.get(2, n, m, 0, true, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &RealFFT2D{p: p.R2(), release: release}, nil
+}
+
+// RealFFT3D returns a shared real-input 3D plan handle for k×n×m grids
+// (m even).
+func (s *SharedPlans) RealFFT3D(k, n, m int, opts ...Option) (*RealFFT3D, error) {
+	p, release, err := s.get(3, k, n, m, true, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &RealFFT3D{p: p.R3(), release: release}, nil
 }
 
 // Close evicts every plan in the pool. Plans without outstanding handles

@@ -56,3 +56,61 @@ func TestSharedPlans(t *testing.T) {
 	b.Close()
 	c.Close()
 }
+
+// TestSharedPlansReal covers the real-input shared constructors: same-shape
+// real handles share one plan, real and complex plans of the same dims
+// never collide, and shared real handles transform correctly.
+func TestSharedPlansReal(t *testing.T) {
+	pool := NewSharedPlans(4)
+	defer pool.Close()
+	opts := []Option{WithWorkers(1, 1), WithBufferElems(1 << 10)}
+
+	a, err := pool.RealFFT2D(16, 32, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pool.RealFFT2D(16, 32, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.p != b.p {
+		t.Fatal("same-shape shared real handles got distinct plans")
+	}
+	// A complex plan of the same dims is a different cache entry.
+	if _, err := pool.FFT2D(16, 32, opts...); err != nil {
+		t.Fatal(err)
+	}
+	if s := pool.Stats(); s.Misses != 2 {
+		t.Fatalf("real and complex 16×32 should be 2 misses, got %+v", s)
+	}
+
+	src := make([]float64, a.RealLen())
+	for i := range src {
+		src[i] = float64(i%13) - 6
+	}
+	spec := make([]complex128, a.SpectrumLen())
+	back := make([]float64, a.RealLen())
+	if err := a.Forward(spec, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Inverse(back, spec); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if d := back[i] - src[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("shared real round trip off at %d", i)
+		}
+	}
+	a.Close()
+	b.Close()
+
+	if _, err := pool.RealFFT1D(64, opts...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.RealFFT3D(4, 4, 8, opts...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.RealFFT1D(63, opts...); err == nil {
+		t.Fatal("shared real 1D accepted odd n")
+	}
+}
