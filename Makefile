@@ -9,13 +9,21 @@ RACE_PKGS = . ./internal/pipeline ./internal/stagegraph ./internal/fft2d \
             ./internal/fft3d ./internal/fft1dlarge ./internal/fft1d \
             ./internal/lru ./internal/serve ./internal/rfft
 
-.PHONY: ci vet lint build test race bench benchsmoke benchjson benchcmp \
-        servesmoke obssmoke fmt
+# Packages carrying the SIMD codelet tier and its dispatch: they run a
+# second test pass under -tags purego to prove the pure-Go fallback stays
+# correct on its own (the tag forces the Generic kernels everywhere).
+PUREGO_PKGS = ./internal/kernels ./internal/layout ./internal/cpufeat \
+              ./internal/stagegraph ./internal/fft1d ./internal/fft2d \
+              ./internal/fft3d ./internal/tune ./internal/machine
 
-ci: vet lint build test race benchsmoke servesmoke obssmoke benchjson benchcmp
+.PHONY: ci vet lint build test purego crossbuild asmgen race bench \
+        benchsmoke benchjson benchcmp servesmoke obssmoke fmt
+
+ci: vet lint build crossbuild test purego race benchsmoke servesmoke obssmoke benchjson benchcmp
 
 vet:
 	$(GO) vet ./...
+	$(GO) vet -tags purego ./...
 
 # Static analysis beyond vet when the tools are installed (staticcheck,
 # govulncheck); silently reduces to vet-only on machines without them so
@@ -37,6 +45,22 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The pure-Go fallback must pass the same tests as the assembly tier.
+purego:
+	$(GO) test -tags purego $(PUREGO_PKGS)
+
+# Cross-compile check: the non-amd64 build (no .s files, generic dispatch)
+# must keep compiling even though this host never runs it.
+crossbuild:
+	GOARCH=arm64 GOOS=linux $(GO) build ./...
+
+# Regenerate the committed AVX2 assembly from the generator. Run after
+# editing internal/kernels/asm and commit the resulting .s files; ci
+# builds never invoke the generator.
+asmgen:
+	$(GO) run ./internal/kernels/asm
+	$(GO) vet ./internal/kernels ./internal/layout
 
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)

@@ -44,6 +44,13 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	// Every run states the kernel configuration up front: benchmark
+	// numbers from different tiers are not comparable, and the JSON
+	// reports carry the same identification in their meta block.
+	meta := bench.CurrentMeta()
+	fmt.Fprintf(os.Stderr, "fftbench: cpu features: %s; kernel tier: %s; non-temporal stores: %v\n",
+		meta.CPUFeatures, meta.KernelTier, meta.NonTemporal)
+
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {

@@ -72,7 +72,25 @@ func ReadReport(path string) (JSONReport, error) {
 	return rep, nil
 }
 
-// CompareFiles diffs two report files; see CompareReports.
+// CheckComparable reports whether two reports were measured under the
+// same kernel configuration. Reports from different tiers (AVX2 vs pure
+// Go fallback) are never silently compared: a tier switch would read as
+// a large spurious regression or improvement. Reports without a meta
+// block (written before the SIMD codelet tier existed) are accepted
+// against anything, so the first post-tier comparison still works.
+func CheckComparable(old, new JSONReport) error {
+	if old.Meta == nil || new.Meta == nil {
+		return nil
+	}
+	if old.Meta.KernelTier != new.Meta.KernelTier {
+		return fmt.Errorf("bench: kernel tier mismatch: old report measured %q, new %q — regenerate the baseline on this tier",
+			old.Meta.KernelTier, new.Meta.KernelTier)
+	}
+	return nil
+}
+
+// CompareFiles diffs two report files; see CompareReports. It refuses
+// to compare reports measured under different kernel tiers.
 func CompareFiles(oldPath, newPath string, threshold float64) ([]Regression, error) {
 	old, err := ReadReport(oldPath)
 	if err != nil {
@@ -80,6 +98,9 @@ func CompareFiles(oldPath, newPath string, threshold float64) ([]Regression, err
 	}
 	new, err := ReadReport(newPath)
 	if err != nil {
+		return nil, err
+	}
+	if err := CheckComparable(old, new); err != nil {
 		return nil, err
 	}
 	return CompareReports(old, new, threshold), nil

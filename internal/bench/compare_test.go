@@ -92,3 +92,45 @@ func TestCompareFilesRoundTrip(t *testing.T) {
 		t.Fatal("missing file must error")
 	}
 }
+
+func TestCheckComparableTierGuard(t *testing.T) {
+	avx2 := JSONReport{Meta: &MetaJSON{KernelTier: "avx2", CPUFeatures: "avx avx2 fma"}}
+	generic := JSONReport{Meta: &MetaJSON{KernelTier: "generic", CPUFeatures: "none"}}
+	legacy := JSONReport{} // pre-meta snapshot
+
+	if err := CheckComparable(avx2, avx2); err != nil {
+		t.Fatalf("same-tier comparison rejected: %v", err)
+	}
+	if err := CheckComparable(avx2, generic); err == nil {
+		t.Fatal("cross-tier comparison accepted")
+	}
+	// A meta-less baseline stays comparable against anything so the first
+	// post-tier benchcmp still runs.
+	if err := CheckComparable(legacy, avx2); err != nil {
+		t.Fatalf("legacy old report rejected: %v", err)
+	}
+	if err := CheckComparable(generic, legacy); err != nil {
+		t.Fatalf("legacy new report rejected: %v", err)
+	}
+}
+
+func TestCompareFilesTierMismatchFails(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	os.WriteFile(oldPath, []byte(`{"meta":{"kernel_tier":"generic"},"entries":[{"name":"k","gb_per_s":10}]}`), 0o644)
+	os.WriteFile(newPath, []byte(`{"meta":{"kernel_tier":"avx2"},"entries":[{"name":"k","gb_per_s":30}]}`), 0o644)
+	if _, err := CompareFiles(oldPath, newPath, 0.10); err == nil {
+		t.Fatal("tier mismatch must error")
+	}
+}
+
+func TestCurrentMetaConsistent(t *testing.T) {
+	m := CurrentMeta()
+	if m.KernelTier != "avx2" && m.KernelTier != "generic" {
+		t.Fatalf("KernelTier = %q", m.KernelTier)
+	}
+	if m.CPUFeatures == "" {
+		t.Fatal("CPUFeatures empty")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/cpufeat"
 	"repro/internal/fft1d"
 	"repro/internal/fft2d"
 	"repro/internal/fft3d"
@@ -54,16 +55,40 @@ type StageJSON struct {
 	FracStreamPeak float64 `json:"frac_stream_peak"`
 }
 
+// MetaJSON identifies the kernel configuration a report was measured
+// under. Snapshots from different kernel tiers (AVX2 vs pure Go) are not
+// comparable — benchcmp refuses to diff reports whose tiers differ
+// rather than flag a tier switch as a performance change.
+type MetaJSON struct {
+	// CPUFeatures is cpufeat.Summary(): e.g. "avx avx2 fma", or "none".
+	CPUFeatures string `json:"cpu_features"`
+	// KernelTier is kernels.Tier(): "avx2" or "generic".
+	KernelTier string `json:"kernel_tier"`
+	// NonTemporal reports whether the streaming-store tier was available.
+	NonTemporal bool `json:"non_temporal"`
+}
+
 // JSONReport is the full emission of WriteJSON: host identification, the
 // STREAM copy bandwidth every entry is normalized against, and the entries.
 // Reports are written as BENCH_<stamp>.json files and diffed across commits
-// to track the performance trajectory.
+// to track the performance trajectory. Meta is nil in reports written
+// before the SIMD codelet tier existed.
 type JSONReport struct {
 	GOOS          string      `json:"goos"`
 	GOARCH        string      `json:"goarch"`
 	NumCPU        int         `json:"num_cpu"`
+	Meta          *MetaJSON   `json:"meta,omitempty"`
 	StreamCopyGBs float64     `json:"stream_copy_gb_per_s"`
 	Entries       []JSONEntry `json:"entries"`
+}
+
+// CurrentMeta describes the kernel configuration this process runs with.
+func CurrentMeta() MetaJSON {
+	return MetaJSON{
+		CPUFeatures: cpufeat.Summary(),
+		KernelTier:  kernels.Tier(),
+		NonTemporal: layout.NonTemporalAvailable(),
+	}
 }
 
 // JSONConfig sizes a WriteJSON run.
@@ -160,10 +185,12 @@ func runCase(c jsonCase, cfg JSONConfig) (JSONEntry, error) {
 // normalized against this host's STREAM copy bandwidth.
 func WriteJSON(w io.Writer, cfg JSONConfig) error {
 	cfg = cfg.withDefaults()
+	meta := CurrentMeta()
 	rep := JSONReport{
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
+		Meta:          &meta,
 		StreamCopyGBs: stream.BestCopyGBs(stream.Config{Elems: cfg.StreamElems, Trials: 3}),
 	}
 
@@ -338,7 +365,11 @@ func jsonCases(streamGBs float64) ([]jsonCase, error) {
 		})
 	}
 
-	// One batched radix-8 sweep: reads and writes every element once.
+	// Batched butterfly sweeps: each reads and writes every element once,
+	// so 32 B of traffic per complex element (16 B per split float pair on
+	// both planes — the same accounting). These are the kernels the SIMD
+	// codelet tier accelerates; their frac_stream_peak is the direct
+	// measure of how close the compute stage runs to the memory wall.
 	{
 		const n, pencils = 4096, 16
 		src := make([]complex128, pencils*n)
@@ -346,15 +377,52 @@ func jsonCases(streamGBs float64) ([]jsonCase, error) {
 			src[i] = complex(float64(i%23)-11, float64(i%19)-9)
 		}
 		dst := make([]complex128, len(src))
-		tw := kernels.NewStageTwiddles(n, 8, kernels.Forward)
-		cases = append(cases, jsonCase{
-			name:       "kernels/BatchRadix8Step",
-			bytesPerOp: int64(len(src)) * 32,
-			fn: func() error {
-				kernels.BatchRadix8Step(dst, src, pencils, n, n/8, 1, kernels.Forward, tw)
-				return nil
+		tw8 := kernels.NewStageTwiddles(n, 8, kernels.Forward)
+		tw4 := kernels.NewStageTwiddles(n, 4, kernels.Forward)
+		stw8 := kernels.NewSplitTwiddles(tw8)
+		stw4 := kernels.NewSplitTwiddles(tw4)
+		srcRe := make([]float64, len(src))
+		srcIm := make([]float64, len(src))
+		for i, c := range src {
+			srcRe[i], srcIm[i] = real(c), imag(c)
+		}
+		dstRe := make([]float64, len(src))
+		dstIm := make([]float64, len(src))
+		bytes := int64(len(src)) * 32
+		cases = append(cases,
+			jsonCase{
+				name:       "kernels/BatchRadix8Step",
+				bytesPerOp: bytes,
+				fn: func() error {
+					kernels.BatchRadix8Step(dst, src, pencils, n, n/8, 1, kernels.Forward, tw8)
+					return nil
+				},
 			},
-		})
+			jsonCase{
+				name:       "kernels/BatchRadix4Step",
+				bytesPerOp: bytes,
+				fn: func() error {
+					kernels.BatchRadix4Step(dst, src, pencils, n, n/4, 1, kernels.Forward, tw4)
+					return nil
+				},
+			},
+			jsonCase{
+				name:       "kernels/BatchSplitRadix8Step",
+				bytesPerOp: bytes,
+				fn: func() error {
+					kernels.BatchSplitRadix8Step(dstRe, dstIm, srcRe, srcIm, pencils, n, n/8, 1, kernels.Forward, stw8)
+					return nil
+				},
+			},
+			jsonCase{
+				name:       "kernels/BatchSplitRadix4Step",
+				bytesPerOp: bytes,
+				fn: func() error {
+					kernels.BatchSplitRadix4Step(dstRe, dstIm, srcRe, srcIm, pencils, n, n/4, 1, kernels.Forward, stw4)
+					return nil
+				},
+			},
+		)
 	}
 
 	// Whole double-buffered transforms. Traffic model: each of the D stages

@@ -1,0 +1,49 @@
+// Package cpufeat detects the host CPU's SIMD capabilities at startup so
+// the kernel tier can be chosen at runtime: the hand-scheduled AVX2/FMA
+// codelets in internal/kernels and the non-temporal store paths in
+// internal/layout are only eligible when the hardware (and the OS, via
+// XGETBV) actually supports them. On non-amd64 architectures, and under
+// the `purego` build tag, every feature reports false and the pure-Go
+// tier runs everywhere — the same fallback contract the paper's generated
+// codelets have against their scalar reference.
+package cpufeat
+
+import "strings"
+
+// Features describes the x86 SIMD capabilities relevant to this
+// repository's kernels. All fields are false on non-x86 hosts and under
+// the purego build tag.
+type Features struct {
+	// HasAVX reports VEX-encoded 256-bit float support with OS-enabled
+	// YMM state (checked through XGETBV, not just the CPUID bit).
+	HasAVX bool
+	// HasAVX2 reports 256-bit integer/permute extensions (the codelet
+	// tier's baseline together with FMA).
+	HasAVX2 bool
+	// HasFMA reports fused multiply-add (VFMADD*/VFMADDSUB*).
+	HasFMA bool
+}
+
+// X86 holds the detected features of the running CPU. It is populated in
+// an arch-specific init and must be treated as read-only.
+var X86 Features
+
+// Summary returns a short space-separated feature list for benchmark
+// headers and snapshot metadata, e.g. "avx avx2 fma"; "none" when no
+// relevant feature is available (or detection is compiled out).
+func Summary() string {
+	var fs []string
+	if X86.HasAVX {
+		fs = append(fs, "avx")
+	}
+	if X86.HasAVX2 {
+		fs = append(fs, "avx2")
+	}
+	if X86.HasFMA {
+		fs = append(fs, "fma")
+	}
+	if len(fs) == 0 {
+		return "none"
+	}
+	return strings.Join(fs, " ")
+}

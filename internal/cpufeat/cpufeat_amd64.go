@@ -1,0 +1,37 @@
+//go:build amd64 && !purego
+
+package cpufeat
+
+// cpuid executes the CPUID instruction with the given leaf/subleaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (the OS-enabled state mask).
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		cpuidFMA     = 1 << 12
+		cpuidOSXSAVE = 1 << 27
+		cpuidAVX     = 1 << 28
+	)
+	// AVX (and everything above it) is only usable when the OS saves and
+	// restores YMM state: XGETBV(0) must report both XMM (bit 1) and YMM
+	// (bit 2) enabled.
+	osYMM := false
+	if ecx1&cpuidOSXSAVE != 0 {
+		lo, _ := xgetbv()
+		osYMM = lo&0x6 == 0x6
+	}
+	X86.HasAVX = osYMM && ecx1&cpuidAVX != 0
+	X86.HasFMA = osYMM && ecx1&cpuidFMA != 0
+	if maxLeaf >= 7 && X86.HasAVX {
+		_, ebx7, _, _ := cpuid(7, 0)
+		const cpuidAVX2 = 1 << 5
+		X86.HasAVX2 = ebx7&cpuidAVX2 != 0
+	}
+}

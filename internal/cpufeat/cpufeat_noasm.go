@@ -1,0 +1,6 @@
+//go:build !amd64 || purego
+
+package cpufeat
+
+// No detection: X86 keeps its zero value and every feature reports
+// false, which routes all kernel dispatch to the pure-Go tier.

@@ -1,0 +1,31 @@
+package cpufeat
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestSummaryListsDetectedFeatures(t *testing.T) {
+	s := Summary()
+	if s == "" {
+		t.Fatal("Summary returned empty string")
+	}
+	if X86.HasAVX2 && !strings.Contains(s, "avx2") {
+		t.Fatalf("Summary %q missing avx2 despite X86.HasAVX2", s)
+	}
+	if !X86.HasAVX && !X86.HasAVX2 && !X86.HasFMA && s != "none" {
+		t.Fatalf("Summary %q, want \"none\" with no features", s)
+	}
+}
+
+func TestAVX2ImpliesAVX(t *testing.T) {
+	// The init gates AVX2 on AVX's OS-support check, so the combination
+	// AVX2-without-AVX must be impossible on every host.
+	if X86.HasAVX2 && !X86.HasAVX {
+		t.Fatal("HasAVX2 set without HasAVX")
+	}
+	if runtime.GOARCH != "amd64" && (X86.HasAVX || X86.HasAVX2 || X86.HasFMA) {
+		t.Fatal("x86 features detected on non-amd64 host")
+	}
+}

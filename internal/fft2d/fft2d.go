@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"repro/internal/fft1d"
+	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/stagegraph"
@@ -57,11 +58,15 @@ func (s Strategy) String() string {
 // Options configure a plan. Zero values select sensible defaults.
 type Options struct {
 	Strategy Strategy
-	// Mu is the cacheline block size in complex elements (default 4,
-	// one 64-byte line of doubles; complex128 counts as two lanes).
+	// Mu is the cacheline block size in complex elements. The default is
+	// machine.PreferredMu(m) — the largest of 8, 4, 2 dividing m — since
+	// μ=8 spans two full 64-byte lines and measures ~0.95 of STREAM peak
+	// on the blocked transpose against ~0.65 for μ=4.
 	Mu int
-	// BufferElems is the per-half block size b in complex elements
-	// (default 1<<16). The engine uses two halves of this size. The
+	// BufferElems is the per-half block size b in complex elements. The
+	// default is machine.PreferredBufferElems() — sized so both halves
+	// stay resident in the host's L2 alongside the streamed source and
+	// destination. The engine uses two halves of this size. The
 	// effective value is rounded down so every stage has an integral
 	// number of whole blocks.
 	BufferElems int
@@ -82,16 +87,20 @@ type Options struct {
 	// pipeline before the next begins, as if run by a separate engine
 	// invocation (the A/B baseline; fusion is on by default).
 	Unfused bool
+	// StorePolicy selects cached vs streaming (non-temporal) block stores
+	// for the DoubleBuf stages. The default StoreAuto picks streaming
+	// stores when the transform's per-stage destination footprint exceeds
+	// half the host LLC; ReviseStorePolicy can re-decide from telemetry.
+	StorePolicy stagegraph.StorePolicy
 	// Tracer records pipeline events for schedule verification.
 	Tracer *trace.Recorder
 }
 
 func (o Options) withDefaults() Options {
-	if o.Mu == 0 {
-		o.Mu = 4
-	}
+	// Mu's default needs the transform size; NewPlan fills it via
+	// machine.PreferredMu.
 	if o.BufferElems == 0 {
-		o.BufferElems = 1 << 16
+		o.BufferElems = machine.PreferredBufferElems()
 	}
 	if o.DataWorkers == 0 {
 		o.DataWorkers = 1
@@ -153,6 +162,10 @@ func NewPlan(n, m int, opts Options) (*Plan, error) {
 	p := &Plan{n: n, m: m, opts: opts,
 		rowPlan: fft1d.NewPlanRadix(m, opts.Radix), colPlan: fft1d.NewPlanRadix(n, opts.Radix)}
 	if opts.Strategy == DoubleBuf {
+		if opts.Mu == 0 {
+			opts.Mu = machine.PreferredMu(m)
+			p.opts.Mu = opts.Mu
+		}
 		mu := opts.Mu
 		if mu < 1 {
 			return nil, fmt.Errorf("fft2d: μ=%d, need ≥ 1", mu)
@@ -175,6 +188,8 @@ func NewPlan(n, m int, opts Options) (*Plan, error) {
 		}
 		p.bufs = stagegraph.NewBuffers(b, opts.SplitFormat, false)
 		p.stages = p.buildStages(nil, nil)
+		stagegraph.ApplyStorePolicy(p.stages,
+			opts.StorePolicy.Decide(p.destBytes(), machine.HostLLCBytes()))
 		p.sched = stagegraph.Compile(p.stages, !opts.Unfused)
 		names := make([]string, len(p.stages))
 		for i := range p.stages {
@@ -288,6 +303,55 @@ func (p *Plan) Obs() *obs.Collector { return p.obs }
 // Observability returns the merged bandwidth-accounting snapshot of every
 // transform this plan has executed.
 func (p *Plan) Observability() obs.Snapshot { return p.obs.Snapshot() }
+
+// Mu returns the effective cacheline block size the plan runs with
+// (after defaulting; 0 for plans built before defaulting, i.e. never).
+func (p *Plan) Mu() int { return p.opts.Mu }
+
+// destBytes is the per-stage destination footprint the store policy
+// weighs against the LLC: every DoubleBuf stage writes the full n·m
+// matrix (16 B per complex element in either buffer format).
+func (p *Plan) destBytes() int { return p.n * p.m * 16 }
+
+// NonTemporalStages reports how many of the plan's cached stages
+// currently route stores through the streaming tier (0 for non-DoubleBuf
+// strategies).
+func (p *Plan) NonTemporalStages() int {
+	if p.opts.Strategy != DoubleBuf {
+		return 0
+	}
+	p.lock.Lock()
+	defer p.lock.Unlock()
+	nt := 0
+	for i := range p.stages {
+		if p.stages[i].NonTemporal {
+			nt++
+		}
+	}
+	return nt
+}
+
+// ReviseStorePolicy re-decides the per-stage store tier from the
+// bandwidth telemetry collected so far: StoreAuto plans whose measured
+// store bandwidth runs below half the roofline (or whose data time
+// diverges ≥1.5× from the perf model) on a spilling footprint switch
+// that stage to streaming stores; stages whose footprint fits in cache
+// revert. Forced policies (StoreRegular/StoreNonTemporal) never revise.
+// It returns the number of stages whose tier changed. Call it between
+// transforms — typically after a warmup run — never concurrently with
+// one.
+func (p *Plan) ReviseStorePolicy() int {
+	if p.opts.Strategy != DoubleBuf || p.opts.StorePolicy != stagegraph.StoreAuto {
+		return 0
+	}
+	p.lock.Lock()
+	defer p.lock.Unlock()
+	if p.closed {
+		return 0
+	}
+	return stagegraph.ReviseStores(p.stages, p.obs.Snapshot(),
+		machine.HostLLCBytes(), p.destBytes())
+}
 
 // DescribeGraph renders the compiled stage graph the plan would execute;
 // empty for non-DoubleBuf strategies.

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"repro/internal/fft1d"
+	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/stagegraph"
@@ -62,10 +63,15 @@ func (s Strategy) String() string {
 // Options configure a plan. Zero values select sensible defaults.
 type Options struct {
 	Strategy Strategy
-	// Mu is the cacheline block size in complex elements (default 4).
+	// Mu is the cacheline block size in complex elements. The default is
+	// machine.PreferredMu(m) — the largest of 8, 4, 2 dividing m (μ=8
+	// spans two full cachelines and measures near STREAM peak on the
+	// blocked rotations; see fft2d.Options.Mu).
 	Mu int
 	// BufferElems is the per-half pipeline block size b in complex
-	// elements (default 1<<16 ≈ the paper's b = LLC/2 halves).
+	// elements; default machine.PreferredBufferElems(), sized so both
+	// halves stay L2-resident (the paper's b = cache/2 halves applied to
+	// the cache level the staging buffers actually live in).
 	BufferElems int
 	// DataWorkers (p_d) / ComputeWorkers (p_c) drive DoubleBuf; Workers
 	// is the pool size for the baselines.
@@ -83,16 +89,19 @@ type Options struct {
 	// pipeline before the next begins, as if run by a separate engine
 	// invocation (the A/B baseline; fusion is on by default).
 	Unfused bool
+	// StorePolicy selects cached vs streaming (non-temporal) block stores
+	// for the DoubleBuf stages; default StoreAuto decides from the
+	// per-stage destination footprint vs the host LLC (see fft2d).
+	StorePolicy stagegraph.StorePolicy
 	// Tracer records pipeline events.
 	Tracer *trace.Recorder
 }
 
 func (o Options) withDefaults() Options {
-	if o.Mu == 0 {
-		o.Mu = 4
-	}
+	// Mu's default needs the transform size; NewPlan fills it via
+	// machine.PreferredMu.
 	if o.BufferElems == 0 {
-		o.BufferElems = 1 << 16
+		o.BufferElems = machine.PreferredBufferElems()
 	}
 	if o.DataWorkers == 0 {
 		o.DataWorkers = 1
@@ -161,6 +170,10 @@ func NewPlan(k, n, m int, opts Options) (*Plan, error) {
 		planN: fft1d.NewPlanRadix(n, opts.Radix),
 		planK: fft1d.NewPlanRadix(k, opts.Radix)}
 	if opts.Strategy == DoubleBuf {
+		if opts.Mu == 0 {
+			opts.Mu = machine.PreferredMu(m)
+			p.opts.Mu = opts.Mu
+		}
 		mu := opts.Mu
 		if mu < 1 {
 			return nil, fmt.Errorf("fft3d: μ=%d, need ≥ 1", mu)
@@ -184,6 +197,8 @@ func NewPlan(k, n, m int, opts Options) (*Plan, error) {
 		}
 		p.bufs = stagegraph.NewBuffers(b, opts.SplitFormat, false)
 		p.stages = p.buildStages(nil, nil)
+		stagegraph.ApplyStorePolicy(p.stages,
+			opts.StorePolicy.Decide(p.destBytes(), machine.HostLLCBytes()))
 		p.sched = stagegraph.Compile(p.stages, !opts.Unfused)
 		names := make([]string, len(p.stages))
 		for i := range p.stages {
@@ -301,6 +316,51 @@ func (p *Plan) Obs() *obs.Collector { return p.obs }
 // Observability returns the merged bandwidth-accounting snapshot of every
 // transform this plan has executed.
 func (p *Plan) Observability() obs.Snapshot { return p.obs.Snapshot() }
+
+// Mu returns the effective cacheline block size the plan runs with
+// (after defaulting).
+func (p *Plan) Mu() int { return p.opts.Mu }
+
+// destBytes is the per-stage destination footprint the store policy
+// weighs against the LLC: every DoubleBuf stage writes the full k·n·m
+// cube (16 B per complex element in either buffer format).
+func (p *Plan) destBytes() int { return p.Len() * 16 }
+
+// NonTemporalStages reports how many of the plan's cached stages
+// currently route stores through the streaming tier (0 for non-DoubleBuf
+// strategies).
+func (p *Plan) NonTemporalStages() int {
+	if p.opts.Strategy != DoubleBuf {
+		return 0
+	}
+	p.lock.Lock()
+	defer p.lock.Unlock()
+	nt := 0
+	for i := range p.stages {
+		if p.stages[i].NonTemporal {
+			nt++
+		}
+	}
+	return nt
+}
+
+// ReviseStorePolicy re-decides the per-stage store tier from the
+// bandwidth telemetry collected so far (see fft2d.Plan.ReviseStorePolicy
+// for the rules). Only StoreAuto DoubleBuf plans revise; returns the
+// number of stages whose tier changed. Call between transforms, never
+// concurrently with one.
+func (p *Plan) ReviseStorePolicy() int {
+	if p.opts.Strategy != DoubleBuf || p.opts.StorePolicy != stagegraph.StoreAuto {
+		return 0
+	}
+	p.lock.Lock()
+	defer p.lock.Unlock()
+	if p.closed {
+		return 0
+	}
+	return stagegraph.ReviseStores(p.stages, p.obs.Snapshot(),
+		machine.HostLLCBytes(), p.destBytes())
+}
 
 // DescribeGraph renders the compiled stage graph the plan would execute;
 // empty for non-DoubleBuf strategies.

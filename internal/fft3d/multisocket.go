@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/fft1d"
 	"repro/internal/kernels"
+	"repro/internal/machine"
 	"repro/internal/numa"
 	"repro/internal/stagegraph"
 )
@@ -91,6 +92,9 @@ func NewDistPlan(k, n, m, sockets int, opts Options) (*DistPlan, error) {
 	case 0, 2, 4, 8:
 	default:
 		return nil, fmt.Errorf("fft3d: radix must be 0, 2, 4 or 8, got %d", opts.Radix)
+	}
+	if opts.Mu == 0 {
+		opts.Mu = machine.PreferredMu(m)
 	}
 	if opts.Mu < 1 {
 		return nil, fmt.Errorf("fft3d: μ=%d, need ≥ 1", opts.Mu)

@@ -136,13 +136,17 @@ func TestDistPlanValidation(t *testing.T) {
 		{0, 8, 8, 2}, // bad size
 		{8, 8, 8, 0}, // bad sockets
 		{9, 8, 8, 2}, // sk ∤ k
-		{8, 8, 6, 2}, // μ ∤ m (default μ=4)
 		{8, 3, 4, 2}, // sk ∤ n·m/μ (3·1=3 odd)
 	}
 	for _, c := range cases {
 		if _, err := NewDistPlan(c.k, c.n, c.m, c.sk, Options{}); err == nil {
 			t.Errorf("NewDistPlan(%d,%d,%d,%d) accepted invalid input", c.k, c.n, c.m, c.sk)
 		}
+	}
+	// The defaulted μ always divides m (machine.PreferredMu), so μ ∤ m is
+	// only reachable with an explicit override.
+	if _, err := NewDistPlan(8, 8, 6, 2, Options{Mu: 4}); err == nil {
+		t.Error("NewDistPlan accepted explicit μ=4 with m=6")
 	}
 	dp, err := NewDistPlan(8, 8, 8, 2, Options{})
 	if err != nil {

@@ -1,0 +1,93 @@
+package fft3d
+
+import (
+	"testing"
+
+	"repro/internal/fft1d"
+	"repro/internal/layout"
+	"repro/internal/stagegraph"
+)
+
+// Regression for the μ default: the 64³ plan must pick μ=8 from the
+// machine model, not the old hardcoded 4.
+func TestDefaultMuFollowsMachineModel(t *testing.T) {
+	cases := []struct{ k, n, m, want int }{
+		{64, 64, 64, 8},
+		{4, 8, 12, 4},
+		{2, 4, 6, 2},
+		{2, 2, 7, 1},
+	}
+	for _, c := range cases {
+		p, err := NewPlan(c.k, c.n, c.m, Options{Strategy: DoubleBuf, BufferElems: 1 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Mu() != c.want {
+			t.Errorf("%dx%dx%d default μ = %d; want %d", c.k, c.n, c.m, p.Mu(), c.want)
+		}
+		p.Close()
+	}
+	p, err := NewPlan(8, 8, 8, Options{Strategy: DoubleBuf, Mu: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Mu() != 4 {
+		t.Fatalf("explicit μ=4 overridden to %d", p.Mu())
+	}
+}
+
+// Forced streaming stores must flag every stage, stay correct, and
+// forced regular must flag none.
+func TestStorePolicyWiringAndCorrectness(t *testing.T) {
+	nt := 0
+	if layout.NonTemporalAvailable() {
+		nt = 3 // all three DoubleBuf stages
+	}
+	p, err := NewPlan(16, 16, 16, Options{Strategy: DoubleBuf,
+		StorePolicy: stagegraph.StoreNonTemporal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NonTemporalStages(); got != nt {
+		t.Errorf("forced NT: %d NT stages; want %d", got, nt)
+	}
+	p.Close()
+	strategyCase(t, 16, 16, 16, Options{Strategy: DoubleBuf, DataWorkers: 2,
+		ComputeWorkers: 2, StorePolicy: stagegraph.StoreNonTemporal}, fft1d.Forward)
+	strategyCase(t, 8, 16, 32, Options{Strategy: DoubleBuf, SplitFormat: true,
+		StorePolicy: stagegraph.StoreNonTemporal}, fft1d.Inverse)
+
+	p, err = NewPlan(16, 16, 16, Options{Strategy: DoubleBuf,
+		StorePolicy: stagegraph.StoreRegular})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if got := p.NonTemporalStages(); got != 0 {
+		t.Errorf("forced regular: %d NT stages; want 0", got)
+	}
+	if changed := p.ReviseStorePolicy(); changed != 0 {
+		t.Fatalf("forced-policy revise changed %d stages; want 0", changed)
+	}
+}
+
+// A cache-resident Auto plan stays on regular stores through a revise.
+func TestReviseStorePolicySmoke(t *testing.T) {
+	p, err := NewPlan(16, 16, 16, Options{Strategy: DoubleBuf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	x := randVec(11, 16*16*16)
+	y := make([]complex128, len(x))
+	if err := p.Transform(y, x, fft1d.Forward); err != nil {
+		t.Fatal(err)
+	}
+	if changed := p.ReviseStorePolicy(); changed != 0 {
+		t.Fatalf("cache-resident revise changed %d stages; want 0", changed)
+	}
+	if err := p.Transform(y, x, fft1d.Inverse); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+//go:build !amd64 || purego
+
+package kernels
+
+// Tier reports which butterfly implementation the dispatched entry
+// points select. On this build only the pure-Go tier exists.
+func Tier() string { return "generic" }
+
+// SetForceGeneric is a no-op on builds without an accelerated tier; it
+// exists so tests and benchmarks compile identically everywhere.
+func SetForceGeneric(bool) {}
+
+// Radix4Step performs one Stockham DIF radix-4 stage; see
+// Radix4StepGeneric for the contract.
+func Radix4Step(dst, src []complex128, m, s, sign int, tw StageTwiddles) {
+	Radix4StepGeneric(dst, src, m, s, sign, tw)
+}
+
+// Radix8Step performs one Stockham DIF radix-8 stage; see
+// Radix8StepGeneric for the contract.
+func Radix8Step(dst, src []complex128, m, s, sign int, tw StageTwiddles) {
+	Radix8StepGeneric(dst, src, m, s, sign, tw)
+}
+
+// SplitRadix4Step is the split-format radix-4 stage; see
+// SplitRadix4StepGeneric for the contract.
+func SplitRadix4Step(dstRe, dstIm, srcRe, srcIm []float64, m, s, sign int, tw SplitTwiddles) {
+	SplitRadix4StepGeneric(dstRe, dstIm, srcRe, srcIm, m, s, sign, tw)
+}
+
+// SplitRadix8Step is the split-format radix-8 stage; see
+// SplitRadix8StepGeneric for the contract.
+func SplitRadix8Step(dstRe, dstIm, srcRe, srcIm []float64, m, s, sign int, tw SplitTwiddles) {
+	SplitRadix8StepGeneric(dstRe, dstIm, srcRe, srcIm, m, s, sign, tw)
+}

@@ -1,0 +1,195 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The dispatched entry points must agree with the pure-Go oracles for
+// every shape the planner can produce: odd and even block counts m
+// (pairs tail coverage), strides s hitting the vector body, the 128-bit
+// tail and the scalar tail, unaligned slice offsets, and both transform
+// signs. Tolerance is a few ulps: the codelets use FMA, the oracles
+// round intermediates.
+
+const eqTol = 1e-12
+
+func maxDiffC(a, b []complex128) float64 {
+	d := 0.0
+	for i := range a {
+		if v := cmplxAbs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func cmplxAbs(c complex128) float64 {
+	return math.Hypot(real(c), imag(c))
+}
+
+func scaleFor(x []complex128) float64 {
+	s := 1.0
+	for _, v := range x {
+		if a := cmplxAbs(v); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// shapes exercises every addressing mode: s==1 (pairs incl. odd-m tail),
+// s==2 (one vector iteration), s==3 (vector + 128-bit tail), s==5/7
+// (split scalar tails), larger strides, and m==1..m odd.
+var shapes = []struct{ m, s int }{
+	{1, 1}, {2, 1}, {3, 1}, {8, 1}, {9, 1}, {64, 1}, {65, 1},
+	{1, 2}, {1, 3}, {1, 4}, {1, 5}, {1, 7}, {1, 8},
+	{3, 3}, {4, 4}, {5, 6}, {7, 5}, {16, 8}, {13, 11}, {32, 12},
+}
+
+func randComplex(r *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return x
+}
+
+func TestRadixStepsMatchGeneric(t *testing.T) {
+	if Tier() == "generic" {
+		t.Skip("no accelerated tier on this build; dispatch is the oracle")
+	}
+	r := rand.New(rand.NewSource(7))
+	for _, radix := range []int{4, 8} {
+		for _, sign := range []int{Forward, Inverse} {
+			for _, sh := range shapes {
+				n := radix * sh.m * sh.s
+				tw := NewStageTwiddles(radix*sh.m, radix, sign)
+				// Offset the slices so the codelets see unaligned bases.
+				for _, off := range []int{0, 1} {
+					src := randComplex(r, n+off)[off:]
+					got := make([]complex128, n+off)[off:]
+					want := make([]complex128, n)
+					switch radix {
+					case 4:
+						Radix4Step(got, src, sh.m, sh.s, sign, tw)
+						Radix4StepGeneric(want, src, sh.m, sh.s, sign, tw)
+					case 8:
+						Radix8Step(got, src, sh.m, sh.s, sign, tw)
+						Radix8StepGeneric(want, src, sh.m, sh.s, sign, tw)
+					}
+					if d := maxDiffC(got, want); d > eqTol*scaleFor(want) {
+						t.Fatalf("radix=%d sign=%d m=%d s=%d off=%d: max diff %g", radix, sign, sh.m, sh.s, off, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSplitRadixStepsMatchGeneric(t *testing.T) {
+	if Tier() == "generic" {
+		t.Skip("no accelerated tier on this build; dispatch is the oracle")
+	}
+	r := rand.New(rand.NewSource(11))
+	for _, radix := range []int{4, 8} {
+		for _, sign := range []int{Forward, Inverse} {
+			for _, sh := range shapes {
+				n := radix * sh.m * sh.s
+				tw := NewSplitTwiddles(NewStageTwiddles(radix*sh.m, radix, sign))
+				for _, off := range []int{0, 1, 3} {
+					mk := func() []float64 {
+						x := make([]float64, n+off)
+						for i := range x {
+							x[i] = r.NormFloat64()
+						}
+						return x[off:]
+					}
+					srcRe, srcIm := mk(), mk()
+					gotRe := make([]float64, n+off)[off:]
+					gotIm := make([]float64, n+off)[off:]
+					wantRe := make([]float64, n)
+					wantIm := make([]float64, n)
+					switch radix {
+					case 4:
+						SplitRadix4Step(gotRe, gotIm, srcRe, srcIm, sh.m, sh.s, sign, tw)
+						SplitRadix4StepGeneric(wantRe, wantIm, srcRe, srcIm, sh.m, sh.s, sign, tw)
+					case 8:
+						SplitRadix8Step(gotRe, gotIm, srcRe, srcIm, sh.m, sh.s, sign, tw)
+						SplitRadix8StepGeneric(wantRe, wantIm, srcRe, srcIm, sh.m, sh.s, sign, tw)
+					}
+					for i := range wantRe {
+						if math.Abs(gotRe[i]-wantRe[i]) > eqTol*10 || math.Abs(gotIm[i]-wantIm[i]) > eqTol*10 {
+							t.Fatalf("split radix=%d sign=%d m=%d s=%d off=%d idx=%d: got (%g,%g) want (%g,%g)",
+								radix, sign, sh.m, sh.s, off, i, gotRe[i], gotIm[i], wantRe[i], wantIm[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchStepsMatchGeneric drives the batched wrappers (which the
+// stage-graph executor calls) across odd pencil counts and strides so
+// the per-pencil dispatch is exercised through the same entry points the
+// transforms use.
+func TestBatchStepsMatchGeneric(t *testing.T) {
+	if Tier() == "generic" {
+		t.Skip("no accelerated tier on this build; dispatch is the oracle")
+	}
+	r := rand.New(rand.NewSource(13))
+	for _, pencils := range []int{1, 3, 7} {
+		for _, sh := range []struct{ m, s int }{{4, 1}, {3, 2}, {2, 5}} {
+			n := 8 * sh.m * sh.s
+			stride := n + 5 // non-contiguous pencils
+			tw := NewStageTwiddles(8*sh.m, 8, Forward)
+			src := randComplex(r, pencils*stride)
+			got := make([]complex128, pencils*stride)
+			want := make([]complex128, pencils*stride)
+			BatchRadix8Step(got, src, pencils, stride, sh.m, sh.s, Forward, tw)
+			SetForceGeneric(true)
+			BatchRadix8Step(want, src, pencils, stride, sh.m, sh.s, Forward, tw)
+			SetForceGeneric(false)
+			if d := maxDiffC(got, want); d > eqTol*scaleFor(want) {
+				t.Fatalf("batch pencils=%d m=%d s=%d: max diff %g", pencils, sh.m, sh.s, d)
+			}
+		}
+	}
+}
+
+// TestTierAgainstNaiveDFT runs a full multi-stage Stockham pipeline with
+// the dispatched kernels against the O(n^2) DFT, closing the loop on
+// stage composition (twiddle layouts, s progression) rather than single
+// stages.
+func TestTierAgainstNaiveDFT(t *testing.T) {
+	for _, n := range []int{16, 64, 256} {
+		x := make([]complex128, n)
+		r := rand.New(rand.NewSource(int64(n)))
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		want := NaiveDFT(x, Forward)
+		cur := append([]complex128(nil), x...)
+		tmp := make([]complex128, n)
+		s := 1
+		m := n / 4
+		for m >= 1 {
+			tw := NewStageTwiddles(4*m, 4, Forward)
+			Radix4Step(tmp, cur, m, s, Forward, tw)
+			cur, tmp = tmp, cur
+			s *= 4
+			m /= 4
+		}
+		if d := maxDiffC(cur, want); d > 1e-9*scaleFor(want) {
+			t.Fatalf("n=%d: pipeline vs naive DFT max diff %g", n, d)
+		}
+	}
+}
+
+func ExampleTier() {
+	fmt.Println(len(Tier()) > 0)
+	// Output: true
+}

@@ -148,7 +148,7 @@ func Radix2Step(dst, src []complex128, m, s int, tw StageTwiddles) {
 // NewStageTwiddles(4*m, 4, sign). sign selects the direction and must match
 // the sign used to build tw (it controls the ±i rotation of the odd
 // butterfly leg).
-func Radix4Step(dst, src []complex128, m, s, sign int, tw StageTwiddles) {
+func Radix4StepGeneric(dst, src []complex128, m, s, sign int, tw StageTwiddles) {
 	// jdir is -i for the forward transform (ω_4 = -i), +i for inverse.
 	jim := 1.0
 	if sign == Forward {
@@ -195,7 +195,7 @@ const sqrt1_2 = math.Sqrt2 / 2
 // outputs. jim is −1 forward / +1 inverse, so ω₈ = (h, jim·h) with h = √2/2,
 // ω₈² = jim·i and ω₈³ = (−h, jim·h); the rotations are expanded into real
 // arithmetic so no complex multiply by a constant survives in the loop.
-func Radix8Step(dst, src []complex128, m, s, sign int, tw StageTwiddles) {
+func Radix8StepGeneric(dst, src []complex128, m, s, sign int, tw StageTwiddles) {
 	jim := 1.0
 	if sign == Forward {
 		jim = -1.0

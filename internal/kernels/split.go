@@ -70,7 +70,7 @@ func SplitRadix2Step(dstRe, dstIm, srcRe, srcIm []float64, m, s int, tw SplitTwi
 
 // SplitRadix4Step performs one Stockham radix-4 stage in split format.
 // sign must match the direction used to build tw.
-func SplitRadix4Step(dstRe, dstIm, srcRe, srcIm []float64, m, s, sign int, tw SplitTwiddles) {
+func SplitRadix4StepGeneric(dstRe, dstIm, srcRe, srcIm []float64, m, s, sign int, tw SplitTwiddles) {
 	jim := 1.0
 	if sign == Forward {
 		jim = -1.0
@@ -124,7 +124,7 @@ func SplitRadix4Step(dstRe, dstIm, srcRe, srcIm []float64, m, s, sign int, tw Sp
 // SplitRadix8Step performs one Stockham radix-8 stage in split format.
 // sign must match the direction used to build tw. Same butterfly as
 // Radix8Step (even/odd split into two DFT₄s) over separate re/im planes.
-func SplitRadix8Step(dstRe, dstIm, srcRe, srcIm []float64, m, s, sign int, tw SplitTwiddles) {
+func SplitRadix8StepGeneric(dstRe, dstIm, srcRe, srcIm []float64, m, s, sign int, tw SplitTwiddles) {
 	jim := 1.0
 	if sign == Forward {
 		jim = -1.0

@@ -1,0 +1,94 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The NT scatters must be drop-in replacements for the regular ones on
+// every pattern — aligned fast path and misaligned fallback alike.
+
+func TestScatterBlocksNTMatchesRegular(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	cases := []struct{ blocks, blockLen, dstOff, dstStride int }{
+		{4, 8, 0, 32},   // aligned, whole 32-byte stores (NT path)
+		{8, 2, 0, 16},   // 32-byte blocks
+		{3, 64, 64, 80}, // big blocks, offset start
+		{4, 8, 1, 32},   // misaligned offset -> fallback
+		{4, 7, 0, 32},   // odd block length -> fallback
+		{5, 8, 4, 9},    // odd stride -> fallback
+		{1, 1, 0, 1},    // single element
+	}
+	for _, c := range cases {
+		need := c.dstOff + (c.blocks-1)*c.dstStride + c.blockLen
+		src := make([]complex128, c.blocks*c.blockLen)
+		for i := range src {
+			src[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		want := make([]complex128, need+3)
+		got := make([]complex128, need+3)
+		ScatterBlocks(want, src, c.blocks, c.blockLen, c.dstOff, c.dstStride)
+		ScatterBlocksNT(got, src, c.blocks, c.blockLen, c.dstOff, c.dstStride)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("case %+v: mismatch at %d: got %v want %v", c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScatterBlocksSplitNTMatchesRegular(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	cases := []struct{ blocks, blockLen, dstOff, dstStride int }{
+		{4, 8, 0, 32},  // aligned (NT path: blockLen%4==0, off%4==0)
+		{8, 4, 8, 16},  // exactly one 32-byte store per block
+		{4, 8, 2, 32},  // misaligned offset -> fallback
+		{4, 6, 0, 32},  // blockLen%4 != 0 -> fallback
+		{2, 4, 0, 10},  // stride%4 != 0 -> fallback
+		{3, 16, 4, 52}, // aligned again
+	}
+	for _, c := range cases {
+		need := c.dstOff + (c.blocks-1)*c.dstStride + c.blockLen
+		n := c.blocks * c.blockLen
+		srcRe := make([]float64, n)
+		srcIm := make([]float64, n)
+		for i := range srcRe {
+			srcRe[i], srcIm[i] = r.NormFloat64(), r.NormFloat64()
+		}
+		wantRe := make([]float64, need+5)
+		wantIm := make([]float64, need+5)
+		gotRe := make([]float64, need+5)
+		gotIm := make([]float64, need+5)
+		ScatterBlocksSplit(wantRe, wantIm, srcRe, srcIm, c.blocks, c.blockLen, c.dstOff, c.dstStride)
+		ScatterBlocksSplitNT(gotRe, gotIm, srcRe, srcIm, c.blocks, c.blockLen, c.dstOff, c.dstStride)
+		for i := range wantRe {
+			if gotRe[i] != wantRe[i] || gotIm[i] != wantIm[i] {
+				t.Fatalf("case %+v: mismatch at %d", c, i)
+			}
+		}
+	}
+}
+
+// Out-of-bounds patterns must panic exactly like the regular scatters
+// (via the fallback), never write wild memory.
+func TestScatterBlocksNTOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-bounds scatter")
+		}
+	}()
+	dst := make([]complex128, 16)
+	src := make([]complex128, 64)
+	ScatterBlocksNT(dst, src, 4, 8, 0, 32) // extent 104 > 16
+}
+
+func BenchmarkScatterBlocksNT(b *testing.B) {
+	const blocks, blockLen = 512, 8
+	src := make([]complex128, blocks*blockLen)
+	dst := make([]complex128, blocks*blockLen*2)
+	b.SetBytes(int64(len(src) * 32))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ScatterBlocksNT(dst, src, blocks, blockLen, 0, blockLen*2)
+	}
+}

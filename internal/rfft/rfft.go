@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/fft1d"
 	"repro/internal/kernels"
+	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/stagegraph"
 	"repro/internal/trace"
@@ -53,7 +54,7 @@ type Options struct {
 	// exceeding Mu, so non-power-of-two row lengths stay legal.
 	Mu int
 	// BufferElems is the per-half pipeline block budget in complex
-	// elements (default 1<<16).
+	// elements (default machine.PreferredBufferElems(), L2-derived).
 	BufferElems int
 	// DataWorkers (p_d) and ComputeWorkers (p_c); defaults 1/1.
 	DataWorkers    int
@@ -72,7 +73,7 @@ func (o Options) withDefaults() Options {
 		o.Mu = 4
 	}
 	if o.BufferElems == 0 {
-		o.BufferElems = 1 << 16
+		o.BufferElems = machine.PreferredBufferElems()
 	}
 	if o.DataWorkers == 0 {
 		o.DataWorkers = 1

@@ -106,6 +106,14 @@ type Stage struct {
 	// the compute filled — used for in-cache transposes — instead of the
 	// main halves.
 	StoreFromStaging bool
+	// NonTemporal routes this stage's block stores through the streaming
+	// (cache-bypassing) scatter tier when the pattern meets its alignment
+	// contract. Set it when the destination footprint exceeds the LLC:
+	// regular stores would read each line for ownership before
+	// overwriting it; streaming stores skip that third traffic stream.
+	// See StorePolicy and ReviseStores for the plan- and run-time
+	// deciders. Harmless (silent fallback) on hosts without the tier.
+	NonTemporal bool
 	// Rot maps stored blocks to destination offsets; Blocks·BlockLen must
 	// equal the store unit length.
 	Rot Rotation
@@ -323,10 +331,17 @@ func (st *Stage) storeRun(b *Buffers, half, d0, stride, s, run int) {
 			}
 		case st.Dst.R != nil:
 			layout.ScatterBlocksPairs(st.Dst.R, src, run, bl, d0, stride)
+		case st.NonTemporal:
+			layout.ScatterBlocksNT(st.Dst.C, src, run, bl, d0, stride)
 		default:
 			layout.ScatterBlocks(st.Dst.C, src, run, bl, d0, stride)
 		}
 	case b.Split && st.Dst.Re != nil:
+		if st.NonTemporal {
+			layout.ScatterBlocksSplitNT(st.Dst.Re, st.Dst.Im,
+				b.Re[half][s:s+n], b.Im[half][s:s+n], run, bl, d0, stride)
+			break
+		}
 		layout.ScatterBlocksSplit(st.Dst.Re, st.Dst.Im,
 			b.Re[half][s:s+n], b.Im[half][s:s+n], run, bl, d0, stride)
 	case b.Split:
@@ -341,6 +356,8 @@ func (st *Stage) storeRun(b *Buffers, half, d0, stride, s, run int) {
 		}
 	case st.Dst.R != nil:
 		layout.ScatterBlocksPairs(st.Dst.R, b.C[half][s:s+n], run, bl, d0, stride)
+	case st.NonTemporal:
+		layout.ScatterBlocksNT(st.Dst.C, b.C[half][s:s+n], run, bl, d0, stride)
 	default:
 		layout.ScatterBlocks(st.Dst.C, b.C[half][s:s+n], run, bl, d0, stride)
 	}

@@ -1,0 +1,150 @@
+package stagegraph
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/obs"
+)
+
+// StorePolicy selects how a compiled graph's block stores reach memory.
+// The paper's bandwidth model charges one load and one store stream per
+// stage, but a cached (write-allocate) store is really two: the CPU
+// reads each destination line for ownership before overwriting it. When
+// a transform's per-stage destination footprint exceeds the LLC those
+// RFO reads are pure DRAM traffic and the measured store bandwidth falls
+// to ~2/3 of the model. Streaming (non-temporal) stores write-combine
+// straight to memory and recover the modelled two-stream rate — but for
+// cache-resident transforms they evict data the next stage is about to
+// load, so the choice is footprint-dependent.
+type StorePolicy int
+
+const (
+	// StoreAuto picks streaming stores iff the per-stage destination
+	// footprint exceeds half the last-level cache (leaving room for the
+	// source stream) and the host has the streaming tier.
+	StoreAuto StorePolicy = iota
+	// StoreRegular forces cached stores.
+	StoreRegular
+	// StoreNonTemporal forces streaming stores wherever the tier exists.
+	StoreNonTemporal
+)
+
+func (p StorePolicy) String() string {
+	switch p {
+	case StoreAuto:
+		return "auto"
+	case StoreRegular:
+		return "regular"
+	case StoreNonTemporal:
+		return "nt"
+	default:
+		return fmt.Sprintf("StorePolicy(%d)", int(p))
+	}
+}
+
+// ParseStorePolicy parses the String form (used by wisdom files and
+// benchmark flags).
+func ParseStorePolicy(s string) (StorePolicy, error) {
+	switch s {
+	case "auto", "":
+		return StoreAuto, nil
+	case "regular":
+		return StoreRegular, nil
+	case "nt", "nontemporal", "non-temporal":
+		return StoreNonTemporal, nil
+	}
+	return StoreAuto, fmt.Errorf("stagegraph: unknown store policy %q", s)
+}
+
+// Decide reports whether a transform whose per-stage destination
+// footprint is destBytes should use streaming stores on a host whose
+// last-level cache holds llcBytes.
+func (p StorePolicy) Decide(destBytes, llcBytes int) bool {
+	switch p {
+	case StoreRegular:
+		return false
+	case StoreNonTemporal:
+		return layout.NonTemporalAvailable()
+	}
+	if !layout.NonTemporalAvailable() || llcBytes <= 0 {
+		return false
+	}
+	return destBytes > llcBytes/2
+}
+
+// ApplyStorePolicy sets every stage's NonTemporal flag to nt and returns
+// how many stages changed. Stages whose destination cannot take
+// streaming stores (WriteC hooks, pair-packed real arrays) ignore the
+// flag at store time, so setting it uniformly is harmless.
+func ApplyStorePolicy(stages []Stage, nt bool) int {
+	changed := 0
+	for i := range stages {
+		if stages[i].NonTemporal != nt {
+			stages[i].NonTemporal = nt
+			changed++
+		}
+	}
+	return changed
+}
+
+// Revision thresholds: a stage is judged RFO-bound when its measured
+// store bandwidth runs below reviseFracPeak of the roofline, or when its
+// measured data time diverges from the perf model by reviseDivergence —
+// both symptoms of the hidden read-for-ownership stream the model does
+// not charge for.
+const (
+	reviseFracPeak   = 0.5
+	reviseDivergence = 1.5
+)
+
+// ReviseStores re-decides each stage's NonTemporal flag from measured
+// telemetry, the machine model's LLC size, and the transform's per-stage
+// destination footprint. The footprint rule is primary: stages whose
+// destination fits comfortably in cache (≤ llcBytes/2) always run
+// cached stores. For spilling footprints, a stage with telemetry flips
+// to streaming stores only when the measurements show the RFO symptom
+// (store FracPeak < 0.5 of the roofline, or data-time divergence ≥ 1.5×
+// the model); a spilling stage with no matching telemetry falls back to
+// the footprint-only StoreAuto rule. It returns the number of stages
+// whose flag changed, so callers can skip replanning when nothing moved.
+func ReviseStores(stages []Stage, snap obs.Snapshot, llcBytes, destBytes int) int {
+	changed := 0
+	if !layout.NonTemporalAvailable() {
+		return ApplyStorePolicy(stages, false)
+	}
+	byName := make(map[string]obs.StageSnapshot, len(snap.Stages))
+	for _, ss := range snap.Stages {
+		byName[ss.Name] = ss
+	}
+	spills := llcBytes > 0 && destBytes > llcBytes/2
+	for i := range stages {
+		st := &stages[i]
+		want := st.NonTemporal
+		switch {
+		case !spills:
+			want = false
+		case st.NonTemporal:
+			// Already streaming over a spilling footprint: keep. (A
+			// stage that streaming made slower would show as low
+			// FracPeak too — distinguishing the two needs an A/B
+			// measurement, which is the autotuner's job, not ours.)
+		default:
+			ss, ok := byName[st.Name]
+			if !ok {
+				want = true // no telemetry: footprint-only rule
+				break
+			}
+			lowBW := ss.FracPeak > 0 && ss.FracPeak < reviseFracPeak
+			diverged := ss.DataDivergence >= reviseDivergence
+			if lowBW || diverged {
+				want = true
+			}
+		}
+		if want != st.NonTemporal {
+			st.NonTemporal = want
+			changed++
+		}
+	}
+	return changed
+}

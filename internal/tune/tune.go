@@ -13,6 +13,8 @@ import (
 	"repro/internal/fft1d"
 	"repro/internal/fft2d"
 	"repro/internal/fft3d"
+	"repro/internal/layout"
+	"repro/internal/stagegraph"
 )
 
 // Candidate is one point in the search space.
@@ -25,18 +27,36 @@ type Candidate struct {
 	// Radix caps the Stockham stage radix of the pow2 sub-plans (0 = the
 	// default 8; omitted from old wisdom files, which decode as 0).
 	Radix int `json:"radix,omitempty"`
+	// StorePolicy selects the block-store tier: "auto" (or empty, as in
+	// old wisdom files), "regular", or "nt" — see stagegraph.StorePolicy.
+	StorePolicy string `json:"store_policy,omitempty"`
 }
 
 func (c Candidate) String() string {
-	return fmt.Sprintf("b=%d p_d=%d p_c=%d μ=%d split=%v radix=%d",
-		c.BufferElems, c.DataWorkers, c.ComputeWorkers, c.Mu, c.SplitFormat, c.Radix)
+	sp := c.StorePolicy
+	if sp == "" {
+		sp = "auto"
+	}
+	return fmt.Sprintf("b=%d p_d=%d p_c=%d μ=%d split=%v radix=%d store=%s",
+		c.BufferElems, c.DataWorkers, c.ComputeWorkers, c.Mu, c.SplitFormat, c.Radix, sp)
+}
+
+// storePolicy parses the candidate's store-policy axis.
+func (c Candidate) storePolicy() (stagegraph.StorePolicy, error) {
+	return stagegraph.ParseStorePolicy(c.StorePolicy)
 }
 
 // feasible reports whether the candidate can execute a transform whose
 // fastest axis is m: the cacheline granularity μ must tile the rows it
-// blocks. This is the single shared filter both tuners apply before
-// building a plan, so an infeasible point is skipped instead of erroring.
-func (c Candidate) feasible(m int) bool { return c.Mu >= 1 && m%c.Mu == 0 }
+// blocks, and the store policy must parse. This is the single shared
+// filter both tuners apply before building a plan, so an infeasible
+// point is skipped instead of erroring.
+func (c Candidate) feasible(m int) bool {
+	if _, err := c.storePolicy(); err != nil {
+		return false
+	}
+	return c.Mu >= 1 && m%c.Mu == 0
+}
 
 // Result is a measured candidate.
 type Result struct {
@@ -53,6 +73,9 @@ type Space struct {
 	// Radixes lists the pow2 radix caps to try (nil/empty = {0}, the
 	// default radix-8 mix only).
 	Radixes []int
+	// StorePolicies lists the store tiers to try ("auto", "regular",
+	// "nt"); nil/empty = {"auto"}.
+	StorePolicies []string
 }
 
 // DefaultSpace returns a modest space appropriate for `threads` hardware
@@ -68,12 +91,19 @@ func DefaultSpace(threads int) Space {
 	if half > 1 {
 		splits = append(splits, [2]int{1, threads - 1}, [2]int{threads - 1, 1})
 	}
+	policies := []string{"auto"}
+	if layout.NonTemporalAvailable() {
+		// "auto" and "regular" coincide for cache-resident sizes, so only
+		// the streaming tier is worth a separate axis point.
+		policies = append(policies, "nt")
+	}
 	return Space{
-		Buffers:      []int{1 << 12, 1 << 14, 1 << 16},
-		WorkerSplits: splits,
-		Mus:          []int{4, 8},
-		SplitFormats: []bool{false, true},
-		Radixes:      []int{8, 4},
+		Buffers:       []int{1 << 12, 1 << 14, 1 << 16},
+		WorkerSplits:  splits,
+		Mus:           []int{4, 8},
+		SplitFormats:  []bool{false, true},
+		Radixes:       []int{8, 4},
+		StorePolicies: policies,
 	}
 }
 
@@ -83,16 +113,22 @@ func (s Space) candidates() []Candidate {
 	if len(radixes) == 0 {
 		radixes = []int{0}
 	}
+	policies := s.StorePolicies
+	if len(policies) == 0 {
+		policies = []string{"auto"}
+	}
 	var out []Candidate
 	for _, b := range s.Buffers {
 		for _, ws := range s.WorkerSplits {
 			for _, mu := range s.Mus {
 				for _, sf := range s.SplitFormats {
 					for _, r := range radixes {
-						out = append(out, Candidate{
-							BufferElems: b, DataWorkers: ws[0], ComputeWorkers: ws[1],
-							Mu: mu, SplitFormat: sf, Radix: r,
-						})
+						for _, sp := range policies {
+							out = append(out, Candidate{
+								BufferElems: b, DataWorkers: ws[0], ComputeWorkers: ws[1],
+								Mu: mu, SplitFormat: sf, Radix: r, StorePolicy: sp,
+							})
+						}
 					}
 				}
 			}
@@ -120,10 +156,11 @@ func Tune3D(k, n, m int, space Space, reps int) (Result, []Result, error) {
 		if !c.feasible(m) {
 			continue
 		}
+		sp, _ := c.storePolicy()
 		p, err := fft3d.NewPlan(k, n, m, fft3d.Options{
 			Strategy: fft3d.DoubleBuf, Mu: c.Mu, BufferElems: c.BufferElems,
 			DataWorkers: c.DataWorkers, ComputeWorkers: c.ComputeWorkers,
-			SplitFormat: c.SplitFormat, Radix: c.Radix,
+			SplitFormat: c.SplitFormat, Radix: c.Radix, StorePolicy: sp,
 		})
 		if err != nil {
 			return Result{}, nil, err
@@ -161,10 +198,11 @@ func Tune2D(n, m int, space Space, reps int) (Result, []Result, error) {
 		if !c.feasible(m) {
 			continue
 		}
+		sp, _ := c.storePolicy()
 		p, err := fft2d.NewPlan(n, m, fft2d.Options{
 			Strategy: fft2d.DoubleBuf, Mu: c.Mu, BufferElems: c.BufferElems,
 			DataWorkers: c.DataWorkers, ComputeWorkers: c.ComputeWorkers,
-			SplitFormat: c.SplitFormat, Radix: c.Radix,
+			SplitFormat: c.SplitFormat, Radix: c.Radix, StorePolicy: sp,
 		})
 		if err != nil {
 			return Result{}, nil, err

@@ -117,8 +117,42 @@ func TestWisdomRejectsCorruption(t *testing.T) {
 	if _, err := LoadWisdom(strings.NewReader(bad)); err == nil {
 		t.Fatal("accepted invalid candidate")
 	}
+	badPolicy := `{"entries":{"3d:1:1:1":{"buffer_elems":64,"data_workers":1,"compute_workers":1,"mu":4,"store_policy":"bogus"}}}`
+	if _, err := LoadWisdom(strings.NewReader(badPolicy)); err == nil {
+		t.Fatal("accepted invalid store policy")
+	}
 	empty, err := LoadWisdom(strings.NewReader(`{}`))
 	if err != nil || empty.Entries == nil {
 		t.Fatal("empty wisdom should load with a usable map")
+	}
+}
+
+func TestStorePolicyAxis(t *testing.T) {
+	space := smallSpace()
+	space.SplitFormats = []bool{false}
+	space.WorkerSplits = [][2]int{{1, 1}}
+	space.Buffers = []int{256}
+	space.StorePolicies = []string{"regular", "nt"}
+	best, all, err := Tune3D(16, 16, 16, space, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("tried %d candidates, want 2", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		seen[r.StorePolicy] = true
+	}
+	if !seen["regular"] || !seen["nt"] {
+		t.Fatalf("policies measured: %v", seen)
+	}
+	if !strings.Contains(best.String(), "store=") {
+		t.Fatalf("String lacks store axis: %q", best.String())
+	}
+	// An unparseable policy is infeasible, not an error.
+	space.StorePolicies = []string{"bogus"}
+	if _, _, err := Tune3D(16, 16, 16, space, 1); err == nil {
+		t.Fatal("expected error when every candidate is infeasible")
 	}
 }

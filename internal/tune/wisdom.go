@@ -69,6 +69,9 @@ func LoadWisdom(in io.Reader) (*Wisdom, error) {
 		default:
 			return nil, fmt.Errorf("tune: wisdom entry %q has invalid radix %d", k, c.Radix)
 		}
+		if _, err := c.storePolicy(); err != nil {
+			return nil, fmt.Errorf("tune: wisdom entry %q has invalid store policy %q", k, c.StorePolicy)
+		}
 	}
 	return &w, nil
 }
