@@ -16,10 +16,10 @@ PUREGO_PKGS = ./internal/kernels ./internal/layout ./internal/cpufeat \
               ./internal/stagegraph ./internal/fft1d ./internal/fft2d \
               ./internal/fft3d ./internal/tune ./internal/machine
 
-.PHONY: ci vet lint build test purego crossbuild asmgen race bench \
+.PHONY: ci vet lint build test purego crossbuild asmgen asmcheck race bench \
         benchsmoke benchjson benchcmp servesmoke obssmoke fmt
 
-ci: vet lint build crossbuild test purego race benchsmoke servesmoke obssmoke benchjson benchcmp
+ci: vet lint build crossbuild asmcheck test purego race benchsmoke servesmoke obssmoke benchjson benchcmp
 
 vet:
 	$(GO) vet ./...
@@ -61,6 +61,14 @@ crossbuild:
 asmgen:
 	$(GO) run ./internal/kernels/asm
 	$(GO) vet ./internal/kernels ./internal/layout
+
+# Drift gate: the committed .s files must be exactly what the generator
+# emits. Fails ci when someone edits the assembly by hand or changes the
+# generator without re-running `make asmgen`.
+asmcheck: asmgen
+	git diff --exit-code -- internal/kernels/radix_avx2_amd64.s \
+	    internal/layout/scatter_avx2_amd64.s \
+	    || { echo "asmcheck: generated assembly out of date — run 'make asmgen' and commit"; exit 1; }
 
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)

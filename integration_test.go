@@ -172,9 +172,11 @@ func TestIntegrationFullTransformScheduleInvariants(t *testing.T) {
 	if err := p.Transform(y, x, fft1d.Forward); err != nil {
 		t.Fatal(err)
 	}
-	// For 8×8×16 with μ=4 and b=128: stage 1 streams 64 pencils 8 rows at a
-	// time, stages 2 and 3 stream 32 units 4 at a time — 8 iterations each.
-	iters := []int{8, 8, 8}
+	// For 8×8×16 with μ=4 and b=128: the pipeline-depth floor trims the
+	// capacity-sized blocks (8 pencils / 4 units) to 4 pencils and 2 units,
+	// so stage 1 streams its 64 pencils and stages 2–3 their 32 units in 16
+	// iterations each.
+	iters := []int{16, 16, 16}
 	if err := tr.CheckStageGraph(iters, true); err != nil {
 		t.Fatal(err)
 	}

@@ -86,6 +86,18 @@ func CheckComparable(old, new JSONReport) error {
 		return fmt.Errorf("bench: kernel tier mismatch: old report measured %q, new %q — regenerate the baseline on this tier",
 			old.Meta.KernelTier, new.Meta.KernelTier)
 	}
+	// Core-count guards: bandwidth scales with physical cores and the
+	// schedulable parallelism, so a report from a different machine shape
+	// would read as a spurious regression. Zero fields mean the report
+	// predates these counters; accept it against anything.
+	if old.Meta.GOMAXPROCS != 0 && new.Meta.GOMAXPROCS != 0 && old.Meta.GOMAXPROCS != new.Meta.GOMAXPROCS {
+		return fmt.Errorf("bench: GOMAXPROCS mismatch: old report measured with %d, new with %d — regenerate the baseline at this parallelism",
+			old.Meta.GOMAXPROCS, new.Meta.GOMAXPROCS)
+	}
+	if old.Meta.PhysicalCores != 0 && new.Meta.PhysicalCores != 0 && old.Meta.PhysicalCores != new.Meta.PhysicalCores {
+		return fmt.Errorf("bench: physical core count mismatch: old report measured on %d cores, new on %d — reports from different machines are not comparable",
+			old.Meta.PhysicalCores, new.Meta.PhysicalCores)
+	}
 	return nil
 }
 

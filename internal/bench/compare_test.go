@@ -114,6 +114,28 @@ func TestCheckComparableTierGuard(t *testing.T) {
 	}
 }
 
+func TestCheckComparableCoreCountGuard(t *testing.T) {
+	mk := func(maxprocs, cores int) JSONReport {
+		return JSONReport{Meta: &MetaJSON{
+			KernelTier: "avx2", GOMAXPROCS: maxprocs, PhysicalCores: cores,
+		}}
+	}
+	if err := CheckComparable(mk(8, 4), mk(8, 4)); err != nil {
+		t.Fatalf("same-shape comparison rejected: %v", err)
+	}
+	if err := CheckComparable(mk(8, 4), mk(4, 4)); err == nil {
+		t.Fatal("cross-GOMAXPROCS comparison accepted")
+	}
+	if err := CheckComparable(mk(8, 4), mk(8, 8)); err == nil {
+		t.Fatal("cross-core-count comparison accepted")
+	}
+	// Reports that predate the counters (zero fields) stay comparable, so
+	// the first benchcmp after this change still runs.
+	if err := CheckComparable(mk(0, 0), mk(8, 4)); err != nil {
+		t.Fatalf("counter-less old report rejected: %v", err)
+	}
+}
+
 func TestCompareFilesTierMismatchFails(t *testing.T) {
 	dir := t.TempDir()
 	oldPath := filepath.Join(dir, "old.json")

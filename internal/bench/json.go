@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -66,6 +68,14 @@ type MetaJSON struct {
 	KernelTier string `json:"kernel_tier"`
 	// NonTemporal reports whether the streaming-store tier was available.
 	NonTemporal bool `json:"non_temporal"`
+	// GOMAXPROCS is the worker-pool parallelism the run was measured
+	// with. Zero in reports written before this field existed.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// PhysicalCores is the number of physical cores on the host (logical
+	// CPUs with hyperthread siblings deduplicated); bandwidth scales with
+	// cores, not threads, so reports from different core counts are not
+	// comparable. Zero in reports written before this field existed.
+	PhysicalCores int `json:"physical_cores,omitempty"`
 }
 
 // JSONReport is the full emission of WriteJSON: host identification, the
@@ -85,10 +95,50 @@ type JSONReport struct {
 // CurrentMeta describes the kernel configuration this process runs with.
 func CurrentMeta() MetaJSON {
 	return MetaJSON{
-		CPUFeatures: cpufeat.Summary(),
-		KernelTier:  kernels.Tier(),
-		NonTemporal: layout.NonTemporalAvailable(),
+		CPUFeatures:   cpufeat.Summary(),
+		KernelTier:    kernels.Tier(),
+		NonTemporal:   layout.NonTemporalAvailable(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		PhysicalCores: PhysicalCores(),
 	}
+}
+
+// PhysicalCores counts the host's physical cores by deduplicating
+// (physical package, core id) pairs from /proc/cpuinfo. On hosts without
+// a parseable cpuinfo (non-Linux, restricted containers) it falls back
+// to runtime.NumCPU(), i.e. logical CPUs.
+func PhysicalCores() int {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.NumCPU()
+	}
+	type coreKey struct{ pkg, core string }
+	seen := make(map[coreKey]bool)
+	var pkg, core string
+	flush := func() {
+		if pkg != "" || core != "" {
+			seen[coreKey{pkg, core}] = true
+			pkg, core = "", ""
+		}
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			flush()
+			continue
+		}
+		switch strings.TrimSpace(k) {
+		case "physical id":
+			pkg = strings.TrimSpace(v)
+		case "core id":
+			core = strings.TrimSpace(v)
+		}
+	}
+	flush()
+	if len(seen) == 0 {
+		return runtime.NumCPU()
+	}
+	return len(seen)
 }
 
 // JSONConfig sizes a WriteJSON run.
@@ -377,6 +427,7 @@ func jsonCases(streamGBs float64) ([]jsonCase, error) {
 			src[i] = complex(float64(i%23)-11, float64(i%19)-9)
 		}
 		dst := make([]complex128, len(src))
+		tw16 := kernels.NewStageTwiddles(n, 16, kernels.Forward)
 		tw8 := kernels.NewStageTwiddles(n, 8, kernels.Forward)
 		tw4 := kernels.NewStageTwiddles(n, 4, kernels.Forward)
 		stw8 := kernels.NewSplitTwiddles(tw8)
@@ -390,6 +441,17 @@ func jsonCases(streamGBs float64) ([]jsonCase, error) {
 		dstIm := make([]float64, len(src))
 		bytes := int64(len(src)) * 32
 		cases = append(cases,
+			jsonCase{
+				// The fused two-stage codelet: one pass where a radix-4
+				// chain makes two, so frac_stream_peak near (or above) the
+				// radix-4 entry at half the sweeps is the fusion win.
+				name:       "kernels/BatchRadix16Step",
+				bytesPerOp: bytes,
+				fn: func() error {
+					kernels.BatchRadix16Step(dst, src, pencils, n, n/16, 1, kernels.Forward, tw16)
+					return nil
+				},
+			},
 			jsonCase{
 				name:       "kernels/BatchRadix8Step",
 				bytesPerOp: bytes,

@@ -217,6 +217,40 @@ func TestDoubleBufStageTrafficNearIdeal(t *testing.T) {
 	}
 }
 
+func TestStagePassesFusedChainDrop(t *testing.T) {
+	// Plain radix-4 chain: one sweep per rank stage (log4 n). Fused
+	// radix-16 + store fold: two rank stages per sweep, final stage free.
+	cases := []struct{ n, plain, fused int }{
+		{4, 1, 1}, {16, 2, 1}, {64, 3, 1}, {256, 4, 2}, {1024, 5, 2}, {4096, 6, 3},
+	}
+	for _, c := range cases {
+		if got := StagePasses(c.n, false); got != c.plain {
+			t.Errorf("StagePasses(%d, plain) = %d, want %d", c.n, got, c.plain)
+		}
+		if got := StagePasses(c.n, true); got != c.fused {
+			t.Errorf("StagePasses(%d, fused) = %d, want %d", c.n, got, c.fused)
+		}
+	}
+
+	// The sweep drop shows up as cache-level work, not DRAM traffic: the
+	// buffer stays resident either way, so DRAM bytes match while the
+	// fused schedule makes roughly half the buffer accesses.
+	const total, buf = 1 << 12, 256
+	hPlain, hFused := tiny(t), tiny(t)
+	DoubleBufStage(hPlain, total, buf, 4, 16, StagePasses(buf, false), 16)
+	DoubleBufStage(hFused, total, buf, 4, 16, StagePasses(buf, true), 16)
+	if hPlain.DRAMWriteBytes != hFused.DRAMWriteBytes {
+		t.Errorf("DRAM writes differ: plain %d, fused %d",
+			hPlain.DRAMWriteBytes, hFused.DRAMWriteBytes)
+	}
+	p := hPlain.Stats(0)
+	f := hFused.Stats(0)
+	if f.Hits+f.Misses >= p.Hits+p.Misses {
+		t.Errorf("fused L1 accesses %d not below plain %d",
+			f.Hits+f.Misses, p.Hits+p.Misses)
+	}
+}
+
 func TestDoubleBufVsPencilTraffic(t *testing.T) {
 	// Head-to-head on equal data: the pipelined stage should move
 	// substantially fewer DRAM bytes than the strided pencil stage.

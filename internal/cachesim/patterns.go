@@ -125,6 +125,30 @@ func DoubleBufStage(h *Hierarchy, totalElems, bufElems, mu, strideBlocks, passes
 	}
 }
 
+// StagePasses returns the number of compute sweeps the worker makes over
+// a cache-resident n-point stage buffer — the `passes` argument of
+// DoubleBufStage. A plain radix-4 chain sweeps once per rank stage
+// (log4 n). The fused codelet tier computes two rank stages per register
+// sweep (radix-16) and folds the final trivial-twiddle radix-4 butterfly
+// into the store leg, so only ⌈(log4 n − 1)/2⌉ sweeps remain; the folded
+// stage's arithmetic rides on the store traffic that was being paid anyway.
+func StagePasses(n int, fused bool) int {
+	ranks := 0
+	for m := n; m > 1; m /= 4 {
+		ranks++
+	}
+	if ranks < 1 {
+		ranks = 1
+	}
+	if !fused {
+		return ranks
+	}
+	if p := ranks / 2; p >= 1 { // ranks/2 == ⌈(ranks−1)/2⌉
+		return p
+	}
+	return 1
+}
+
 // TrafficAmplification returns the measured DRAM traffic divided by the
 // ideal streaming traffic for moving n elements once in and once out.
 func TrafficAmplification(h *Hierarchy, elems, elemBytes int) float64 {

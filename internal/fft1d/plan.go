@@ -57,7 +57,7 @@ type Plan struct {
 	n    int
 	kind planKind
 	// maxRadix is the largest Stockham stage radix a pow2 plan may use
-	// (2, 4 or 8); 0 for non-pow2 plans, where it is meaningless.
+	// (2, 4, 8 or 16); 0 for non-pow2 plans, where it is meaningless.
 	maxRadix int
 
 	// kindSmall
@@ -65,12 +65,17 @@ type Plan struct {
 
 	// kindPow2: radices of each Stockham stage, outermost first, and the
 	// per-stage twiddles for each direction (index 0 forward, 1 inverse),
-	// built lazily.
-	radices     []int
-	stageOnce   [2]sync.Once
-	stages      [2][]kernels.StageTwiddles
-	splitOnce   [2]sync.Once
-	splitStages [2][]kernels.SplitTwiddles
+	// built lazily. The split-format drivers run their own stage chain
+	// (splitRadices): there is no split radix-16 codelet and the split
+	// radix-8 one underruns the radix-4 pair it replaces, so split plans
+	// prefer radix-4 chains while the interleaved chain uses the fused
+	// radix-16 codelets.
+	radices      []int
+	splitRadices []int
+	stageOnce    [2]sync.Once
+	stages       [2][]kernels.StageTwiddles
+	splitOnce    [2]sync.Once
+	splitStages  [2][]kernels.SplitTwiddles
 
 	// kindMixed: n = f · rest.
 	f, rest  int
@@ -99,25 +104,27 @@ const planCacheCapacity = 128
 var planCache = lru.New[planKey, *Plan](planCacheCapacity, nil)
 
 // NewPlan returns a (possibly cached) plan for size n ≥ 1 using the default
-// radix mix (radix-8 sweeps for power-of-two sizes).
+// radix mix (fused radix-16 sweeps for power-of-two sizes).
 func NewPlan(n int) *Plan { return NewPlanRadix(n, 0) }
 
 // NewPlanRadix returns a (possibly cached) plan for size n ≥ 1 whose
 // power-of-two path uses Stockham stages of radix at most maxRadix ∈
-// {2, 4, 8}; 0 selects the default (8: ⌈log₄(n)⌉ passes, see pow2Radices).
+// {2, 4, 8, 16}; 0 selects the default (16: fused two-stage codelets with a
+// trailing radix-4 stage reserved for store folding, see pow2Radices).
 // Lower radices make more passes over the buffer and exist for tuning and
 // ablation. maxRadix only affects power-of-two sizes > 8; other sizes share
-// one plan.
+// one plan. The cap applies to the interleaved chain; split-format drivers
+// run a radix-4-preferring chain of their own regardless (see splitChain).
 func NewPlanRadix(n, maxRadix int) *Plan {
 	if n < 1 {
 		panic(fmt.Sprintf("fft1d: NewPlanRadix(%d): size must be ≥ 1", n))
 	}
 	switch maxRadix {
 	case 0:
-		maxRadix = 8
-	case 2, 4, 8:
+		maxRadix = 16
+	case 2, 4, 8, 16:
 	default:
-		panic(fmt.Sprintf("fft1d: NewPlanRadix(%d, %d): radix must be 0, 2, 4 or 8", n, maxRadix))
+		panic(fmt.Sprintf("fft1d: NewPlanRadix(%d, %d): radix must be 0, 2, 4, 8 or 16", n, maxRadix))
 	}
 	key := planKey{n: n, radix: maxRadix}
 	if n <= 8 || n&(n-1) != 0 {
@@ -164,6 +171,7 @@ func buildPlan(n, maxRadix int) *Plan {
 		p.kind = kindPow2
 		p.maxRadix = maxRadix
 		p.radices = pow2Radices(n, maxRadix)
+		p.splitRadices = splitChain(n, maxRadix)
 	default:
 		f := smallestCodeletFactor(n)
 		if f == 0 {
@@ -183,15 +191,25 @@ func buildPlan(n, maxRadix int) *Plan {
 }
 
 // pow2Radices returns the Stockham stage radices for n = 2^k under a radix
-// cap. maxRadix 8 (the default) uses one leading radix-8 stage when k is
-// odd and radix-4 stages for everything else: measured on amd64, the 8-wide
-// butterfly's 16 live complex values spill past the vector register file,
-// so chains of radix-8 stages lose to radix-4 per element — but a single
-// radix-8 stage replaces the radix-2 stage an odd k otherwise needs,
-// saving a whole pass over the buffer (the first stage, where its reads
-// are unit-stride, is the cheapest place for it). maxRadix 4 is the
-// pre-radix-8 plan (one leading radix-2 when k is odd); maxRadix 2 is the
-// k-pass ablation baseline.
+// cap.
+//
+// maxRadix 16 (the default) packs the front of the chain with fused
+// radix-16 codelets — each one computes two radix-4 rank stages in
+// registers, halving the passes over the buffer — while always reserving a
+// trailing radix-4 stage: the final stage's table twiddles are trivial
+// (W_j[0] = 1 since m = 1), which lets the stage-graph executor fold that
+// whole sweep into its scatter/store leg instead of running it as a
+// separate pass. A leading radix-8 stage absorbs odd k as before.
+//
+// maxRadix 8 uses one leading radix-8 stage when k is odd and radix-4
+// stages for everything else: measured on amd64, the 8-wide butterfly's 16
+// live complex values spill past the vector register file, so chains of
+// radix-8 stages lose to radix-4 per element — but a single radix-8 stage
+// replaces the radix-2 stage an odd k otherwise needs, saving a whole pass
+// over the buffer (the first stage, where its reads are unit-stride, is
+// the cheapest place for it). maxRadix 4 is the pre-radix-8 plan (one
+// leading radix-2 when k is odd); maxRadix 2 is the k-pass ablation
+// baseline.
 func pow2Radices(n, maxRadix int) []int {
 	k := bits.TrailingZeros(uint(n))
 	var r []int
@@ -208,7 +226,7 @@ func pow2Radices(n, maxRadix int) []int {
 		for ; k > 0; k -= 2 {
 			r = append(r, 4)
 		}
-	default: // 8
+	case 8:
 		if k%2 == 1 {
 			r = append(r, 8)
 			k -= 3
@@ -216,8 +234,55 @@ func pow2Radices(n, maxRadix int) []int {
 		for ; k > 0; k -= 2 {
 			r = append(r, 4)
 		}
+	default: // 16: fused pairs up front, trailing radix-4 reserved for folding
+		switch k {
+		case 4:
+			return []int{4, 4}
+		case 5:
+			return []int{8, 4}
+		case 6:
+			return []int{16, 4}
+		case 7:
+			return []int{8, 4, 4}
+		}
+		if k%4 == 0 {
+			// A pure radix-16 chain needs no odd trailing stage, and
+			// measured on amd64 it beats reserving a radix-4 for the
+			// store fold: the fold's leg-major scatter re-reads each
+			// input four times, which costs more than the sweep the
+			// fold saves when the sweep count is already minimal.
+			for ; k > 0; k -= 4 {
+				r = append(r, 16)
+			}
+			return r
+		}
+		rem := k - 2 // trailing radix-4 reserved
+		if rem%2 == 1 {
+			r = append(r, 8)
+			rem -= 3
+		}
+		for ; rem >= 4; rem -= 4 {
+			r = append(r, 16)
+		}
+		if rem == 2 {
+			r = append(r, 4)
+		}
+		r = append(r, 4)
 	}
 	return r
+}
+
+// splitChain returns the split-format stage chain. The split drivers have
+// no radix-16 codelet (the fused butterfly's 64 live re/im accumulators
+// spill far past the 16-register file) and the split radix-8 codelet
+// underruns two radix-4 passes on even k, so the split chain prefers
+// radix-4 stages, keeping a single leading radix-8 only to absorb odd k
+// without a radix-2 pass.
+func splitChain(n, maxRadix int) []int {
+	if maxRadix > 8 {
+		maxRadix = 8
+	}
+	return pow2Radices(n, maxRadix)
 }
 
 // smallestCodeletFactor returns the preferred factor to peel from composite
@@ -261,17 +326,36 @@ func (p *Plan) stageTwiddles(sign int) []kernels.StageTwiddles {
 }
 
 // splitTwiddles returns the split-format stage twiddles for direction sign.
+// They follow splitRadices, not the interleaved chain — the two chains
+// diverge once the interleaved side uses fused radix-16 stages.
 func (p *Plan) splitTwiddles(sign int) []kernels.SplitTwiddles {
 	i := signIdx(sign)
 	p.splitOnce[i].Do(func() {
-		base := p.stageTwiddles(sign)
-		st := make([]kernels.SplitTwiddles, len(base))
-		for s := range base {
-			st[s] = kernels.NewSplitTwiddles(base[s])
+		st := make([]kernels.SplitTwiddles, len(p.splitRadices))
+		n1 := p.n
+		for s, r := range p.splitRadices {
+			st[s] = kernels.NewSplitTwiddles(kernels.NewStageTwiddles(n1, r, sign))
+			n1 /= r
 		}
 		p.splitStages[i] = st
 	})
 	return p.splitStages[i]
+}
+
+// FoldRadix reports whether the plan's interleaved stage chain ends in a
+// stage the stage-graph store leg can absorb: the trailing radix-4 stage of
+// a power-of-two chain, whose table twiddles are trivial (m = 1 at the last
+// stage, so W_j[0] = 1). It returns that radix (4), or 0 when no stage can
+// be folded. Callers that fold run BatchLanesPrefixArena for the compute
+// pass and apply the final butterfly during the store.
+func (p *Plan) FoldRadix() int {
+	if p.kind != kindPow2 || len(p.radices) == 0 {
+		return 0
+	}
+	if last := p.radices[len(p.radices)-1]; last == 4 {
+		return 4
+	}
+	return 0
 }
 
 // diagTwiddles returns the mixed-radix D_rest^{n} diagonal for direction

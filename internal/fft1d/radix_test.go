@@ -17,7 +17,7 @@ func TestRadixPlansAgree(t *testing.T) {
 		for _, sign := range []int{Forward, Inverse} {
 			want := make([]complex128, n)
 			NewPlanRadix(n, 2).Transform(want, x, sign)
-			for _, radix := range []int{4, 8} {
+			for _, radix := range []int{4, 8, 16} {
 				got := make([]complex128, n)
 				NewPlanRadix(n, radix).Transform(got, x, sign)
 				if d := cvec.MaxDiff(cvec.Vec(got), cvec.Vec(want)); d > tol*float64(n) {
@@ -64,8 +64,8 @@ func TestPlanCacheRadixKeying(t *testing.T) {
 	if NewPlanRadix(1024, 8) == NewPlanRadix(1024, 4) {
 		t.Error("pow2 plans with different radix caps share a cache entry")
 	}
-	if NewPlanRadix(1024, 8) != NewPlan(1024) {
-		t.Error("NewPlan(1024) should be the cached radix-8 plan")
+	if NewPlanRadix(1024, 16) != NewPlan(1024) {
+		t.Error("NewPlan(1024) should be the cached radix-16 plan")
 	}
 	if NewPlanRadix(120, 2) != NewPlanRadix(120, 8) {
 		t.Error("non-pow2 plans should share one entry regardless of radix")
@@ -86,6 +86,20 @@ func TestPow2RadicesSchedule(t *testing.T) {
 		{64, 4, []int{4, 4, 4}},
 		{32, 4, []int{2, 4, 4}},
 		{16, 2, []int{2, 2, 2, 2}},
+		// maxRadix 16: fused pairs up front, trailing radix-4 reserved
+		// so the stage-graph store leg can fold the last sweep.
+		{16, 16, []int{4, 4}},
+		{32, 16, []int{8, 4}},
+		{64, 16, []int{16, 4}},
+		{128, 16, []int{8, 4, 4}},
+		// k ≡ 0 (mod 4) packs pure radix-16 chains (no fold stage): the
+		// fold's 4× leg re-read costs more than the sweep it would save
+		// once the sweep count is already ⌈k/4⌉.
+		{256, 16, []int{16, 16}},
+		{512, 16, []int{8, 16, 4}},
+		{1024, 16, []int{16, 16, 4}},
+		{2048, 16, []int{8, 16, 4, 4}},
+		{4096, 16, []int{16, 16, 16}},
 	}
 	for _, c := range cases {
 		got := pow2Radices(c.n, c.maxRadix)

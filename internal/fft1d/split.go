@@ -62,7 +62,7 @@ func (p *Plan) pow2LanesSplit(dstRe, dstIm, srcRe, srcIm []float64, mu, sign int
 		if (t-1-i)%2 != 0 {
 			outRe, outIm = scratchRe, scratchIm
 		}
-		switch r := p.radices[i]; r {
+		switch r := p.splitRadices[i]; r {
 		case 8:
 			kernels.SplitRadix8Step(outRe, outIm, curRe, curIm, n1/8, s, sign, tw)
 		case 4:
@@ -71,8 +71,8 @@ func (p *Plan) pow2LanesSplit(dstRe, dstIm, srcRe, srcIm []float64, mu, sign int
 			kernels.SplitRadix2Step(outRe, outIm, curRe, curIm, n1/2, s, tw)
 		}
 		curRe, curIm = outRe, outIm
-		n1 /= p.radices[i]
-		s *= p.radices[i]
+		n1 /= p.splitRadices[i]
+		s *= p.splitRadices[i]
 	}
 	ar.Rewind(mk)
 }
@@ -101,7 +101,7 @@ func (p *Plan) batchPow2Split(re, im []float64, pencils, mu, sign int, ar *kerne
 		if (t-1-i)%2 != 0 {
 			outRe, outIm = scratchRe, scratchIm
 		}
-		switch r := p.radices[i]; r {
+		switch r := p.splitRadices[i]; r {
 		case 8:
 			kernels.BatchSplitRadix8Step(outRe, outIm, curRe, curIm, pencils, stride, n1/8, s, sign, tw)
 		case 4:
@@ -110,8 +110,8 @@ func (p *Plan) batchPow2Split(re, im []float64, pencils, mu, sign int, ar *kerne
 			kernels.BatchSplitRadix2Step(outRe, outIm, curRe, curIm, pencils, stride, n1/2, s, tw)
 		}
 		curRe, curIm = outRe, outIm
-		n1 /= p.radices[i]
-		s *= p.radices[i]
+		n1 /= p.splitRadices[i]
+		s *= p.splitRadices[i]
 	}
 	ar.Rewind(mk)
 }

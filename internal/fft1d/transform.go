@@ -78,6 +78,8 @@ func (p *Plan) pow2Lanes(dst, src []complex128, mu, sign int, ar *kernels.Arena)
 			out = scratch
 		}
 		switch r := p.radices[i]; r {
+		case 16:
+			kernels.Radix16Step(out, cur, n1/16, s, sign, tw)
 		case 8:
 			kernels.Radix8Step(out, cur, n1/8, s, sign, tw)
 		case 4:
@@ -100,8 +102,15 @@ func (p *Plan) pow2Lanes(dst, src []complex128, mu, sign int, ar *kernels.Arena)
 // with an odd stage count the pipeline starts from a scratch copy so no
 // stage reads the half it is writing.
 func (p *Plan) batchPow2(x []complex128, pencils, mu, sign int, ar *kernels.Arena) {
-	st := p.stageTwiddles(sign)
-	t := len(st)
+	p.batchPow2Stages(x, pencils, mu, sign, len(p.radices), ar)
+}
+
+// batchPow2Stages runs the first `t` stages of the interleaved chain in
+// place. t = len(p.radices) is the full transform; t = len(p.radices)-1 is
+// the store-fold prefix, leaving the data one trailing radix-4 butterfly
+// short of the answer (the stage-graph scatter leg supplies it).
+func (p *Plan) batchPow2Stages(x []complex128, pencils, mu, sign, t int, ar *kernels.Arena) {
+	st := p.stageTwiddles(sign)[:t]
 	stride := p.n * mu
 	m := ar.Mark()
 	scratch := ar.Complex(pencils * stride)
@@ -119,6 +128,8 @@ func (p *Plan) batchPow2(x []complex128, pencils, mu, sign int, ar *kernels.Aren
 			out = scratch
 		}
 		switch r := p.radices[i]; r {
+		case 16:
+			kernels.BatchRadix16Step(out, cur, pencils, stride, n1/16, s, sign, tw)
 		case 8:
 			kernels.BatchRadix8Step(out, cur, pencils, stride, n1/8, s, sign, tw)
 		case 4:
@@ -273,6 +284,23 @@ func (p *Plan) BatchLanesArena(x []complex128, count, mu, sign int, ar *kernels.
 		p.lanesInto(pencil, tmp, mu, sign, ar)
 	}
 	ar.Rewind(mk)
+}
+
+// BatchLanesPrefixArena runs every Stockham stage except the trailing one
+// on count contiguous lane groups in place — the compute half of the
+// store-folded pipeline. The caller must have checked FoldRadix() != 0; the
+// data is left one radix-4 butterfly (m = 1, trivial twiddles, stride
+// s = n/4·mu per group) short of the transform, which the stage-graph
+// scatter leg applies on the fly.
+func (p *Plan) BatchLanesPrefixArena(x []complex128, count, mu, sign int, ar *kernels.Arena) {
+	if len(x) != count*p.n*mu {
+		panic(fmt.Sprintf("fft1d: BatchLanesPrefixArena length %d, want %d·%d·%d",
+			len(x), count, p.n, mu))
+	}
+	if p.FoldRadix() == 0 {
+		panic(fmt.Sprintf("fft1d: BatchLanesPrefixArena on a plan with no foldable stage (n=%d)", p.n))
+	}
+	p.batchPow2Stages(x, count, mu, sign, len(p.radices)-1, ar)
 }
 
 // BatchInto computes dst = (I_count ⊗ DFT_n)(src) out of place.

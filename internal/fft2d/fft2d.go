@@ -80,13 +80,18 @@ type Options struct {
 	// store, as in §IV-A.
 	SplitFormat bool
 	// Radix caps the Stockham stage radix of the power-of-two 1D sub-plans
-	// (0 = default 8; 2 and 4 select the higher-pass-count mixes for
-	// tuning/ablation).
+	// (0 = default 16, the fused two-stage codelet tier; 2, 4 and 8 select
+	// the higher-pass-count mixes for tuning/ablation).
 	Radix int
 	// Unfused disables cross-stage pipeline fusion: each stage drains the
 	// pipeline before the next begins, as if run by a separate engine
 	// invocation (the A/B baseline; fusion is on by default).
 	Unfused bool
+	// DisableStoreFold turns off the fused store epilogue: the trailing
+	// trivial-twiddle radix-4 butterfly runs as a normal compute sweep and
+	// the scatter stores unmodified blocks (the A/B baseline for the fold;
+	// folding is on by default whenever the stage chain allows it).
+	DisableStoreFold bool
 	// StorePolicy selects cached vs streaming (non-temporal) block stores
 	// for the DoubleBuf stages. The default StoreAuto picks streaming
 	// stores when the transform's per-stage destination footprint exceeds
@@ -155,9 +160,9 @@ func NewPlan(n, m int, opts Options) (*Plan, error) {
 	}
 	opts = opts.withDefaults()
 	switch opts.Radix {
-	case 0, 2, 4, 8:
+	case 0, 2, 4, 8, 16:
 	default:
-		return nil, fmt.Errorf("fft2d: radix must be 0, 2, 4 or 8, got %d", opts.Radix)
+		return nil, fmt.Errorf("fft2d: radix must be 0, 2, 4, 8 or 16, got %d", opts.Radix)
 	}
 	p := &Plan{n: n, m: m, opts: opts,
 		rowPlan: fft1d.NewPlanRadix(m, opts.Radix), colPlan: fft1d.NewPlanRadix(n, opts.Radix)}
@@ -176,9 +181,15 @@ func NewPlan(n, m int, opts Options) (*Plan, error) {
 		p.mb = m / mu
 		// Stage 1 blocks: whole rows; stage 2 blocks: whole xb-rows of
 		// the transposed block matrix. Both iteration counts must divide
-		// their loop extent so the pipeline sees uniform blocks.
-		p.rows1 = largestDivisorAtMost(n, max(1, opts.BufferElems/m))
-		p.xbs2 = largestDivisorAtMost(p.mb, max(1, opts.BufferElems/(n*mu)))
+		// their loop extent so the pipeline sees uniform blocks. Beyond
+		// the buffer-capacity cap, blocks are kept small enough that each
+		// stage gets at least minStageIters pipeline iterations: the fused
+		// steady-state occupancy of an S-stage graph with I total
+		// iterations is I/(I+S+1), so too-few, too-large blocks leave the
+		// data workers idle at the ramp and drain even when every byte
+		// still moves exactly once.
+		p.rows1 = largestDivisorAtMost(n, blockCap(n, opts.BufferElems/m))
+		p.xbs2 = largestDivisorAtMost(p.mb, blockCap(p.mb, opts.BufferElems/(n*mu)))
 		b := max(p.rows1*m, p.xbs2*n*mu)
 		if opts.SplitFormat {
 			p.workRe = make([]float64, n*m)
@@ -419,6 +430,22 @@ func parallelFor(workers, total int, f func(lo, hi int)) {
 	for w := 0; w < workers; w++ {
 		<-done
 	}
+}
+
+// minStageIters is the pipeline-depth floor: block sizes are shrunk until
+// every stage runs at least this many iterations (when the extent allows),
+// keeping the fused schedule's steady-state occupancy I/(I+S+1) above ~0.9
+// for two-stage graphs.
+const minStageIters = 9
+
+// blockCap combines the buffer-capacity block limit with the pipeline-depth
+// floor for a stage whose block loop has `extent` iterations of unit blocks.
+func blockCap(extent, bufBlocks int) int {
+	c := max(1, bufBlocks)
+	if byDepth := extent / minStageIters; byDepth >= 1 && byDepth < c {
+		c = byDepth
+	}
+	return c
 }
 
 func largestDivisorAtMost(n, cap int) int {

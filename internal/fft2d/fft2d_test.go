@@ -173,9 +173,12 @@ func TestDoubleBufScheduleIsTableII(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// BufferElems alone would allow 64/16 = 4 rows per block (8 iters), but
+	// the pipeline-depth floor caps blocks at 32/minStageIters = 3 rows,
+	// rounded down to the divisor 2 — 16 iterations per stage.
 	iters1 := p.Stage1Iters()
-	if iters1 != 32/(64/16) {
-		t.Fatalf("Stage1Iters = %d, want 8", iters1)
+	if iters1 != 16 {
+		t.Fatalf("Stage1Iters = %d, want 16", iters1)
 	}
 	x := randVec(3, 32*16)
 	y := make([]complex128, len(x))

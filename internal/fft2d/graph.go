@@ -62,14 +62,38 @@ func (p *Plan) buildStages(dst, src []complex128) []stagegraph.Stage {
 	} else {
 		s1.Dst = stagegraph.Endpoint{C: p.work}
 		s2.Src = stagegraph.Endpoint{C: p.work}
-		s1.Compute = func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
-			if lo < hi {
-				p.rowPlan.BatchArena(b.C[half][lo*m:hi*m], hi-lo, p.curSign, a)
+		// Store-folded stages: compute runs every Stockham sweep but the
+		// last, and the scatter leg applies the trailing trivial-twiddle
+		// radix-4 butterfly while the block is still cache-hot — one fewer
+		// full pass over the buffer per stage. StoreSign is patched per
+		// call alongside curSign.
+		if p.rowPlan.FoldRadix() == 4 && mb%4 == 0 && !p.opts.DisableStoreFold {
+			s1.StoreRadix = 4
+			s1.Compute = func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
+				if lo < hi {
+					p.rowPlan.BatchLanesPrefixArena(b.C[half][lo*m:hi*m], hi-lo, 1, p.curSign, a)
+				}
+			}
+		} else {
+			s1.Compute = func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
+				if lo < hi {
+					p.rowPlan.BatchArena(b.C[half][lo*m:hi*m], hi-lo, p.curSign, a)
+				}
 			}
 		}
-		s2.Compute = func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
-			if lo < hi {
-				p.colPlan.BatchLanesArena(b.C[half][lo*rowLen:hi*rowLen], hi-lo, mu, p.curSign, a)
+		if p.colPlan.FoldRadix() == 4 && n%4 == 0 && !p.opts.DisableStoreFold {
+			s2.StoreRadix = 4
+			s2.Compute = func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
+				if lo < hi {
+					s, e := lo*rowLen, hi*rowLen
+					p.colPlan.BatchLanesPrefixArena(b.C[half][s:e], hi-lo, mu, p.curSign, a)
+				}
+			}
+		} else {
+			s2.Compute = func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
+				if lo < hi {
+					p.colPlan.BatchLanesArena(b.C[half][lo*rowLen:hi*rowLen], hi-lo, mu, p.curSign, a)
+				}
 			}
 		}
 	}
@@ -87,6 +111,11 @@ func (p *Plan) doubleBuf(dst, src []complex128, sign int) error {
 		return fmt.Errorf("fft2d: plan closed")
 	}
 	p.curSign = sign
+	for i := range p.stages {
+		if p.stages[i].StoreRadix != 0 {
+			p.stages[i].StoreSign = sign
+		}
+	}
 	p.stages[0].Src.C = src
 	p.stages[1].Dst.C = dst
 	st, err := p.exec.Run(p.bufs, p.stages, p.sched, p.opts.Tracer)

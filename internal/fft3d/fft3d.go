@@ -82,13 +82,18 @@ type Options struct {
 	// format with fused conversions at the boundary stages (§IV-A).
 	SplitFormat bool
 	// Radix caps the Stockham stage radix of the power-of-two 1D sub-plans
-	// (0 = default 8; 2 and 4 select the higher-pass-count mixes for
-	// tuning/ablation).
+	// (0 = default 16, the fused two-stage codelet tier; 2, 4 and 8 select
+	// the higher-pass-count mixes for tuning/ablation).
 	Radix int
 	// Unfused disables cross-stage pipeline fusion: each stage drains the
 	// pipeline before the next begins, as if run by a separate engine
 	// invocation (the A/B baseline; fusion is on by default).
 	Unfused bool
+	// DisableStoreFold turns off the fused store epilogue: the trailing
+	// trivial-twiddle radix-4 butterfly runs as a normal compute sweep and
+	// the scatter stores unmodified blocks (the A/B baseline for the fold;
+	// folding is on by default whenever the stage chain allows it).
+	DisableStoreFold bool
 	// StorePolicy selects cached vs streaming (non-temporal) block stores
 	// for the DoubleBuf stages; default StoreAuto decides from the
 	// per-stage destination footprint vs the host LLC (see fft2d).
@@ -161,9 +166,9 @@ func NewPlan(k, n, m int, opts Options) (*Plan, error) {
 	}
 	opts = opts.withDefaults()
 	switch opts.Radix {
-	case 0, 2, 4, 8:
+	case 0, 2, 4, 8, 16:
 	default:
-		return nil, fmt.Errorf("fft3d: radix must be 0, 2, 4 or 8, got %d", opts.Radix)
+		return nil, fmt.Errorf("fft3d: radix must be 0, 2, 4, 8 or 16, got %d", opts.Radix)
 	}
 	p := &Plan{k: k, n: n, m: m, opts: opts,
 		planM: fft1d.NewPlanRadix(m, opts.Radix),
@@ -183,9 +188,13 @@ func NewPlan(k, n, m int, opts Options) (*Plan, error) {
 		}
 		p.mb = m / mu
 		total := k * n * m
-		p.rows1 = largestDivisorAtMost(k*n, maxInt(1, opts.BufferElems/m))
-		p.units2 = largestDivisorAtMost(p.mb*k, maxInt(1, opts.BufferElems/(n*mu)))
-		p.units3 = largestDivisorAtMost(n*p.mb, maxInt(1, opts.BufferElems/(k*mu)))
+		// Besides the buffer-capacity cap, blocks are kept small enough
+		// that each stage runs at least minStageIters pipeline iterations:
+		// fused steady-state occupancy is I/(I+S+1), so a deep-enough
+		// pipeline is what hides the ramp and drain (see fft2d.blockCap).
+		p.rows1 = largestDivisorAtMost(k*n, blockCap(k*n, opts.BufferElems/m))
+		p.units2 = largestDivisorAtMost(p.mb*k, blockCap(p.mb*k, opts.BufferElems/(n*mu)))
+		p.units3 = largestDivisorAtMost(n*p.mb, blockCap(n*p.mb, opts.BufferElems/(k*mu)))
 		b := maxInt(p.rows1*m, maxInt(p.units2*n*mu, p.units3*k*mu))
 		if opts.SplitFormat {
 			p.workRe = make([]float64, total)
@@ -487,6 +496,19 @@ func parallelFor(workers, total int, f func(lo, hi int)) {
 	for w := 0; w < workers; w++ {
 		<-done
 	}
+}
+
+// minStageIters is the pipeline-depth floor (see fft2d.minStageIters).
+const minStageIters = 9
+
+// blockCap combines the buffer-capacity block limit with the pipeline-depth
+// floor for a stage whose block loop has `extent` iterations.
+func blockCap(extent, bufBlocks int) int {
+	c := maxInt(1, bufBlocks)
+	if byDepth := extent / minStageIters; byDepth >= 1 && byDepth < c {
+		c = byDepth
+	}
+	return c
 }
 
 func largestDivisorAtMost(n, cap int) int {

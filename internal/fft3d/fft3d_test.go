@@ -168,10 +168,12 @@ func TestStageIters(t *testing.T) {
 		t.Fatal(err)
 	}
 	s1, s2, s3 := p.StageIters()
-	// Stage 1: kn/rows1 = 64/(64/8) = 8 blocks. Stage 2: mb·k/units2 =
-	// 16/(64/32)=8. Stage 3 likewise.
-	if s1 != 8 || s2 != 8 || s3 != 8 {
-		t.Fatalf("StageIters = %d,%d,%d, want 8,8,8", s1, s2, s3)
+	// Capacity alone would allow 64/8 = 8 rows per stage-1 block (8 iters),
+	// but the pipeline-depth floor caps blocks at 64/minStageIters = 7
+	// units, rounded down to the divisor 4 — 16 iterations per stage.
+	// Stages 2 and 3 (extent mb·k = 16) land on 16/9 → 1-unit blocks.
+	if s1 != 16 || s2 != 16 || s3 != 16 {
+		t.Fatalf("StageIters = %d,%d,%d, want 16,16,16", s1, s2, s3)
 	}
 	ref, _ := NewPlan(4, 4, 4, Options{Strategy: Reference})
 	if a, b, c := ref.StageIters(); a != 0 || b != 0 || c != 0 {

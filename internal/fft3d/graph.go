@@ -88,13 +88,37 @@ func (p *Plan) buildStages(dst, src []complex128) []stagegraph.Stage {
 		s2.Dst = stagegraph.Endpoint{C: p.work}
 		s3.Src = stagegraph.Endpoint{C: p.work}
 		s3.Dst = stagegraph.Endpoint{C: dst}
-		s1.Compute = func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
-			if lo < hi {
-				p.planM.BatchArena(b.C[half][lo*m:hi*m], hi-lo, p.curSign, a)
+		// Store-folded stages: compute runs every Stockham sweep but the
+		// last, and the scatter leg applies the trailing trivial-twiddle
+		// radix-4 butterfly while the block is still cache-hot — one fewer
+		// full pass over the buffer per stage. StoreSign is patched per
+		// call alongside curSign.
+		if p.planM.FoldRadix() == 4 && mb%4 == 0 && !p.opts.DisableStoreFold {
+			s1.StoreRadix = 4
+			s1.Compute = func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
+				if lo < hi {
+					p.planM.BatchLanesPrefixArena(b.C[half][lo*m:hi*m], hi-lo, 1, p.curSign, a)
+				}
+			}
+		} else {
+			s1.Compute = func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
+				if lo < hi {
+					p.planM.BatchArena(b.C[half][lo*m:hi*m], hi-lo, p.curSign, a)
+				}
 			}
 		}
-		s2.Compute = p.lanes(p.planN, n*mu, mu)
-		s3.Compute = p.lanes(p.planK, k*mu, mu)
+		if p.planN.FoldRadix() == 4 && n%4 == 0 && !p.opts.DisableStoreFold {
+			s2.StoreRadix = 4
+			s2.Compute = p.lanesPrefix(p.planN, n*mu, mu)
+		} else {
+			s2.Compute = p.lanes(p.planN, n*mu, mu)
+		}
+		if p.planK.FoldRadix() == 4 && k%4 == 0 && !p.opts.DisableStoreFold {
+			s3.StoreRadix = 4
+			s3.Compute = p.lanesPrefix(p.planK, k*mu, mu)
+		} else {
+			s3.Compute = p.lanes(p.planK, k*mu, mu)
+		}
 	}
 	return []stagegraph.Stage{s1, s2, s3}
 }
@@ -106,6 +130,16 @@ func (p *Plan) lanes(plan *fft1d.Plan, unitLen, mu int) stagegraph.ComputeFn {
 	return func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
 		if lo < hi {
 			plan.BatchLanesArena(b.C[half][lo*unitLen:hi*unitLen], hi-lo, mu, p.curSign, a)
+		}
+	}
+}
+
+// lanesPrefix is lanes for a store-folded stage: every Stockham sweep but
+// the trailing radix-4 butterfly, which the scatter leg applies.
+func (p *Plan) lanesPrefix(plan *fft1d.Plan, unitLen, mu int) stagegraph.ComputeFn {
+	return func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
+		if lo < hi {
+			plan.BatchLanesPrefixArena(b.C[half][lo*unitLen:hi*unitLen], hi-lo, mu, p.curSign, a)
 		}
 	}
 }
@@ -130,6 +164,11 @@ func (p *Plan) doubleBuf(dst, src []complex128, sign int) error {
 		return fmt.Errorf("fft3d: plan closed")
 	}
 	p.curSign = sign
+	for i := range p.stages {
+		if p.stages[i].StoreRadix != 0 {
+			p.stages[i].StoreSign = sign
+		}
+	}
 	if p.opts.SplitFormat {
 		p.stages[0].Src.C = src
 		p.stages[2].Dst.C = dst

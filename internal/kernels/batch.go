@@ -64,3 +64,21 @@ func BatchSplitRadix8Step(dstRe, dstIm, srcRe, srcIm []float64, pencils, stride,
 		SplitRadix8Step(dstRe[o:o+stride], dstIm[o:o+stride], srcRe[o:o+stride], srcIm[o:o+stride], m, s, sign, tw)
 	}
 }
+
+// BatchRadix16Step applies one fused radix-16 stage (two radix-4 rank stages
+// in registers) to `pencils` independent pencils of stride elements each
+// (stride = 16·m·s).
+func BatchRadix16Step(dst, src []complex128, pencils, stride, m, s, sign int, tw StageTwiddles) {
+	for c := 0; c < pencils; c++ {
+		o := c * stride
+		Radix16Step(dst[o:o+stride], src[o:o+stride], m, s, sign, tw)
+	}
+}
+
+// BatchSplitRadix16Step is the split-format batched fused radix-16 sweep.
+func BatchSplitRadix16Step(dstRe, dstIm, srcRe, srcIm []float64, pencils, stride, m, s, sign int, tw SplitTwiddles) {
+	for c := 0; c < pencils; c++ {
+		o := c * stride
+		SplitRadix16Step(dstRe[o:o+stride], dstIm[o:o+stride], srcRe[o:o+stride], srcIm[o:o+stride], m, s, sign, tw)
+	}
+}

@@ -33,3 +33,27 @@ func SplitRadix4Step(dstRe, dstIm, srcRe, srcIm []float64, m, s, sign int, tw Sp
 func SplitRadix8Step(dstRe, dstIm, srcRe, srcIm []float64, m, s, sign int, tw SplitTwiddles) {
 	SplitRadix8StepGeneric(dstRe, dstIm, srcRe, srcIm, m, s, sign, tw)
 }
+
+// Radix16Step performs one fused radix-16 stage (two radix-4 rank stages in
+// registers); see Radix16StepGeneric for the contract.
+func Radix16Step(dst, src []complex128, m, s, sign int, tw StageTwiddles) {
+	Radix16StepGeneric(dst, src, m, s, sign, tw)
+}
+
+// Radix4FoldLeg computes one leg of the trailing trivial-twiddle radix-4
+// butterfly; see Radix4FoldLegGeneric for the contract.
+func Radix4FoldLeg(dst, z0, z1, z2, z3 []complex128, leg, sign int) {
+	Radix4FoldLegGeneric(dst, z0, z1, z2, z3, leg, sign)
+}
+
+// Radix4FoldScatterNT has no accelerated implementation on this build;
+// it always reports false so callers take the scratch-fold path.
+func Radix4FoldScatterNT(dst, z0, z1, z2, z3 []complex128, blocks, blockLen, d0, stride, leg, sign int) bool {
+	return false
+}
+
+// SplitRadix16Step is the split-format fused radix-16 stage; see
+// SplitRadix16StepGeneric for the contract.
+func SplitRadix16Step(dstRe, dstIm, srcRe, srcIm []float64, m, s, sign int, tw SplitTwiddles) {
+	SplitRadix16StepGeneric(dstRe, dstIm, srcRe, srcIm, m, s, sign, tw)
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"unsafe"
 )
 
 // The dispatched entry points must agree with the pure-Go oracles for
@@ -62,7 +63,7 @@ func TestRadixStepsMatchGeneric(t *testing.T) {
 		t.Skip("no accelerated tier on this build; dispatch is the oracle")
 	}
 	r := rand.New(rand.NewSource(7))
-	for _, radix := range []int{4, 8} {
+	for _, radix := range []int{4, 8, 16} {
 		for _, sign := range []int{Forward, Inverse} {
 			for _, sh := range shapes {
 				n := radix * sh.m * sh.s
@@ -79,6 +80,9 @@ func TestRadixStepsMatchGeneric(t *testing.T) {
 					case 8:
 						Radix8Step(got, src, sh.m, sh.s, sign, tw)
 						Radix8StepGeneric(want, src, sh.m, sh.s, sign, tw)
+					case 16:
+						Radix16Step(got, src, sh.m, sh.s, sign, tw)
+						Radix16StepGeneric(want, src, sh.m, sh.s, sign, tw)
 					}
 					if d := maxDiffC(got, want); d > eqTol*scaleFor(want) {
 						t.Fatalf("radix=%d sign=%d m=%d s=%d off=%d: max diff %g", radix, sign, sh.m, sh.s, off, d)
@@ -186,6 +190,81 @@ func TestTierAgainstNaiveDFT(t *testing.T) {
 		if d := maxDiffC(cur, want); d > 1e-9*scaleFor(want) {
 			t.Fatalf("n=%d: pipeline vs naive DFT max diff %g", n, d)
 		}
+	}
+}
+
+// The fold-leg codelet must agree with the pure-Go oracle on every leg,
+// both signs, and lengths hitting the vector body, the XMM tail, and the
+// single-element case.
+func TestFoldLegMatchesGeneric(t *testing.T) {
+	if Tier() == "generic" {
+		t.Skip("no accelerated tier on this build")
+	}
+	r := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 33, 64} {
+		z0, z1 := randComplex(r, n), randComplex(r, n)
+		z2, z3 := randComplex(r, n), randComplex(r, n)
+		for _, sign := range []int{Forward, Inverse} {
+			for leg := 0; leg < 4; leg++ {
+				want := make([]complex128, n)
+				got := make([]complex128, n)
+				Radix4FoldLegGeneric(want, z0, z1, z2, z3, leg, sign)
+				Radix4FoldLeg(got, z0, z1, z2, z3, leg, sign)
+				if d := maxDiffC(got, want); d > eqTol*scaleFor(want) {
+					t.Fatalf("n=%d leg=%d sign=%d: max diff %g", n, leg, sign, d)
+				}
+			}
+		}
+	}
+}
+
+// The fused fold+NT-scatter kernel must place exactly the blocks the
+// scratch fold + scatter pair would, and must decline (writing nothing)
+// on patterns outside its alignment contract.
+func TestFoldScatterNTMatchesScratchPath(t *testing.T) {
+	if Tier() == "generic" {
+		t.Skip("no accelerated tier on this build")
+	}
+	r := rand.New(rand.NewSource(11))
+	alignedDst := func(n int) []complex128 {
+		raw := make([]complex128, n+2)
+		for off := 0; off < 2; off++ {
+			if uintptr(unsafe.Pointer(&raw[off]))%32 == 0 {
+				return raw[off : off+n]
+			}
+		}
+		t.Fatal("no 32-byte-aligned offset in complex128 slice")
+		return nil
+	}
+	for _, c := range []struct{ blocks, bl, d0, stride int }{
+		{1, 2, 0, 0}, {4, 4, 0, 16}, {3, 4, 4, 32}, {8, 2, 2, 6}, {5, 8, 0, 40},
+	} {
+		n := c.blocks * c.bl
+		z0, z1 := randComplex(r, n), randComplex(r, n)
+		z2, z3 := randComplex(r, n), randComplex(r, n)
+		extent := c.d0 + (c.blocks-1)*c.stride + c.bl
+		for _, sign := range []int{Forward, Inverse} {
+			for leg := 0; leg < 4; leg++ {
+				got := alignedDst(extent)
+				if !Radix4FoldScatterNT(got, z0, z1, z2, z3, c.blocks, c.bl, c.d0, c.stride, leg, sign) {
+					t.Fatalf("blocks=%d bl=%d: fused kernel declined an aligned pattern", c.blocks, c.bl)
+				}
+				folded := make([]complex128, n)
+				Radix4FoldLegGeneric(folded, z0, z1, z2, z3, leg, sign)
+				want := make([]complex128, extent)
+				for i := 0; i < c.blocks; i++ {
+					copy(want[c.d0+i*c.stride:], folded[i*c.bl:(i+1)*c.bl])
+				}
+				if d := maxDiffC(got, want); d > eqTol*scaleFor(want) {
+					t.Fatalf("blocks=%d bl=%d leg=%d sign=%d: max diff %g", c.blocks, c.bl, leg, sign, d)
+				}
+			}
+		}
+	}
+	// Odd block length misses the 32-byte store contract: must decline.
+	z := randComplex(r, 3)
+	if Radix4FoldScatterNT(alignedDst(3), z, z, z, z, 1, 3, 0, 0, 0, Forward) {
+		t.Fatal("fused kernel accepted an odd block length")
 	}
 }
 

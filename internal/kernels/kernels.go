@@ -61,7 +61,14 @@ func NaiveDFT(x []complex128, sign int) []complex128 {
 // StageTwiddles holds the per-butterfly twiddle factors for one Stockham
 // stage, precomputed at plan time. For a radix-r stage over sub-size n1=r·m,
 // Wj[p] = ω_{n1}^{j·p} for p < m and 1 ≤ j < r. Radix-2 stages use only W1,
-// radix-4 stages W1–W3, radix-8 stages W1–W7.
+// radix-4 stages W1–W3, radix-8 stages W1–W7, fused radix-16 stages W1–W15.
+//
+// The radix-16 legs are the stage-pair table of the fused two-stage codelet:
+// a radix-16 step is two radix-4 rank stages done in registers, and because
+// the fused output slot r = 4·j_B + j_A equals the combined twiddle degree
+// j_A + 4·j_B, leg W_r applies directly to output slot r — the fused access
+// order is exactly the natural W1..W15 layout, with the same total twiddle
+// footprint as the two separate stages it replaces.
 type StageTwiddles struct {
 	Radix int
 	W1    []complex128
@@ -71,12 +78,29 @@ type StageTwiddles struct {
 	W5    []complex128
 	W6    []complex128
 	W7    []complex128
+	W8    []complex128
+	W9    []complex128
+	W10   []complex128
+	W11   []complex128
+	W12   []complex128
+	W13   []complex128
+	W14   []complex128
+	W15   []complex128
+}
+
+// legs returns the twiddle legs indexed by output slot (legs[0] is nil: slot
+// 0 is untwiddled).
+func (st *StageTwiddles) legs() [16][]complex128 {
+	return [16][]complex128{
+		nil, st.W1, st.W2, st.W3, st.W4, st.W5, st.W6, st.W7,
+		st.W8, st.W9, st.W10, st.W11, st.W12, st.W13, st.W14, st.W15,
+	}
 }
 
 // NewStageTwiddles precomputes the twiddles for one stage of sub-size n1
-// with the given radix (2, 4 or 8) and direction sign.
+// with the given radix (2, 4, 8 or fused 16) and direction sign.
 func NewStageTwiddles(n1, radix, sign int) StageTwiddles {
-	if radix != 2 && radix != 4 && radix != 8 {
+	if radix != 2 && radix != 4 && radix != 8 && radix != 16 {
 		panic(fmt.Sprintf("kernels: unsupported radix %d", radix))
 	}
 	if n1%radix != 0 {
@@ -113,14 +137,32 @@ func NewStageTwiddles(n1, radix, sign int) StageTwiddles {
 	st.W7 = make([]complex128, m)
 	// Powers via Omega's mod-n reduction rather than repeated
 	// multiplication: keeps the quarter-point twiddles exact for every j.
-	for p := 0; p < m; p++ {
-		st.W1[p] = conjIf(twiddle.Omega(n1, p))
-		st.W2[p] = conjIf(twiddle.Omega(n1, 2*p))
-		st.W3[p] = conjIf(twiddle.Omega(n1, 3*p))
-		st.W4[p] = conjIf(twiddle.Omega(n1, 4*p))
-		st.W5[p] = conjIf(twiddle.Omega(n1, 5*p))
-		st.W6[p] = conjIf(twiddle.Omega(n1, 6*p))
-		st.W7[p] = conjIf(twiddle.Omega(n1, 7*p))
+	if radix == 8 {
+		for p := 0; p < m; p++ {
+			st.W1[p] = conjIf(twiddle.Omega(n1, p))
+			st.W2[p] = conjIf(twiddle.Omega(n1, 2*p))
+			st.W3[p] = conjIf(twiddle.Omega(n1, 3*p))
+			st.W4[p] = conjIf(twiddle.Omega(n1, 4*p))
+			st.W5[p] = conjIf(twiddle.Omega(n1, 5*p))
+			st.W6[p] = conjIf(twiddle.Omega(n1, 6*p))
+			st.W7[p] = conjIf(twiddle.Omega(n1, 7*p))
+		}
+		return st
+	}
+	st.W8 = make([]complex128, m)
+	st.W9 = make([]complex128, m)
+	st.W10 = make([]complex128, m)
+	st.W11 = make([]complex128, m)
+	st.W12 = make([]complex128, m)
+	st.W13 = make([]complex128, m)
+	st.W14 = make([]complex128, m)
+	st.W15 = make([]complex128, m)
+	legs := st.legs()
+	for d := 1; d < 16; d++ {
+		w := legs[d]
+		for p := 0; p < m; p++ {
+			w[p] = conjIf(twiddle.Omega(n1, d*p))
+		}
 	}
 	return st
 }
@@ -248,6 +290,126 @@ func Radix8StepGeneric(dst, src []complex128, m, s, sign int, tw StageTwiddles) 
 			y5[q] = (opc - qpd) * w5
 			y6[q] = (emc - jf) * w6
 			y7[q] = (omc - jq) * w7
+		}
+	}
+}
+
+// cosPi8 and sinPi8 are cos(π/8) and sin(π/8), the inter-rank rotation
+// constants of the fused radix-16 butterfly (ω₁₆ = cos(π/8) ± i·sin(π/8)).
+// They are spelled as literals so the pure-Go tier and the generated AVX2
+// RODATA share bit-identical values.
+const (
+	cosPi8 = 0.9238795325112867
+	sinPi8 = 0.38268343236508978
+)
+
+// Radix16StepGeneric performs one *fused* Stockham stage equal to two
+// consecutive radix-4 stages: for sub-size n1 = 16·m it computes
+//
+//	dst[s·(16p+r)+q] = W_r[p] · Σ_K ω̂₁₆^{rK} · src[s·(p+K·m)+q]
+//
+// which is exactly Radix4Step at (n1, s) followed by Radix4Step at
+// (n1/4, 4s) — but with the intermediate rank kept entirely in registers:
+// one load, one combined butterfly network, one store, so the pencil is
+// swept once instead of twice. tw must come from NewStageTwiddles(16*m, 16,
+// sign) and sign must match.
+//
+// Internally the 16-point DFT splits into two rank-4 passes. Pass A does a
+// plain DFT₄ over kA within each residue kB (u[jA·4+kB]); the ranks are then
+// coupled by the constant rotations ω̂₁₆^{jA·kB} (exponents {1,2,3,4,6,9},
+// built from cos/sin(π/8), √2/2 and the ±i of the direction); pass B does a
+// DFT₄ over kB per jA. Because the fused output slot r = 4·j_B + j_A equals
+// the combined twiddle degree, leg W_r applies directly to slot r.
+func Radix16StepGeneric(dst, src []complex128, m, s, sign int, tw StageTwiddles) {
+	jim := 1.0
+	if sign == Forward {
+		jim = -1.0
+	}
+	h := sqrt1_2
+	ws := tw.legs()
+	var u [16]complex128
+	rot := func(idx int, a, b float64) {
+		v := u[idx]
+		u[idx] = complex(a*real(v)-jim*b*imag(v), a*imag(v)+jim*b*real(v))
+	}
+	for p := 0; p < m; p++ {
+		for q := 0; q < s; q++ {
+			// Pass A: DFT₄ over kA within each residue kB.
+			for kB := 0; kB < 4; kB++ {
+				a := src[s*(p+kB*m)+q]
+				b := src[s*(p+(kB+4)*m)+q]
+				c := src[s*(p+(kB+8)*m)+q]
+				d := src[s*(p+(kB+12)*m)+q]
+				apc, amc := a+c, a-c
+				bpd, bmd := b+d, b-d
+				jb := complex(-jim*imag(bmd), jim*real(bmd))
+				u[kB] = apc + bpd
+				u[4+kB] = amc + jb
+				u[8+kB] = apc - bpd
+				u[12+kB] = amc - jb
+			}
+			// Inter-rank rotations u[4·jA+kB] ·= ω̂₁₆^{jA·kB}.
+			rot(4+1, cosPi8, sinPi8)    // e=1
+			rot(4+2, h, h)              // e=2
+			rot(4+3, sinPi8, cosPi8)    // e=3
+			rot(8+1, h, h)              // e=2
+			rot(8+2, 0, 1)              // e=4
+			rot(8+3, -h, h)             // e=6
+			rot(12+1, sinPi8, cosPi8)   // e=3
+			rot(12+2, -h, h)            // e=6
+			rot(12+3, -cosPi8, -sinPi8) // e=9
+			// Pass B: DFT₄ over kB per jA; slot r = 4·jB + jA gets leg W_r.
+			for jA := 0; jA < 4; jA++ {
+				a, b, c, d := u[4*jA], u[4*jA+1], u[4*jA+2], u[4*jA+3]
+				apc, amc := a+c, a-c
+				bpd, bmd := b+d, b-d
+				jb := complex(-jim*imag(bmd), jim*real(bmd))
+				o := s*16*p + q
+				if jA == 0 {
+					dst[o] = apc + bpd
+				} else {
+					dst[o+s*jA] = (apc + bpd) * ws[jA][p]
+				}
+				dst[o+s*(4+jA)] = (amc + jb) * ws[4+jA][p]
+				dst[o+s*(8+jA)] = (apc - bpd) * ws[8+jA][p]
+				dst[o+s*(12+jA)] = (amc - jb) * ws[12+jA][p]
+			}
+		}
+	}
+}
+
+// Radix4FoldLeg computes one output leg of a trivial-twiddle radix-4 DIF
+// butterfly over four equal-length blocks: dst = Σ_k ω̂4^{leg·k} z_k with
+// ω̂4 = jim·i (jim = −1 forward, +1 inverse). This is the final Stockham
+// stage of a trailing-radix-4 plan (m = 1, so every table twiddle is 1),
+// exposed block-wise so the stage-graph store leg can fold that sweep into
+// its scatter instead of running a separate pass over the buffer.
+// Radix4FoldLeg dispatches to an accelerated version when one exists.
+func Radix4FoldLegGeneric(dst, z0, z1, z2, z3 []complex128, leg, sign int) {
+	jim := -1.0
+	if sign == Inverse {
+		jim = 1.0
+	}
+	switch leg {
+	case 0:
+		for i := range dst {
+			dst[i] = (z0[i] + z2[i]) + (z1[i] + z3[i])
+		}
+	case 1:
+		for i := range dst {
+			a := z0[i] - z2[i]
+			b := z1[i] - z3[i]
+			dst[i] = a + complex(-jim*imag(b), jim*real(b))
+		}
+	case 2:
+		for i := range dst {
+			dst[i] = (z0[i] + z2[i]) - (z1[i] + z3[i])
+		}
+	default:
+		for i := range dst {
+			a := z0[i] - z2[i]
+			b := z1[i] - z3[i]
+			dst[i] = a - complex(-jim*imag(b), jim*real(b))
 		}
 	}
 }

@@ -8,14 +8,34 @@ package kernels
 
 // SplitTwiddles holds split-format per-stage twiddles.
 type SplitTwiddles struct {
-	Radix      int
-	W1Re, W1Im []float64
-	W2Re, W2Im []float64
-	W3Re, W3Im []float64
-	W4Re, W4Im []float64
-	W5Re, W5Im []float64
-	W6Re, W6Im []float64
-	W7Re, W7Im []float64
+	Radix        int
+	W1Re, W1Im   []float64
+	W2Re, W2Im   []float64
+	W3Re, W3Im   []float64
+	W4Re, W4Im   []float64
+	W5Re, W5Im   []float64
+	W6Re, W6Im   []float64
+	W7Re, W7Im   []float64
+	W8Re, W8Im   []float64
+	W9Re, W9Im   []float64
+	W10Re, W10Im []float64
+	W11Re, W11Im []float64
+	W12Re, W12Im []float64
+	W13Re, W13Im []float64
+	W14Re, W14Im []float64
+	W15Re, W15Im []float64
+}
+
+// legs returns the twiddle planes indexed by output slot (slot 0 is
+// untwiddled, so legs[0] is {nil, nil}).
+func (st *SplitTwiddles) legs() [16][2][]float64 {
+	return [16][2][]float64{
+		{}, {st.W1Re, st.W1Im}, {st.W2Re, st.W2Im}, {st.W3Re, st.W3Im},
+		{st.W4Re, st.W4Im}, {st.W5Re, st.W5Im}, {st.W6Re, st.W6Im},
+		{st.W7Re, st.W7Im}, {st.W8Re, st.W8Im}, {st.W9Re, st.W9Im},
+		{st.W10Re, st.W10Im}, {st.W11Re, st.W11Im}, {st.W12Re, st.W12Im},
+		{st.W13Re, st.W13Im}, {st.W14Re, st.W14Im}, {st.W15Re, st.W15Im},
+	}
 }
 
 // NewSplitTwiddles converts interleaved stage twiddles to split format.
@@ -34,11 +54,21 @@ func NewSplitTwiddles(tw StageTwiddles) SplitTwiddles {
 		st.W2Re, st.W2Im = split(tw.W2)
 		st.W3Re, st.W3Im = split(tw.W3)
 	}
-	if tw.Radix == 8 {
+	if tw.Radix >= 8 {
 		st.W4Re, st.W4Im = split(tw.W4)
 		st.W5Re, st.W5Im = split(tw.W5)
 		st.W6Re, st.W6Im = split(tw.W6)
 		st.W7Re, st.W7Im = split(tw.W7)
+	}
+	if tw.Radix == 16 {
+		st.W8Re, st.W8Im = split(tw.W8)
+		st.W9Re, st.W9Im = split(tw.W9)
+		st.W10Re, st.W10Im = split(tw.W10)
+		st.W11Re, st.W11Im = split(tw.W11)
+		st.W12Re, st.W12Im = split(tw.W12)
+		st.W13Re, st.W13Im = split(tw.W13)
+		st.W14Re, st.W14Im = split(tw.W14)
+		st.W15Re, st.W15Im = split(tw.W15)
 	}
 	return st
 }
@@ -223,6 +253,82 @@ func SplitRadix8StepGeneric(dstRe, dstIm, srcRe, srcIm []float64, m, s, sign int
 			t7R, t7I := omcR-jqR, omcI-jqI
 			y7Re[q] = t7R*w7r - t7I*w7i
 			y7Im[q] = t7R*w7i + t7I*w7r
+		}
+	}
+}
+
+// SplitRadix16Step performs one fused radix-16 Stockham stage (two radix-4
+// rank stages in registers, see Radix16Step) in split format. sign must
+// match the direction used to build tw.
+func SplitRadix16StepGeneric(dstRe, dstIm, srcRe, srcIm []float64, m, s, sign int, tw SplitTwiddles) {
+	jim := 1.0
+	if sign == Forward {
+		jim = -1.0
+	}
+	h := sqrt1_2
+	ws := tw.legs()
+	var uR, uI [16]float64
+	rot := func(idx int, a, b float64) {
+		vr, vi := uR[idx], uI[idx]
+		uR[idx] = a*vr - jim*b*vi
+		uI[idx] = a*vi + jim*b*vr
+	}
+	for p := 0; p < m; p++ {
+		for q := 0; q < s; q++ {
+			// Pass A: DFT₄ over kA within each residue kB.
+			step := s * 4 * m
+			for kB := 0; kB < 4; kB++ {
+				o := s*(p+kB*m) + q
+				ar, ai := srcRe[o], srcIm[o]
+				br, bi := srcRe[o+step], srcIm[o+step]
+				cr, ci := srcRe[o+2*step], srcIm[o+2*step]
+				dr, di := srcRe[o+3*step], srcIm[o+3*step]
+				apcR, apcI := ar+cr, ai+ci
+				amcR, amcI := ar-cr, ai-ci
+				bpdR, bpdI := br+dr, bi+di
+				bmdR, bmdI := br-dr, bi-di
+				jbR, jbI := -jim*bmdI, jim*bmdR
+				uR[kB], uI[kB] = apcR+bpdR, apcI+bpdI
+				uR[4+kB], uI[4+kB] = amcR+jbR, amcI+jbI
+				uR[8+kB], uI[8+kB] = apcR-bpdR, apcI-bpdI
+				uR[12+kB], uI[12+kB] = amcR-jbR, amcI-jbI
+			}
+			// Inter-rank rotations u[4·jA+kB] ·= ω̂₁₆^{jA·kB}.
+			rot(4+1, cosPi8, sinPi8)
+			rot(4+2, h, h)
+			rot(4+3, sinPi8, cosPi8)
+			rot(8+1, h, h)
+			rot(8+2, 0, 1)
+			rot(8+3, -h, h)
+			rot(12+1, sinPi8, cosPi8)
+			rot(12+2, -h, h)
+			rot(12+3, -cosPi8, -sinPi8)
+			// Pass B: DFT₄ over kB per jA; slot r = 4·jB + jA gets leg W_r.
+			for jA := 0; jA < 4; jA++ {
+				ar, ai := uR[4*jA], uI[4*jA]
+				br, bi := uR[4*jA+1], uI[4*jA+1]
+				cr, ci := uR[4*jA+2], uI[4*jA+2]
+				dr, di := uR[4*jA+3], uI[4*jA+3]
+				apcR, apcI := ar+cr, ai+ci
+				amcR, amcI := ar-cr, ai-ci
+				bpdR, bpdI := br+dr, bi+di
+				bmdR, bmdI := br-dr, bi-di
+				jbR, jbI := -jim*bmdI, jim*bmdR
+				o := s*16*p + q
+				store := func(r int, tR, tI float64) {
+					if r == 0 {
+						dstRe[o], dstIm[o] = tR, tI
+						return
+					}
+					wr, wi := ws[r][0][p], ws[r][1][p]
+					dstRe[o+s*r] = tR*wr - tI*wi
+					dstIm[o+s*r] = tR*wi + tI*wr
+				}
+				store(jA, apcR+bpdR, apcI+bpdI)
+				store(4+jA, amcR+jbR, amcI+jbI)
+				store(8+jA, apcR-bpdR, apcI-bpdI)
+				store(12+jA, amcR-jbR, amcI-jbI)
+			}
 		}
 	}
 }

@@ -20,7 +20,7 @@ func (mo *Model) DoubleBuf2D(n, m int) Estimate {
 	iters := maxI(elems/maxI(bufElems, 1), 1)
 
 	cores := mo.computeCoresDoubleBuf()
-	cGflops := mo.computeGflops(maxI(cores, 1))
+	cGflops := mo.doubleBufGflops(maxI(cores, 1))
 	flopsPerStage := 5 * float64(elems) * log2f(elems) / 2
 
 	// Transpose-panel rows available per block; both stages store with a

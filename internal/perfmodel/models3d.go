@@ -18,7 +18,7 @@ func (mo *Model) DoubleBuf3D(k, n, m, sockets int) Estimate {
 
 	// Compute: pc threads across the active sockets.
 	cores := mo.computeCoresDoubleBuf() * sockets / mo.M.Sockets
-	cGflops := mo.computeGflops(maxI(cores, 1))
+	cGflops := mo.doubleBufGflops(maxI(cores, 1))
 	flopsPerStage := 5 * float64(elems) * log2f(elems) / 3
 
 	var stages []StageCost

@@ -93,6 +93,15 @@ type Model struct {
 	// ScatterDRAMEff is the DRAM efficiency of isolated 64 B bursts at
 	// large strides relative to streaming (row-buffer locality loss).
 	ScatterDRAMEff float64
+	// FusedCodeletEff scales the sustained compute rate of the DoubleBuf
+	// models when the fused codelet chain is active (Fused true). The
+	// radix-16 codelets do two rank stages per register sweep and the
+	// store leg absorbs the final trivial-twiddle radix-4 butterfly, so
+	// the compute thread makes cachesim.StagePasses(n, true) buffer sweeps
+	// instead of log4(n) — roughly half the L1/L2 round trips per flop.
+	// FFTComputeEff is calibrated for the one-rank-per-sweep kernels; this
+	// factor is the fused chain's relative gain on cached data.
+	FusedCodeletEff float64
 	// Fused selects the cross-stage-fused stage-graph schedule (the
 	// default): the whole transform fills and drains the pipeline once, so
 	// a non-final stage pays only one extra step ((iters+1)/iters) and the
@@ -115,6 +124,7 @@ func New(m machine.Machine) *Model {
 			LibFFTW: 0.75,
 		},
 		BaselineRemotePenalty: 1.0,
+		FusedCodeletEff:       1.3,
 		TLBRowCost:            2.0,
 		ScatterDRAMEff:        0.85,
 		Fused:                 true,
@@ -171,6 +181,16 @@ func (mo *Model) finish(name string, elems, peakStages int, stages []StageCost) 
 // of compute cores.
 func (mo *Model) computeGflops(cores int) float64 {
 	return mo.M.FreqGHz * mo.M.FlopsPerCycle() * float64(cores) * mo.FFTComputeEff
+}
+
+// doubleBufGflops is computeGflops with the fused-codelet sweep bonus
+// applied when the model runs the fused schedule.
+func (mo *Model) doubleBufGflops(cores int) float64 {
+	g := mo.computeGflops(cores)
+	if mo.Fused && mo.FusedCodeletEff > 0 {
+		g *= mo.FusedCodeletEff
+	}
+	return g
 }
 
 // computeCoresDoubleBuf returns the cores available for computation when

@@ -250,6 +250,39 @@ func TestComputeCoresDoubleBuf(t *testing.T) {
 	}
 }
 
+func TestFusedCodeletEff(t *testing.T) {
+	// At paper scale the DoubleBuf stages are bandwidth-bound, so the
+	// fused-codelet compute bonus must not move the headline estimates…
+	base := New(machine.KabyLake7700K)
+	flat := New(machine.KabyLake7700K)
+	flat.FusedCodeletEff = 1.0
+	b := base.DoubleBuf3D(512, 512, 512, 1)
+	f := flat.DoubleBuf3D(512, 512, 512, 1)
+	if math.Abs(b.Seconds-f.Seconds)/f.Seconds > 0.02 {
+		t.Errorf("bandwidth-bound estimate moved: %.4g vs %.4g s", b.Seconds, f.Seconds)
+	}
+	// …but on a compute-starved configuration the fewer buffer sweeps
+	// must show: same machine with the kernels running at a far lower
+	// fraction of peak becomes compute-bound, and the fused chain wins.
+	slow := New(machine.KabyLake7700K)
+	slow.FFTComputeEff = 0.05
+	slowFlat := New(machine.KabyLake7700K)
+	slowFlat.FFTComputeEff = 0.05
+	slowFlat.FusedCodeletEff = 1.0
+	s := slow.DoubleBuf3D(512, 512, 512, 1)
+	sf := slowFlat.DoubleBuf3D(512, 512, 512, 1)
+	if s.Seconds >= sf.Seconds {
+		t.Errorf("fused bonus missing when compute-bound: %.4g vs %.4g s", s.Seconds, sf.Seconds)
+	}
+	// The bonus only applies under the fused schedule.
+	unfused := New(machine.KabyLake7700K)
+	unfused.FFTComputeEff = 0.05
+	unfused.Fused = false
+	if g := unfused.doubleBufGflops(4); g != unfused.computeGflops(4) {
+		t.Errorf("unfused schedule got the codelet bonus: %v vs %v", g, unfused.computeGflops(4))
+	}
+}
+
 func TestFillFactor(t *testing.T) {
 	if fill(1) != 3 {
 		t.Errorf("fill(1) = %v, want 3", fill(1))

@@ -208,6 +208,11 @@ type Executor struct {
 	arenas []*kernels.Arena // one per compute worker
 	obs    *obs.Collector   // nil-safe telemetry sink shared with the plan
 
+	// storeScratch holds one per-data-worker fold buffer, sized in Run to
+	// the largest store-unit length among stages with StoreRadix set and
+	// retained across runs (steady state stays allocation-free).
+	storeScratch [][]complex128
+
 	// Per-run state, published before the start barrier and read by the
 	// workers after it.
 	runBufs   *Buffers
@@ -334,7 +339,11 @@ func (e *Executor) runSteps(role affinity.Role, slot, workers int) {
 			storeRef := sched.storeAt[s]
 			nStore := 0
 			if storeRef.stage >= 0 {
-				nStore = stages[storeRef.stage].store(b, storeRef.half, storeRef.iter, slot, workers)
+				var scratch []complex128
+				if len(e.storeScratch) > 0 {
+					scratch = e.storeScratch[slot]
+				}
+				nStore = stages[storeRef.stage].store(b, storeRef.half, storeRef.iter, slot, workers, scratch)
 			}
 			t1 := time.Now()
 			if storeRef.stage >= 0 {
@@ -443,6 +452,27 @@ func (e *Executor) Run(b *Buffers, stages []Stage, sched *Schedule, tracer *trac
 	e.compDur = e.compDur[:steps]
 	for i := 0; i < steps; i++ {
 		e.dataDur[i], e.compDur[i] = 0, 0
+	}
+
+	// Size the per-data-worker fold scratch for any StoreRadix stages before
+	// the workers wake; a run without fold stages leaves it untouched.
+	need := 0
+	for i := range stages {
+		if stages[i].StoreRadix != 0 {
+			if _, unitLen := stages[i].storeGeometry(); unitLen > need {
+				need = unitLen
+			}
+		}
+	}
+	if need > 0 {
+		if e.storeScratch == nil {
+			e.storeScratch = make([][]complex128, e.dataWorkers)
+		}
+		for w := range e.storeScratch {
+			if len(e.storeScratch[w]) < need {
+				e.storeScratch[w] = make([]complex128, need)
+			}
+		}
 	}
 
 	e.runBufs, e.runStages, e.runSched, e.runTracer = b, stages, sched, tracer

@@ -114,6 +114,18 @@ type Stage struct {
 	// See StorePolicy and ReviseStores for the plan- and run-time
 	// deciders. Harmless (silent fallback) on hosts without the tier.
 	NonTemporal bool
+	// StoreRadix, when 4, folds the final Stockham stage of the pencil
+	// transform into the store leg: the compute hook runs the plan's stage
+	// prefix (fft1d.BatchLanesPrefixArena) and the store applies the
+	// trailing trivial-twiddle radix-4 butterfly on the fly while
+	// scattering — output block j of a store unit is combined from input
+	// blocks (j mod Blocks/4) + k·Blocks/4 in the cache-hot buffer, so the
+	// final sweep costs no extra pass over the half. Requires interleaved
+	// buffers, no staging, and Rot.Blocks divisible by 4. StoreSign is the
+	// butterfly's transform sign; plans patch it per run alongside the
+	// compute sign. Zero means a plain store.
+	StoreRadix int
+	StoreSign  int
 	// Rot maps stored blocks to destination offsets; Blocks·BlockLen must
 	// equal the store unit length.
 	Rot Rotation
@@ -162,6 +174,22 @@ func (st *Stage) validate(i int, b *Buffers) error {
 	}
 	if !st.Dst.valid(true) {
 		return fmt.Errorf("stagegraph: stage %d (%s): invalid Dst endpoint", i, st.Name)
+	}
+	if st.StoreRadix != 0 {
+		if st.StoreRadix != 4 {
+			return fmt.Errorf("stagegraph: stage %d (%s): StoreRadix=%d, only 4 (or 0) supported",
+				i, st.Name, st.StoreRadix)
+		}
+		if st.Rot.Blocks%4 != 0 {
+			return fmt.Errorf("stagegraph: stage %d (%s): StoreRadix=4 needs Rot.Blocks%%4==0, got %d",
+				i, st.Name, st.Rot.Blocks)
+		}
+		if st.StoreFromStaging {
+			return fmt.Errorf("stagegraph: stage %d (%s): StoreRadix with staging store", i, st.Name)
+		}
+		if b != nil && b.Split {
+			return fmt.Errorf("stagegraph: stage %d (%s): StoreRadix with split buffers", i, st.Name)
+		}
 	}
 	if b != nil {
 		if need := st.BlockElems(); need > b.Elems {
@@ -286,7 +314,12 @@ func (st *Stage) load(b *Buffers, half, iter, worker, workers int) int {
 // each run through one register-blocked layout scatter kernel, irregular
 // ones fall back to a Map call per block. It returns the bytes this worker
 // moved.
-func (st *Stage) store(b *Buffers, half, iter, worker, workers int) int {
+//
+// When StoreRadix is 4, each run's blocks are first combined through the
+// trailing trivial-twiddle radix-4 butterfly into the worker's scratch
+// (foldRun) and scattered from there: the buffer half is read four times at
+// cache speed instead of the destination being swept by an extra pass.
+func (st *Stage) store(b *Buffers, half, iter, worker, workers int, scratch []complex128) int {
 	units, unitLen := st.storeGeometry()
 	blocks, bl := st.Rot.Blocks, st.Rot.BlockLen
 	lo, hi := partition(units*blocks, worker, workers)
@@ -301,8 +334,31 @@ func (st *Stage) store(b *Buffers, half, iter, worker, workers int) int {
 		run := j1 - j0
 		g := iter*units + u
 		s := u*unitLen + j0*bl
+		var folded []complex128
+		if st.StoreRadix == 4 {
+			// Fast path: fold and scatter in one fused NT kernel, no
+			// scratch round trip. Falls back to the scratch fold when the
+			// destination pattern misses the kernel's alignment contract
+			// (any blocks the attempt already streamed are rewritten with
+			// identical values, so a mid-run decline is harmless).
+			if st.NonTemporal && st.Dst.WriteC == nil && st.Dst.R == nil && st.Dst.C != nil &&
+				(run == 1 || stride != 0) &&
+				st.foldScatterNT(b, half, u*unitLen, j0, run, st.Rot.Map(g, j0), stride) {
+				t += run
+				continue
+			}
+			folded = st.foldRun(b, half, scratch, u*unitLen, j0, run)
+		}
 		if run == 1 || stride != 0 {
-			st.storeRun(b, half, st.Rot.Map(g, j0), stride, s, run)
+			if folded != nil {
+				st.storeRunC(folded, st.Rot.Map(g, j0), stride, run)
+			} else {
+				st.storeRun(b, half, st.Rot.Map(g, j0), stride, s, run)
+			}
+		} else if folded != nil {
+			for j := j0; j < j1; j++ {
+				st.writeBlockC(folded[(j-j0)*bl:(j-j0+1)*bl], st.Rot.Map(g, j))
+			}
 		} else {
 			for j := j0; j < j1; j++ {
 				st.writeBlock(b, half, st.Rot.Map(g, j), s+(j-j0)*bl, bl)
@@ -311,6 +367,71 @@ func (st *Stage) store(b *Buffers, half, iter, worker, workers int) int {
 		t += run
 	}
 	return (hi - lo) * bl * complexBytes
+}
+
+// foldRun computes output blocks [j0, j0+run) of the store unit whose
+// buffer base is ub, applying the trailing radix-4 butterfly: output block
+// j belongs to leg j/(Blocks/4) and combines input blocks (j mod Blocks/4)
+// + k·Blocks/4, all read from the cache-hot buffer half. The result lands
+// in scratch[0:run·BlockLen], which is returned.
+func (st *Stage) foldRun(b *Buffers, half int, scratch []complex128, ub, j0, run int) []complex128 {
+	blocks, bl := st.Rot.Blocks, st.Rot.BlockLen
+	nq := blocks / 4
+	buf := b.C[half]
+	legStride := nq * bl
+	// Consecutive blocks inside one leg read (and write) contiguous memory,
+	// so fold a whole leg segment per kernel call rather than one μ-block at
+	// a time — the call and dispatch overhead would otherwise dominate the
+	// store leg.
+	for j := j0; j < j0+run; {
+		leg, r := j/nq, j%nq
+		seg := nq - r
+		if left := j0 + run - j; left < seg {
+			seg = left
+		}
+		base := ub + r*bl
+		n := seg * bl
+		z0 := buf[base : base+n]
+		z1 := buf[base+legStride : base+legStride+n]
+		z2 := buf[base+2*legStride : base+2*legStride+n]
+		z3 := buf[base+3*legStride : base+3*legStride+n]
+		o := (j - j0) * bl
+		kernels.Radix4FoldLeg(scratch[o:o+n], z0, z1, z2, z3, leg, st.StoreSign)
+		j += seg
+	}
+	return scratch[:run*bl]
+}
+
+// foldScatterNT is foldRun fused with the affine scatter: each leg
+// segment of the run is folded and streamed straight to its strided
+// destination blocks by the non-temporal fold kernel. Returns false if
+// the kernel declines the pattern (the caller then re-runs the whole run
+// through the scratch path).
+func (st *Stage) foldScatterNT(b *Buffers, half, ub, j0, run, d0, stride int) bool {
+	blocks, bl := st.Rot.Blocks, st.Rot.BlockLen
+	nq := blocks / 4
+	buf := b.C[half]
+	legStride := nq * bl
+	for j := j0; j < j0+run; {
+		leg, r := j/nq, j%nq
+		seg := nq - r
+		if left := j0 + run - j; left < seg {
+			seg = left
+		}
+		base := ub + r*bl
+		n := seg * bl
+		ok := kernels.Radix4FoldScatterNT(st.Dst.C,
+			buf[base:base+n],
+			buf[base+legStride:base+legStride+n],
+			buf[base+2*legStride:base+2*legStride+n],
+			buf[base+3*legStride:base+3*legStride+n],
+			seg, bl, d0+(j-j0)*stride, stride, leg, st.StoreSign)
+		if !ok {
+			return false
+		}
+		j += seg
+	}
+	return true
 }
 
 // storeRun stores `run` consecutive blocks of one store unit, starting at
@@ -360,6 +481,41 @@ func (st *Stage) storeRun(b *Buffers, half, d0, stride, s, run int) {
 		layout.ScatterBlocksNT(st.Dst.C, b.C[half][s:s+n], run, bl, d0, stride)
 	default:
 		layout.ScatterBlocks(st.Dst.C, b.C[half][s:s+n], run, bl, d0, stride)
+	}
+}
+
+// storeRunC is storeRun for a fold stage: the blocks were already combined
+// into src (worker scratch), so only the interleaved-source destination
+// modes apply — validate() rejects fold stages with split buffers or
+// staging.
+func (st *Stage) storeRunC(src []complex128, d0, stride, run int) {
+	bl := st.Rot.BlockLen
+	switch {
+	case st.Dst.WriteC != nil:
+		d := d0
+		for j := 0; j < run; j++ {
+			st.Dst.WriteC(d, src[j*bl:(j+1)*bl])
+			d += stride
+		}
+	case st.Dst.R != nil:
+		layout.ScatterBlocksPairs(st.Dst.R, src, run, bl, d0, stride)
+	case st.NonTemporal:
+		layout.ScatterBlocksNT(st.Dst.C, src, run, bl, d0, stride)
+	default:
+		layout.ScatterBlocks(st.Dst.C, src, run, bl, d0, stride)
+	}
+}
+
+// writeBlockC is writeBlock for one folded block already sitting in src.
+func (st *Stage) writeBlockC(src []complex128, d int) {
+	n := len(src)
+	switch {
+	case st.Dst.WriteC != nil:
+		st.Dst.WriteC(d, src)
+	case st.Dst.R != nil:
+		layout.UnpackPairs(st.Dst.R[2*d:], src, n)
+	default:
+		copy(st.Dst.C[d:d+n], src)
 	}
 }
 

@@ -30,6 +30,23 @@ type Candidate struct {
 	// StorePolicy selects the block-store tier: "auto" (or empty, as in
 	// old wisdom files), "regular", or "nt" — see stagegraph.StorePolicy.
 	StorePolicy string `json:"store_policy,omitempty"`
+	// Fuse selects the store-fold epilogue: "auto"/"on" (or empty, as in
+	// old wisdom files) folds the trailing radix-4 butterfly into the
+	// scatter whenever the stage chain allows, "off" runs it as a normal
+	// compute sweep.
+	Fuse string `json:"fuse,omitempty"`
+}
+
+// disableFold maps the fuse axis onto the plans' DisableStoreFold knob,
+// reporting an error for unknown values.
+func (c Candidate) disableFold() (bool, error) {
+	switch c.Fuse {
+	case "", "auto", "on":
+		return false, nil
+	case "off":
+		return true, nil
+	}
+	return false, fmt.Errorf("tune: unknown fuse value %q", c.Fuse)
 }
 
 func (c Candidate) String() string {
@@ -37,8 +54,12 @@ func (c Candidate) String() string {
 	if sp == "" {
 		sp = "auto"
 	}
-	return fmt.Sprintf("b=%d p_d=%d p_c=%d μ=%d split=%v radix=%d store=%s",
-		c.BufferElems, c.DataWorkers, c.ComputeWorkers, c.Mu, c.SplitFormat, c.Radix, sp)
+	fu := c.Fuse
+	if fu == "" {
+		fu = "auto"
+	}
+	return fmt.Sprintf("b=%d p_d=%d p_c=%d μ=%d split=%v radix=%d store=%s fuse=%s",
+		c.BufferElems, c.DataWorkers, c.ComputeWorkers, c.Mu, c.SplitFormat, c.Radix, sp, fu)
 }
 
 // storePolicy parses the candidate's store-policy axis.
@@ -53,6 +74,9 @@ func (c Candidate) storePolicy() (stagegraph.StorePolicy, error) {
 // point is skipped instead of erroring.
 func (c Candidate) feasible(m int) bool {
 	if _, err := c.storePolicy(); err != nil {
+		return false
+	}
+	if _, err := c.disableFold(); err != nil {
 		return false
 	}
 	return c.Mu >= 1 && m%c.Mu == 0
@@ -76,6 +100,9 @@ type Space struct {
 	// StorePolicies lists the store tiers to try ("auto", "regular",
 	// "nt"); nil/empty = {"auto"}.
 	StorePolicies []string
+	// Fuses lists the store-fold settings to try ("auto", "on", "off");
+	// nil/empty = {"auto"}.
+	Fuses []string
 }
 
 // DefaultSpace returns a modest space appropriate for `threads` hardware
@@ -102,8 +129,9 @@ func DefaultSpace(threads int) Space {
 		WorkerSplits:  splits,
 		Mus:           []int{4, 8},
 		SplitFormats:  []bool{false, true},
-		Radixes:       []int{8, 4},
+		Radixes:       []int{16, 8, 4},
 		StorePolicies: policies,
+		Fuses:         []string{"auto", "off"},
 	}
 }
 
@@ -117,6 +145,10 @@ func (s Space) candidates() []Candidate {
 	if len(policies) == 0 {
 		policies = []string{"auto"}
 	}
+	fuses := s.Fuses
+	if len(fuses) == 0 {
+		fuses = []string{"auto"}
+	}
 	var out []Candidate
 	for _, b := range s.Buffers {
 		for _, ws := range s.WorkerSplits {
@@ -124,10 +156,12 @@ func (s Space) candidates() []Candidate {
 				for _, sf := range s.SplitFormats {
 					for _, r := range radixes {
 						for _, sp := range policies {
-							out = append(out, Candidate{
-								BufferElems: b, DataWorkers: ws[0], ComputeWorkers: ws[1],
-								Mu: mu, SplitFormat: sf, Radix: r, StorePolicy: sp,
-							})
+							for _, fu := range fuses {
+								out = append(out, Candidate{
+									BufferElems: b, DataWorkers: ws[0], ComputeWorkers: ws[1],
+									Mu: mu, SplitFormat: sf, Radix: r, StorePolicy: sp, Fuse: fu,
+								})
+							}
 						}
 					}
 				}
@@ -157,10 +191,12 @@ func Tune3D(k, n, m int, space Space, reps int) (Result, []Result, error) {
 			continue
 		}
 		sp, _ := c.storePolicy()
+		nofold, _ := c.disableFold()
 		p, err := fft3d.NewPlan(k, n, m, fft3d.Options{
 			Strategy: fft3d.DoubleBuf, Mu: c.Mu, BufferElems: c.BufferElems,
 			DataWorkers: c.DataWorkers, ComputeWorkers: c.ComputeWorkers,
 			SplitFormat: c.SplitFormat, Radix: c.Radix, StorePolicy: sp,
+			DisableStoreFold: nofold,
 		})
 		if err != nil {
 			return Result{}, nil, err
@@ -199,10 +235,12 @@ func Tune2D(n, m int, space Space, reps int) (Result, []Result, error) {
 			continue
 		}
 		sp, _ := c.storePolicy()
+		nofold, _ := c.disableFold()
 		p, err := fft2d.NewPlan(n, m, fft2d.Options{
 			Strategy: fft2d.DoubleBuf, Mu: c.Mu, BufferElems: c.BufferElems,
 			DataWorkers: c.DataWorkers, ComputeWorkers: c.ComputeWorkers,
 			SplitFormat: c.SplitFormat, Radix: c.Radix, StorePolicy: sp,
+			DisableStoreFold: nofold,
 		})
 		if err != nil {
 			return Result{}, nil, err

@@ -156,3 +156,56 @@ func TestStorePolicyAxis(t *testing.T) {
 		t.Fatal("expected error when every candidate is infeasible")
 	}
 }
+
+func TestFuseAxis(t *testing.T) {
+	space := smallSpace()
+	space.SplitFormats = []bool{false}
+	space.WorkerSplits = [][2]int{{1, 1}}
+	space.Buffers = []int{256}
+	space.Fuses = []string{"on", "off"}
+	best, all, err := Tune3D(16, 16, 16, space, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("tried %d candidates, want 2", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		seen[r.Fuse] = true
+	}
+	if !seen["on"] || !seen["off"] {
+		t.Fatalf("fuse settings measured: %v", seen)
+	}
+	if !strings.Contains(best.String(), "fuse=") {
+		t.Fatalf("String lacks fuse axis: %q", best.String())
+	}
+	// An unknown fuse value is infeasible, not an error.
+	space.Fuses = []string{"sideways"}
+	if _, _, err := Tune3D(16, 16, 16, space, 1); err == nil {
+		t.Fatal("expected error when every candidate is infeasible")
+	}
+}
+
+func TestWisdomFuseAndRadix16Validation(t *testing.T) {
+	// Radix 16 and every fuse spelling round-trip.
+	w := NewWisdom()
+	c := Candidate{BufferElems: 1 << 12, DataWorkers: 1, ComputeWorkers: 1, Mu: 4, Radix: 16, Fuse: "off"}
+	w.Put(Key2D(256, 256), c)
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := LoadWisdom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := w2.Get(Key2D(256, 256)); !ok || got != c {
+		t.Fatalf("loaded %+v, want %+v", got, c)
+	}
+	// An unknown fuse value is rejected at load time.
+	badFuse := `{"entries":{"2d:4:4":{"buffer_elems":64,"data_workers":1,"compute_workers":1,"mu":4,"fuse":"sideways"}}}`
+	if _, err := LoadWisdom(strings.NewReader(badFuse)); err == nil {
+		t.Fatal("accepted invalid fuse setting")
+	}
+}

@@ -65,12 +65,15 @@ func LoadWisdom(in io.Reader) (*Wisdom, error) {
 			return nil, fmt.Errorf("tune: wisdom entry %q invalid: %+v", k, c)
 		}
 		switch c.Radix {
-		case 0, 2, 4, 8:
+		case 0, 2, 4, 8, 16:
 		default:
 			return nil, fmt.Errorf("tune: wisdom entry %q has invalid radix %d", k, c.Radix)
 		}
 		if _, err := c.storePolicy(); err != nil {
 			return nil, fmt.Errorf("tune: wisdom entry %q has invalid store policy %q", k, c.StorePolicy)
+		}
+		if _, err := c.disableFold(); err != nil {
+			return nil, fmt.Errorf("tune: wisdom entry %q has invalid fuse setting %q", k, c.Fuse)
 		}
 	}
 	return &w, nil
