@@ -17,9 +17,9 @@ PUREGO_PKGS = ./internal/kernels ./internal/layout ./internal/cpufeat \
               ./internal/fft3d ./internal/tune ./internal/machine
 
 .PHONY: ci vet lint build test purego crossbuild asmgen asmcheck race bench \
-        benchsmoke benchjson benchcmp servesmoke obssmoke fmt
+        benchsmoke benchjson benchcmp servesmoke obssmoke shardsmoke fmt
 
-ci: vet lint build crossbuild asmcheck test purego race benchsmoke servesmoke obssmoke benchjson benchcmp
+ci: vet lint build crossbuild asmcheck test purego race benchsmoke servesmoke obssmoke shardsmoke benchjson benchcmp
 
 vet:
 	$(GO) vet ./...
@@ -70,8 +70,21 @@ asmcheck: asmgen
 	    internal/layout/scatter_avx2_amd64.s \
 	    || { echo "asmcheck: generated assembly out of date — run 'make asmgen' and commit"; exit 1; }
 
+# The shard tier gets its own -short race pass: the full suite's 256³
+# cluster test is minutes under the race detector, and the -short set still
+# covers the exchange, retry, and drain concurrency.
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
+	$(GO) test -race -count=1 -short ./internal/shard
+
+# Distributed-tier smoke: boot a loopback fleet of four worker fftserved
+# instances plus a coordinator front-end, round-trip the sharded /transform
+# wire format, verify a 128³ sharded transform bitwise against the
+# single-node DoubleBuf plan in both directions, check the element rate and
+# the fft_shard_*/fft_exchange_* metric families on a real /metrics scrape,
+# and exercise the drain ordering.
+shardsmoke:
+	$(GO) run ./cmd/fftserved -shardselftest 128
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

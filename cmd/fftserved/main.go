@@ -57,6 +57,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/stream"
 )
 
@@ -73,6 +74,10 @@ func main() {
 		roofline    = flag.Float64("roofline", 0, "STREAM peak in GB/s for the bandwidth gauges (0 = measure at startup, or take it from -machine)")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		selftest    = flag.Int("selftest", 0, "fire N concurrent smoke requests at a loopback instance and exit")
+
+		shardWorkerOn = flag.Bool("shardworker", false, "serve distributed shard worker endpoints under /shard/")
+		peers         = flag.String("peers", "", "comma-separated worker base URLs; enables coordinator mode for sharded /transform requests")
+		shardSelftest = flag.Int("shardselftest", 0, "boot a loopback shard cluster, round-trip an N³ cube sharded vs single-node, validate /metrics, and exit")
 	)
 	flag.Parse()
 
@@ -105,6 +110,30 @@ func main() {
 		log.Printf("fftserved: measured STREAM copy roofline %.1f GB/s", cfg.RooflineGBs)
 	}
 
+	if *shardSelftest > 0 {
+		if err := runShardSelftest(cfg, *shardSelftest); err != nil {
+			log.Fatalf("fftserved: shard selftest failed: %v", err)
+		}
+		fmt.Println("fftserved: shard selftest ok")
+		return
+	}
+
+	// Coordinator mode: sharded /transform requests fan out across the
+	// worker fleet named by -peers.
+	var runner serve.ShardRunner
+	if *peers != "" {
+		nodes := strings.Split(*peers, ",")
+		for i := range nodes {
+			nodes[i] = strings.TrimSpace(nodes[i])
+		}
+		coord, err := shard.NewCoordinator(shard.CoordinatorOptions{Nodes: nodes})
+		if err != nil {
+			log.Fatalf("fftserved: %v", err)
+		}
+		runner = coordRunner{coord}
+		log.Printf("fftserved: coordinating %d shard workers", len(nodes))
+	}
+
 	s := serve.New(serve.Options{
 		Config:        cfg,
 		QueueDepth:    *queue,
@@ -113,8 +142,13 @@ func main() {
 		Executors:     *executors,
 		CacheCapacity: *cacheCap,
 		Policy:        pol,
+		ShardRunner:   runner,
 	})
 	h := &handler{s: s, pprof: *pprofOn}
+	if *shardWorkerOn {
+		h.worker = shard.NewWorker(shard.WorkerOptions{})
+		log.Print("fftserved: shard worker endpoints mounted under /shard/")
+	}
 
 	if *selftest > 0 {
 		if err := runSelftest(h, *selftest); err != nil {
@@ -132,11 +166,24 @@ func main() {
 		log.Print("fftserved: draining")
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		// Stop accepting HTTP first, then drain the transform pipeline.
-		_ = httpSrv.Shutdown(ctx)
+		// Drain order matters for the shard tier: /healthz flips to 503
+		// immediately (both drain flags), but HTTP must keep answering
+		// until the last in-flight exchange chunk settles — a worker
+		// receives exchange traffic over this very listener. Only then
+		// does the HTTP server itself shut down.
+		if h.worker != nil {
+			h.worker.BeginDrain()
+		}
 		if err := s.Shutdown(ctx); err != nil {
 			log.Printf("fftserved: drain: %v", err)
 		}
+		if h.worker != nil {
+			if err := h.worker.Drain(ctx); err != nil {
+				log.Printf("fftserved: shard drain: %v", err)
+			}
+			h.worker.Close()
+		}
+		_ = httpSrv.Shutdown(ctx)
 	}()
 	log.Printf("fftserved: listening on %s", *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -145,8 +192,9 @@ func main() {
 }
 
 type handler struct {
-	s     *serve.Server
-	pprof bool
+	s      *serve.Server
+	worker *shard.Worker // non-nil when -shardworker mounts /shard/
+	pprof  bool
 }
 
 func (h *handler) mux() *http.ServeMux {
@@ -155,6 +203,9 @@ func (h *handler) mux() *http.ServeMux {
 	mux.HandleFunc("/metrics", h.metrics)
 	mux.HandleFunc("/metrics.json", h.metricsJSON)
 	mux.HandleFunc("/healthz", h.healthz)
+	if h.worker != nil {
+		mux.Handle("/shard/", h.worker.Handler())
+	}
 	if h.pprof {
 		mux.HandleFunc("/debug/pprof/", httppprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
@@ -173,6 +224,7 @@ type transformRequest struct {
 	Dims    []int     `json:"dims"`
 	Inverse bool      `json:"inverse"`
 	Real    bool      `json:"real,omitempty"`
+	Sharded bool      `json:"sharded,omitempty"`
 	Data    []float64 `json:"data"`
 }
 
@@ -205,7 +257,7 @@ func (h *handler) transform(w http.ResponseWriter, r *http.Request) {
 		dims[i] = d
 		n *= d
 	}
-	req := serve.Request{Rank: treq.Rank, Dims: dims, Inverse: treq.Inverse, Real: treq.Real}
+	req := serve.Request{Rank: treq.Rank, Dims: dims, Inverse: treq.Inverse, Real: treq.Real, Sharded: treq.Sharded}
 	var encode func() []float64
 	switch {
 	case treq.Real && !treq.Inverse:
@@ -296,6 +348,10 @@ func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	if err := obs.ShardDefault.WritePrometheus(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write(buf.Bytes())
 }
@@ -306,7 +362,7 @@ func (h *handler) metricsJSON(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
-	if !h.s.Healthy() {
+	if !h.s.Healthy() || (h.worker != nil && h.worker.Draining()) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}

@@ -27,6 +27,9 @@ func main() {
 	name := flag.String("machine", "Intel Kaby Lake 7700K", "machine name (see -list)")
 	sizeFlag := flag.String("size", "1024,1024,1024", "k,n,m (3D) or n,m (2D)")
 	sockets := flag.Int("sockets", 1, "sockets to use (≤ the machine's)")
+	shardWorkers := flag.Int("shardworkers", 0, "predict a distributed sharded run across N fleet nodes (3D only)")
+	netGBs := flag.Float64("netgbs", 12.5, "per-node network bandwidth in GB/s for -shardworkers (12.5 = 100 GbE)")
+	netLat := flag.Duration("netlat", 0, "per-chunk network latency for -shardworkers")
 	flag.Parse()
 
 	if *list {
@@ -106,5 +109,32 @@ func main() {
 			fmt.Printf("\nevent-simulation cross-check: %.3fs vs model %.3fs (ratio %.2f)\n",
 				sim, base.Seconds, sim/base.Seconds)
 		}
+	}
+
+	// Distributed shard tier prediction: coordinator + N workers over the
+	// given fabric, against the single-node simulation as the baseline.
+	if *shardWorkers > 0 {
+		if len(dims) != 3 {
+			fmt.Fprintln(os.Stderr, "machinesim: -shardworkers needs a 3D size")
+			os.Exit(2)
+		}
+		k, n, mm := dims[0], dims[1], dims[2]
+		link := memsim.NetworkLink{GBs: *netGBs, LatencySec: netLat.Seconds()}
+		est, err := memsim.SimulateSharded(m, k, n, mm, *shardWorkers, link)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "machinesim:", err)
+			os.Exit(2)
+		}
+		single, err := memsim.SimulateDoubleBuf3D(m, k, n, mm, m.Sockets)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "machinesim:", err)
+			os.Exit(2)
+		}
+		elems := float64(k * n * mm)
+		fmt.Printf("\nsharded across %d × %s over %.3g GB/s fabric:\n", est.Workers, m.Name, *netGBs)
+		fmt.Printf("  scatter %.3fs + run %.3fs + gather %.3fs = %.3fs (%.0f Mel/s end to end)\n",
+			est.ScatterSec, est.RunSec, est.GatherSec, est.TotalSec, elems/est.TotalSec/1e6)
+		fmt.Printf("  run-phase rate %.0f Mel/s vs single node %.0f Mel/s (%.2fx)\n",
+			elems/est.RunSec/1e6, elems/single/1e6, single/est.RunSec)
 	}
 }

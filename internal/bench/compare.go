@@ -98,6 +98,13 @@ func CheckComparable(old, new JSONReport) error {
 		return fmt.Errorf("bench: physical core count mismatch: old report measured on %d cores, new on %d — reports from different machines are not comparable",
 			old.Meta.PhysicalCores, new.Meta.PhysicalCores)
 	}
+	// Sharded throughput scales with the loopback fleet size, so shard3d
+	// entries measured across different worker counts would diff as phantom
+	// regressions. Zero means the report has no shard entries.
+	if old.Meta.ShardWorkers != 0 && new.Meta.ShardWorkers != 0 && old.Meta.ShardWorkers != new.Meta.ShardWorkers {
+		return fmt.Errorf("bench: shard worker count mismatch: old report measured a %d-worker fleet, new %d — regenerate the baseline at this fleet size",
+			old.Meta.ShardWorkers, new.Meta.ShardWorkers)
+	}
 	return nil
 }
 

@@ -136,6 +136,23 @@ func TestCheckComparableCoreCountGuard(t *testing.T) {
 	}
 }
 
+func TestCheckComparableShardWorkersGuard(t *testing.T) {
+	mk := func(workers int) JSONReport {
+		return JSONReport{Meta: &MetaJSON{KernelTier: "avx2", ShardWorkers: workers}}
+	}
+	if err := CheckComparable(mk(4), mk(4)); err != nil {
+		t.Fatalf("same-fleet comparison rejected: %v", err)
+	}
+	if err := CheckComparable(mk(4), mk(8)); err == nil {
+		t.Fatal("cross-worker-count comparison accepted")
+	}
+	// A report without shard entries (zero field) stays comparable, so
+	// baselines written before the shard tier still diff.
+	if err := CheckComparable(mk(0), mk(4)); err != nil {
+		t.Fatalf("shard-less old report rejected: %v", err)
+	}
+}
+
 func TestCompareFilesTierMismatchFails(t *testing.T) {
 	dir := t.TempDir()
 	oldPath := filepath.Join(dir, "old.json")

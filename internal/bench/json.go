@@ -76,6 +76,11 @@ type MetaJSON struct {
 	// cores, not threads, so reports from different core counts are not
 	// comparable. Zero in reports written before this field existed.
 	PhysicalCores int `json:"physical_cores,omitempty"`
+	// ShardWorkers is the loopback fleet size the shard3d entries were
+	// measured on. Sharded rates scale with the fleet, so reports from
+	// different worker counts are not comparable. Zero in reports without
+	// shard entries.
+	ShardWorkers int `json:"shard_workers,omitempty"`
 }
 
 // JSONReport is the full emission of WriteJSON: host identification, the
@@ -276,6 +281,13 @@ func WriteJSON(w io.Writer, cfg JSONConfig) error {
 		return err
 	}
 	rep.Entries = append(rep.Entries, serves...)
+
+	shards, err := shardEntries(rep.StreamCopyGBs)
+	if err != nil {
+		return err
+	}
+	rep.Entries = append(rep.Entries, shards...)
+	meta.ShardWorkers = shardFleetSize
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fft1d"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/shard"
+)
+
+// shardFleetSize is the loopback fleet the shard3d entries run on. It is
+// recorded in the report's meta block (shard_workers): sharded throughput
+// depends on the fleet size, so benchcmp refuses to diff reports measured
+// across different worker counts.
+const shardFleetSize = 4
+
+// shardRunner adapts the coordinator to serve.ShardRunner for the
+// request-throughput entry.
+type shardRunner struct{ c *shard.Coordinator }
+
+func (r shardRunner) Transform(ctx context.Context, dst, src []complex128, dims [3]int, inverse bool) error {
+	sign := fft1d.Forward
+	if inverse {
+		sign = fft1d.Inverse
+	}
+	return r.c.Transform(ctx, dst, src, dims[0], dims[1], dims[2], sign)
+}
+
+// shardEntries benchmarks the distributed shard tier on an in-process
+// loopback cluster of shardFleetSize workers:
+//
+//   - shard3d/Cluster: one 64³ transform end to end. GBPerS uses the same
+//     minimal-traffic model as the fft3d entries (32·elems·3 bytes), and
+//     FracStreamPeak divides by the fleet size — every worker streams its
+//     1/sk share, so this is the per-worker fraction of STREAM peak.
+//   - shard3d/Exchange: the W² network exchange alone — payload bytes on
+//     the wire (sent plus received, byte-exact from the fft_exchange_*
+//     counters) over the same runs' wall time.
+//   - shard3d/ServeSharded: sharded 32³ requests through a serve.Server
+//     with a ShardRunner, reported as requests/s (sharded requests never
+//     coalesce, so AvgBatch is 1 by construction).
+func shardEntries(streamGBs float64) ([]JSONEntry, error) {
+	met := &obs.ShardMetrics{}
+	cl, err := shard.StartCluster(shardFleetSize,
+		shard.WorkerOptions{Metrics: met},
+		shard.CoordinatorOptions{Metrics: met})
+	if err != nil {
+		return nil, fmt.Errorf("bench shard: %w", err)
+	}
+	defer cl.Close()
+
+	const k, n, m = 64, 64, 64
+	elems := k * n * m
+	src := make([]complex128, elems)
+	for i := range src {
+		src[i] = complex(float64(i%23)-11, float64(i%19)-9)
+	}
+	dst := make([]complex128, elems)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	xform := func() error { return cl.Coord.Transform(ctx, dst, src, k, n, m, fft1d.Forward) }
+	if err := xform(); err != nil { // warm every worker's plan
+		return nil, fmt.Errorf("bench shard: %w", err)
+	}
+
+	const reps = 5
+	wire0 := met.BytesSent.Load() + met.BytesReceived.Load()
+	wallStart := time.Now()
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if err := xform(); err != nil {
+			return nil, fmt.Errorf("bench shard: %w", err)
+		}
+		if s := time.Since(start).Seconds(); r == 0 || s < best {
+			best = s
+		}
+	}
+	wall := time.Since(wallStart).Seconds()
+	wireBytes := float64(met.BytesSent.Load() + met.BytesReceived.Load() - wire0)
+
+	cluster := JSONEntry{
+		Name:    fmt.Sprintf("shard3d/Cluster/%dx%dx%dw%d", k, n, m, shardFleetSize),
+		NsPerOp: best * 1e9,
+		GBPerS:  float64(elems) * 32 * 3 / best / 1e9,
+	}
+	if streamGBs > 0 {
+		cluster.FracStreamPeak = cluster.GBPerS / float64(shardFleetSize) / streamGBs
+	}
+	exchange := JSONEntry{
+		Name:    fmt.Sprintf("shard3d/Exchange/%dx%dx%dw%d", k, n, m, shardFleetSize),
+		NsPerOp: wall / reps * 1e9,
+		GBPerS:  wireBytes / wall / 1e9,
+	}
+	if streamGBs > 0 {
+		exchange.FracStreamPeak = exchange.GBPerS / streamGBs
+	}
+
+	reqPerS, err := shardServeRate(cl)
+	if err != nil {
+		return nil, fmt.Errorf("bench shard: %w", err)
+	}
+	served := JSONEntry{
+		Name:     fmt.Sprintf("shard3d/ServeSharded/32x32x32w%d", shardFleetSize),
+		NsPerOp:  1e9 / reqPerS,
+		ReqPerS:  reqPerS,
+		AvgBatch: 1,
+	}
+	return []JSONEntry{cluster, exchange, served}, nil
+}
+
+// shardServeRate measures sharded request throughput through the serving
+// layer: concurrent submitters of same-shape 32³ sharded requests, which
+// the coordinator serializes per shape — the measured rate is the fleet's
+// coalesced request service rate.
+func shardServeRate(cl *shard.Cluster) (float64, error) {
+	const n, submitters, perSubmitter = 32, 4, 8
+	s := serve.New(serve.Options{
+		ShardRunner: shardRunner{cl.Coord},
+		Executors:   2, QueueDepth: 256,
+	})
+	var wg sync.WaitGroup
+	errCh := make(chan error, submitters)
+	start := time.Now()
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := make([]complex128, n*n*n)
+			for i := range src {
+				src[i] = complex(float64((i+g)%23)-11, float64(i%19)-9)
+			}
+			dst := make([]complex128, len(src))
+			for i := 0; i < perSubmitter; i++ {
+				if err := s.Do(context.Background(), serve.Request{
+					Rank: 3, Dims: [3]int{n, n, n}, Sharded: true, Src: src, Dst: dst}); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return 0, err
+	}
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	return float64(submitters*perSubmitter) / elapsed.Seconds(), nil
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardEntries boots the loopback fleet and checks the three shard3d
+// entries carry the metrics benchcmp diffs: a transform rate, a wire-level
+// exchange bandwidth, and a serve-layer request rate.
+func TestShardEntries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a loopback shard cluster")
+	}
+	entries, err := shardEntries(10) // pretend 10 GB/s STREAM peak
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries, want 3", len(entries))
+	}
+	byName := map[string]JSONEntry{}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name, "shard3d/") {
+			t.Fatalf("entry %q not under shard3d/", e.Name)
+		}
+		if e.NsPerOp <= 0 {
+			t.Fatalf("%s: ns/op %v", e.Name, e.NsPerOp)
+		}
+		byName[strings.SplitN(e.Name, "/", 3)[1]] = e
+	}
+	cl, ok := byName["Cluster"]
+	if !ok || cl.GBPerS <= 0 || cl.FracStreamPeak <= 0 {
+		t.Fatalf("Cluster entry missing or rateless: %+v", cl)
+	}
+	// Per-worker fraction: the whole-fleet rate divided across the fleet.
+	if want := cl.GBPerS / shardFleetSize / 10; cl.FracStreamPeak != want {
+		t.Fatalf("Cluster frac_stream_peak %v, want %v", cl.FracStreamPeak, want)
+	}
+	ex, ok := byName["Exchange"]
+	if !ok || ex.GBPerS <= 0 {
+		t.Fatalf("Exchange entry missing or rateless: %+v", ex)
+	}
+	sv, ok := byName["ServeSharded"]
+	if !ok || sv.ReqPerS <= 0 || sv.AvgBatch != 1 {
+		t.Fatalf("ServeSharded entry missing or malformed: %+v", sv)
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"sync"
 
 	"repro/internal/fft1d"
-	"repro/internal/kernels"
 	"repro/internal/machine"
 	"repro/internal/numa"
 	"repro/internal/stagegraph"
@@ -127,11 +126,8 @@ func NewDistPlan(k, n, m, sockets int, opts Options) (*DistPlan, error) {
 	if p.cIm, err = sys.Alloc(total); err != nil {
 		return nil, err
 	}
-	mu := opts.Mu
-	p.rows1 = largestDivisorAtMost(p.ksl*n, maxInt(1, opts.BufferElems/m))
-	p.units2 = largestDivisorAtMost(mb*p.ksl, maxInt(1, opts.BufferElems/(n*mu)))
-	p.units3 = largestDivisorAtMost(n*mb/sockets, maxInt(1, opts.BufferElems/(k*mu)))
-	b := maxInt(p.rows1*m, maxInt(p.units2*n*mu, p.units3*k*mu))
+	var b int
+	p.rows1, p.units2, p.units3, b = SlabUnits(k, n, m, sockets, opts.Mu, opts.BufferElems)
 	p.bufs = make([]*stagegraph.Buffers, sockets)
 	p.execs = make([]*stagegraph.Executor, sockets)
 	p.fronts = make([][]stagegraph.Stage, sockets)
@@ -188,77 +184,30 @@ func (p *DistPlan) Alloc() (*numa.Distributed, error) {
 	return p.sys.Alloc(p.k * p.n * p.m)
 }
 
-// socketStages compiles socket s's slab into its two graphs: the fusible
-// front (stages 1+2, all dependencies NUMA-local) and the back (stage 3,
-// which must wait for every socket's stage-2 scatter). Built once at plan
-// time: compute closures read the direction from p.curSign, the stage-3
-// scatter target from p.curDst, and the stage-1 Src endpoint is patched per
-// Transform.
+// socketStages compiles socket s's slab into its two graphs via the shared
+// SlabSpec builder (also used by internal/shard's network workers). Built
+// once at plan time: compute closures read the direction from p.curSign,
+// the stage-3 scatter target from p.curDst, and the stage-1 Src endpoint is
+// patched per Transform.
 func (p *DistPlan) socketStages(s int) (front, back []stagegraph.Stage) {
-	k, n, m, mu, mb, ksl := p.k, p.n, p.m, p.opts.Mu, p.mb, p.ksl
-	partBase := s * p.bIm.PartLen()
-	qBase := s * (n * mb / p.sk) // first owned stage-3 unit index
-
-	// Stage 1: local pencils + local rotation (W¹ = I_sk ⊗ K ⊗ I_μ · S).
-	s1 := stagegraph.Stage{
-		Name: "x-pencils", Iters: ksl * n / p.rows1, Units: p.rows1, UnitLen: m,
-		Dst: stagegraph.Endpoint{WriteC: func(off int, blk []complex128) {
+	return SlabSpec{
+		K: p.k, N: p.n, M: p.m, Shards: p.sk, Index: s, Mu: p.opts.Mu,
+		Rows1: p.rows1, Units2: p.units2, Units3: p.units3,
+		PlanM: p.planM, PlanN: p.planN, PlanK: p.planK,
+		Sign:  &p.curSign,
+		BBase: s * p.bIm.PartLen(),
+		SrcB:  p.bIm.Part(s),
+		SrcC:  p.cIm.Part(s),
+		DstB: stagegraph.Endpoint{WriteC: func(off int, blk []complex128) {
 			p.bIm.WriteBlock(s, off, blk)
 		}},
-		Compute: func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
-			if lo < hi {
-				p.planM.BatchArena(b.C[half][lo*m:hi*m], hi-lo, p.curSign, a)
-			}
-		},
-		// Local pencil g = zl·n + y goes to local blocks (xb, zl, y).
-		Rot: stagegraph.Rotation{Blocks: mb, BlockLen: mu, JStride: ksl * n * mu,
-			Map: func(g, xb int) int {
-				zl, y := g/n, g%n
-				return partBase + ((xb*ksl+zl)*n+y)*mu
-			}},
-	}
-	// Stage 2: local y-pencils, then the W² redistribution: unit (xb, zl)
-	// scatters its y-blocks to the sockets owning each (y, xb) pillar.
-	s2 := stagegraph.Stage{
-		Name: "y-pencils", Iters: mb * ksl / p.units2, Units: p.units2, UnitLen: n * mu,
-		Src: stagegraph.Endpoint{C: p.bIm.Part(s)},
-		Dst: stagegraph.Endpoint{WriteC: func(off int, blk []complex128) {
+		DstC: stagegraph.Endpoint{WriteC: func(off int, blk []complex128) {
 			p.cIm.WriteBlock(s, off, blk)
 		}},
-		Compute: p.distLanes(p.planN, n*mu, mu),
-		Rot: stagegraph.Rotation{Blocks: n, BlockLen: mu, JStride: mb * k * mu,
-			Map: func(g, y int) int {
-				xb, zl := g/ksl, g%ksl
-				z := s*ksl + zl
-				return ((y*mb+xb)*k + z) * mu
-			}},
-	}
-	// Stage 3: local z-pillars, then the W³ redistribution back to z-slabs.
-	s3 := stagegraph.Stage{
-		Name: "z-pencils", Iters: n * mb / p.sk / p.units3, Units: p.units3, UnitLen: k * mu,
-		Src: stagegraph.Endpoint{C: p.cIm.Part(s)},
-		Dst: stagegraph.Endpoint{WriteC: func(off int, blk []complex128) {
+		DstOut: stagegraph.Endpoint{WriteC: func(off int, blk []complex128) {
 			p.curDst.WriteBlock(s, off, blk)
 		}},
-		Compute: p.distLanes(p.planK, k*mu, mu),
-		Rot: stagegraph.Rotation{Blocks: k, BlockLen: mu, JStride: n * mb * mu,
-			Map: func(g, z int) int {
-				q := qBase + g // global unit: y·mb + xb
-				y, xb := q/mb, q%mb
-				return ((z*n+y)*mb + xb) * mu
-			}},
-	}
-	return []stagegraph.Stage{s1, s2}, []stagegraph.Stage{s3}
-}
-
-// distLanes is the DistPlan analogue of Plan.lanes: a batched lane-group
-// sweep over the worker's unit range, direction read from p.curSign.
-func (p *DistPlan) distLanes(plan *fft1d.Plan, unitLen, mu int) stagegraph.ComputeFn {
-	return func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
-		if lo < hi {
-			plan.BatchLanesArena(b.C[half][lo*unitLen:hi*unitLen], hi-lo, mu, p.curSign, a)
-		}
-	}
+	}.Stages()
 }
 
 // Transform computes dst = DFT_{k×n×m}(src) over the distributed slabs.

@@ -1,0 +1,156 @@
+package fft3d
+
+import (
+	"repro/internal/fft1d"
+	"repro/internal/kernels"
+	"repro/internal/stagegraph"
+)
+
+// SlabSpec describes one shard's slab of the distributed slab-pencil 3D
+// decomposition (Table III) independently of what sits on the other side
+// of the exchange: a NUMA peer socket (DistPlan) or a remote fftserved
+// worker (internal/shard). Shard s owns the z-slab z ∈ [s·k/sk, (s+1)·k/sk)
+// of the input and — when OutLocal is set — the y-slab
+// y ∈ [s·n/sk, (s+1)·n/sk) of the output.
+//
+// Stages() builds the same two graphs DistPlan compiles per socket: the
+// fusible front (stage 1's W¹ rotation is shard-local, so stage 2's loads
+// only depend on this shard's own stores) and the back (stage 3, which may
+// only run after every shard's stage-2 scatter has landed — the caller owns
+// that barrier, be it an in-process sync.WaitGroup or a network exchange).
+// Because the per-pencil kernel calls are identical to the single-socket
+// plan for the same μ and radix chain, a shard fleet's results are bitwise
+// identical to the single-node transform.
+type SlabSpec struct {
+	K, N, M int
+	Shards  int // sk: total shard count
+	Index   int // s: this shard, 0 ≤ s < sk
+	Mu      int
+
+	// Buffer block sizes from SlabUnits (shared by every shard so the
+	// compiled schedule is reusable across the fleet).
+	Rows1, Units2, Units3 int
+
+	PlanM, PlanN, PlanK *fft1d.Plan
+
+	// Sign is dereferenced at compute time, so one built graph serves both
+	// directions; the owner patches it between runs.
+	Sign *int
+
+	// SrcIn feeds stage 1 (the shard's input z-slab, ksl·n·m elements).
+	// May be nil at build time and patched into front[0].Src.C per run.
+	SrcIn []complex128
+
+	// BBase is added to every stage-1 (W¹) offset: the shard's base into a
+	// shared B intermediate (DistPlan's numa.Distributed), or 0 when the
+	// shard owns a private B part addressed from zero.
+	BBase int
+
+	// SrcB feeds stage 2 (this shard's B part, ksl·n·m elements) and SrcC
+	// feeds stage 3 (this shard's C pillars, k·n·m/sk elements).
+	SrcB, SrcC []complex128
+
+	// DstB receives the stage-1 rotation at BBase-adjusted offsets. DstC
+	// receives the stage-2 W² scatter at GLOBAL offsets into the
+	// distributed C view (unit q = y·mb+xb holds k×μ contiguous at
+	// q·k·μ) — the owner routes them to the owning socket or peer. DstOut
+	// receives the stage-3 W³ scatter: global cube offsets, or local
+	// y-slab offsets when OutLocal is set.
+	DstB, DstC, DstOut stagegraph.Endpoint
+
+	// OutLocal makes stage 3 target the shard's own y-slab of the final
+	// cube at local offsets ((z·nl + y−ylo)·mb + xb)·μ — the shard tier
+	// gathers whole slabs afterwards, so no second exchange is needed.
+	// Requires Shards | N.
+	OutLocal bool
+}
+
+// SlabUnits sizes the per-stage buffer blocks for a sk-way slab split,
+// mirroring NewDistPlan's choices, and returns the scratch length (in
+// complex elements) each shard's double buffers and executor need.
+func SlabUnits(k, n, m, shards, mu, bufferElems int) (rows1, units2, units3, scratch int) {
+	mb := m / mu
+	ksl := k / shards
+	rows1 = largestDivisorAtMost(ksl*n, maxInt(1, bufferElems/m))
+	units2 = largestDivisorAtMost(mb*ksl, maxInt(1, bufferElems/(n*mu)))
+	units3 = largestDivisorAtMost(n*mb/shards, maxInt(1, bufferElems/(k*mu)))
+	scratch = maxInt(rows1*m, maxInt(units2*n*mu, units3*k*mu))
+	return
+}
+
+// slabLanes is the shared lane-group compute sweep (Plan.lanes /
+// DistPlan.distLanes): a batched transform over the worker's unit range
+// with the direction read through sign at call time.
+func slabLanes(plan *fft1d.Plan, unitLen, mu int, sign *int) stagegraph.ComputeFn {
+	return func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
+		if lo < hi {
+			plan.BatchLanesArena(b.C[half][lo*unitLen:hi*unitLen], hi-lo, mu, *sign, a)
+		}
+	}
+}
+
+// Stages builds the shard's two graphs. See SlabSpec for the contract.
+func (sp SlabSpec) Stages() (front, back []stagegraph.Stage) {
+	k, n, m, mu := sp.K, sp.N, sp.M, sp.Mu
+	mb := m / mu
+	ksl := k / sp.Shards
+	qBase := sp.Index * (n * mb / sp.Shards) // first owned stage-3 unit
+	sign := sp.Sign
+
+	// Stage 1: local pencils + local rotation (W¹ = I_sk ⊗ K ⊗ I_μ · S).
+	s1 := stagegraph.Stage{
+		Name: "x-pencils", Iters: ksl * n / sp.Rows1, Units: sp.Rows1, UnitLen: m,
+		Src: stagegraph.Endpoint{C: sp.SrcIn},
+		Dst: sp.DstB,
+		Compute: func(b *stagegraph.Buffers, a *kernels.Arena, half, iter, lo, hi int) {
+			if lo < hi {
+				sp.PlanM.BatchArena(b.C[half][lo*m:hi*m], hi-lo, *sign, a)
+			}
+		},
+		// Local pencil g = zl·n + y goes to local blocks (xb, zl, y).
+		Rot: stagegraph.Rotation{Blocks: mb, BlockLen: mu, JStride: ksl * n * mu,
+			Map: func(g, xb int) int {
+				zl, y := g/n, g%n
+				return sp.BBase + ((xb*ksl+zl)*n+y)*mu
+			}},
+	}
+	// Stage 2: local y-pencils, then the W² redistribution: unit (xb, zl)
+	// scatters its y-blocks to the shards owning each (y, xb) pillar.
+	s2 := stagegraph.Stage{
+		Name: "y-pencils", Iters: mb * ksl / sp.Units2, Units: sp.Units2, UnitLen: n * mu,
+		Src:     stagegraph.Endpoint{C: sp.SrcB},
+		Dst:     sp.DstC,
+		Compute: slabLanes(sp.PlanN, n*mu, mu, sign),
+		Rot: stagegraph.Rotation{Blocks: n, BlockLen: mu, JStride: mb * k * mu,
+			Map: func(g, y int) int {
+				xb, zl := g/ksl, g%ksl
+				z := sp.Index*ksl + zl
+				return ((y*mb+xb)*k + z) * mu
+			}},
+	}
+	// Stage 3: local z-pillars, then the W³ redistribution back to slabs.
+	rot3 := stagegraph.Rotation{Blocks: k, BlockLen: mu, JStride: n * mb * mu,
+		Map: func(g, z int) int {
+			q := qBase + g // global unit: y·mb + xb
+			y, xb := q/mb, q%mb
+			return ((z*n+y)*mb + xb) * mu
+		}}
+	if sp.OutLocal {
+		nl := n / sp.Shards
+		ylo := sp.Index * nl
+		rot3 = stagegraph.Rotation{Blocks: k, BlockLen: mu, JStride: nl * mb * mu,
+			Map: func(g, z int) int {
+				q := qBase + g
+				y, xb := q/mb, q%mb
+				return ((z*nl+y-ylo)*mb + xb) * mu
+			}}
+	}
+	s3 := stagegraph.Stage{
+		Name: "z-pencils", Iters: n * mb / sp.Shards / sp.Units3, Units: sp.Units3, UnitLen: k * mu,
+		Src:     stagegraph.Endpoint{C: sp.SrcC},
+		Dst:     sp.DstOut,
+		Compute: slabLanes(sp.PlanK, k*mu, mu, sign),
+		Rot:     rot3,
+	}
+	return []stagegraph.Stage{s1, s2}, []stagegraph.Stage{s3}
+}

@@ -1,0 +1,99 @@
+package memsim
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func testMachine(t *testing.T) machine.Machine {
+	t.Helper()
+	m, err := machine.ByName("Intel Kaby Lake 7700K")
+	if err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	return m
+}
+
+// TestSimulateShardedScaling: with a fat network, a fleet's run phase must
+// beat one node; with a starved network the exchange dominates and the
+// prediction must degrade. The end-to-end total always carries the
+// coordinator's scatter/gather, so it is compared per phase.
+func TestSimulateShardedScaling(t *testing.T) {
+	m := testMachine(t)
+	const k, n, mm = 1024, 1024, 1024
+
+	fat := NetworkLink{GBs: 1000}
+	one, err := SimulateSharded(m, k, n, mm, 1, fat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := SimulateSharded(m, k, n, mm, 4, fat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.RunSec >= one.RunSec {
+		t.Fatalf("4-worker run %.3fs not faster than 1-worker %.3fs on a fat network", four.RunSec, one.RunSec)
+	}
+	if four.RunSec < one.RunSec/8 {
+		t.Fatalf("4-worker run %.3fs implausibly fast vs %.3fs", four.RunSec, one.RunSec)
+	}
+
+	slow, err := SimulateSharded(m, k, n, mm, 4, NetworkLink{GBs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.RunSec <= four.RunSec {
+		t.Fatalf("1 GB/s network run %.3fs not slower than 1000 GB/s run %.3fs", slow.RunSec, four.RunSec)
+	}
+	// On a 1 GB/s fabric each worker ships (sk−1)/sk of its slab ≈ 3.2 GB;
+	// the run phase cannot beat that wire time.
+	slabCross := float64(k*n*mm) * 16 / 4 * 3 / 4 / 1e9
+	if slow.RunSec < slabCross {
+		t.Fatalf("run %.3fs beats the %.1f GB exchange on a 1 GB/s link", slow.RunSec, slabCross)
+	}
+}
+
+// TestSimulateShardedPhases: totals add up, scatter and gather are
+// symmetric and bounded by the coordinator NIC, and latency is charged per
+// chunk.
+func TestSimulateShardedPhases(t *testing.T) {
+	m := testMachine(t)
+	const k, n, mm = 512, 512, 512
+	bytes := float64(k*n*mm) * 16
+
+	est, err := SimulateSharded(m, k, n, mm, 4, NetworkLink{GBs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ScatterSec != est.GatherSec {
+		t.Fatalf("scatter %.3fs != gather %.3fs with zero latency", est.ScatterSec, est.GatherSec)
+	}
+	if want := bytes / 10e9; est.ScatterSec != want {
+		t.Fatalf("scatter %.4fs, want %.4fs (NIC-bound)", est.ScatterSec, want)
+	}
+	if got := est.ScatterSec + est.RunSec + est.GatherSec; got != est.TotalSec {
+		t.Fatalf("phases sum to %.4fs, total says %.4fs", got, est.TotalSec)
+	}
+
+	lat, err := SimulateSharded(m, k, n, mm, 4, NetworkLink{GBs: 10, LatencySec: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat.ScatterSec <= est.ScatterSec || lat.RunSec <= est.RunSec {
+		t.Fatal("per-chunk latency did not increase the network phases")
+	}
+}
+
+func TestSimulateShardedErrors(t *testing.T) {
+	m := testMachine(t)
+	if _, err := SimulateSharded(m, 100, 100, 100, 3, NetworkLink{GBs: 10}); err == nil {
+		t.Fatal("3 workers on k=100 must be rejected (non-divisor)")
+	}
+	if _, err := SimulateSharded(m, 64, 64, 64, 0, NetworkLink{GBs: 10}); err == nil {
+		t.Fatal("0 workers must be rejected")
+	}
+	if _, err := SimulateSharded(m, 64, 64, 64, 2, NetworkLink{}); err == nil {
+		t.Fatal("zero-bandwidth network must be rejected")
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// ShardMetrics holds the distributed shard tier's counters: job-level
+// accounting on the coordinator side, byte-exact exchange accounting on
+// the worker side. Every byte counter measures payload bytes on the wire
+// (16 bytes per complex element), not HTTP framing, so the exchange
+// families are directly comparable to the fft_stage_* DRAM families.
+// All fields are updated with atomics; one instance may be shared by a
+// coordinator and a worker living in the same process.
+type ShardMetrics struct {
+	// Coordinator-side job accounting.
+	JobsStarted   atomic.Int64
+	JobsCompleted atomic.Int64
+	JobsFailed    atomic.Int64
+	LastWorkers   atomic.Int64 // fleet size of the most recent job
+
+	// Coordinator payload bytes by phase.
+	ScatterBytes atomic.Int64
+	GatherBytes  atomic.Int64
+
+	// Worker-side job accounting.
+	WorkerJobsCompleted atomic.Int64
+	WorkerJobsFailed    atomic.Int64
+
+	// Exchange chunk accounting (worker side).
+	ChunksSent      atomic.Int64
+	ChunksReceived  atomic.Int64
+	ChunksRejected  atomic.Int64 // checksum mismatches refused with 400
+	ChunksDuplicate atomic.Int64 // retransmits dropped by the dedup bitmap
+	Retries         atomic.Int64 // chunk POST/GET attempts beyond the first
+
+	// Exchange payload bytes (worker side).
+	BytesSent     atomic.Int64
+	BytesReceived atomic.Int64
+
+	// Exchange wall time: nanoseconds spent between a worker's front
+	// graph finishing and its last inbound chunk settling (the exposed
+	// non-overlapped part of the exchange), plus a gauge with the most
+	// recent job's aggregate exchange throughput in GB/s.
+	ExchangeWaitNanos atomic.Int64
+	lastExchangeGBs   atomic.Uint64 // float64 bits
+}
+
+// SetLastExchangeGBs records the most recent job's exchange throughput.
+func (s *ShardMetrics) SetLastExchangeGBs(gbs float64) {
+	s.lastExchangeGBs.Store(math.Float64bits(gbs))
+}
+
+// LastExchangeGBs returns the most recent job's exchange throughput.
+func (s *ShardMetrics) LastExchangeGBs() float64 {
+	return math.Float64frombits(s.lastExchangeGBs.Load())
+}
+
+// WritePrometheus renders the fft_shard_* and fft_exchange_* families in
+// Prometheus text exposition format.
+func (s *ShardMetrics) WritePrometheus(w io.Writer) error {
+	p := NewPromWriter(w)
+
+	p.Family("fft_shard_jobs_total", "Sharded transforms by role and final disposition.", "counter")
+	p.Sample("fft_shard_jobs_total", float64(s.JobsStarted.Load()), "role", "coordinator", "result", "started")
+	p.Sample("fft_shard_jobs_total", float64(s.JobsCompleted.Load()), "role", "coordinator", "result", "completed")
+	p.Sample("fft_shard_jobs_total", float64(s.JobsFailed.Load()), "role", "coordinator", "result", "failed")
+	p.Sample("fft_shard_jobs_total", float64(s.WorkerJobsCompleted.Load()), "role", "worker", "result", "completed")
+	p.Sample("fft_shard_jobs_total", float64(s.WorkerJobsFailed.Load()), "role", "worker", "result", "failed")
+
+	p.Family("fft_shard_workers", "Fleet size of the most recent sharded transform.", "gauge")
+	p.Sample("fft_shard_workers", float64(s.LastWorkers.Load()))
+
+	p.Family("fft_shard_bytes_total", "Coordinator payload bytes by phase.", "counter")
+	p.Sample("fft_shard_bytes_total", float64(s.ScatterBytes.Load()), "phase", "scatter")
+	p.Sample("fft_shard_bytes_total", float64(s.GatherBytes.Load()), "phase", "gather")
+
+	p.Family("fft_exchange_chunks_total", "Inter-worker exchange chunks by disposition.", "counter")
+	p.Sample("fft_exchange_chunks_total", float64(s.ChunksSent.Load()), "disposition", "sent")
+	p.Sample("fft_exchange_chunks_total", float64(s.ChunksReceived.Load()), "disposition", "received")
+	p.Sample("fft_exchange_chunks_total", float64(s.ChunksRejected.Load()), "disposition", "rejected")
+	p.Sample("fft_exchange_chunks_total", float64(s.ChunksDuplicate.Load()), "disposition", "duplicate")
+
+	p.Family("fft_exchange_retries_total", "Chunk transfer attempts beyond the first.", "counter")
+	p.Sample("fft_exchange_retries_total", float64(s.Retries.Load()))
+
+	p.Family("fft_exchange_bytes_total", "Inter-worker exchange payload bytes.", "counter")
+	p.Sample("fft_exchange_bytes_total", float64(s.BytesSent.Load()), "direction", "sent")
+	p.Sample("fft_exchange_bytes_total", float64(s.BytesReceived.Load()), "direction", "received")
+
+	p.Family("fft_exchange_wait_seconds_total", "Exchange time not hidden behind the front graph's compute.", "counter")
+	p.Sample("fft_exchange_wait_seconds_total", float64(s.ExchangeWaitNanos.Load())/1e9)
+
+	p.Family("fft_exchange_gb_per_s", "Aggregate exchange throughput of the most recent job.", "gauge")
+	p.Sample("fft_exchange_gb_per_s", s.LastExchangeGBs())
+
+	return p.Err()
+}
+
+// ShardDefault is the process-wide shard-tier metrics instance, mirroring
+// Default for stage collectors: library code updates it, servers render
+// it into /metrics.
+var ShardDefault = &ShardMetrics{}

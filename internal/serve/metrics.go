@@ -25,8 +25,10 @@ type metrics struct {
 	// pipelines, with the matching request-level byte split.
 	execComplex  atomic.Uint64
 	execReal     atomic.Uint64
+	execShard    atomic.Uint64
 	bytesComplex atomic.Uint64
 	bytesReal    atomic.Uint64
+	bytesShard   atomic.Uint64
 
 	latency        [64]atomic.Uint64 // bucket i counts latencies in [2^i, 2^(i+1)) ns
 	latencySamples atomic.Uint64     // raw observations feeding the histogram
@@ -106,8 +108,10 @@ type Snapshot struct {
 	// split sums to BytesMoved.
 	ExecutionsComplex uint64 `json:"executions_complex"`
 	ExecutionsReal    uint64 `json:"executions_real"`
+	ExecutionsSharded uint64 `json:"executions_sharded"`
 	BytesMovedComplex uint64 `json:"bytes_moved_complex"`
 	BytesMovedReal    uint64 `json:"bytes_moved_real"`
+	BytesMovedSharded uint64 `json:"bytes_moved_sharded"`
 
 	P50LatencyNs int64 `json:"p50_latency_ns"`
 	P99LatencyNs int64 `json:"p99_latency_ns"`
@@ -142,8 +146,10 @@ func (m *metrics) snapshot() Snapshot {
 
 		ExecutionsComplex: m.execComplex.Load(),
 		ExecutionsReal:    m.execReal.Load(),
+		ExecutionsSharded: m.execShard.Load(),
 		BytesMovedComplex: m.bytesComplex.Load(),
 		BytesMovedReal:    m.bytesReal.Load(),
+		BytesMovedSharded: m.bytesShard.Load(),
 		P50LatencyNs:      int64(quantile(&counts, 0.50)),
 		P99LatencyNs:      int64(quantile(&counts, 0.99)),
 	}

@@ -39,10 +39,12 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	p.Family("fft_plan_executions_total", "Plan executions by pipeline kind (a coalesced batch counts once).", "counter")
 	p.Sample("fft_plan_executions_total", float64(snap.ExecutionsComplex), "kind", "complex")
 	p.Sample("fft_plan_executions_total", float64(snap.ExecutionsReal), "kind", "real")
+	p.Sample("fft_plan_executions_total", float64(snap.ExecutionsSharded), "kind", "shard")
 
 	p.Family("fft_plan_bytes_moved_total", "Request-level DRAM traffic by pipeline kind.", "counter")
 	p.Sample("fft_plan_bytes_moved_total", float64(snap.BytesMovedComplex), "kind", "complex")
 	p.Sample("fft_plan_bytes_moved_total", float64(snap.BytesMovedReal), "kind", "real")
+	p.Sample("fft_plan_bytes_moved_total", float64(snap.BytesMovedSharded), "kind", "shard")
 
 	p.Family("fft_queue_depth", "Requests waiting in the admission queue.", "gauge")
 	p.Sample("fft_queue_depth", float64(snap.QueueDepth))

@@ -59,6 +59,19 @@ type Options struct {
 	Config core.Config
 	// Tracer, when set, receives per-request "queue" and "exec" spans.
 	Tracer *trace.Recorder
+	// ShardRunner, when set, executes Sharded rank-3 requests across a
+	// worker fleet (the shard coordinator); requests with Sharded set are
+	// rejected when it is nil. Sharded executions bypass the local plan
+	// cache — the fleet's workers hold the warm plans.
+	ShardRunner ShardRunner
+}
+
+// ShardRunner is the serving layer's view of the distributed shard tier:
+// one rank-3 complex transform of dims[0]×dims[1]×dims[2], unnormalized,
+// executed across a fleet. The request's context carries the deadline the
+// coordinator propagates to every worker.
+type ShardRunner interface {
+	Transform(ctx context.Context, dst, src []complex128, dims [3]int, inverse bool) error
 }
 
 func (o Options) withDefaults() Options {
@@ -94,11 +107,15 @@ func (o Options) withDefaults() Options {
 // Hermitian half spectrum, last dim n/2+1); an inverse real request reads
 // Src (the half spectrum) and writes RealDst. The unused pair must be nil
 // or empty.
+// Sharded routes a rank-3 complex request through the server's
+// ShardRunner — one transform across the worker fleet — instead of the
+// local plan cache. Sharded requests never coalesce.
 type Request struct {
 	Rank    int
 	Dims    [3]int
 	Inverse bool
 	Real    bool
+	Sharded bool
 	Dst     []complex128
 	Src     []complex128
 	RealDst []float64
@@ -247,6 +264,14 @@ func validate(req *Request) error {
 		n *= d[1] * d[2]
 	default:
 		return fmt.Errorf("serve: rank must be 1, 2 or 3, got %d", req.Rank)
+	}
+	if req.Sharded {
+		if req.Rank != 3 {
+			return fmt.Errorf("serve: sharded request needs rank 3, got %d", req.Rank)
+		}
+		if req.Real {
+			return fmt.Errorf("serve: sharded real requests are not supported")
+		}
 	}
 	if req.Real {
 		last := d[req.Rank-1]
@@ -459,7 +484,8 @@ func (s *Server) dispatch() {
 // server's Config).
 func sameBatch(a, b *item) bool {
 	return a.req.Rank == b.req.Rank && a.req.Dims == b.req.Dims &&
-		a.req.Inverse == b.req.Inverse && a.req.Real == b.req.Real
+		a.req.Inverse == b.req.Inverse && a.req.Real == b.req.Real &&
+		!a.req.Sharded && !b.req.Sharded
 }
 
 // execute is one executor goroutine: it claims each batch's live items,
@@ -490,6 +516,38 @@ func (s *Server) execute() {
 		}
 		s.m.batches.Add(1)
 		s.m.batchedItems.Add(uint64(len(live)))
+
+		if live[0].req.Sharded {
+			// Sharded requests never coalesce (rank 3) and never touch
+			// the local plan cache: the coordinator owns the fleet.
+			it := live[0]
+			var start time.Time
+			if s.opts.Tracer != nil {
+				start = time.Now()
+			}
+			var err error
+			if s.opts.ShardRunner == nil {
+				err = fmt.Errorf("serve: sharded request but no ShardRunner configured")
+			} else {
+				err = s.opts.ShardRunner.Transform(it.ctx, it.req.Dst, it.req.Src, it.req.Dims, it.req.Inverse)
+			}
+			if err == nil && it.req.Inverse {
+				// The coordinator returns the raw unnormalized inverse;
+				// scale here so every serve pipeline normalizes uniformly.
+				scale := complex(1/float64(it.req.Dims[0]*it.req.Dims[1]*it.req.Dims[2]), 0)
+				for i := range it.req.Dst {
+					it.req.Dst[i] *= scale
+				}
+			}
+			s.settle(live, err)
+			if err == nil {
+				s.m.execShard.Add(1)
+			}
+			if s.opts.Tracer != nil {
+				s.spanExec(it, start, time.Now())
+			}
+			continue
+		}
 
 		key := live[0].req.key(s.opts.Config)
 		plan, release, err := s.cache.Get(key)
@@ -589,26 +647,35 @@ func (s *Server) settle(items []*item, err error) {
 		s.m.failed.Add(uint64(len(items)))
 	} else {
 		s.m.completed.Add(uint64(len(items)))
-		var bytesC, bytesR uint64
+		var bytesC, bytesR, bytesS uint64
 		for _, it := range items {
-			if it.req.Real {
+			switch {
+			case it.req.Sharded:
+				// Same end-to-end accounting as complex requests; the
+				// exchange traffic on top is counted byte-exactly by the
+				// fft_exchange_* families.
+				bytesS += uint64(32 * len(it.req.Src))
+			case it.req.Real:
 				// Real requests move 8 bytes per real element on one side
 				// and 16 per half-spectrum element on the other; exactly one
 				// of each buffer pair is populated per direction.
 				bytesR += uint64(8*(len(it.req.RealSrc)+len(it.req.RealDst)) +
 					16*(len(it.req.Src)+len(it.req.Dst)))
-			} else {
+			default:
 				// One request reads Src and writes Dst once: 32 bytes moved
 				// per complex element end to end.
 				bytesC += uint64(32 * len(it.req.Src))
 			}
 		}
-		s.m.bytesMoved.Add(bytesC + bytesR)
+		s.m.bytesMoved.Add(bytesC + bytesR + bytesS)
 		if bytesC > 0 {
 			s.m.bytesComplex.Add(bytesC)
 		}
 		if bytesR > 0 {
 			s.m.bytesReal.Add(bytesR)
+		}
+		if bytesS > 0 {
+			s.m.bytesShard.Add(bytesS)
 		}
 	}
 	for _, it := range items {

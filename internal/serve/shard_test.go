@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stubRunner is a controllable ShardRunner: it records calls, optionally
+// blocks until released (to hold a request in flight across a drain), and
+// settles by copying src to dst negated so callers can verify the result
+// actually came from the runner.
+type stubRunner struct {
+	started chan struct{} // closed (once) when Transform is entered
+	release chan struct{} // nil, or blocks Transform until closed
+	calls   int
+}
+
+func (r *stubRunner) Transform(ctx context.Context, dst, src []complex128, dims [3]int, inverse bool) error {
+	r.calls++
+	if r.started != nil {
+		select {
+		case <-r.started:
+		default:
+			close(r.started)
+		}
+	}
+	if r.release != nil {
+		select {
+		case <-r.release:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	for i := range src {
+		dst[i] = -src[i]
+	}
+	return nil
+}
+
+func shardedReq(k, n, m int) Request {
+	size := k * n * m
+	src := make([]complex128, size)
+	for i := range src {
+		src[i] = complex(float64(i), 1)
+	}
+	return Request{
+		Rank: 3, Dims: [3]int{k, n, m}, Sharded: true,
+		Src: src, Dst: make([]complex128, size),
+	}
+}
+
+// TestShardedValidation: sharded requests must be rank-3 complex, and a
+// server with no ShardRunner must fail them cleanly rather than touch the
+// local plan cache.
+func TestShardedValidation(t *testing.T) {
+	s := New(Options{ShardRunner: &stubRunner{}})
+	defer s.Shutdown(context.Background())
+
+	bad := Request{Rank: 1, Dims: [3]int{8, 0, 0}, Sharded: true,
+		Src: make([]complex128, 8), Dst: make([]complex128, 8)}
+	if err := s.Do(context.Background(), bad); err == nil || !strings.Contains(err.Error(), "rank 3") {
+		t.Fatalf("rank-1 sharded request: got %v, want rank-3 error", err)
+	}
+
+	real3 := Request{Rank: 3, Dims: [3]int{4, 4, 4}, Sharded: true, Real: true,
+		RealSrc: make([]float64, 64), Dst: make([]complex128, 4*4*3)}
+	if err := s.Do(context.Background(), real3); err == nil || !strings.Contains(err.Error(), "real") {
+		t.Fatalf("sharded real request: got %v, want unsupported error", err)
+	}
+
+	none := New(Options{})
+	defer none.Shutdown(context.Background())
+	if err := none.Do(context.Background(), shardedReq(4, 4, 4)); err == nil ||
+		!strings.Contains(err.Error(), "ShardRunner") {
+		t.Fatalf("no-runner sharded request: got %v, want ShardRunner error", err)
+	}
+}
+
+// TestShardedExecution: a sharded request routes through the runner (not
+// the plan cache) and lands in the shard-kind counters, including the
+// Prometheus exposition.
+func TestShardedExecution(t *testing.T) {
+	r := &stubRunner{}
+	s := New(Options{ShardRunner: r})
+	defer s.Shutdown(context.Background())
+
+	req := shardedReq(4, 4, 4)
+	if err := s.Do(context.Background(), req); err != nil {
+		t.Fatalf("sharded Do: %v", err)
+	}
+	for i := range req.Src {
+		if req.Dst[i] != -req.Src[i] {
+			t.Fatalf("dst[%d] = %v, want %v — result did not come from the runner", i, req.Dst[i], -req.Src[i])
+		}
+	}
+	if r.calls != 1 {
+		t.Fatalf("runner calls = %d, want 1", r.calls)
+	}
+	snap := s.Stats()
+	if snap.ExecutionsSharded != 1 {
+		t.Fatalf("ExecutionsSharded = %d, want 1", snap.ExecutionsSharded)
+	}
+	if want := uint64(32 * len(req.Src)); snap.BytesMovedSharded != want {
+		t.Fatalf("BytesMovedSharded = %d, want %d", snap.BytesMovedSharded, want)
+	}
+	if snap.Cache.Misses != 0 {
+		t.Fatalf("sharded request touched the local plan cache (%d misses)", snap.Cache.Misses)
+	}
+	var b strings.Builder
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	for _, line := range []string{
+		`fft_plan_executions_total{kind="shard"} 1`,
+		`fft_plan_bytes_moved_total{kind="shard"} 2048`,
+	} {
+		if !strings.Contains(b.String(), line) {
+			t.Fatalf("exposition missing %q:\n%s", line, b.String())
+		}
+	}
+}
+
+// TestShutdownWaitsForShardedInFlight is the drain regression test: a
+// sharded request already claimed by an executor must run to completion —
+// Shutdown may not return, and the request may not fail, while the
+// exchange is still in flight. Health must flip to draining immediately.
+func TestShutdownWaitsForShardedInFlight(t *testing.T) {
+	r := &stubRunner{started: make(chan struct{}), release: make(chan struct{})}
+	s := New(Options{ShardRunner: r})
+
+	req := shardedReq(4, 4, 4)
+	doErr := make(chan error, 1)
+	go func() { doErr <- s.Do(context.Background(), req) }()
+
+	select {
+	case <-r.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("runner never started")
+	}
+
+	shutErr := make(chan error, 1)
+	go func() { shutErr <- s.Shutdown(context.Background()) }()
+
+	// Draining flips immediately; new work is refused.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Healthy() {
+		if time.Now().After(deadline) {
+			t.Fatal("server stayed healthy after Shutdown")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Do(context.Background(), shardedReq(4, 4, 4)); err != ErrClosed {
+		t.Fatalf("Do during drain = %v, want ErrClosed", err)
+	}
+
+	// But the drain must not finish while the sharded exchange is live.
+	select {
+	case err := <-shutErr:
+		t.Fatalf("Shutdown returned (%v) with a sharded request still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(r.release)
+	select {
+	case err := <-shutErr:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown never returned after the exchange settled")
+	}
+	if err := <-doErr; err != nil {
+		t.Fatalf("in-flight sharded request failed during drain: %v", err)
+	}
+	for i := range req.Src {
+		if req.Dst[i] != -req.Src[i] {
+			t.Fatalf("drained request produced wrong dst at %d", i)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fft1d"
+	"repro/internal/fft3d"
+	"repro/internal/machine"
+	"repro/internal/stagegraph"
+)
+
+// planKey identifies a warm worker plan: the geometry plus this worker's
+// slab index. Rendezvous routing keeps (shape → index) stable across
+// jobs, so repeated shapes find their plan here.
+type planKey struct {
+	k, n, m, sk, index, mu, radix int
+}
+
+// workerPlan is one warm slab plan: the shard's two compiled graphs, a
+// persistent executor, and every buffer a job needs — input slab, B and C
+// intermediates, output y-slab, and the per-peer compact send buffers the
+// W² scatter streams into. Exactly one job may own the plan at a time
+// (the busy semaphore); the coordinator serializes same-shape transforms
+// so fleet-wide acquisition cannot deadlock.
+type workerPlan struct {
+	g     geom
+	index int
+	sign  int // patched per run; read through SlabSpec.Sign
+
+	front, back    []stagegraph.Stage
+	schedF, schedB *stagegraph.Schedule
+	exec           *stagegraph.Executor
+	bufs           *stagegraph.Buffers
+
+	in    []complex128   // input z-slab (ksl·n·m)
+	bMid  []complex128   // B intermediate, shard-local
+	cPart []complex128   // owned C pillars (k·nl·m)
+	out   []complex128   // output y-slab (ksl·n·m)
+	send  [][]complex128 // [peer] compact exchange buffers; send[index] nil
+
+	chunkElems int // exchange chunk size, rounded to a multiple of μ
+
+	// router carries the current job's outbound accounting; set before
+	// each run (the executor's dispatch channels order it before any
+	// data-worker store).
+	router *exchangeRouter
+
+	busy chan struct{} // cap 1: exclusive job ownership
+}
+
+func buildWorkerPlan(key planKey, chunkElems, dataWorkers, computeWorkers, bufferElems int) (*workerPlan, error) {
+	g, err := newGeom(key.k, key.n, key.m, key.sk, key.mu)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %v", err)
+	}
+	if bufferElems <= 0 {
+		bufferElems = machine.PreferredBufferElems()
+	}
+	if dataWorkers <= 0 {
+		dataWorkers = 1
+	}
+	if computeWorkers <= 0 {
+		computeWorkers = 1
+	}
+	if chunkElems <= 0 {
+		chunkElems = defaultChunkElems
+	}
+	chunkElems -= chunkElems % g.mu
+	if chunkElems < g.mu {
+		chunkElems = g.mu
+	}
+	rows1, units2, units3, scratch := fft3d.SlabUnits(key.k, key.n, key.m, key.sk, key.mu, bufferElems)
+	p := &workerPlan{
+		g: g, index: key.index,
+		in:         make([]complex128, g.slabElems()),
+		bMid:       make([]complex128, g.slabElems()),
+		cPart:      make([]complex128, g.slabElems()),
+		out:        make([]complex128, g.slabElems()),
+		send:       make([][]complex128, key.sk),
+		chunkElems: chunkElems,
+		busy:       make(chan struct{}, 1),
+	}
+	for v := 0; v < key.sk; v++ {
+		if v != key.index {
+			p.send[v] = make([]complex128, g.peerShareElems())
+		}
+	}
+	spec := fft3d.SlabSpec{
+		K: key.k, N: key.n, M: key.m, Shards: key.sk, Index: key.index, Mu: key.mu,
+		Rows1: rows1, Units2: units2, Units3: units3,
+		PlanM: fft1d.NewPlanRadix(key.m, key.radix),
+		PlanN: fft1d.NewPlanRadix(key.n, key.radix),
+		PlanK: fft1d.NewPlanRadix(key.k, key.radix),
+		Sign:  &p.sign,
+		SrcIn: p.in,
+		SrcB:  p.bMid,
+		SrcC:  p.cPart,
+		// B and the output y-slab are private, so stages 1 and 3 use the
+		// direct scatter path; only the W² stores route through the
+		// network exchange.
+		DstB:     stagegraph.Endpoint{C: p.bMid},
+		DstC:     stagegraph.Endpoint{WriteC: p.writeExchange},
+		DstOut:   stagegraph.Endpoint{C: p.out},
+		OutLocal: true,
+	}
+	p.front, p.back = spec.Stages()
+	p.schedF = stagegraph.Compile(p.front, true)
+	p.schedB = stagegraph.Compile(p.back, true)
+	p.bufs = stagegraph.NewBuffers(scratch, false, false)
+	p.exec, err = stagegraph.NewExecutor(stagegraph.Config{
+		DataWorkers:    dataWorkers,
+		ComputeWorkers: computeWorkers,
+		ScratchComplex: scratch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *workerPlan) close() {
+	if p.exec != nil {
+		p.exec.Close()
+	}
+}
+
+// acquire takes exclusive ownership of the plan's buffers for one job.
+func (p *workerPlan) acquire(ctx context.Context) error {
+	select {
+	case p.busy <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *workerPlan) releaseBusy() { <-p.busy }
+
+// writeExchange is the stage-2 Dst hook: the W² scatter hands every
+// μ-block here at its global C offset. Blocks owned by this shard land
+// straight in cPart; blocks owned by peers pack into the compact per-peer
+// send buffer, and the chunk that fills up ships immediately — the
+// exchange overlaps the rest of the front graph's compute.
+func (p *workerPlan) writeExchange(off int, blk []complex128) {
+	v, compact := p.g.exchangeRoute(p.index, off)
+	if v == p.index {
+		local := p.g.expandOffset(p.index, compact)
+		copy(p.cPart[local:local+len(blk)], blk)
+		p.router.noteSelf(int64(len(blk)) * 16)
+		return
+	}
+	copy(p.send[v][compact:compact+len(blk)], blk)
+	p.router.noteSend(v, compact, len(blk))
+}
+
+// sendChunk identifies one outbound exchange chunk.
+type sendChunk struct {
+	peer, idx int
+}
+
+// exchangeRouter is one job's outbound exchange state: per-(peer, chunk)
+// fill counters fed by concurrent data-worker stores, and a queue the
+// sender pool drains as chunks complete. Every send element is written
+// exactly once, so the store that completes a chunk enqueues it — no
+// flush pass, no polling.
+type exchangeRouter struct {
+	plan  *workerPlan
+	recv  *recvTracker // self-routed W² blocks count toward completion
+	fill  [][]atomic.Int64
+	queue chan sendChunk
+
+	bytesSent  atomic.Int64
+	chunksSent atomic.Int64
+
+	wg      sync.WaitGroup
+	errOnce sync.Once
+	err     error
+	cancel  context.CancelFunc
+}
+
+func newExchangeRouter(p *workerPlan, recv *recvTracker) *exchangeRouter {
+	r := &exchangeRouter{plan: p, recv: recv}
+	total := 0
+	r.fill = make([][]atomic.Int64, p.g.sk)
+	for v := range r.fill {
+		if p.send[v] == nil {
+			continue
+		}
+		nchunks := (p.g.peerShareElems() + p.chunkElems - 1) / p.chunkElems
+		r.fill[v] = make([]atomic.Int64, nchunks)
+		total += nchunks
+	}
+	r.queue = make(chan sendChunk, total)
+	return r
+}
+
+// chunkSpan returns chunk idx's [off, off+count) in compact elements.
+func (r *exchangeRouter) chunkSpan(idx int) (off, count int) {
+	off = idx * r.plan.chunkElems
+	count = r.plan.chunkElems
+	if rest := r.plan.g.peerShareElems() - off; rest < count {
+		count = rest
+	}
+	return
+}
+
+func (r *exchangeRouter) noteSelf(bytes int64) { r.recv.addRaw(bytes) }
+
+func (r *exchangeRouter) noteSend(v, compact, elems int) {
+	idx := compact / r.plan.chunkElems
+	_, count := r.chunkSpan(idx)
+	if r.fill[v][idx].Add(int64(elems)) == int64(count) {
+		r.queue <- sendChunk{v, idx}
+	}
+}
+
+// startSenders launches the sender pool. The first failed chunk cancels
+// ctx (derived by the caller from the job deadline) so the whole run
+// fails fast instead of waiting out the deadline.
+func (r *exchangeRouter) startSenders(ctx context.Context, cancel context.CancelFunc, n int, tr *transport, spec JobSpec) {
+	r.cancel = cancel
+	for i := 0; i < n; i++ {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			for sc := range r.queue {
+				off, count := r.chunkSpan(sc.idx)
+				peer := spec.Workers[sc.peer]
+				url := fmt.Sprintf("%s/shard/chunk?job=%s&kind=exchange&from=%d&off=%d&count=%d",
+					peer, spec.Job, spec.Index, off, count)
+				payload := complexBytes(r.plan.send[sc.peer][off : off+count])
+				if err := tr.postChunk(ctx, "exchange", peer, url, payload); err != nil {
+					r.fail(err)
+					continue
+				}
+				r.bytesSent.Add(int64(len(payload)))
+				r.chunksSent.Add(1)
+				tr.metrics.ChunksSent.Add(1)
+				tr.metrics.BytesSent.Add(int64(len(payload)))
+			}
+		}()
+	}
+}
+
+func (r *exchangeRouter) fail(err error) {
+	r.errOnce.Do(func() {
+		r.err = err
+		if r.cancel != nil {
+			r.cancel()
+		}
+	})
+}
+
+// finish closes the queue (every chunk is enqueued once the front graph
+// returns) and waits for the sender pool; returns the first send error.
+func (r *exchangeRouter) finish() error {
+	close(r.queue)
+	r.wg.Wait()
+	return r.err
+}
+
+// recvTracker counts settled inbound bytes — self-routed stores plus
+// CRC-verified network chunks — toward a known total, deduplicating
+// retransmitted chunks, and wakes the run when the last byte lands.
+type recvTracker struct {
+	mu   sync.Mutex
+	want int64
+	got  int64
+	seen map[int64]bool
+	done chan struct{}
+}
+
+func newRecvTracker(want int64) *recvTracker {
+	return &recvTracker{want: want, seen: make(map[int64]bool), done: make(chan struct{})}
+}
+
+// addRaw credits bytes that cannot repeat (each written exactly once).
+func (r *recvTracker) addRaw(n int64) {
+	r.mu.Lock()
+	r.credit(n)
+	r.mu.Unlock()
+}
+
+// markChunk credits one network chunk, keyed for dedup; reports whether
+// the chunk was new.
+func (r *recvTracker) markChunk(key, n int64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen[key] {
+		return false
+	}
+	r.seen[key] = true
+	r.credit(n)
+	return true
+}
+
+func (r *recvTracker) credit(n int64) {
+	r.got += n
+	if r.got == r.want {
+		close(r.done)
+	}
+}
+
+func (r *recvTracker) complete() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.got == r.want
+}
+
+func (r *recvTracker) wait(ctx context.Context) error {
+	select {
+	case <-r.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,472 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lru"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// WorkerOptions configures a shard worker. Zero values take defaults.
+type WorkerOptions struct {
+	// DataWorkers/ComputeWorkers size each plan's persistent executor
+	// (0 = the stagegraph defaults). BufferElems sizes the double
+	// buffers (0 = machine.PreferredBufferElems).
+	DataWorkers, ComputeWorkers, BufferElems int
+
+	// PlanCache caps the warm-plan LRU (default 4). Senders sizes the
+	// outbound exchange pool per job (default 4).
+	PlanCache, Senders int
+
+	// Retries is the per-chunk retry budget beyond the first attempt
+	// (default 4; -1 disables retries). Backoff is the initial retry
+	// delay, doubling per attempt (default 10ms).
+	Retries int
+	Backoff time.Duration
+
+	// Client issues outbound exchange requests (default http.Client).
+	Client Doer
+
+	Metrics *obs.ShardMetrics // default obs.ShardDefault
+	Tracer  *trace.Recorder
+}
+
+// Worker executes the local portion of sharded transforms: it owns a
+// warm-plan LRU and a table of in-flight jobs, and serves the /shard/*
+// wire protocol via Handler.
+type Worker struct {
+	opts    WorkerOptions
+	tr      *transport
+	metrics *obs.ShardMetrics
+	plans   *lru.Cache[planKey, *workerPlan]
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	draining bool
+}
+
+// job is one in-flight sharded transform on this worker.
+type job struct {
+	spec     JobSpec
+	plan     *workerPlan
+	release  func() // plan-cache ref
+	recvIn   *recvTracker
+	recvEx   *recvTracker
+	deadline time.Time
+	reaper   *time.Timer
+
+	netRecvBytes atomic.Int64
+	running      atomic.Bool
+	finished     atomic.Bool // stage 3 done; result readable
+}
+
+// NewWorker builds a worker.
+func NewWorker(opts WorkerOptions) *Worker {
+	if opts.PlanCache <= 0 {
+		opts.PlanCache = 4
+	}
+	if opts.Senders <= 0 {
+		opts.Senders = 4
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.ShardDefault
+	}
+	w := &Worker{
+		opts:    opts,
+		tr:      newTransport(opts.Client, opts.Retries, opts.Backoff, opts.Metrics),
+		metrics: opts.Metrics,
+		jobs:    make(map[string]*job),
+	}
+	w.plans = lru.New[planKey, *workerPlan](opts.PlanCache, func(_ planKey, p *workerPlan) {
+		p.close()
+	})
+	return w
+}
+
+// Close drops every cached plan (waiting for in-use plans to release).
+func (w *Worker) Close() { w.plans.Purge() }
+
+// BeginDrain stops admitting new jobs; in-flight jobs run to completion.
+func (w *Worker) BeginDrain() {
+	w.mu.Lock()
+	w.draining = true
+	w.mu.Unlock()
+}
+
+// Draining reports whether BeginDrain was called.
+func (w *Worker) Draining() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.draining
+}
+
+// ActiveJobs counts in-flight jobs (begun, not yet ended).
+func (w *Worker) ActiveJobs() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.jobs)
+}
+
+// Drain stops admission and blocks until the last in-flight job — and
+// with it the last exchange chunk — settles, or ctx expires.
+func (w *Worker) Drain(ctx context.Context) error {
+	w.BeginDrain()
+	for {
+		if w.ActiveJobs() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("shard: drain: %d jobs still in flight: %w", w.ActiveJobs(), ctx.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// Handler serves the /shard/* wire protocol.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/shard/begin", w.handleBegin)
+	mux.HandleFunc("/shard/chunk", w.handleChunk)
+	mux.HandleFunc("/shard/run", w.handleRun)
+	mux.HandleFunc("/shard/result", w.handleResult)
+	mux.HandleFunc("/shard/end", w.handleEnd)
+	return mux
+}
+
+func (w *Worker) lookup(id string) *job {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.jobs[id]
+}
+
+func (w *Worker) handleBegin(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var spec JobSpec
+	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<20)).Decode(&spec); err != nil {
+		http.Error(rw, "bad spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	sk := len(spec.Workers)
+	if spec.Job == "" || sk < 1 || spec.Index < 0 || spec.Index >= sk {
+		http.Error(rw, "bad spec: job/workers/index", http.StatusBadRequest)
+		return
+	}
+	if w.Draining() {
+		http.Error(rw, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	key := planKey{spec.K, spec.N, spec.M, sk, spec.Index, spec.Mu, spec.Radix}
+	plan, release, err := w.plans.GetOrCreate(key, func() (*workerPlan, error) {
+		return buildWorkerPlan(key, spec.ChunkElems, w.opts.DataWorkers, w.opts.ComputeWorkers, w.opts.BufferElems)
+	})
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var deadline time.Time
+	ctx := req.Context()
+	if spec.DeadlineUnixNano != 0 {
+		deadline = time.Unix(0, spec.DeadlineUnixNano)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+	if err := plan.acquire(ctx); err != nil {
+		release()
+		http.Error(rw, "plan busy: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	slabBytes := int64(plan.g.slabElems()) * 16
+	j := &job{
+		spec: spec, plan: plan, release: release,
+		recvIn:   newRecvTracker(slabBytes),
+		recvEx:   newRecvTracker(slabBytes),
+		deadline: deadline,
+	}
+	w.mu.Lock()
+	if _, dup := w.jobs[spec.Job]; dup {
+		w.mu.Unlock()
+		plan.releaseBusy()
+		release()
+		http.Error(rw, "duplicate job "+spec.Job, http.StatusConflict)
+		return
+	}
+	w.jobs[spec.Job] = j
+	w.mu.Unlock()
+	if !deadline.IsZero() {
+		// Reap abandoned jobs (coordinator death) a grace period past the
+		// deadline so the plan and its buffers free up.
+		j.reaper = time.AfterFunc(time.Until(deadline)+5*time.Second, func() {
+			w.finishJob(spec.Job)
+		})
+	}
+	rw.WriteHeader(http.StatusOK)
+}
+
+// finishJob removes the job and releases its plan. Idempotent.
+func (w *Worker) finishJob(id string) {
+	w.mu.Lock()
+	j := w.jobs[id]
+	delete(w.jobs, id)
+	w.mu.Unlock()
+	if j == nil {
+		return
+	}
+	if j.reaper != nil {
+		j.reaper.Stop()
+	}
+	j.plan.releaseBusy()
+	j.release()
+}
+
+// chunkScratch pools staging buffers so payloads are CRC-verified before
+// any byte lands in plan state (and so the complex view stays aligned).
+var chunkScratch sync.Pool
+
+func getScratch(n int) []complex128 {
+	if v := chunkScratch.Get(); v != nil {
+		s := *v.(*[]complex128)
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]complex128, n)
+}
+
+func putScratch(s []complex128) { chunkScratch.Put(&s) }
+
+func (w *Worker) handleChunk(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	qv := req.URL.Query()
+	j := w.lookup(qv.Get("job"))
+	if j == nil {
+		http.Error(rw, "unknown job", http.StatusBadRequest)
+		return
+	}
+	off, err1 := strconv.Atoi(qv.Get("off"))
+	count, err2 := strconv.Atoi(qv.Get("count"))
+	if err1 != nil || err2 != nil || off < 0 || count <= 0 {
+		http.Error(rw, "bad off/count", http.StatusBadRequest)
+		return
+	}
+	g := j.plan.g
+	kind := qv.Get("kind")
+	var from int
+	switch kind {
+	case "input":
+		if off+count > g.slabElems() {
+			http.Error(rw, "chunk out of range", http.StatusBadRequest)
+			return
+		}
+	case "exchange":
+		from, err1 = strconv.Atoi(qv.Get("from"))
+		if err1 != nil || from < 0 || from >= g.sk || from == j.spec.Index ||
+			off+count > g.peerShareElems() || off%g.mu != 0 || count%g.mu != 0 {
+			http.Error(rw, "bad exchange chunk", http.StatusBadRequest)
+			return
+		}
+	default:
+		http.Error(rw, "bad kind", http.StatusBadRequest)
+		return
+	}
+	scratch := getScratch(count)
+	defer putScratch(scratch)
+	payload := complexBytes(scratch)
+	if _, err := io.ReadFull(req.Body, payload); err != nil {
+		http.Error(rw, "short payload: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	want, err := strconv.ParseUint(req.Header.Get(headerCRC), 10, 32)
+	if err != nil {
+		http.Error(rw, "missing "+headerCRC, http.StatusBadRequest)
+		return
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != uint32(want) {
+		w.metrics.ChunksRejected.Add(1)
+		http.Error(rw, fmt.Sprintf("crc mismatch: got %08x want %08x", got, uint32(want)), statusChecksumReject)
+		return
+	}
+	// Payload verified; commit it. Duplicate retransmits overwrite with
+	// identical bytes and are only counted once.
+	switch kind {
+	case "input":
+		copy(j.plan.in[off:off+count], scratch)
+		if !j.recvIn.markChunk(int64(off), int64(count)*16) {
+			w.metrics.ChunksDuplicate.Add(1)
+		}
+	case "exchange":
+		for i := 0; i < count; i += g.mu {
+			dst := g.expandOffset(from, off+i)
+			copy(j.plan.cPart[dst:dst+g.mu], scratch[i:i+g.mu])
+		}
+		if j.recvEx.markChunk(int64(from)<<40|int64(off), int64(count)*16) {
+			w.metrics.ChunksReceived.Add(1)
+			w.metrics.BytesReceived.Add(int64(count) * 16)
+			j.netRecvBytes.Add(int64(count) * 16)
+		} else {
+			w.metrics.ChunksDuplicate.Add(1)
+		}
+	}
+	rw.WriteHeader(http.StatusOK)
+}
+
+func (w *Worker) handleRun(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	qv := req.URL.Query()
+	j := w.lookup(qv.Get("job"))
+	if j == nil {
+		http.Error(rw, "unknown job", http.StatusBadRequest)
+		return
+	}
+	sign, err := strconv.Atoi(qv.Get("sign"))
+	if err != nil || (sign != -1 && sign != 1) {
+		http.Error(rw, "sign must be ±1", http.StatusBadRequest)
+		return
+	}
+	if !j.running.CompareAndSwap(false, true) {
+		// Runs are not idempotent (re-running would double-credit the
+		// receive trackers), so a retried /shard/run is a protocol error.
+		http.Error(rw, "job already running", http.StatusConflict)
+		return
+	}
+	if !j.recvIn.complete() {
+		http.Error(rw, "input slab incomplete", http.StatusBadRequest)
+		return
+	}
+	stats, err := w.runJob(req.Context(), j, sign)
+	if err != nil {
+		w.metrics.WorkerJobsFailed.Add(1)
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.metrics.WorkerJobsCompleted.Add(1)
+	j.finished.Store(true)
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(stats)
+}
+
+// jobReq derives a stable trace request id from the job id.
+func jobReq(id string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, id)
+	return h.Sum64()
+}
+
+// runJob executes the job's local stages: front graph (W² stores stream
+// into the exchange as they happen), wait for the sender pool and the
+// last inbound chunk, then the back graph into the output y-slab.
+func (w *Worker) runJob(ctx context.Context, j *job, sign int) (runStats, error) {
+	var stats runStats
+	p := j.plan
+	p.sign = sign
+	if !j.deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, j.deadline)
+		defer cancel()
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	router := newExchangeRouter(p, j.recvEx)
+	p.router = router
+	router.startSenders(rctx, cancel, w.opts.Senders, w.tr, j.spec)
+
+	t0 := time.Now()
+	_, runErr := p.exec.Run(p.bufs, p.front, p.schedF, w.opts.Tracer)
+	stats.FrontNS = int64(time.Since(t0))
+	sendErr := router.finish()
+	if runErr != nil {
+		return stats, errf(KindProtocol, "run", "", "front graph: %v", runErr)
+	}
+	if sendErr != nil {
+		return stats, sendErr
+	}
+
+	tw := time.Now()
+	if err := j.recvEx.wait(rctx); err != nil {
+		if router.err != nil {
+			return stats, router.err
+		}
+		kind := KindDeadline
+		if ctx.Err() == nil {
+			kind = KindNetwork
+		}
+		return stats, errf(kind, "exchange", "", "waiting for inbound chunks: %v", err)
+	}
+	waitNS := int64(time.Since(tw))
+	stats.ExchangeWaitNS = waitNS
+	w.metrics.ExchangeWaitNanos.Add(waitNS)
+	if tr := w.opts.Tracer; tr != nil {
+		tr.EmitSpan(trace.Span{Req: jobReq(j.spec.Job), Name: "shard/exchange-wait",
+			Start: tw, End: tw.Add(time.Duration(waitNS))})
+	}
+
+	t1 := time.Now()
+	_, runErr = p.exec.Run(p.bufs, p.back, p.schedB, w.opts.Tracer)
+	stats.BackNS = int64(time.Since(t1))
+	if runErr != nil {
+		return stats, errf(KindProtocol, "run", "", "back graph: %v", runErr)
+	}
+	stats.BytesSent = router.bytesSent.Load()
+	stats.ChunksSent = router.chunksSent.Load()
+	stats.BytesReceived = j.netRecvBytes.Load()
+	return stats, nil
+}
+
+func (w *Worker) handleResult(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(rw, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	qv := req.URL.Query()
+	j := w.lookup(qv.Get("job"))
+	if j == nil {
+		http.Error(rw, "unknown job", http.StatusBadRequest)
+		return
+	}
+	if !j.finished.Load() {
+		http.Error(rw, "job not finished", http.StatusBadRequest)
+		return
+	}
+	off, err1 := strconv.Atoi(qv.Get("off"))
+	count, err2 := strconv.Atoi(qv.Get("count"))
+	if err1 != nil || err2 != nil || off < 0 || count <= 0 || off+count > j.plan.g.slabElems() {
+		http.Error(rw, "bad off/count", http.StatusBadRequest)
+		return
+	}
+	payload := complexBytes(j.plan.out[off : off+count])
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Header().Set(headerCRC, strconv.FormatUint(uint64(crc32.Checksum(payload, castagnoli)), 10))
+	rw.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+	rw.Write(payload)
+}
+
+func (w *Worker) handleEnd(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.finishJob(req.URL.Query().Get("job"))
+	rw.WriteHeader(http.StatusOK)
+}
