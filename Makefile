@@ -7,7 +7,8 @@ GO ?= go
 # shared plans); they get a dedicated -race pass in ci.
 RACE_PKGS = . ./internal/pipeline ./internal/stagegraph ./internal/fft2d \
             ./internal/fft3d ./internal/fft1dlarge ./internal/fft1d \
-            ./internal/lru ./internal/serve ./internal/rfft
+            ./internal/lru ./internal/serve ./internal/rfft \
+            ./internal/trace ./internal/obs ./internal/flightrec
 
 # Packages carrying the SIMD codelet tier and its dispatch: they run a
 # second test pass under -tags purego to prove the pure-Go fallback stays
@@ -17,9 +18,10 @@ PUREGO_PKGS = ./internal/kernels ./internal/layout ./internal/cpufeat \
               ./internal/fft3d ./internal/tune ./internal/machine
 
 .PHONY: ci vet lint build test purego crossbuild asmgen asmcheck race bench \
-        benchsmoke benchjson benchcmp servesmoke obssmoke shardsmoke fmt
+        benchsmoke benchjson benchcmp servesmoke obssmoke shardsmoke \
+        tracesmoke fmt
 
-ci: vet lint build crossbuild asmcheck test purego race benchsmoke servesmoke obssmoke shardsmoke benchjson benchcmp
+ci: vet lint build crossbuild asmcheck test purego race benchsmoke servesmoke obssmoke shardsmoke tracesmoke benchjson benchcmp
 
 vet:
 	$(GO) vet ./...
@@ -85,6 +87,16 @@ race:
 # and exercise the drain ordering.
 shardsmoke:
 	$(GO) run ./cmd/fftserved -shardselftest 128
+
+# Fleet observability smoke: a loopback 3-worker cluster runs one traced
+# sharded transform through the real HTTP surface, then the gate asserts
+# the merged Perfetto timeline (/debug/trace/<id>) carries a distinct lane
+# per node, the coordinator's scatter/gather spans and both sides of every
+# peer pair's exchange chunks; that /metrics/fleet is a valid exposition
+# with per-node labels and fft_build_info; and that /debug/flightrec
+# retained the request under its trace ID.
+tracesmoke:
+	$(GO) run ./cmd/fftserved -traceselftest -roofline 10
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

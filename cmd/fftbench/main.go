@@ -40,6 +40,7 @@ func main() {
 	acc := flag.Bool("accuracy", false, "print the numerical-accuracy report instead of performance")
 	benchJSON := flag.String("benchjson", "", "write machine-readable benchmark JSON to this file (\"-\" = stdout)")
 	traceJSON := flag.String("tracejson", "", "run a traced pipeline demo and write Chrome trace_event JSON to this file (load in Perfetto)")
+	shardWorkers := flag.Int("shardworkers", 0, "with -tracejson: trace one sharded transform across an N-worker loopback cluster instead of the single-node demo")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -91,10 +92,19 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		fmt.Println("Recorded pipeline timeline (8×8×16 demo; S=store L=load C=compute):")
-		if err := bench.WriteTraceJSON(f, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "fftbench:", err)
-			os.Exit(1)
+		if *shardWorkers > 0 {
+			// Fleet mode: one sharded transform on a loopback cluster, the
+			// merged multi-node timeline instead of the single-node demo.
+			if err := bench.WriteShardTraceJSON(f, os.Stdout, *shardWorkers); err != nil {
+				fmt.Fprintln(os.Stderr, "fftbench:", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Println("Recorded pipeline timeline (8×8×16 demo; S=store L=load C=compute):")
+			if err := bench.WriteTraceJSON(f, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "fftbench:", err)
+				os.Exit(1)
+			}
 		}
 		fmt.Printf("\nChrome trace written to %s — open at ui.perfetto.dev\n", *traceJSON)
 		return

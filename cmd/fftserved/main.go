@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -54,12 +55,19 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flightrec"
+	"repro/internal/kernels"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/stream"
+	"repro/internal/trace"
 )
+
+// buildInfo identifies this binary in /metrics (fft_build_info) and in the
+// fleet exposition: version, vcs commit, compiled kernel tier, GOMAXPROCS.
+var buildInfo = obs.ReadBuildInfo(kernels.Tier())
 
 func main() {
 	var (
@@ -78,8 +86,18 @@ func main() {
 		shardWorkerOn = flag.Bool("shardworker", false, "serve distributed shard worker endpoints under /shard/")
 		peers         = flag.String("peers", "", "comma-separated worker base URLs; enables coordinator mode for sharded /transform requests")
 		shardSelftest = flag.Int("shardselftest", 0, "boot a loopback shard cluster, round-trip an N³ cube sharded vs single-node, validate /metrics, and exit")
+
+		logFormat     = flag.String("logformat", "text", "structured log format: text or json")
+		logLevel      = flag.String("loglevel", "info", "log level: debug, info, warn or error")
+		flightrecCap  = flag.Int("flightrec", 64, "flight recorder depth: last N requests under /debug/flightrec (0 disables)")
+		traceSelftest = flag.Bool("traceselftest", false, "boot a loopback 3-worker cluster, run a traced sharded transform, validate the merged Perfetto timeline, /metrics/fleet and /debug/flightrec, and exit")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		log.Fatalf("fftserved: %v", err)
+	}
 
 	var pol serve.Policy
 	switch *policy {
@@ -117,20 +135,32 @@ func main() {
 		fmt.Println("fftserved: shard selftest ok")
 		return
 	}
+	if *traceSelftest {
+		if err := runTraceSelftest(cfg); err != nil {
+			log.Fatalf("fftserved: trace selftest failed: %v", err)
+		}
+		fmt.Println("fftserved: trace selftest ok")
+		return
+	}
 
 	// Coordinator mode: sharded /transform requests fan out across the
-	// worker fleet named by -peers.
+	// worker fleet named by -peers. The same peer list feeds the
+	// /metrics/fleet aggregation.
 	var runner serve.ShardRunner
+	var coord *shard.Coordinator
+	var fleetPeers []string
 	if *peers != "" {
 		nodes := strings.Split(*peers, ",")
 		for i := range nodes {
 			nodes[i] = strings.TrimSpace(nodes[i])
 		}
-		coord, err := shard.NewCoordinator(shard.CoordinatorOptions{Nodes: nodes})
+		var err error
+		coord, err = shard.NewCoordinator(shard.CoordinatorOptions{Nodes: nodes, Logger: logger})
 		if err != nil {
 			log.Fatalf("fftserved: %v", err)
 		}
 		runner = coordRunner{coord}
+		fleetPeers = nodes
 		log.Printf("fftserved: coordinating %d shard workers", len(nodes))
 	}
 
@@ -143,10 +173,14 @@ func main() {
 		CacheCapacity: *cacheCap,
 		Policy:        pol,
 		ShardRunner:   runner,
+		Logger:        logger,
 	})
-	h := &handler{s: s, pprof: *pprofOn}
+	h := &handler{s: s, pprof: *pprofOn, coord: coord, fleetPeers: fleetPeers}
+	if *flightrecCap > 0 {
+		h.flight = flightrec.New(*flightrecCap)
+	}
 	if *shardWorkerOn {
-		h.worker = shard.NewWorker(shard.WorkerOptions{})
+		h.worker = shard.NewWorker(shard.WorkerOptions{Logger: logger})
 		log.Print("fftserved: shard worker endpoints mounted under /shard/")
 	}
 
@@ -191,18 +225,51 @@ func main() {
 	}
 }
 
+// buildLogger maps the -logformat/-loglevel flags to a slog.Logger.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-loglevel must be debug, info, warn or error, got %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("-logformat must be text or json, got %q", format)
+}
+
 type handler struct {
-	s      *serve.Server
-	worker *shard.Worker // non-nil when -shardworker mounts /shard/
-	pprof  bool
+	s          *serve.Server
+	worker     *shard.Worker      // non-nil when -shardworker mounts /shard/
+	coord      *shard.Coordinator // non-nil in coordinator mode (-peers)
+	flight     *flightrec.Recorder
+	fleetPeers []string // worker base URLs scraped by /metrics/fleet
+	pprof      bool
 }
 
 func (h *handler) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/transform", h.transform)
 	mux.HandleFunc("/metrics", h.metrics)
+	mux.HandleFunc("/metrics/fleet", h.metricsFleet)
 	mux.HandleFunc("/metrics.json", h.metricsJSON)
 	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc("/debug/trace/", h.debugTrace)
+	if h.flight != nil {
+		mux.Handle("/debug/flightrec", h.flight)
+	}
 	if h.worker != nil {
 		mux.Handle("/shard/", h.worker.Handler())
 	}
@@ -291,7 +358,17 @@ func (h *handler) transform(w http.ResponseWriter, r *http.Request) {
 		encode = func() []float64 { return interleave(req.Dst) }
 	}
 
-	err := h.s.Do(r.Context(), req)
+	// Every request gets a trace ID, echoed in the response header. For
+	// sharded requests it rides the context into the coordinator, so the
+	// whole fleet tags this transform's spans with it and the caller can
+	// pull the merged timeline from /debug/trace/<id>.
+	traceID := trace.NewTraceID()
+	ctx := trace.ContextWithID(r.Context(), traceID)
+	w.Header().Set("X-Trace-Id", traceID)
+
+	start := time.Now()
+	err := h.s.Do(ctx, req)
+	h.recordFlight(traceID, &treq, dims, start, err)
 	switch {
 	case err == nil:
 	case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrClosed):
@@ -307,6 +384,41 @@ func (h *handler) transform(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(transformResponse{Data: encode()})
+}
+
+// recordFlight files one settled request in the flight recorder ring.
+func (h *handler) recordFlight(traceID string, treq *transformRequest, dims [3]int, start time.Time, err error) {
+	kind := "complex"
+	switch {
+	case treq.Sharded:
+		kind = "shard"
+	case treq.Real:
+		kind = "real"
+	}
+	e := flightrec.Entry{
+		Time: start, TraceID: traceID, Kind: kind,
+		Dims: dims, Rank: treq.Rank, Inverse: treq.Inverse,
+		Duration: time.Since(start), Status: "ok",
+	}
+	if err != nil {
+		e.Status = "error"
+		e.Error = err.Error()
+		switch {
+		case errors.Is(err, serve.ErrOverloaded):
+			e.ErrKind = "overloaded"
+		case errors.Is(err, serve.ErrClosed):
+			e.ErrKind = "closed"
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			e.ErrKind = "deadline"
+		default:
+			if se, ok := shard.AsError(err); ok {
+				e.ErrKind = se.Kind.String()
+			} else {
+				e.ErrKind = "invalid"
+			}
+		}
+	}
+	h.flight.Record(e)
 }
 
 // specLen returns the Hermitian half-spectrum element count for a real
@@ -340,19 +452,109 @@ func deinterleave(data []float64) []complex128 {
 // valid exposition.
 func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	var buf bytes.Buffer
-	if err := h.s.WritePrometheus(&buf); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	if err := obs.Default.WritePrometheus(&buf); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	if err := obs.ShardDefault.WritePrometheus(&buf); err != nil {
+	if err := h.writeMetrics(&buf); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// writeMetrics emits this node's full exposition: serving counters,
+// per-plan bandwidth gauges, shard families, and the build-info gauge.
+// All four writers emit disjoint metric families, so concatenation is a
+// valid exposition.
+func (h *handler) writeMetrics(buf *bytes.Buffer) error {
+	if err := h.s.WritePrometheus(buf); err != nil {
+		return err
+	}
+	if err := obs.Default.WritePrometheus(buf); err != nil {
+		return err
+	}
+	if err := obs.ShardDefault.WritePrometheus(buf); err != nil {
+		return err
+	}
+	return buildInfo.WritePrometheus(buf)
+}
+
+// fleetClient scrapes peers for /metrics/fleet; bounded so one stuck peer
+// cannot hang the aggregation.
+var fleetClient = &http.Client{Timeout: 10 * time.Second}
+
+// metricsFleet aggregates the fleet's expositions: this node's own metrics
+// plus a live scrape of every -peers worker, each sample relabeled with a
+// node label, re-emitted as one merged exposition.
+func (h *handler) metricsFleet(w http.ResponseWriter, r *http.Request) {
+	var local bytes.Buffer
+	if err := h.writeMetrics(&local); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	exp, err := obs.ParseExposition(&local)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("local exposition: %v", err), http.StatusInternalServerError)
+		return
+	}
+	nodes := []obs.NodeExposition{{Node: "self", Exp: exp}}
+	for _, peer := range h.fleetPeers {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, peer+"/metrics", nil)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("peer %s: %v", peer, err), http.StatusInternalServerError)
+			return
+		}
+		resp, err := fleetClient.Do(req)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("scrape %s: %v", peer, err), http.StatusBadGateway)
+			return
+		}
+		pexp, perr := obs.ParseExposition(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			http.Error(w, fmt.Sprintf("scrape %s: status %d", peer, resp.StatusCode), http.StatusBadGateway)
+			return
+		}
+		if perr != nil {
+			http.Error(w, fmt.Sprintf("scrape %s: %v", peer, perr), http.StatusBadGateway)
+			return
+		}
+		nodes = append(nodes, obs.NodeExposition{Node: peer, Exp: pexp})
+	}
+	var out bytes.Buffer
+	if err := obs.WriteFleet(&out, nodes); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(out.Bytes())
+}
+
+// debugTrace serves the merged Perfetto timeline of one sharded transform:
+// GET /debug/trace/<id> (or /debug/trace/last) gathers every fleet
+// member's span slice over /shard/trace and emits one Chrome trace_event
+// JSON document, loadable directly in ui.perfetto.dev.
+func (h *handler) debugTrace(w http.ResponseWriter, r *http.Request) {
+	if h.coord == nil {
+		http.Error(w, "not a shard coordinator (start with -peers)", http.StatusNotFound)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	if id == "" || id == "last" {
+		id = h.coord.LastTraceID()
+	}
+	if id == "" {
+		http.Error(w, "no traces retained yet", http.StatusNotFound)
+		return
+	}
+	var buf bytes.Buffer
+	if err := h.coord.WriteMergedTrace(r.Context(), &buf, id); err != nil {
+		if se, ok := shard.AsError(err); ok && se.Kind == shard.KindProtocol {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(buf.Bytes())
 }
 
@@ -566,12 +768,17 @@ func checkPrometheus(base string, completed uint64) error {
 		return fmt.Errorf("/metrics: invalid exposition: %w", err)
 	}
 
-	var sawCompleted, sawHistogram, sawStageGBs, sawRealExec, sawComplexExec bool
+	var sawCompleted, sawHistogram, sawStageGBs, sawRealExec, sawComplexExec, sawBuildInfo bool
 	for _, s := range samples {
 		if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
 			return fmt.Errorf("/metrics: %s is %v", s.Series(), s.Value)
 		}
 		switch s.Name {
+		case "fft_build_info":
+			if s.Value != 1 || s.Labels["kernel_tier"] == "" || s.Labels["version"] == "" {
+				return fmt.Errorf("/metrics: malformed fft_build_info %s = %v", s.Series(), s.Value)
+			}
+			sawBuildInfo = true
 		case "fft_requests_total":
 			if s.Labels["result"] == "completed" {
 				if uint64(s.Value) != completed {
@@ -607,6 +814,8 @@ func checkPrometheus(base string, completed uint64) error {
 	case !sawRealExec || !sawComplexExec:
 		return fmt.Errorf("/metrics: fft_plan_executions_total kind split missing (real=%v complex=%v)",
 			sawRealExec, sawComplexExec)
+	case !sawBuildInfo:
+		return errors.New("/metrics: missing fft_build_info")
 	}
 	return nil
 }

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/fft1d"
+	"repro/internal/shard"
+)
+
+// WriteShardTraceJSON boots a loopback cluster of the given size, runs one
+// traced sharded transform, and writes the fleet's merged Chrome
+// trace_event timeline to w — one process lane per node (coordinator plus
+// every worker), clock-aligned, loadable directly in ui.perfetto.dev.
+// Progress notes go to info.
+func WriteShardTraceJSON(w io.Writer, info io.Writer, workers int) error {
+	if workers < 2 {
+		return fmt.Errorf("bench shard trace: need at least 2 workers, got %d", workers)
+	}
+	cl, err := shard.StartCluster(workers, shard.WorkerOptions{}, shard.CoordinatorOptions{})
+	if err != nil {
+		return fmt.Errorf("bench shard trace: %w", err)
+	}
+	defer cl.Close()
+
+	// Smallest cube the fleet splits evenly with a few exchange chunks
+	// per peer pair.
+	n := 16 * workers
+	elems := n * n * n
+	src := make([]complex128, elems)
+	for i := range src {
+		src[i] = complex(float64(i%23)-11, float64(i%19)-9)
+	}
+	dst := make([]complex128, elems)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	start := time.Now()
+	if err := cl.Coord.Transform(ctx, dst, src, n, n, n, fft1d.Forward); err != nil {
+		return fmt.Errorf("bench shard trace: %w", err)
+	}
+	id := cl.Coord.LastTraceID()
+	if id == "" {
+		return fmt.Errorf("bench shard trace: no trace retained")
+	}
+	fmt.Fprintf(info, "traced %d³ across %d workers in %s (trace %s)\n",
+		n, workers, time.Since(start).Round(time.Millisecond), id)
+	if err := cl.Coord.WriteMergedTrace(ctx, w, id); err != nil {
+		return fmt.Errorf("bench shard trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package flightrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Entry{TraceID: fmt.Sprintf("t%d", i), Status: "ok",
+			Time: time.Unix(int64(i), 0)})
+	}
+	got := r.Entries()
+	if len(got) != 3 {
+		t.Fatalf("retained %d entries, want 3", len(got))
+	}
+	// Newest first: t4, t3, t2.
+	for i, want := range []string{"t4", "t3", "t2"} {
+		if got[i].TraceID != want {
+			t.Fatalf("entry %d = %s, want %s", i, got[i].TraceID, want)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5", r.Total())
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Entry{Status: "ok"})
+	if r.Entries() != nil || r.Total() != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	r := New(8)
+	r.Record(Entry{TraceID: "tA", Kind: "shard", Dims: [3]int{48, 48, 48},
+		Rank: 3, Duration: 5 * time.Millisecond, Status: "ok", Time: time.Now()})
+	r.Record(Entry{Kind: "complex", Status: "error", ErrKind: "overloaded",
+		Error: "queue full", Time: time.Now()})
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flightrec", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body struct {
+		Total    uint64  `json:"total"`
+		Capacity int     `json:"capacity"`
+		Entries  []Entry `json:"entries"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if body.Total != 2 || body.Capacity != 8 || len(body.Entries) != 2 {
+		t.Fatalf("body = %+v", body)
+	}
+	if body.Entries[0].ErrKind != "overloaded" || body.Entries[1].TraceID != "tA" {
+		t.Fatalf("entries out of order: %+v", body.Entries)
+	}
+
+	rec = httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("POST", "/debug/flightrec", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST status %d, want 405", rec.Code)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	r := New(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Record(Entry{TraceID: fmt.Sprintf("w%d-%d", w, i), Status: "ok"})
+				_ = r.Entries()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(r.Entries()); got != 16 {
+		t.Fatalf("retained %d, want 16", got)
+	}
+	if r.Total() != 1600 {
+		t.Fatalf("total = %d, want 1600", r.Total())
+	}
+}

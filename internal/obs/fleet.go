@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// NodeExposition is one node's parsed scrape tagged with the node's
+// identity — the unit the fleet aggregator merges.
+type NodeExposition struct {
+	Node string
+	Exp  *Exposition
+}
+
+// WriteFleet re-emits the nodes' expositions as one merged exposition with
+// every sample labeled by its node. Family metadata (# HELP/# TYPE) is
+// written once per family from the first node that declares it, and all of
+// one family's samples are grouped under its header regardless of which
+// node they came from — the shape a scraper expects. A sample that already
+// carries a node label is rejected: silently overwriting it would
+// misattribute another node's series.
+func WriteFleet(w io.Writer, nodes []NodeExposition) error {
+	type famData struct {
+		name    string
+		help    string
+		typ     string
+		samples []Sample
+	}
+	var order []string
+	fams := map[string]*famData{}
+	for _, n := range nodes {
+		if n.Exp == nil {
+			continue
+		}
+		for _, s := range n.Exp.Samples {
+			if _, clash := s.Labels["node"]; clash {
+				return fmt.Errorf("fleet merge: node %s already labels %s with node=%q",
+					n.Node, s.Name, s.Labels["node"])
+			}
+			famName := n.Exp.FamilyOf(s.Name)
+			f := fams[famName]
+			if f == nil {
+				f = &famData{
+					name: famName,
+					help: n.Exp.Help[famName],
+					typ:  n.Exp.Types[famName],
+				}
+				if f.typ == "" {
+					f.typ = "untyped"
+				}
+				fams[famName] = f
+				order = append(order, famName)
+			}
+			labels := make(map[string]string, len(s.Labels)+1)
+			for k, v := range s.Labels {
+				labels[k] = v
+			}
+			labels["node"] = n.Node
+			f.samples = append(f.samples, Sample{Name: s.Name, Labels: labels, Value: s.Value})
+		}
+	}
+
+	p := NewPromWriter(w)
+	for _, famName := range order {
+		f := fams[famName]
+		p.Family(f.name, f.help, f.typ)
+		for _, s := range f.samples {
+			keys := make([]string, 0, len(s.Labels))
+			for k := range s.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			kv := make([]string, 0, 2*len(keys))
+			for _, k := range keys {
+				kv = append(kv, k, s.Labels[k])
+			}
+			p.Sample(s.Name, s.Value, kv...)
+		}
+	}
+	return p.Err()
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -52,13 +53,36 @@ var validMetricTypes = map[string]bool{
 	"summary": true, "untyped": true,
 }
 
+// Exposition is a parsed scrape: every sample plus the family metadata the
+// # TYPE and # HELP comments declared. Types and Help are keyed by family
+// name; fleet aggregation re-emits them, and histogram validation needs
+// Types to know which families to structure-check.
+type Exposition struct {
+	Samples []Sample
+	Types   map[string]string
+	Help    map[string]string
+}
+
 // Parse reads an exposition and returns every sample, enforcing the
 // format's grammar: metric and label names must match
 // [a-zA-Z_:][a-zA-Z0-9_:]*  (labels without the colon), label values must
 // use \\, \", \n escapes only, values must parse as Go floats (NaN/±Inf
 // spellings included), and # TYPE lines must name a known type.
 func Parse(r io.Reader) ([]Sample, error) {
-	var samples []Sample
+	exp, err := ParseExposition(r)
+	if err != nil {
+		return nil, err
+	}
+	return exp.Samples, nil
+}
+
+// ParseExposition is Parse plus the family metadata: the TYPE and HELP
+// declarations are retained instead of merely checked.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{
+		Types: make(map[string]string),
+		Help:  make(map[string]string),
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
 	lineNo := 0
@@ -70,7 +94,7 @@ func Parse(r io.Reader) ([]Sample, error) {
 			continue
 		}
 		if strings.HasPrefix(trimmed, "#") {
-			if err := checkComment(trimmed); err != nil {
+			if err := exp.addComment(trimmed); err != nil {
 				return nil, fmt.Errorf("line %d: %w", lineNo, err)
 			}
 			continue
@@ -79,36 +103,42 @@ func Parse(r io.Reader) ([]Sample, error) {
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineNo, err)
 		}
-		samples = append(samples, s)
+		exp.Samples = append(exp.Samples, s)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return samples, nil
+	return exp, nil
 }
 
-// ValidateExposition parses the exposition and additionally rejects
-// duplicate series — the condition a Prometheus server turns into a failed
-// scrape. It returns the samples on success.
+// ValidateExposition parses the exposition and additionally rejects what a
+// real Prometheus scraper (or sane PromQL) would choke on: duplicate
+// series, and structurally broken histogram families — _bucket samples
+// without an le label, non-cumulative bucket counts, a missing or
+// disagreeing +Inf/_count pair, or a missing _sum. It returns the samples
+// on success.
 func ValidateExposition(r io.Reader) ([]Sample, error) {
-	samples, err := Parse(r)
+	exp, err := ParseExposition(r)
 	if err != nil {
 		return nil, err
 	}
-	seen := make(map[string]bool, len(samples))
-	for _, s := range samples {
+	seen := make(map[string]bool, len(exp.Samples))
+	for _, s := range exp.Samples {
 		key := s.Series()
 		if seen[key] {
 			return nil, fmt.Errorf("duplicate series %s", key)
 		}
 		seen[key] = true
 	}
-	return samples, nil
+	if err := checkHistograms(exp); err != nil {
+		return nil, err
+	}
+	return exp.Samples, nil
 }
 
-func checkComment(line string) error {
-	// "# HELP name text" and "# TYPE name type" are structured; any other
-	// comment is free-form and ignored.
+// addComment records "# HELP name text" and "# TYPE name type" metadata;
+// any other comment is free-form and ignored.
+func (exp *Exposition) addComment(line string) error {
 	rest := strings.TrimPrefix(line, "#")
 	rest = strings.TrimLeft(rest, " \t")
 	switch {
@@ -116,6 +146,11 @@ func checkComment(line string) error {
 		fields := strings.SplitN(rest[len("HELP "):], " ", 2)
 		if fields[0] == "" || !validMetricName(fields[0]) {
 			return fmt.Errorf("HELP with invalid metric name %q", fields[0])
+		}
+		if len(fields) == 2 {
+			exp.Help[fields[0]] = fields[1]
+		} else {
+			exp.Help[fields[0]] = ""
 		}
 	case strings.HasPrefix(rest, "TYPE "):
 		fields := strings.Fields(rest[len("TYPE "):])
@@ -127,6 +162,142 @@ func checkComment(line string) error {
 		}
 		if !validMetricTypes[fields[1]] {
 			return fmt.Errorf("unknown metric type %q", fields[1])
+		}
+		exp.Types[fields[0]] = fields[1]
+	}
+	return nil
+}
+
+// FamilyOf maps a sample name to the family whose TYPE declaration covers
+// it: for histogram and summary families the _bucket/_sum/_count suffixes
+// belong to the base family.
+func (exp *Exposition) FamilyOf(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if t := exp.Types[base]; t == "histogram" || t == "summary" {
+			return base
+		}
+	}
+	return name
+}
+
+// histKey identifies one histogram child: the label set minus le.
+func histKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}
+
+// approxGE reports a ≥ b up to float slack: exporters that scale sampled
+// bucket counts accumulate rounding, which must not read as a broken
+// cumulative invariant.
+func approxGE(a, b float64) bool {
+	slack := 1e-9 * math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return a >= b-slack
+}
+
+// checkHistograms structure-checks every family declared "# TYPE …
+// histogram": per child (label set minus le) the buckets must carry
+// parseable le bounds, be cumulative (non-decreasing with increasing le),
+// include +Inf, agree with _count at +Inf, and come with a _sum.
+func checkHistograms(exp *Exposition) error {
+	type child struct {
+		les      []float64
+		counts   map[float64]float64
+		sum      bool
+		count    float64
+		hasCount bool
+	}
+	children := map[string]map[string]*child{} // family → histKey → child
+	get := func(fam, key string) *child {
+		if children[fam] == nil {
+			children[fam] = map[string]*child{}
+		}
+		c := children[fam][key]
+		if c == nil {
+			c = &child{counts: map[float64]float64{}}
+			children[fam][key] = c
+		}
+		return c
+	}
+	for _, s := range exp.Samples {
+		fam := exp.FamilyOf(s.Name)
+		if exp.Types[fam] != "histogram" || fam == s.Name {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket %s without le label", fam, s.Series())
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("histogram %s: unparseable le %q", fam, leStr)
+			}
+			c := get(fam, histKey(s.Labels))
+			if _, dup := c.counts[le]; dup {
+				return fmt.Errorf("histogram %s: duplicate bucket le=%q", fam, leStr)
+			}
+			c.les = append(c.les, le)
+			c.counts[le] = s.Value
+		case strings.HasSuffix(s.Name, "_sum"):
+			get(fam, histKey(s.Labels)).sum = true
+		case strings.HasSuffix(s.Name, "_count"):
+			c := get(fam, histKey(s.Labels))
+			c.count = s.Value
+			c.hasCount = true
+		}
+	}
+	for fam, byKey := range children {
+		for key, c := range byKey {
+			where := fam
+			if key != "" {
+				where = fam + "{" + key + "}"
+			}
+			if len(c.les) == 0 {
+				return fmt.Errorf("histogram %s: no buckets", where)
+			}
+			sort.Float64s(c.les)
+			inf := c.les[len(c.les)-1]
+			if !math.IsInf(inf, 1) {
+				return fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", where)
+			}
+			for i := 1; i < len(c.les); i++ {
+				lo, hi := c.les[i-1], c.les[i]
+				if !approxGE(c.counts[hi], c.counts[lo]) {
+					return fmt.Errorf("histogram %s: bucket le=%g (%g) below le=%g (%g); not cumulative",
+						where, hi, c.counts[hi], lo, c.counts[lo])
+				}
+			}
+			if !c.hasCount {
+				return fmt.Errorf("histogram %s: missing _count", where)
+			}
+			if !c.sum {
+				return fmt.Errorf("histogram %s: missing _sum", where)
+			}
+			if d := math.Abs(c.counts[inf] - c.count); d > 1e-9*math.Max(1, c.count) {
+				return fmt.Errorf("histogram %s: +Inf bucket %g disagrees with _count %g",
+					where, c.counts[inf], c.count)
+			}
 		}
 	}
 	return nil

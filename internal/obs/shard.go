@@ -3,7 +3,12 @@ package obs
 import (
 	"io"
 	"math"
+	"math/bits"
+	"sort"
+	"strconv"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ShardMetrics holds the distributed shard tier's counters: job-level
@@ -45,6 +50,134 @@ type ShardMetrics struct {
 	// recent job's aggregate exchange throughput in GB/s.
 	ExchangeWaitNanos atomic.Int64
 	lastExchangeGBs   atomic.Uint64 // float64 bits
+
+	// stragglerRatio is the most recent job's max/mean per-worker busy
+	// time (front + exchange wait + back), float64 bits. 1.0 means a
+	// perfectly balanced fleet; the gap above 1 is the slack the slowest
+	// worker imposes on everyone's gather.
+	stragglerRatio atomic.Uint64
+
+	// peers accumulates per-peer transfer accounting keyed by peer base
+	// URL — the coordinator's view of scatter/gather plus each worker's
+	// view of its exchange sends. Guarded by peersMu; the chunk hot path
+	// takes the lock once per chunk, which is noise next to the transfer.
+	peersMu sync.Mutex
+	peers   map[string]*PeerStats
+}
+
+// PeerStats is the per-peer slice of the exchange accounting: payload
+// bytes and chunks moved to or from one peer, retries attributed to it,
+// and a log₂-nanosecond latency histogram of its chunk transfers — the
+// source of the real Prometheus fft_exchange_chunk_latency_seconds
+// histogram family and its p50/p99.
+type PeerStats struct {
+	Bytes   int64
+	Chunks  int64
+	Retries int64
+	sumNs   int64
+	buckets [64]int64 // bucket i counts transfers in [2^i, 2^(i+1)) ns
+}
+
+// ObservePeerChunk records one chunk transfer to or from peer.
+func (s *ShardMetrics) ObservePeerChunk(peer string, bytes int64, d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns <= 0 {
+		ns = 1
+	}
+	s.peersMu.Lock()
+	p := s.peerLocked(peer)
+	p.Bytes += bytes
+	p.Chunks++
+	p.sumNs += ns
+	p.buckets[bits.Len64(uint64(ns))-1]++
+	s.peersMu.Unlock()
+}
+
+// AddPeerRetry attributes one transfer retry to peer.
+func (s *ShardMetrics) AddPeerRetry(peer string) {
+	s.peersMu.Lock()
+	s.peerLocked(peer).Retries++
+	s.peersMu.Unlock()
+}
+
+func (s *ShardMetrics) peerLocked(peer string) *PeerStats {
+	if s.peers == nil {
+		s.peers = make(map[string]*PeerStats)
+	}
+	p := s.peers[peer]
+	if p == nil {
+		p = &PeerStats{}
+		s.peers[peer] = p
+	}
+	return p
+}
+
+// PeerSnapshot is one peer's accounting plus derived latency quantiles.
+type PeerSnapshot struct {
+	Peer    string `json:"peer"`
+	Bytes   int64  `json:"bytes"`
+	Chunks  int64  `json:"chunks"`
+	Retries int64  `json:"retries"`
+	P50Ns   int64  `json:"p50_latency_ns"`
+	P99Ns   int64  `json:"p99_latency_ns"`
+}
+
+// PeerSnapshots returns every peer's accounting sorted by peer URL.
+func (s *ShardMetrics) PeerSnapshots() []PeerSnapshot {
+	s.peersMu.Lock()
+	defer s.peersMu.Unlock()
+	out := make([]PeerSnapshot, 0, len(s.peers))
+	for peer, p := range s.peers {
+		out = append(out, PeerSnapshot{
+			Peer: peer, Bytes: p.Bytes, Chunks: p.Chunks, Retries: p.Retries,
+			P50Ns: bucketQuantile(&p.buckets, 0.50),
+			P99Ns: bucketQuantile(&p.buckets, 0.99),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// bucketQuantile returns the upper bound of the log₂ bucket holding the
+// q-th observation (0 when empty) — coarse within 2×, like the serving
+// layer's quantiles.
+func bucketQuantile(counts *[64]int64, q float64) int64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum > rank {
+			if i >= 62 {
+				return 1 << 62
+			}
+			return 1 << uint(i+1)
+		}
+	}
+	return 1 << 62
+}
+
+// SetStragglerRatio records the most recent job's max/mean worker busy
+// time; ratio ≤ 0 is recorded as 0 (unknown).
+func (s *ShardMetrics) SetStragglerRatio(ratio float64) {
+	if ratio < 0 || math.IsNaN(ratio) || math.IsInf(ratio, 0) {
+		ratio = 0
+	}
+	s.stragglerRatio.Store(math.Float64bits(ratio))
+}
+
+// StragglerRatio returns the most recent job's straggler ratio.
+func (s *ShardMetrics) StragglerRatio() float64 {
+	return math.Float64frombits(s.stragglerRatio.Load())
 }
 
 // SetLastExchangeGBs records the most recent job's exchange throughput.
@@ -94,6 +227,56 @@ func (s *ShardMetrics) WritePrometheus(w io.Writer) error {
 
 	p.Family("fft_exchange_gb_per_s", "Aggregate exchange throughput of the most recent job.", "gauge")
 	p.Sample("fft_exchange_gb_per_s", s.LastExchangeGBs())
+
+	p.Family("fft_shard_straggler_ratio", "Max over mean per-worker busy time of the most recent job (1 = balanced).", "gauge")
+	p.Sample("fft_shard_straggler_ratio", s.StragglerRatio())
+
+	// Per-peer accounting: copy under the lock, emit outside it.
+	type peerCopy struct {
+		peer string
+		PeerStats
+	}
+	s.peersMu.Lock()
+	peers := make([]peerCopy, 0, len(s.peers))
+	for peer, p := range s.peers {
+		peers = append(peers, peerCopy{peer: peer, PeerStats: *p})
+	}
+	s.peersMu.Unlock()
+	sort.Slice(peers, func(i, j int) bool { return peers[i].peer < peers[j].peer })
+
+	if len(peers) > 0 {
+		p.Family("fft_exchange_peer_bytes_total", "Chunk payload bytes transferred per peer.", "counter")
+		for _, pc := range peers {
+			p.Sample("fft_exchange_peer_bytes_total", float64(pc.Bytes), "peer", pc.peer)
+		}
+		p.Family("fft_exchange_peer_chunks_total", "Chunk transfers per peer.", "counter")
+		for _, pc := range peers {
+			p.Sample("fft_exchange_peer_chunks_total", float64(pc.Chunks), "peer", pc.peer)
+		}
+		p.Family("fft_exchange_peer_retries_total", "Transfer retries attributed per peer.", "counter")
+		for _, pc := range peers {
+			p.Sample("fft_exchange_peer_retries_total", float64(pc.Retries), "peer", pc.peer)
+		}
+		p.Family("fft_exchange_chunk_latency_seconds", "Per-peer chunk transfer latency.", "histogram")
+		for _, pc := range peers {
+			var cum float64
+			last := -1
+			for i, b := range pc.buckets {
+				if b > 0 {
+					last = i
+				}
+			}
+			for i := 0; i <= last; i++ {
+				cum += float64(pc.buckets[i])
+				ub := float64(uint64(1)<<uint(i+1)) / 1e9
+				p.Sample("fft_exchange_chunk_latency_seconds_bucket", cum,
+					"le", strconv.FormatFloat(ub, 'g', -1, 64), "peer", pc.peer)
+			}
+			p.Sample("fft_exchange_chunk_latency_seconds_bucket", float64(pc.Chunks), "le", "+Inf", "peer", pc.peer)
+			p.Sample("fft_exchange_chunk_latency_seconds_sum", float64(pc.sumNs)/1e9, "peer", pc.peer)
+			p.Sample("fft_exchange_chunk_latency_seconds_count", float64(pc.Chunks), "peer", pc.peer)
+		}
+	}
 
 	return p.Err()
 }

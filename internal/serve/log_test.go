@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// syncWriter serializes concurrent handler writes (settle runs on executor
+// goroutines) so the test can read whole lines back.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestRequestLogging: failures log at Warn with the request's shape and
+// trace ID; successes appear (sampled) at Debug.
+func TestRequestLogging(t *testing.T) {
+	var out syncWriter
+	logger := slog.New(slog.NewJSONHandler(&out, &slog.HandlerOptions{Level: slog.LevelDebug}))
+
+	s := New(Options{Logger: logger})
+	defer s.Shutdown(context.Background())
+
+	// A sharded request with no ShardRunner configured fails at execution,
+	// which is exactly the Warn path.
+	n := 8
+	src := make([]complex128, n*n*n)
+	dst := make([]complex128, n*n*n)
+	ctx := trace.ContextWithID(context.Background(), "t-log-test")
+	err := s.Do(ctx, Request{Rank: 3, Dims: [3]int{n, n, n}, Sharded: true, Src: src, Dst: dst})
+	if err == nil {
+		t.Fatal("sharded request without a ShardRunner should fail")
+	}
+
+	// Enough successes that the 1-in-8 sampling fires at least once.
+	one := []complex128{1, 2, 3, 4}
+	res := make([]complex128, 4)
+	for i := 0; i < 32; i++ {
+		if err := s.Do(context.Background(), Request{Rank: 1, Dims: [3]int{4}, Src: one, Dst: res}); err != nil {
+			t.Fatalf("rank-1 request %d: %v", i, err)
+		}
+	}
+
+	var sawWarn, sawDebug bool
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		var entry map[string]any
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Fatalf("log line is not JSON: %q", line)
+		}
+		switch entry["level"] {
+		case "WARN":
+			if entry["msg"] != "fft request failed" {
+				continue
+			}
+			sawWarn = true
+			if entry["trace_id"] != "t-log-test" {
+				t.Fatalf("failure log trace_id = %v, want t-log-test", entry["trace_id"])
+			}
+			if entry["dims"] != "8x8x8" {
+				t.Fatalf("failure log dims = %v, want 8x8x8", entry["dims"])
+			}
+		case "DEBUG":
+			if entry["msg"] == "fft request done" {
+				sawDebug = true
+			}
+		}
+	}
+	if !sawWarn {
+		t.Fatal("no Warn log for the failed request")
+	}
+	if !sawDebug {
+		t.Fatal("no sampled Debug log across 32 successful requests")
+	}
+}

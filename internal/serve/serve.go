@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -59,6 +60,11 @@ type Options struct {
 	Config core.Config
 	// Tracer, when set, receives per-request "queue" and "exec" spans.
 	Tracer *trace.Recorder
+	// Logger, when set, receives request-scoped structured logs: every
+	// failure at Warn, and a sampled subset of successes at Debug (the
+	// same one-in-eight the latency histogram samples, so the hot path
+	// stays clock-read free). nil disables logging.
+	Logger *slog.Logger
 	// ShardRunner, when set, executes Sharded rank-3 requests across a
 	// worker fleet (the shard coordinator); requests with Sharded set are
 	// rejected when it is nil. Sharded executions bypass the local plan
@@ -682,8 +688,36 @@ func (s *Server) settle(items []*item, err error) {
 		if !it.enqueued.IsZero() {
 			s.m.observeLatency(now.Sub(it.enqueued))
 		}
+		if log := s.opts.Logger; log != nil {
+			if err != nil {
+				log.Warn("fft request failed",
+					"req", it.id, "rank", it.req.Rank, "dims", dimsString(it.req),
+					"inverse", it.req.Inverse, "real", it.req.Real, "sharded", it.req.Sharded,
+					"trace_id", trace.IDFromContext(it.ctx), "err", err)
+			} else if !it.enqueued.IsZero() {
+				// Sampled success log: exactly the requests that carry an
+				// admission timestamp, so latency comes for free.
+				log.Debug("fft request done",
+					"req", it.id, "rank", it.req.Rank, "dims", dimsString(it.req),
+					"inverse", it.req.Inverse, "real", it.req.Real, "sharded", it.req.Sharded,
+					"trace_id", trace.IDFromContext(it.ctx),
+					"latency_ms", float64(now.Sub(it.enqueued).Nanoseconds())/1e6)
+			}
+		}
 		it.done <- err
 	}
+}
+
+// dimsString renders a request's shape for logs: only the dims its rank
+// uses ("1024", "512x512", "64x64x64").
+func dimsString(req Request) string {
+	switch req.Rank {
+	case 1:
+		return fmt.Sprintf("%d", req.Dims[0])
+	case 2:
+		return fmt.Sprintf("%dx%d", req.Dims[0], req.Dims[1])
+	}
+	return fmt.Sprintf("%dx%dx%d", req.Dims[0], req.Dims[1], req.Dims[2])
 }
 
 func (s *Server) spanQueue(it *item, end time.Time) {

@@ -3,6 +3,8 @@ package shard
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,7 +42,17 @@ type CoordinatorOptions struct {
 	Client  Doer
 	Metrics *obs.ShardMetrics // default obs.ShardDefault
 	Tracer  *trace.Recorder
+
+	// TraceCapacity bounds how many finished transforms' trace records
+	// (fleet, clock offsets, coordinator spans) the coordinator retains
+	// for WriteMergedTrace (default 32; negative disables tracing).
+	TraceCapacity int
+
+	// Logger receives job-level structured logs. nil disables logging.
+	Logger *slog.Logger
 }
+
+const defaultTraceCapacity = 32
 
 // Coordinator drives sharded transforms over a worker fleet. Safe for
 // concurrent use; same-shape transforms serialize on a per-shape lock so
@@ -58,6 +70,25 @@ type Coordinator struct {
 
 	mu         sync.Mutex
 	shapeLocks map[Shape]*sync.Mutex
+
+	// Bounded store of finished transforms' trace records, oldest evicted
+	// first; WriteMergedTrace reads it to assemble fleet timelines.
+	traceMu    sync.Mutex
+	traces     map[string]*traceRecord
+	traceOrder []string
+	traceCap   int
+}
+
+// traceRecord is what the coordinator must remember about one traced
+// transform to merge the fleet's timelines after the fact: who took part,
+// how far each node's clock was off, and the coordinator's own spans.
+type traceRecord struct {
+	ID      string
+	Shape   Shape
+	Fleet   []string
+	Offsets []int64 // per fleet member, ns (worker clock − coordinator clock)
+	Spans   []trace.Span
+	Failed  bool
 }
 
 // NewCoordinator builds a coordinator for the given fleet.
@@ -71,6 +102,12 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	if opts.Metrics == nil {
 		opts.Metrics = obs.ShardDefault
 	}
+	traceCap := opts.TraceCapacity
+	if traceCap == 0 {
+		traceCap = defaultTraceCapacity
+	} else if traceCap < 0 {
+		traceCap = 0
+	}
 	return &Coordinator{
 		opts:       opts,
 		tr:         newTransport(opts.Client, opts.Retries, opts.Backoff, opts.Metrics),
@@ -79,7 +116,75 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 		tracer:     opts.Tracer,
 		nonce:      fmt.Sprintf("j%x", time.Now().UnixNano()),
 		shapeLocks: make(map[Shape]*sync.Mutex),
+		traces:     make(map[string]*traceRecord),
+		traceCap:   traceCap,
 	}, nil
+}
+
+// storeTrace retains one finished transform's trace record, evicting the
+// oldest past the capacity.
+func (c *Coordinator) storeTrace(rec *traceRecord) {
+	if c.traceCap <= 0 || rec.ID == "" {
+		return
+	}
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
+	if _, dup := c.traces[rec.ID]; !dup {
+		c.traceOrder = append(c.traceOrder, rec.ID)
+	}
+	c.traces[rec.ID] = rec
+	for len(c.traceOrder) > c.traceCap {
+		evict := c.traceOrder[0]
+		c.traceOrder = c.traceOrder[1:]
+		delete(c.traces, evict)
+	}
+}
+
+// TraceIDs lists the retained trace IDs, oldest first.
+func (c *Coordinator) TraceIDs() []string {
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
+	return append([]string(nil), c.traceOrder...)
+}
+
+// LastTraceID returns the most recently retained trace ID ("" if none).
+func (c *Coordinator) LastTraceID() string {
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
+	if len(c.traceOrder) == 0 {
+		return ""
+	}
+	return c.traceOrder[len(c.traceOrder)-1]
+}
+
+// WriteMergedTrace gathers every fleet member's slice of one distributed
+// trace over /shard/trace?id= and writes the merged Chrome trace_event
+// timeline: the coordinator's lane first, then one process lane per
+// worker, clock-aligned with the offsets measured at /shard/begin.
+func (c *Coordinator) WriteMergedTrace(ctx context.Context, w io.Writer, id string) error {
+	c.traceMu.Lock()
+	rec := c.traces[id]
+	c.traceMu.Unlock()
+	if rec == nil {
+		return errf(KindProtocol, "trace", "", "unknown trace %q", id)
+	}
+	nodes := make([]trace.NodeTrace, len(rec.Fleet)+1)
+	nodes[0] = trace.NodeTrace{Name: "coordinator", Spans: rec.Spans}
+	err := forEach(rec.Fleet, func(i int, node string) error {
+		var nt trace.NodeTrace
+		url := fmt.Sprintf("%s/shard/trace?id=%s", node, id)
+		if err := c.tr.getJSON(ctx, "trace", node, url, &nt); err != nil {
+			return err
+		}
+		nt.Name = fmt.Sprintf("worker %d (%s)", i, node)
+		nt.OffsetNS = rec.Offsets[i]
+		nodes[i+1] = nt
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return trace.WriteChromeNodes(w, nodes)
 }
 
 func (c *Coordinator) shapeLock(s Shape) *sync.Mutex {
@@ -196,30 +301,68 @@ func (c *Coordinator) Transform(ctx context.Context, dst, src []complex128, k, n
 		deadlineNano = dl.UnixNano()
 	}
 
+	// Every sharded transform gets a trace ID: the caller's (propagated
+	// from the serving layer via the context) or a fresh one. Worker i's
+	// wire requests carry span ID i+1; the coordinator is span 0.
+	traceID := ""
+	if c.traceCap > 0 {
+		traceID = trace.IDFromContext(ctx)
+		if traceID == "" {
+			traceID = trace.NewTraceID()
+		}
+	}
+	wctx := func(i int) context.Context {
+		if traceID == "" {
+			return ctx
+		}
+		return trace.ContextWithSpan(ctx, trace.SpanContext{TraceID: traceID, SpanID: uint64(i + 1)})
+	}
+	rec := &traceRecord{
+		ID: traceID, Shape: shape, Fleet: fleet, Offsets: make([]int64, sk),
+	}
+
 	span := func(name string, fn func() error) error {
 		t0 := time.Now()
 		err := fn()
+		s := trace.Span{Req: req, Name: name, Trace: traceID, Start: t0, End: time.Now()}
 		if c.tracer != nil {
-			c.tracer.EmitSpan(trace.Span{Req: req, Name: name, Start: t0, End: time.Now()})
+			c.tracer.EmitSpan(s)
 		}
+		rec.Spans = append(rec.Spans, s)
 		return err
 	}
+	start := time.Now()
 	fail := func(err error) error {
 		c.endAll(fleet, jobID)
 		c.metrics.JobsFailed.Add(1)
+		rec.Failed = true
+		c.storeTrace(rec)
+		if log := c.opts.Logger; log != nil {
+			log.Warn("sharded transform failed", "trace_id", traceID, "job", jobID,
+				"shape", shape.String(), "workers", sk, "err", err)
+		}
 		return err
 	}
 
-	// Begin: every worker acquires (or builds) its warm plan.
+	// Begin: every worker acquires (or builds) its warm plan. The reply
+	// carries the worker's clock; against the round-trip midpoint that
+	// estimates its offset, which aligns its lane in the merged trace.
 	err = span("shard/begin", func() error {
 		return forEach(fleet, func(i int, node string) error {
 			spec := JobSpec{
 				Job: jobID, K: k, N: n, M: m, Mu: mu, Radix: c.opts.Radix,
 				Index: i, Workers: fleet, ChunkElems: c.opts.ChunkElems,
-				DeadlineUnixNano: deadlineNano,
+				DeadlineUnixNano: deadlineNano, Trace: traceID,
 			}
-			if err := c.tr.postJSON(ctx, "begin", node, node+"/shard/begin", spec); err != nil {
+			var res beginResult
+			t0 := time.Now()
+			if err := c.tr.postJSONResult(wctx(i), "begin", node, node+"/shard/begin", spec, &res); err != nil {
 				return err
+			}
+			t1 := time.Now()
+			if res.NowUnixNano != 0 {
+				mid := t0.UnixNano() + (t1.UnixNano()-t0.UnixNano())/2
+				rec.Offsets[i] = res.NowUnixNano - mid
 			}
 			return nil
 		})
@@ -236,7 +379,7 @@ func (c *Coordinator) Transform(ctx context.Context, dst, src []complex128, k, n
 			return forEachChunk(slab, c.opts.ChunkElems, scatterStreams, func(off, count int) error {
 				url := fmt.Sprintf("%s/shard/chunk?job=%s&kind=input&off=%d&count=%d", node, jobID, off, count)
 				payload := complexBytes(src[base+off : base+off+count])
-				if err := c.tr.postChunk(ctx, "scatter", node, url, payload); err != nil {
+				if err := c.tr.postChunk(wctx(i), "scatter", node, url, payload); err != nil {
 					return err
 				}
 				c.metrics.ScatterBytes.Add(int64(len(payload)))
@@ -254,7 +397,7 @@ func (c *Coordinator) Transform(ctx context.Context, dst, src []complex128, k, n
 	err = span("shard/run", func() error {
 		return forEach(fleet, func(i int, node string) error {
 			url := fmt.Sprintf("%s/shard/run?job=%s&sign=%d", node, jobID, sign)
-			return c.trOnce.postForResult(ctx, "run", node, url, &stats[i])
+			return c.trOnce.postForResult(wctx(i), "run", node, url, &stats[i])
 		})
 	})
 	runWall := time.Since(runStart).Seconds()
@@ -268,6 +411,20 @@ func (c *Coordinator) Transform(ctx context.Context, dst, src []complex128, k, n
 	if runWall > 0 {
 		c.metrics.SetLastExchangeGBs(float64(exchanged) / runWall / 1e9)
 	}
+	// Straggler ratio: the slowest worker's busy time (front + exposed
+	// exchange wait + back) over the fleet mean. The gather cannot start
+	// before the slowest worker finishes, so this gap is pure slack.
+	var busySum, busyMax float64
+	for _, st := range stats {
+		busy := float64(st.FrontNS + st.ExchangeWaitNS + st.BackNS)
+		busySum += busy
+		if busy > busyMax {
+			busyMax = busy
+		}
+	}
+	if busySum > 0 {
+		c.metrics.SetStragglerRatio(busyMax * float64(sk) / busySum)
+	}
 
 	// Gather: worker i's output is the y-slab y ∈ [i·nl, (i+1)·nl),
 	// laid out locally as rows (z·nl + yl)·m.
@@ -277,7 +434,7 @@ func (c *Coordinator) Transform(ctx context.Context, dst, src []complex128, k, n
 				scratch := getScratch(count)
 				defer putScratch(scratch)
 				url := fmt.Sprintf("%s/shard/result?job=%s&off=%d&count=%d", node, jobID, off, count)
-				if err := c.tr.getChunk(ctx, "gather", node, url, complexBytes(scratch[:count])); err != nil {
+				if err := c.tr.getChunk(wctx(i), "gather", node, url, complexBytes(scratch[:count])); err != nil {
 					return err
 				}
 				placeSlab(dst, g, i, off, scratch[:count])
@@ -292,6 +449,13 @@ func (c *Coordinator) Transform(ctx context.Context, dst, src []complex128, k, n
 
 	c.endAll(fleet, jobID)
 	c.metrics.JobsCompleted.Add(1)
+	c.storeTrace(rec)
+	if log := c.opts.Logger; log != nil {
+		log.Info("sharded transform completed", "trace_id", traceID, "job", jobID,
+			"shape", shape.String(), "workers", sk,
+			"duration_ms", float64(time.Since(start).Nanoseconds())/1e6,
+			"straggler_ratio", c.metrics.StragglerRatio())
+	}
 	return nil
 }
 

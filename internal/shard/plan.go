@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fft1d"
 	"repro/internal/fft3d"
@@ -219,8 +220,10 @@ func (r *exchangeRouter) noteSend(v, compact, elems int) {
 
 // startSenders launches the sender pool. The first failed chunk cancels
 // ctx (derived by the caller from the job deadline) so the whole run
-// fails fast instead of waiting out the deadline.
-func (r *exchangeRouter) startSenders(ctx context.Context, cancel context.CancelFunc, n int, tr *transport, spec JobSpec) {
+// fails fast instead of waiting out the deadline. w records one send span
+// per shipped chunk into the worker's trace ring when the job is traced
+// (may be nil in direct router tests).
+func (r *exchangeRouter) startSenders(ctx context.Context, cancel context.CancelFunc, n int, tr *transport, spec JobSpec, w *Worker) {
 	r.cancel = cancel
 	for i := 0; i < n; i++ {
 		r.wg.Add(1)
@@ -232,9 +235,13 @@ func (r *exchangeRouter) startSenders(ctx context.Context, cancel context.Cancel
 				url := fmt.Sprintf("%s/shard/chunk?job=%s&kind=exchange&from=%d&off=%d&count=%d",
 					peer, spec.Job, spec.Index, off, count)
 				payload := complexBytes(r.plan.send[sc.peer][off : off+count])
+				start := time.Now()
 				if err := tr.postChunk(ctx, "exchange", peer, url, payload); err != nil {
 					r.fail(err)
 					continue
+				}
+				if w != nil {
+					w.span(spec, exchangeSpanName(spec.Index, sc.peer, off), start, time.Now())
 				}
 				r.bytesSent.Add(int64(len(payload)))
 				r.chunksSent.Add(1)

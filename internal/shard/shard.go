@@ -130,10 +130,23 @@ type JobSpec struct {
 	ChunkElems int `json:"chunk_elems"`
 	// DeadlineUnixNano bounds every wait in the job; 0 means none.
 	DeadlineUnixNano int64 `json:"deadline_unix_nano,omitempty"`
+	// Trace is the coordinator-assigned distributed trace ID; workers tag
+	// their ring events and spans with it so /shard/trace?id= can hand the
+	// coordinator this transform's slice of each node's timeline.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Shape returns the spec's transform geometry.
 func (js JobSpec) Shape() Shape { return Shape{js.K, js.N, js.M} }
+
+// beginResult is the /shard/begin response. NowUnixNano is the worker's
+// clock at reply time: the coordinator pairs it with the request's
+// send/receive instants to estimate the worker's clock offset
+// (offset = workerNow − round-trip midpoint), which aligns the node's
+// lane in the merged fleet trace.
+type beginResult struct {
+	NowUnixNano int64 `json:"now_unix_nano"`
+}
 
 // runStats is the /shard/run response: the worker's own accounting,
 // aggregated by the coordinator into obs.ShardMetrics.

@@ -13,6 +13,7 @@ import (
 	"unsafe"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Wire constants. Payloads are the raw in-memory representation of
@@ -98,9 +99,11 @@ func retryable(status int) bool {
 func (t *transport) do(ctx context.Context, op, peer string, build func() (*http.Request, error)) (*http.Response, error) {
 	var lastErr error
 	lastStatus := 0
+	sc, hasSpan := trace.SpanFromContext(ctx)
 	for attempt := 0; attempt <= t.retries; attempt++ {
 		if attempt > 0 {
 			t.metrics.Retries.Add(1)
+			t.metrics.AddPeerRetry(peer)
 			d := t.backoff << uint(attempt-1)
 			select {
 			case <-ctx.Done():
@@ -111,6 +114,9 @@ func (t *transport) do(ctx context.Context, op, peer string, build func() (*http
 		req, err := build()
 		if err != nil {
 			return nil, errf(KindProtocol, op, peer, "build request: %v", err)
+		}
+		if hasSpan {
+			req.Header.Set(trace.TraceHeader, sc.String())
 		}
 		resp, err := t.client.Do(req.WithContext(ctx))
 		if err != nil {
@@ -141,9 +147,12 @@ func (t *transport) do(ctx context.Context, op, peer string, build func() (*http
 }
 
 // postChunk ships payload to url with its CRC header, retrying with fresh
-// copies until the receiver acknowledges it.
+// copies until the receiver acknowledges it. Successful transfers feed the
+// per-peer latency histogram (retries and backoff included, so the p99
+// reflects what the transfer actually cost, not just the last attempt).
 func (t *transport) postChunk(ctx context.Context, op, peer, url string, payload []byte) error {
 	crc := crc32.Checksum(payload, castagnoli)
+	start := time.Now()
 	resp, err := t.do(ctx, op, peer, func() (*http.Request, error) {
 		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
 		if err != nil {
@@ -158,6 +167,7 @@ func (t *transport) postChunk(ctx context.Context, op, peer, url string, payload
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	t.metrics.ObservePeerChunk(peer, int64(len(payload)), time.Since(start))
 	return nil
 }
 
@@ -166,6 +176,7 @@ func (t *transport) postChunk(ctx context.Context, op, peer, url string, payload
 // failure (the origin still holds the pristine bytes).
 func (t *transport) getChunk(ctx context.Context, op, peer, url string, dst []byte) error {
 	var lastErr error
+	start := time.Now()
 	for attempt := 0; ; attempt++ {
 		if attempt > t.retries {
 			return errf(KindChecksum, op, peer, "retries exhausted after %d attempts: %v", t.retries+1, lastErr)
@@ -204,6 +215,7 @@ func (t *transport) getChunk(ctx context.Context, op, peer, url string, dst []by
 			lastErr = fmt.Errorf("crc mismatch: got %08x want %08x", got, uint32(want))
 			continue
 		}
+		t.metrics.ObservePeerChunk(peer, int64(len(dst)), time.Since(start))
 		return nil
 	}
 }
@@ -227,6 +239,49 @@ func (t *transport) postJSON(ctx context.Context, op, peer, url string, v any) e
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	return nil
+}
+
+// postJSONResult posts v as JSON and decodes the JSON response into out.
+func (t *transport) postJSONResult(ctx context.Context, op, peer, url string, v, out any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return errf(KindProtocol, op, peer, "encode: %v", err)
+	}
+	resp, err := t.do(ctx, op, peer, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return errf(KindProtocol, op, peer, "decode response: %v", err)
+	}
+	return nil
+}
+
+// getJSON fetches url and decodes the JSON response into out.
+func (t *transport) getJSON(ctx context.Context, op, peer, url string, out any) error {
+	resp, err := t.do(ctx, op, peer, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, url, nil)
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return errf(KindProtocol, op, peer, "decode response: %v", err)
+	}
 	return nil
 }
 

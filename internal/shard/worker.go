@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -40,7 +41,20 @@ type WorkerOptions struct {
 
 	Metrics *obs.ShardMetrics // default obs.ShardDefault
 	Tracer  *trace.Recorder
+
+	// TraceRing bounds the worker's always-on distributed-trace ring
+	// (events and spans each): every traced job's plan builds, stage runs,
+	// exchange chunk sends/receives and CRC rejects land here, tagged with
+	// the coordinator's trace ID, and /shard/trace?id= serves them back.
+	// 0 = default (16384); negative disables distributed tracing.
+	TraceRing int
+
+	// Logger receives job-level structured logs (trace ID, shape, phase
+	// timings). nil disables logging.
+	Logger *slog.Logger
 }
+
+const defaultTraceRing = 16384
 
 // Worker executes the local portion of sharded transforms: it owns a
 // warm-plan LRU and a table of in-flight jobs, and serves the /shard/*
@@ -50,6 +64,10 @@ type Worker struct {
 	tr      *transport
 	metrics *obs.ShardMetrics
 	plans   *lru.Cache[planKey, *workerPlan]
+
+	// rec is the always-on distributed-trace ring: everything a traced job
+	// does on this node, tagged with its trace ID. Nil when TraceRing < 0.
+	rec *trace.Recorder
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -87,6 +105,13 @@ func NewWorker(opts WorkerOptions) *Worker {
 		tr:      newTransport(opts.Client, opts.Retries, opts.Backoff, opts.Metrics),
 		metrics: opts.Metrics,
 		jobs:    make(map[string]*job),
+	}
+	if opts.TraceRing >= 0 {
+		ring := opts.TraceRing
+		if ring == 0 {
+			ring = defaultTraceRing
+		}
+		w.rec = trace.NewRing(ring)
 	}
 	w.plans = lru.New[planKey, *workerPlan](opts.PlanCache, func(_ planKey, p *workerPlan) {
 		p.close()
@@ -142,7 +167,45 @@ func (w *Worker) Handler() http.Handler {
 	mux.HandleFunc("/shard/run", w.handleRun)
 	mux.HandleFunc("/shard/result", w.handleResult)
 	mux.HandleFunc("/shard/end", w.handleEnd)
+	mux.HandleFunc("/shard/trace", w.handleTrace)
 	return mux
+}
+
+// Trace returns this node's slice of one distributed trace, straight from
+// the always-on ring.
+func (w *Worker) Trace(id string) ([]trace.Event, []trace.Span) {
+	if w.rec == nil {
+		return nil, nil
+	}
+	return w.rec.ForTrace(id)
+}
+
+// handleTrace serves GET /shard/trace?id=: the events and spans this node
+// recorded for one distributed trace, for the coordinator's fleet merge.
+func (w *Worker) handleTrace(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(rw, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	id := req.URL.Query().Get("id")
+	if id == "" {
+		http.Error(rw, "missing id", http.StatusBadRequest)
+		return
+	}
+	events, spans := w.Trace(id)
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(trace.NodeTrace{Events: events, Spans: spans})
+}
+
+// span records one named interval of a traced job into the worker ring.
+func (w *Worker) span(spec JobSpec, name string, start, end time.Time) {
+	if w.rec == nil || spec.Trace == "" {
+		return
+	}
+	w.rec.EmitSpan(trace.Span{
+		Req: jobReq(spec.Job), Name: name, Trace: spec.Trace,
+		Start: start, End: end,
+	})
 }
 
 func (w *Worker) lookup(id string) *job {
@@ -171,12 +234,17 @@ func (w *Worker) handleBegin(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	key := planKey{spec.K, spec.N, spec.M, sk, spec.Index, spec.Mu, spec.Radix}
+	var buildStart time.Time
 	plan, release, err := w.plans.GetOrCreate(key, func() (*workerPlan, error) {
+		buildStart = time.Now()
 		return buildWorkerPlan(key, spec.ChunkElems, w.opts.DataWorkers, w.opts.ComputeWorkers, w.opts.BufferElems)
 	})
 	if err != nil {
 		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
+	}
+	if !buildStart.IsZero() {
+		w.span(spec, "shard/plan-build", buildStart, time.Now())
 	}
 	var deadline time.Time
 	ctx := req.Context()
@@ -215,7 +283,14 @@ func (w *Worker) handleBegin(rw http.ResponseWriter, req *http.Request) {
 			w.finishJob(spec.Job)
 		})
 	}
-	rw.WriteHeader(http.StatusOK)
+	if log := w.opts.Logger; log != nil {
+		log.Debug("shard job begun", "trace_id", spec.Trace, "job", spec.Job,
+			"shape", spec.Shape().String(), "index", spec.Index, "workers", sk)
+	}
+	// The reply carries this node's clock so the coordinator can estimate
+	// the clock offset from the round-trip midpoint.
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(beginResult{NowUnixNano: time.Now().UnixNano()})
 }
 
 // finishJob removes the job and releases its plan. Idempotent.
@@ -255,6 +330,7 @@ func (w *Worker) handleChunk(rw http.ResponseWriter, req *http.Request) {
 		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	arrived := time.Now()
 	qv := req.URL.Query()
 	j := w.lookup(qv.Get("job"))
 	if j == nil {
@@ -301,6 +377,11 @@ func (w *Worker) handleChunk(rw http.ResponseWriter, req *http.Request) {
 	}
 	if got := crc32.Checksum(payload, castagnoli); got != uint32(want) {
 		w.metrics.ChunksRejected.Add(1)
+		w.span(j.spec, fmt.Sprintf("crc-reject %s @%d", kind, off), arrived, time.Now())
+		if log := w.opts.Logger; log != nil {
+			log.Warn("chunk checksum reject", "trace_id", j.spec.Trace, "job", j.spec.Job,
+				"kind", kind, "from", from, "off", off)
+		}
 		http.Error(rw, fmt.Sprintf("crc mismatch: got %08x want %08x", got, uint32(want)), statusChecksumReject)
 		return
 	}
@@ -321,6 +402,9 @@ func (w *Worker) handleChunk(rw http.ResponseWriter, req *http.Request) {
 			w.metrics.ChunksReceived.Add(1)
 			w.metrics.BytesReceived.Add(int64(count) * 16)
 			j.netRecvBytes.Add(int64(count) * 16)
+			// Same span name the sender records, so the merged timeline
+			// shows the chunk leaving one lane and landing in another.
+			w.span(j.spec, exchangeSpanName(from, j.spec.Index, off), arrived, time.Now())
 		} else {
 			w.metrics.ChunksDuplicate.Add(1)
 		}
@@ -357,6 +441,9 @@ func (w *Worker) handleRun(rw http.ResponseWriter, req *http.Request) {
 	stats, err := w.runJob(req.Context(), j, sign)
 	if err != nil {
 		w.metrics.WorkerJobsFailed.Add(1)
+		if log := w.opts.Logger; log != nil {
+			log.Warn("shard job failed", "trace_id", j.spec.Trace, "job", j.spec.Job, "err", err)
+		}
 		http.Error(rw, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -373,6 +460,14 @@ func jobReq(id string) uint64 {
 	return h.Sum64()
 }
 
+// exchangeSpanName names one exchange chunk transfer. Sender and receiver
+// derive the identical name independently (sender index, receiver index,
+// compact offset), which is what lets the merged Perfetto timeline show
+// the same chunk on both lanes.
+func exchangeSpanName(from, to, off int) string {
+	return fmt.Sprintf("xchg %d→%d @%d", from, to, off)
+}
+
 // runJob executes the job's local stages: front graph (W² stores stream
 // into the exchange as they happen), wait for the sender pool and the
 // last inbound chunk, then the back graph into the output y-slab.
@@ -387,14 +482,48 @@ func (w *Worker) runJob(ctx context.Context, j *job, sign int) (runStats, error)
 	}
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	traced := w.rec != nil && j.spec.Trace != ""
+	if traced {
+		// Outbound exchange chunks carry this node's span context on the
+		// wire, and the receiver's events correlate via the shared trace ID.
+		rctx = trace.ContextWithSpan(rctx, trace.SpanContext{
+			TraceID: j.spec.Trace, SpanID: uint64(j.spec.Index + 1),
+		})
+	}
+
+	// Stage-graph events go to the session tracer as before; a traced job
+	// additionally captures them in a job-local recorder whose contents are
+	// re-emitted into the worker ring tagged with the trace ID.
+	execTracer := w.opts.Tracer
+	var runRec *trace.Recorder
+	if traced {
+		runRec = trace.New()
+		execTracer = runRec
+	}
+	copyTagged := func() {
+		if runRec == nil {
+			return
+		}
+		for _, e := range runRec.Events() {
+			e.Trace = j.spec.Trace
+			w.rec.Emit(e)
+			if w.opts.Tracer != nil {
+				w.opts.Tracer.Emit(e)
+			}
+		}
+		runRec = trace.New()
+		execTracer = runRec
+	}
 
 	router := newExchangeRouter(p, j.recvEx)
 	p.router = router
-	router.startSenders(rctx, cancel, w.opts.Senders, w.tr, j.spec)
+	router.startSenders(rctx, cancel, w.opts.Senders, w.tr, j.spec, w)
 
 	t0 := time.Now()
-	_, runErr := p.exec.Run(p.bufs, p.front, p.schedF, w.opts.Tracer)
+	_, runErr := p.exec.Run(p.bufs, p.front, p.schedF, execTracer)
 	stats.FrontNS = int64(time.Since(t0))
+	w.span(j.spec, "shard/front", t0, time.Now())
+	copyTagged()
 	sendErr := router.finish()
 	if runErr != nil {
 		return stats, errf(KindProtocol, "run", "", "front graph: %v", runErr)
@@ -417,20 +546,30 @@ func (w *Worker) runJob(ctx context.Context, j *job, sign int) (runStats, error)
 	waitNS := int64(time.Since(tw))
 	stats.ExchangeWaitNS = waitNS
 	w.metrics.ExchangeWaitNanos.Add(waitNS)
+	w.span(j.spec, "shard/exchange-wait", tw, tw.Add(time.Duration(waitNS)))
 	if tr := w.opts.Tracer; tr != nil {
 		tr.EmitSpan(trace.Span{Req: jobReq(j.spec.Job), Name: "shard/exchange-wait",
 			Start: tw, End: tw.Add(time.Duration(waitNS))})
 	}
 
 	t1 := time.Now()
-	_, runErr = p.exec.Run(p.bufs, p.back, p.schedB, w.opts.Tracer)
+	_, runErr = p.exec.Run(p.bufs, p.back, p.schedB, execTracer)
 	stats.BackNS = int64(time.Since(t1))
+	w.span(j.spec, "shard/back", t1, time.Now())
+	copyTagged()
 	if runErr != nil {
 		return stats, errf(KindProtocol, "run", "", "back graph: %v", runErr)
 	}
 	stats.BytesSent = router.bytesSent.Load()
 	stats.ChunksSent = router.chunksSent.Load()
 	stats.BytesReceived = j.netRecvBytes.Load()
+	if log := w.opts.Logger; log != nil {
+		log.Debug("shard job ran", "trace_id", j.spec.Trace, "job", j.spec.Job,
+			"front_ms", float64(stats.FrontNS)/1e6,
+			"exchange_wait_ms", float64(waitNS)/1e6,
+			"back_ms", float64(stats.BackNS)/1e6,
+			"bytes_sent", stats.BytesSent, "bytes_received", stats.BytesReceived)
+	}
 	return stats, nil
 }
 

@@ -46,8 +46,12 @@ type Event struct {
 	Buf    int
 	Worker int
 	Role   string
-	Start  time.Time
-	End    time.Time
+	// Trace is the distributed trace ID of the sharded transform this event
+	// belongs to ("" for purely local runs). It lets a coordinator pull one
+	// transform's events out of a worker's always-on ring.
+	Trace string
+	Start time.Time
+	End   time.Time
 }
 
 // Span is one tagged interval in the life of a serving request: Req is the
@@ -55,8 +59,11 @@ type Event struct {
 // for a batch slot, "exec" while the transform runs). Spans let tests and
 // operators attribute end-to-end latency to queueing versus execution.
 type Span struct {
-	Req   uint64
-	Name  string
+	Req  uint64
+	Name string
+	// Trace carries the distributed trace ID when the span belongs to a
+	// sharded transform ("" otherwise); see Event.Trace.
+	Trace string
 	Start time.Time
 	End   time.Time
 }
@@ -162,6 +169,25 @@ func (r *Recorder) Events() []Event {
 	out := append([]Event(nil), r.events...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
 	return out
+}
+
+// ForTrace returns the events and spans tagged with one distributed trace
+// ID, each sorted by start time — what a worker serves from its always-on
+// ring when a coordinator gathers a finished transform's timeline.
+func (r *Recorder) ForTrace(trace string) ([]Event, []Span) {
+	var events []Event
+	for _, e := range r.Events() {
+		if e.Trace == trace {
+			events = append(events, e)
+		}
+	}
+	var spans []Span
+	for _, s := range r.Spans() {
+		if s.Trace == trace {
+			spans = append(spans, s)
+		}
+	}
+	return events, spans
 }
 
 // ByStep groups events by schedule step.
